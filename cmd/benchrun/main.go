@@ -1,0 +1,63 @@
+// Command benchrun executes the reproduction experiments E1–E7 (see
+// DESIGN.md for the experiment index) and prints their report tables,
+// optionally as the markdown used in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchrun -e all            # run everything at default scale
+//	benchrun -e E1,E4 -scale 2 # selected experiments, double size
+//	benchrun -e all -md        # emit markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"irdb/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.String("e", "all", "comma-separated experiment IDs (E1..E7) or 'all'")
+		scale = flag.Float64("scale", 1.0, "dataset scale factor")
+		quick = flag.Bool("quick", false, "smoke-test sizes")
+		md    = flag.Bool("md", false, "emit markdown instead of text tables")
+		seed  = flag.Int64("seed", 42, "workload generator seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Quick = *quick
+	cfg.Seed = *seed
+
+	var ids []string
+	if *list == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*list, ",") {
+			ids = append(ids, strings.TrimSpace(strings.ToUpper(id)))
+		}
+	}
+
+	fmt.Printf("# IR-on-DB reproduction experiments (scale=%.2g, quick=%v, %s, %d CPU)\n\n",
+		cfg.Scale, cfg.Quick, runtime.Version(), runtime.NumCPU())
+	start := time.Now()
+	for _, id := range ids {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *md {
+			fmt.Println(res.Markdown())
+		} else {
+			fmt.Println(res.String())
+		}
+	}
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,75 @@
+// Command irdb-server serves search strategies over HTTP against a
+// triples TSV dataset — the deployment shape of section 3 (one VM serving
+// the website's search bar).
+//
+// Usage:
+//
+//	irdb-server -data auction.tsv -addr :8080
+//	curl 'localhost:8080/search?strategy=auction-lots&q=wooden+train&k=10'
+//	curl 'localhost:8080/strategies'
+//	curl 'localhost:8080/stats'
+//
+// The Figure 3 auction strategy and its production variant are installed
+// by default; more strategies can be installed at runtime by POSTing
+// strategy JSON to /strategies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"irdb/internal/catalog"
+	"irdb/internal/engine"
+	"irdb/internal/server"
+	"irdb/internal/strategy"
+	"irdb/internal/text"
+	"irdb/internal/triple"
+	"irdb/internal/workload"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "triples TSV file (required)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		synTerms = flag.Int("synonyms", 200, "synthetic synonym dictionary size (0 disables)")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "irdb-server: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	triples, err := triple.ReadTSV(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat := catalog.New(0)
+	triple.NewStore(cat).Load(triples)
+	log.Printf("loaded %d triples from %s", len(triples), *dataPath)
+
+	var syn text.SynonymDict
+	if *synTerms > 0 {
+		syn = text.SynonymDict(workload.Synonyms(20000, *synTerms, 2, 42))
+	}
+	srv := server.New(engine.NewCtx(cat), syn)
+	for _, st := range []*strategy.Strategy{
+		strategy.Toy(),
+		strategy.Auction(0.7, 0.3),
+		strategy.Production(),
+	} {
+		if err := srv.Install(st); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("installed strategies: %v", srv.StrategyNames())
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,11 @@
+// Package irdb is a from-scratch Go reproduction of "Challenges for
+// industrial-strength Information Retrieval on Databases" (Cornacchia,
+// Hildebrand, de Vries, Dorssers; EDBT/ICDT 2017 workshops): information
+// retrieval implemented on a relational column store, with a
+// probabilistic triple data model, the SpinQL algebra language, and a
+// block-based search strategy layer on top.
+//
+// The root package holds the per-experiment benchmarks (bench_test.go);
+// the implementation lives under internal/ (see DESIGN.md for the system
+// inventory) with runnable entry points under cmd/ and examples/.
+package irdb

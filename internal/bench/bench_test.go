@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureCollectsSamples(t *testing.T) {
+	n := 0
+	l, err := Measure(5, func() error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || l.N() != 5 {
+		t.Errorf("ran %d times, %d samples", n, l.N())
+	}
+}
+
+func TestMeasureStopsOnError(t *testing.T) {
+	n := 0
+	_, err := Measure(5, func() error {
+		n++
+		if n == 2 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || n != 2 {
+		t.Errorf("err=%v after %d runs", err, n)
+	}
+}
+
+func TestQuantilesAndStats(t *testing.T) {
+	l := &Latencies{}
+	for _, ms := range []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		l.Add(time.Duration(ms) * time.Millisecond)
+	}
+	if got := l.P(0.5); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := l.P(1.0); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := l.P(0.0); got != 10*time.Millisecond {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := l.Mean(); got != 55*time.Millisecond {
+		t.Errorf("mean = %v", got)
+	}
+	if l.Min() != 10*time.Millisecond || l.Max() != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", l.Min(), l.Max())
+	}
+	// 10 ops over 550ms ≈ 18.2 ops/s
+	if qps := l.Throughput(); qps < 18 || qps > 19 {
+		t.Errorf("throughput = %g", qps)
+	}
+}
+
+func TestEmptyLatencies(t *testing.T) {
+	l := &Latencies{}
+	if l.P(0.5) != 0 || l.Mean() != 0 || l.Min() != 0 || l.Max() != 0 || l.Throughput() != 0 {
+		t.Error("empty latencies should report zeros")
+	}
+}
+
+func TestMs(t *testing.T) {
+	if got := Ms(1500 * time.Microsecond); got != "1.50ms" {
+		t.Errorf("Ms = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"name", "latency", "count"},
+	}
+	tab.AddRow("alpha", 2*time.Millisecond, 7)
+	tab.AddRow("beta", 1.5, "raw")
+	tab.AddNote("generated with seed %d", 42)
+
+	text := tab.String()
+	for _, want := range []string{"== demo ==", "alpha", "2.00ms", "1.50", "raw", "note: generated with seed 42"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text table missing %q:\n%s", want, text)
+		}
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### demo", "| name | latency | count |", "| --- | --- | --- |", "| alpha | 2.00ms | 7 |", "*generated with seed 42*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := &Table{Header: []string{"a", "longest-header"}}
+	tab.AddRow("wide-cell-value", "x")
+	lines := strings.Split(strings.TrimSpace(tab.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// the second column must start at the same offset in header and data
+	if strings.Index(lines[0], "longest-header") != strings.Index(lines[2], "x") {
+		t.Errorf("misaligned:\n%s", tab.String())
+	}
+}

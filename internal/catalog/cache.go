@@ -1,0 +1,138 @@
+package catalog
+
+import (
+	"container/list"
+	"sync"
+
+	"irdb/internal/relation"
+)
+
+// Cache memoizes materialized intermediate results, keyed by plan
+// fingerprint. It implements the paper's on-demand vertical partitioning:
+// the first evaluation of, say, SELECT [property="description"] (triples)
+// pays the scan; every later query touching the same sub-plan reads the
+// materialized "cache table".
+//
+// Eviction is LRU by entry count. Statistics are exposed for the E2/E5
+// experiments, which measure exactly this mechanism.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int // <= 0 means unbounded
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	aux      map[string]any
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	rel *relation.Relation
+}
+
+// NewCache returns a cache holding at most capacity entries (<= 0 for
+// unbounded).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		aux:      make(map[string]any),
+	}
+}
+
+// GetAux returns an auxiliary cached structure (e.g. a hash index built
+// over a materialized relation — the column-store pattern of reusing join
+// indexes across queries on hot data).
+func (c *Cache) GetAux(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.aux[key]
+	return v, ok
+}
+
+// PutAux stores an auxiliary structure. Aux entries live until the next
+// Clear (i.e. until base data changes).
+func (c *Cache) PutAux(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.aux[key] = v
+}
+
+// Get returns the cached relation for the fingerprint, if present.
+func (c *Cache) Get(key string) (*relation.Relation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).rel, true
+}
+
+// Put stores a materialized relation under the fingerprint, evicting the
+// least recently used entry if the cache is full.
+func (c *Cache) Put(key string, r *relation.Relation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).rel = r
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, rel: r})
+	c.entries[key] = el
+	if c.capacity > 0 && c.order.Len() > c.capacity {
+		last := c.order.Back()
+		if last != nil {
+			c.order.Remove(last)
+			delete(c.entries, last.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+}
+
+// Clear drops every entry (including auxiliary structures) but keeps the
+// statistics counters.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
+	c.aux = make(map[string]any)
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
+}
+
+// ResetStats zeroes the counters (entries are kept). Benchmarks call this
+// between phases.
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}

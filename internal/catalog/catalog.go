@@ -1,0 +1,89 @@
+// Package catalog provides named storage for base tables plus the
+// on-demand materialization cache described in section 2.2 of the paper:
+// "an adaptive, query-driven set of 'cache' tables each corresponding to a
+// specific sub-query on the original data. When the same computation is
+// requested several times, its full result is already materialized."
+//
+// The catalog knows nothing about plans; the engine keys the cache by plan
+// fingerprint. This keeps storage and compute layered.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"irdb/internal/relation"
+)
+
+// Catalog is a thread-safe registry of named base tables and the
+// materialization cache shared by all queries on the same data.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*relation.Relation
+	cache  *Cache
+}
+
+// New returns an empty catalog with a cache of the given capacity
+// (entries). Capacity <= 0 means unbounded.
+func New(cacheCapacity int) *Catalog {
+	return &Catalog{
+		tables: make(map[string]*relation.Relation),
+		cache:  NewCache(cacheCapacity),
+	}
+}
+
+// Put registers (or replaces) a base table. Replacing a table invalidates
+// the whole cache: materialized sub-queries may depend on it.
+func (c *Catalog) Put(name string, r *relation.Relation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tables[name] = r
+	c.cache.Clear()
+}
+
+// Table looks up a base table.
+func (c *Catalog) Table(name string) (*relation.Relation, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q (have %v)", name, c.tableNamesLocked())
+	}
+	return r, nil
+}
+
+// Has reports whether a base table exists.
+func (c *Catalog) Has(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[name]
+	return ok
+}
+
+// Drop removes a base table and invalidates the cache.
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tables, name)
+	c.cache.Clear()
+}
+
+// TableNames returns the sorted names of all base tables.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tableNamesLocked()
+}
+
+func (c *Catalog) tableNamesLocked() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Cache returns the materialization cache.
+func (c *Catalog) Cache() *Cache { return c.cache }

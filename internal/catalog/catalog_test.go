@@ -1,0 +1,145 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+func rel(n int) *relation.Relation {
+	b := relation.NewBuilder([]string{"x"}, []vector.Kind{vector.Int64})
+	for i := 0; i < n; i++ {
+		b.Add(i)
+	}
+	return b.Build()
+}
+
+func TestCatalogPutGetDrop(t *testing.T) {
+	c := New(0)
+	c.Put("t", rel(3))
+	if !c.Has("t") {
+		t.Fatal("Has(t) = false")
+	}
+	r, err := c.Table("t")
+	if err != nil || r.NumRows() != 3 {
+		t.Fatalf("Table(t): %v", err)
+	}
+	if _, err := c.Table("missing"); err == nil {
+		t.Error("missing table should fail")
+	}
+	c.Drop("t")
+	if c.Has("t") {
+		t.Error("dropped table still present")
+	}
+}
+
+func TestCatalogTableNamesSorted(t *testing.T) {
+	c := New(0)
+	c.Put("zeta", rel(1))
+	c.Put("alpha", rel(1))
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestPutInvalidatesCache(t *testing.T) {
+	c := New(0)
+	c.Put("t", rel(1))
+	c.Cache().Put("fp1", rel(5))
+	if c.Cache().Len() != 1 {
+		t.Fatal("cache put failed")
+	}
+	c.Put("t", rel(2))
+	if c.Cache().Len() != 0 {
+		t.Error("cache survived table replacement")
+	}
+}
+
+func TestCacheHitMissEvict(t *testing.T) {
+	cache := NewCache(2)
+	if _, ok := cache.Get("a"); ok {
+		t.Error("empty cache returned a hit")
+	}
+	cache.Put("a", rel(1))
+	cache.Put("b", rel(2))
+	if r, ok := cache.Get("a"); !ok || r.NumRows() != 1 {
+		t.Error("Get(a) failed")
+	}
+	// "b" is now LRU; inserting "c" must evict it.
+	cache.Put("c", rel(3))
+	if _, ok := cache.Get("b"); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := cache.Get("a"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	s := cache.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Hits != 2 || s.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", s.Hits, s.Misses)
+	}
+	if s.Entries != 2 {
+		t.Errorf("entries = %d, want 2", s.Entries)
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	cache := NewCache(0)
+	cache.Put("k", rel(1))
+	cache.Put("k", rel(9))
+	if cache.Len() != 1 {
+		t.Errorf("Len = %d, want 1", cache.Len())
+	}
+	r, _ := cache.Get("k")
+	if r.NumRows() != 9 {
+		t.Error("update did not replace value")
+	}
+}
+
+func TestCacheClearAndResetStats(t *testing.T) {
+	cache := NewCache(0)
+	cache.Put("k", rel(1))
+	cache.Get("k")
+	cache.Clear()
+	if cache.Len() != 0 {
+		t.Error("Clear left entries")
+	}
+	if cache.Stats().Hits != 1 {
+		t.Error("Clear should keep counters")
+	}
+	cache.ResetStats()
+	if s := cache.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestCatalogConcurrentAccess(t *testing.T) {
+	c := New(0)
+	c.Put("t", rel(10))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					c.Table("t")
+				case 1:
+					c.Cache().Put(fmt.Sprintf("k%d-%d", g, i), rel(1))
+				case 2:
+					c.Cache().Get(fmt.Sprintf("k%d-%d", g, i-1))
+				case 3:
+					c.TableNames()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

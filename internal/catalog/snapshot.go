@@ -1,0 +1,124 @@
+package catalog
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+// Snapshot persistence: the paper's substrate (MonetDB) is a durable
+// database; this gives the in-memory catalog the same property. A
+// snapshot stores every base table (schema, columns, probability column)
+// in a self-describing binary format; the materialization cache is
+// deliberately not persisted — cache tables are re-derived on demand, as
+// the paper's design intends.
+
+type snapshotColumn struct {
+	Name   string
+	Kind   int
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+}
+
+type snapshotTable struct {
+	Name string
+	Cols []snapshotColumn
+	Prob []float64
+}
+
+type snapshotFile struct {
+	Magic   string
+	Version int
+	Tables  []snapshotTable
+}
+
+const (
+	snapshotMagic   = "irdb-snapshot"
+	snapshotVersion = 1
+)
+
+// Save writes every base table to w. The cache is not included.
+func (c *Catalog) Save(w io.Writer) error {
+	file := snapshotFile{Magic: snapshotMagic, Version: snapshotVersion}
+	for _, name := range c.TableNames() {
+		rel, err := c.Table(name)
+		if err != nil {
+			return err
+		}
+		st := snapshotTable{Name: name}
+		for _, col := range rel.Columns() {
+			sc := snapshotColumn{Name: col.Name, Kind: int(col.Vec.Kind())}
+			switch v := col.Vec.(type) {
+			case *vector.Int64s:
+				sc.Ints = v.Values()
+			case *vector.Float64s:
+				sc.Floats = v.Values()
+			case *vector.Strings:
+				sc.Strs = v.Values()
+			case *vector.Bools:
+				sc.Bools = v.Values()
+			default:
+				return fmt.Errorf("catalog: cannot snapshot column kind %v", col.Vec.Kind())
+			}
+			st.Cols = append(st.Cols, sc)
+		}
+		st.Prob = rel.Prob()
+		file.Tables = append(file.Tables, st)
+	}
+	return gob.NewEncoder(w).Encode(file)
+}
+
+// LoadSnapshot replaces the catalog's base tables with the snapshot
+// contents and clears the cache.
+func (c *Catalog) LoadSnapshot(r io.Reader) error {
+	var file snapshotFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return fmt.Errorf("catalog: decoding snapshot: %w", err)
+	}
+	if file.Magic != snapshotMagic {
+		return fmt.Errorf("catalog: not a snapshot file (magic %q)", file.Magic)
+	}
+	if file.Version != snapshotVersion {
+		return fmt.Errorf("catalog: unsupported snapshot version %d", file.Version)
+	}
+	// Validate everything before mutating the catalog.
+	rels := make(map[string]*relation.Relation, len(file.Tables))
+	for _, st := range file.Tables {
+		cols := make([]relation.Column, len(st.Cols))
+		for i, sc := range st.Cols {
+			var vec vector.Vector
+			switch vector.Kind(sc.Kind) {
+			case vector.Int64:
+				vec = vector.FromInt64s(sc.Ints)
+			case vector.Float64:
+				vec = vector.FromFloat64s(sc.Floats)
+			case vector.String:
+				vec = vector.FromStrings(sc.Strs)
+			case vector.Bool:
+				vec = vector.FromBools(sc.Bools)
+			default:
+				return fmt.Errorf("catalog: snapshot table %q column %q has unknown kind %d",
+					st.Name, sc.Name, sc.Kind)
+			}
+			cols[i] = relation.Column{Name: sc.Name, Vec: vec}
+		}
+		rel, err := relation.FromColumns(cols, st.Prob)
+		if err != nil {
+			return fmt.Errorf("catalog: snapshot table %q: %w", st.Name, err)
+		}
+		rels[st.Name] = rel
+	}
+	c.mu.Lock()
+	c.tables = make(map[string]*relation.Relation, len(rels))
+	for name, rel := range rels {
+		c.tables[name] = rel
+	}
+	c.cache.Clear()
+	c.mu.Unlock()
+	return nil
+}

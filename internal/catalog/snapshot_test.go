@@ -1,0 +1,94 @@
+package catalog
+
+import (
+	"bytes"
+	"testing"
+
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+func snapshotCatalog() *Catalog {
+	c := New(0)
+	c.Put("mixed", relation.NewBuilder(
+		[]string{"s", "i", "f", "b"},
+		[]vector.Kind{vector.String, vector.Int64, vector.Float64, vector.Bool}).
+		AddP(0.5, "a", 1, 1.5, true).
+		Add("b", 2, 2.5, false).
+		Build())
+	c.Put("empty", relation.New([]string{"x"}, []vector.Kind{vector.String}))
+	return c
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := snapshotCatalog()
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(0)
+	dst.Put("leftover", relation.New([]string{"y"}, []vector.Kind{vector.Int64}))
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// pre-existing tables are replaced wholesale
+	if dst.Has("leftover") {
+		t.Error("LoadSnapshot kept pre-existing table")
+	}
+	names := dst.TableNames()
+	if len(names) != 2 || names[0] != "empty" || names[1] != "mixed" {
+		t.Fatalf("tables = %v", names)
+	}
+	rel, err := dst.Table("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 2 || rel.NumCols() != 4 {
+		t.Fatalf("shape = %dx%d", rel.NumRows(), rel.NumCols())
+	}
+	if rel.Prob()[0] != 0.5 || rel.Prob()[1] != 1.0 {
+		t.Errorf("prob = %v", rel.Prob())
+	}
+	if rel.Col(0).Vec.Format(1) != "b" || rel.Col(3).Vec.Format(0) != "true" {
+		t.Errorf("values wrong:\n%s", rel.Format(-1))
+	}
+	for i, k := range []vector.Kind{vector.String, vector.Int64, vector.Float64, vector.Bool} {
+		if rel.Col(i).Vec.Kind() != k {
+			t.Errorf("col %d kind = %v, want %v", i, rel.Col(i).Vec.Kind(), k)
+		}
+	}
+	empty, err := dst.Table("empty")
+	if err != nil || empty.NumRows() != 0 {
+		t.Errorf("empty table: %v, rows=%d", err, empty.NumRows())
+	}
+}
+
+func TestLoadSnapshotClearsCache(t *testing.T) {
+	src := snapshotCatalog()
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(0)
+	dst.Cache().Put("stale", relation.New([]string{"x"}, []vector.Kind{vector.Int64}))
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Cache().Len() != 0 {
+		t.Error("cache not cleared on snapshot load")
+	}
+}
+
+func TestLoadSnapshotRejectsGarbage(t *testing.T) {
+	dst := snapshotCatalog()
+	before := dst.TableNames()
+	if err := dst.LoadSnapshot(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// failed load must not clobber existing tables
+	after := dst.TableNames()
+	if len(after) != len(before) {
+		t.Errorf("failed load mutated catalog: %v -> %v", before, after)
+	}
+}

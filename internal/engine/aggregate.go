@@ -1,0 +1,407 @@
+package engine
+
+import (
+	"fmt"
+	"hash/maphash"
+	"strings"
+
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+// AggOp is an aggregate function.
+type AggOp int
+
+// Aggregate functions. CountAll and the *Prob ops ignore their column
+// argument: CountAll counts tuples, the *Prob ops aggregate the implicit
+// tuple-probability column into a visible value column (needed by the
+// relational Bayes operator and by retrieval-model score sums such as the
+// paper's "sum(tf_bm25.tf)").
+const (
+	CountAll AggOp = iota
+	Count
+	Sum
+	Avg
+	Min
+	Max
+	SumProb
+	MaxProb
+)
+
+func (op AggOp) String() string {
+	switch op {
+	case CountAll:
+		return "count(*)"
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case SumProb:
+		return "sum(p)"
+	case MaxProb:
+		return "max(p)"
+	}
+	return "?"
+}
+
+// AggSpec is one aggregate output: op applied to column Col (ignored for
+// CountAll/SumProb/MaxProb), named As in the output.
+type AggSpec struct {
+	Op  AggOp
+	Col string
+	As  string
+}
+
+// GroupProb selects the probability assigned to each output group, i.e.
+// the probabilistic projection semantics of PRA (section 2.3).
+type GroupProb int
+
+const (
+	// GroupCertain assigns p = 1 to every group: plain SQL aggregation
+	// over facts.
+	GroupCertain GroupProb = iota
+	// GroupDisjoint sums member probabilities (clamped to 1): PRA
+	// "PROJECT DISJOINT", valid when member events are mutually exclusive.
+	GroupDisjoint
+	// GroupIndependent combines members by noisy-or, 1 - ∏(1-p): PRA
+	// "PROJECT INDEPENDENT".
+	GroupIndependent
+	// GroupMax takes the maximum member probability.
+	GroupMax
+	// GroupSumRaw sums member probabilities without clamping. Not a
+	// probability in general — retrieval models use it to accumulate
+	// per-term score contributions exactly like the paper's final
+	// "sum(tf_bm25.tf) as score".
+	GroupSumRaw
+)
+
+func (g GroupProb) String() string {
+	switch g {
+	case GroupCertain:
+		return "certain"
+	case GroupDisjoint:
+		return "disjoint"
+	case GroupIndependent:
+		return "independent"
+	case GroupMax:
+		return "max"
+	case GroupSumRaw:
+		return "sumraw"
+	}
+	return "?"
+}
+
+// Aggregate groups its input by the GroupBy columns (empty = one global
+// group) and computes the given aggregates. Output columns are the group
+// columns followed by one column per AggSpec; output order is first
+// appearance of each group, keeping results deterministic.
+type Aggregate struct {
+	Child   Node
+	GroupBy []string
+	Aggs    []AggSpec
+	PMode   GroupProb
+}
+
+// NewAggregate builds an aggregation node.
+func NewAggregate(child Node, groupBy []string, aggs []AggSpec, pmode GroupProb) *Aggregate {
+	return &Aggregate{Child: child, GroupBy: groupBy, Aggs: aggs, PMode: pmode}
+}
+
+// Execute implements Node.
+func (a *Aggregate) Execute(ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(a.Child)
+	if err != nil {
+		return nil, err
+	}
+	return aggregateRel(in, a.GroupBy, a.Aggs, a.PMode)
+}
+
+// aggregateRel is the operator core, shared with Distinct.
+func aggregateRel(in *relation.Relation, groupBy []string, aggSpecs []AggSpec, pmode GroupProb) (*relation.Relation, error) {
+	gIdx, err := colPositions(in, groupBy)
+	if err != nil {
+		return nil, err
+	}
+	groupOf, firstRow := groupRows(in, gIdx)
+
+	nGroups := len(firstRow)
+	cols := make([]relation.Column, 0, len(gIdx)+len(aggSpecs))
+	for k, gi := range gIdx {
+		cols = append(cols, relation.Column{
+			Name: groupBy[k],
+			Vec:  in.Col(gi).Vec.Gather(firstRow),
+		})
+	}
+
+	prob := in.Prob()
+	for _, spec := range aggSpecs {
+		v, err := evalAgg(in, spec, groupOf, nGroups)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, relation.Column{Name: spec.As, Vec: v})
+	}
+
+	outProb := make([]float64, nGroups)
+	switch pmode {
+	case GroupCertain:
+		for g := range outProb {
+			outProb[g] = 1.0
+		}
+	case GroupDisjoint, GroupSumRaw:
+		for i, g := range groupOf {
+			outProb[g] += prob[i]
+		}
+		if pmode == GroupDisjoint {
+			for g, s := range outProb {
+				if s > 1 {
+					outProb[g] = 1
+				}
+			}
+		}
+	case GroupIndependent:
+		q := make([]float64, nGroups)
+		for g := range q {
+			q[g] = 1.0
+		}
+		for i, g := range groupOf {
+			q[g] *= 1 - prob[i]
+		}
+		for g := range outProb {
+			outProb[g] = 1 - q[g]
+		}
+	case GroupMax:
+		for i, g := range groupOf {
+			if prob[i] > outProb[g] {
+				outProb[g] = prob[i]
+			}
+		}
+	}
+
+	if len(cols) == 0 {
+		// Global aggregation with no aggregates is degenerate; surface it.
+		return nil, fmt.Errorf("aggregate with no group columns and no aggregates")
+	}
+	return relation.FromColumns(cols, outProb)
+}
+
+// groupRows partitions rows by equality on the given columns. It returns
+// the group id of every row and the first row index of each group (group
+// ids are assigned in first-appearance order). With no group columns all
+// rows (even zero) form a single group, matching SQL's global aggregate.
+//
+// The single map insert per distinct group (plus a rare spill map for
+// 64-bit hash collisions between distinct keys) keeps high-cardinality
+// group-bys — the tf view has one group per (term, document) pair —
+// allocation-light.
+func groupRows(in *relation.Relation, gIdx []int) (groupOf []int, firstRow []int) {
+	n := in.NumRows()
+	if len(gIdx) == 0 {
+		groupOf = make([]int, n)
+		return groupOf, []int{0}
+	}
+	seed := maphash.MakeSeed()
+	hashes := in.HashRows(seed, gIdx)
+	groupOf = make([]int, n)
+	first := make(map[uint64]int, 1024)
+	var spill map[uint64][]int
+	for i := 0; i < n; i++ {
+		h := hashes[i]
+		gid := -1
+		if g, ok := first[h]; ok {
+			if in.RowsEqual(i, gIdx, in, firstRow[g], gIdx) {
+				gid = g
+			} else {
+				for _, g2 := range spill[h] {
+					if in.RowsEqual(i, gIdx, in, firstRow[g2], gIdx) {
+						gid = g2
+						break
+					}
+				}
+			}
+		}
+		if gid < 0 {
+			gid = len(firstRow)
+			firstRow = append(firstRow, i)
+			if _, ok := first[h]; !ok {
+				first[h] = gid
+			} else {
+				if spill == nil {
+					spill = make(map[uint64][]int)
+				}
+				spill[h] = append(spill[h], gid)
+			}
+		}
+		groupOf[i] = gid
+	}
+	return groupOf, firstRow
+}
+
+func evalAgg(in *relation.Relation, spec AggSpec, groupOf []int, nGroups int) (vector.Vector, error) {
+	prob := in.Prob()
+	switch spec.Op {
+	case CountAll:
+		out := make([]int64, nGroups)
+		for _, g := range groupOf {
+			out[g]++
+		}
+		return vector.FromInt64s(out), nil
+	case SumProb:
+		out := make([]float64, nGroups)
+		for i, g := range groupOf {
+			out[g] += prob[i]
+		}
+		return vector.FromFloat64s(out), nil
+	case MaxProb:
+		out := make([]float64, nGroups)
+		for i, g := range groupOf {
+			if prob[i] > out[g] {
+				out[g] = prob[i]
+			}
+		}
+		return vector.FromFloat64s(out), nil
+	}
+
+	col, err := in.ColByName(spec.Col)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Op, err)
+	}
+	switch spec.Op {
+	case Count:
+		out := make([]int64, nGroups)
+		for _, g := range groupOf {
+			out[g]++
+		}
+		return vector.FromInt64s(out), nil
+	case Min, Max:
+		best := make([]int, nGroups)
+		for i := range best {
+			best[i] = -1
+		}
+		for i, g := range groupOf {
+			switch {
+			case best[g] < 0:
+				best[g] = i
+			case spec.Op == Min && col.Vec.LessAt(i, col.Vec, best[g]):
+				best[g] = i
+			case spec.Op == Max && col.Vec.LessAt(best[g], col.Vec, i):
+				best[g] = i
+			}
+		}
+		for g, b := range best {
+			if b < 0 {
+				return nil, fmt.Errorf("%s over empty group %d", spec.Op, g)
+			}
+		}
+		return col.Vec.Gather(best), nil
+	case Sum, Avg:
+		sums := make([]float64, nGroups)
+		counts := make([]int64, nGroups)
+		isInt := col.Vec.Kind() == vector.Int64
+		switch v := col.Vec.(type) {
+		case *vector.Int64s:
+			vals := v.Values()
+			for i, g := range groupOf {
+				sums[g] += float64(vals[i])
+				counts[g]++
+			}
+		case *vector.Float64s:
+			vals := v.Values()
+			for i, g := range groupOf {
+				sums[g] += vals[i]
+				counts[g]++
+			}
+		default:
+			return nil, fmt.Errorf("%s over non-numeric column %q", spec.Op, spec.Col)
+		}
+		if spec.Op == Avg {
+			out := make([]float64, nGroups)
+			for g := range out {
+				if counts[g] > 0 {
+					out[g] = sums[g] / float64(counts[g])
+				}
+			}
+			return vector.FromFloat64s(out), nil
+		}
+		if isInt {
+			out := make([]int64, nGroups)
+			for g, s := range sums {
+				out[g] = int64(s)
+			}
+			return vector.FromInt64s(out), nil
+		}
+		return vector.FromFloat64s(sums), nil
+	}
+	return nil, fmt.Errorf("unknown aggregate op %v", spec.Op)
+}
+
+// Fingerprint implements Node.
+func (a *Aggregate) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString("agg[")
+	b.WriteString(a.PMode.String())
+	b.WriteString("](")
+	b.WriteString(strings.Join(a.GroupBy, "|"))
+	b.WriteString(";")
+	for i, s := range a.Aggs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%s:%s", s.Op, s.Col, s.As)
+	}
+	b.WriteString(")(")
+	b.WriteString(a.Child.Fingerprint())
+	b.WriteString(")")
+	return b.String()
+}
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Child} }
+
+// Label implements Node.
+func (a *Aggregate) Label() string {
+	return fmt.Sprintf("Aggregate[%s] by %v", a.PMode, a.GroupBy)
+}
+
+// ---------------------------------------------------------------------------
+// Distinct
+
+// Distinct removes duplicate rows (over all visible columns), combining
+// the probabilities of collapsed duplicates according to PMode. This is
+// the probabilistic PROJECT of PRA once composed with a Project node.
+type Distinct struct {
+	Child Node
+	PMode GroupProb
+}
+
+// NewDistinct deduplicates child rows with the given probability combine
+// mode.
+func NewDistinct(child Node, pmode GroupProb) *Distinct {
+	return &Distinct{Child: child, PMode: pmode}
+}
+
+// Execute implements Node.
+func (d *Distinct) Execute(ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(d.Child)
+	if err != nil {
+		return nil, err
+	}
+	return aggregateRel(in, in.ColumnNames(), nil, d.PMode)
+}
+
+// Fingerprint implements Node.
+func (d *Distinct) Fingerprint() string {
+	return fmt.Sprintf("distinct[%s](%s)", d.PMode, d.Child.Fingerprint())
+}
+
+// Children implements Node.
+func (d *Distinct) Children() []Node { return []Node{d.Child} }
+
+// Label implements Node.
+func (d *Distinct) Label() string { return fmt.Sprintf("Distinct[%s]", d.PMode) }

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"irdb/internal/catalog"
+	"irdb/internal/expr"
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+// benchRelation builds an n-row (k string, v int64) relation with nKeys
+// distinct keys.
+func benchRelation(n, nKeys int) *relation.Relation {
+	keys := make([]string, n)
+	vals := make([]int64, n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("k%06d", i%nKeys)
+		vals[i] = int64(i)
+	}
+	return relation.MustFromColumns([]relation.Column{
+		{Name: "k", Vec: vector.FromStrings(keys)},
+		{Name: "v", Vec: vector.FromInt64s(vals)},
+	}, nil)
+}
+
+func benchCtx(n, nKeys int) *Ctx {
+	cat := catalog.New(0)
+	cat.Put("t", benchRelation(n, nKeys))
+	cat.Put("dict", benchRelation(nKeys, nKeys))
+	return NewCtx(cat)
+}
+
+func BenchmarkSelect(b *testing.B) {
+	ctx := benchCtx(100000, 1000)
+	plan := NewSelect(NewScan("t"),
+		expr.Cmp{Op: expr.Eq, L: expr.Column("k"), R: expr.Str("k000007")})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Exec(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoinManyToOne(b *testing.B) {
+	ctx := benchCtx(100000, 1000)
+	plan := NewHashJoin(NewScan("t"), NewScan("dict"),
+		[]string{"k"}, []string{"k"}, JoinLeft)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Exec(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoinCachedIndex(b *testing.B) {
+	ctx := benchCtx(100000, 1000)
+	plan := NewHashJoin(NewScan("t"), NewMaterialize(NewScan("dict")),
+		[]string{"k"}, []string{"k"}, JoinLeft)
+	if _, err := ctx.Exec(plan); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Exec(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateHighCardinality(b *testing.B) {
+	ctx := benchCtx(100000, 50000)
+	plan := NewAggregate(NewScan("t"), []string{"k"},
+		[]AggSpec{{Op: CountAll, As: "n"}, {Op: Sum, Col: "v", As: "s"}}, GroupCertain)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Exec(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateLowCardinality(b *testing.B) {
+	ctx := benchCtx(100000, 16)
+	plan := NewAggregate(NewScan("t"), []string{"k"},
+		[]AggSpec{{Op: CountAll, As: "n"}}, GroupIndependent)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Exec(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopN(b *testing.B) {
+	ctx := benchCtx(100000, 100000)
+	plan := NewTopN(NewScan("t"), 10, SortSpec{Col: "v", Desc: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Exec(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalizeGrouped(b *testing.B) {
+	ctx := benchCtx(100000, 1000)
+	plan := NewNormalize(NewScan("t"), []int{0}, NormSum)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Exec(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"fmt"
+	"hash/maphash"
+	"strings"
+
+	"irdb/internal/relation"
+)
+
+// JoinProb selects how an equi-join combines the probabilities of matching
+// tuples, per the probabilistic relational algebra of section 2.3.
+type JoinProb int
+
+const (
+	// JoinIndependent multiplies the two tuple probabilities — the "JOIN
+	// INDEPENDENT" of SpinQL, shown in the paper translating to
+	// "t1.p * t2.p".
+	JoinIndependent JoinProb = iota
+	// JoinLeft keeps the left tuple's probability (the right side acts as
+	// a certain filter).
+	JoinLeft
+	// JoinRight keeps the right tuple's probability.
+	JoinRight
+)
+
+func (m JoinProb) String() string {
+	switch m {
+	case JoinIndependent:
+		return "independent"
+	case JoinLeft:
+		return "left"
+	case JoinRight:
+		return "right"
+	}
+	return "?"
+}
+
+// HashJoin is an inner equi-join. The build side is the right input; the
+// probe side the left. Output columns are all left columns followed by all
+// right columns, with clashing right names deduplicated by a numeric
+// suffix (positional access, as used by SpinQL's $n, is unaffected).
+//
+// Keys are given either by name (LKeys/RKeys) or by 0-based position
+// (LPos/RPos), the latter serving SpinQL's positional join conditions
+// such as JOIN INDEPENDENT [$1=$1].
+type HashJoin struct {
+	L, R  Node
+	LKeys []string
+	RKeys []string
+	LPos  []int
+	RPos  []int
+	PMode JoinProb
+}
+
+// NewHashJoin joins l and r on pairwise equality of the named key columns.
+func NewHashJoin(l, r Node, lkeys, rkeys []string, mode JoinProb) *HashJoin {
+	return &HashJoin{L: l, R: r, LKeys: lkeys, RKeys: rkeys, PMode: mode}
+}
+
+// NewHashJoinPos joins l and r on pairwise equality of 0-based column
+// positions.
+func NewHashJoinPos(l, r Node, lpos, rpos []int, mode JoinProb) *HashJoin {
+	return &HashJoin{L: l, R: r, LPos: lpos, RPos: rpos, PMode: mode}
+}
+
+func (j *HashJoin) positional() bool { return len(j.LPos) > 0 }
+
+// Execute implements Node.
+func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
+	if j.positional() {
+		if len(j.LPos) != len(j.RPos) {
+			return nil, fmt.Errorf("join wants matching positional key lists, got %v and %v", j.LPos, j.RPos)
+		}
+	} else if len(j.LKeys) == 0 || len(j.LKeys) != len(j.RKeys) {
+		return nil, fmt.Errorf("join wants matching non-empty key lists, got %v and %v", j.LKeys, j.RKeys)
+	}
+	left, err := ctx.Exec(j.L)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ctx.Exec(j.R)
+	if err != nil {
+		return nil, err
+	}
+	var lIdx, rIdx []int
+	if j.positional() {
+		if lIdx, err = checkPositions(left, j.LPos); err != nil {
+			return nil, err
+		}
+		if rIdx, err = checkPositions(right, j.RPos); err != nil {
+			return nil, err
+		}
+	} else {
+		if lIdx, err = colPositions(left, j.LKeys); err != nil {
+			return nil, err
+		}
+		if rIdx, err = colPositions(right, j.RKeys); err != nil {
+			return nil, err
+		}
+	}
+	for k := range lIdx {
+		lk := left.Col(lIdx[k]).Vec.Kind()
+		rk := right.Col(rIdx[k]).Vec.Kind()
+		if lk != rk {
+			return nil, fmt.Errorf("join key %s (%v) vs %s (%v): kind mismatch",
+				left.Col(lIdx[k]).Name, lk, right.Col(rIdx[k]).Name, rk)
+		}
+	}
+
+	idx := j.buildIndex(ctx, right, rIdx)
+	lHash := left.HashRows(idx.seed, lIdx)
+
+	// Many-to-one joins (foreign key → dictionary) are the common case;
+	// start with one output row per probe row.
+	lSel := make([]int, 0, len(lHash))
+	rSel := make([]int, 0, len(lHash))
+	for i, h := range lHash {
+		for _, ri := range idx.buckets[h] {
+			if left.RowsEqual(i, lIdx, right, ri, rIdx) {
+				lSel = append(lSel, i)
+				rSel = append(rSel, ri)
+			}
+		}
+	}
+
+	lOut := left.Gather(lSel)
+	rOut := right.Gather(rSel)
+	names := make(map[string]bool, lOut.NumCols()+rOut.NumCols())
+	cols := make([]relation.Column, 0, lOut.NumCols()+rOut.NumCols())
+	for _, c := range lOut.Columns() {
+		names[c.Name] = true
+		cols = append(cols, c)
+	}
+	for _, c := range rOut.Columns() {
+		name := c.Name
+		for i := 2; names[name]; i++ {
+			name = fmt.Sprintf("%s_%d", c.Name, i)
+		}
+		names[name] = true
+		cols = append(cols, relation.Column{Name: name, Vec: c.Vec})
+	}
+	lp, rp := lOut.Prob(), rOut.Prob()
+	prob := make([]float64, len(lSel))
+	for i := range prob {
+		switch j.PMode {
+		case JoinIndependent:
+			prob[i] = lp[i] * rp[i]
+		case JoinLeft:
+			prob[i] = lp[i]
+		case JoinRight:
+			prob[i] = rp[i]
+		}
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("join produced zero columns")
+	}
+	return relation.FromColumns(cols, prob)
+}
+
+// Fingerprint implements Node.
+func (j *HashJoin) Fingerprint() string {
+	return fmt.Sprintf("join[%s](%s=%s)(%s,%s)",
+		j.PMode, j.lKeySpec(), j.rKeySpec(),
+		j.L.Fingerprint(), j.R.Fingerprint())
+}
+
+func (j *HashJoin) lKeySpec() string {
+	if j.positional() {
+		return fmt.Sprintf("#%v", j.LPos)
+	}
+	return strings.Join(j.LKeys, "|")
+}
+
+func (j *HashJoin) rKeySpec() string {
+	if j.positional() {
+		return fmt.Sprintf("#%v", j.RPos)
+	}
+	return strings.Join(j.RKeys, "|")
+}
+
+// Children implements Node.
+func (j *HashJoin) Children() []Node { return []Node{j.L, j.R} }
+
+// Label implements Node.
+func (j *HashJoin) Label() string {
+	return fmt.Sprintf("HashJoin[%s] %s=%s", j.PMode, j.lKeySpec(), j.rKeySpec())
+}
+
+func checkPositions(r *relation.Relation, pos []int) ([]int, error) {
+	for _, p := range pos {
+		if p < 0 || p >= r.NumCols() {
+			return nil, fmt.Errorf("join key position %d out of range (relation has %d columns)", p+1, r.NumCols())
+		}
+	}
+	return pos, nil
+}
+
+// joinIndex is a reusable hash table over the build side of an equi-join.
+// For materialized (cached) build sides — the on-demand index tables of
+// section 2.1 — the index is built once and reused by every later query,
+// which is what makes "hot" query latencies possible: probing costs only
+// the matching postings, as in Figure 1's term look-up.
+type joinIndex struct {
+	seed    maphash.Seed
+	buckets map[uint64][]int
+	rel     *relation.Relation // identity check: index is valid for this exact relation
+}
+
+func (j *HashJoin) buildIndex(ctx *Ctx, right *relation.Relation, rIdx []int) *joinIndex {
+	var key string
+	cacheable := ctx.UseCache && ctx.Cat != nil && (ctx.CacheAll || isMaterialize(j.R))
+	if cacheable {
+		key = "hashidx|" + j.R.Fingerprint() + "|" + j.rKeySpec()
+		if v, ok := ctx.Cat.Cache().GetAux(key); ok {
+			if idx, ok := v.(*joinIndex); ok && idx.rel == right {
+				return idx
+			}
+		}
+	}
+	idx := &joinIndex{seed: maphash.MakeSeed(), rel: right}
+	rHash := right.HashRows(idx.seed, rIdx)
+	idx.buckets = make(map[uint64][]int, right.NumRows())
+	for i, h := range rHash {
+		idx.buckets[h] = append(idx.buckets[h], i)
+	}
+	if cacheable {
+		ctx.Cat.Cache().PutAux(key, idx)
+	}
+	return idx
+}
+
+func colPositions(r *relation.Relation, names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx := r.ColIndex(n)
+		if idx < 0 {
+			return nil, fmt.Errorf("no column %q (have %s)", n, strings.Join(r.ColumnNames(), ", "))
+		}
+		out[i] = idx
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+
+	"irdb/internal/relation"
+)
+
+// NormMode selects how Normalize computes its per-group denominator.
+type NormMode int
+
+const (
+	// NormSum divides each probability by the group's probability sum —
+	// the relational Bayes of Roelleke et al. (paper reference [12]),
+	// turning scores into a probability distribution per evidence key.
+	NormSum NormMode = iota
+	// NormMax divides by the group maximum, mapping the best tuple per
+	// group to probability 1. Useful for turning unbounded retrieval
+	// scores into [0,1] before mixing strategies.
+	NormMax
+)
+
+func (m NormMode) String() string {
+	if m == NormMax {
+		return "max"
+	}
+	return "sum"
+}
+
+// Normalize implements the relational Bayes operator: tuple probabilities
+// are divided by an aggregate over their evidence-key group. With an empty
+// key list the whole relation forms one group. Groups whose denominator is
+// zero keep probability zero.
+type Normalize struct {
+	Child  Node
+	KeyPos []int // 0-based evidence-key column positions; empty = global
+	Mode   NormMode
+}
+
+// NewNormalize normalizes child's probabilities within evidence-key
+// groups.
+func NewNormalize(child Node, keyPos []int, mode NormMode) *Normalize {
+	return &Normalize{Child: child, KeyPos: keyPos, Mode: mode}
+}
+
+// Execute implements Node.
+func (n *Normalize) Execute(ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := checkPositions(in, n.KeyPos); err != nil {
+		return nil, err
+	}
+	prob := in.Prob()
+	denom := make([]float64, in.NumRows())
+	if len(n.KeyPos) == 0 {
+		var agg float64
+		for _, p := range prob {
+			if n.Mode == NormSum {
+				agg += p
+			} else if p > agg {
+				agg = p
+			}
+		}
+		for i := range denom {
+			denom[i] = agg
+		}
+	} else {
+		groupOf, firstRow := groupRows(in, n.KeyPos)
+		aggs := make([]float64, len(firstRow))
+		for i, g := range groupOf {
+			if n.Mode == NormSum {
+				aggs[g] += prob[i]
+			} else if prob[i] > aggs[g] {
+				aggs[g] = prob[i]
+			}
+		}
+		for i := range denom {
+			denom[i] = aggs[groupOf[i]]
+		}
+	}
+	out := in.Gather(identity(in.NumRows()))
+	p := out.Prob()
+	for i := range p {
+		if denom[i] > 0 {
+			p[i] = prob[i] / denom[i]
+		} else {
+			p[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Fingerprint implements Node.
+func (n *Normalize) Fingerprint() string {
+	return fmt.Sprintf("normalize[%s](#%v)(%s)", n.Mode, n.KeyPos, n.Child.Fingerprint())
+}
+
+// Children implements Node.
+func (n *Normalize) Children() []Node { return []Node{n.Child} }
+
+// Label implements Node.
+func (n *Normalize) Label() string { return fmt.Sprintf("Normalize[%s] #%v", n.Mode, n.KeyPos) }

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"irdb/internal/catalog"
+	"irdb/internal/expr"
+	"irdb/internal/relation"
+	"irdb/internal/text"
+	"irdb/internal/vector"
+)
+
+// All node types must provide consistent plumbing: a non-empty Label, a
+// Fingerprint that embeds their children's fingerprints, and Children
+// matching the constructor inputs.
+func TestNodePlumbing(t *testing.T) {
+	scan := NewScan("t")
+	scan2 := NewScan("u")
+	pred := expr.Cmp{Op: expr.Eq, L: expr.Column("x"), R: expr.Int(1)}
+	vals := NewValues("v1", relation.NewBuilder([]string{"x"}, []vector.Kind{vector.Int64}).Build())
+
+	nodes := []Node{
+		scan,
+		vals,
+		NewMaterialize(scan),
+		NewLimit(scan, 3),
+		NewRename(scan, "a", "b", "c"),
+		NewSelect(scan, pred),
+		NewProject(scan, ProjCol{Name: "x", E: expr.Column("x")}),
+		NewExtend(scan, "y", pred),
+		NewHashJoin(scan, scan2, []string{"x"}, []string{"x"}, JoinIndependent),
+		NewHashJoinPos(scan, scan2, []int{0}, []int{0}, JoinLeft),
+		NewAggregate(scan, []string{"x"}, []AggSpec{{Op: CountAll, As: "n"}}, GroupDisjoint),
+		NewDistinct(scan, GroupMax),
+		NewUnion(scan, scan2),
+		NewUnite(scan, scan2, GroupIndependent),
+		NewSubtract(scan, scan2, true),
+		NewSort(scan, SortSpec{Col: "x", Desc: true}),
+		NewTopN(scan, 5, SortSpec{Col: ""}),
+		NewScaleProb(scan, 0.5),
+		NewProbFromCol(scan, "s", true, true),
+		NewProbToCol(scan, "p_out"),
+		NewNormalize(scan, []int{0}, NormMax),
+		NewRowNumber(scan, "id"),
+		NewTokenize(scan, "x", "y", text.Default()),
+	}
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		if n.Label() == "" {
+			t.Errorf("%T: empty label", n)
+		}
+		fp := n.Fingerprint()
+		if fp == "" {
+			t.Errorf("%T: empty fingerprint", n)
+		}
+		if _, isMat := n.(*Materialize); !isMat {
+			// Materialize deliberately shares its child's fingerprint.
+			if seen[fp] {
+				t.Errorf("%T: fingerprint %q collides with another node", n, fp)
+			}
+		}
+		seen[fp] = true
+		for _, c := range n.Children() {
+			if _, isMat := n.(*Materialize); isMat {
+				continue // Materialize shares its child's fingerprint by design
+			}
+			if !strings.Contains(fp, c.Fingerprint()) {
+				t.Errorf("%T: fingerprint %q does not embed child %q", n, fp, c.Fingerprint())
+			}
+		}
+	}
+	// Materialize must share its child's fingerprint (cache-table reuse
+	// across plans).
+	if NewMaterialize(scan).Fingerprint() != scan.Fingerprint() {
+		t.Error("Materialize fingerprint differs from child")
+	}
+}
+
+func TestJoinProbAndGroupProbStrings(t *testing.T) {
+	for _, s := range []string{
+		JoinIndependent.String(), JoinLeft.String(), JoinRight.String(),
+		GroupCertain.String(), GroupDisjoint.String(), GroupIndependent.String(),
+		GroupMax.String(), GroupSumRaw.String(),
+		NormSum.String(), NormMax.String(),
+	} {
+		if s == "" || s == "?" {
+			t.Errorf("enum string = %q", s)
+		}
+	}
+	for _, op := range []AggOp{CountAll, Count, Sum, Avg, Min, Max, SumProb, MaxProb} {
+		if op.String() == "?" {
+			t.Errorf("AggOp %d has no name", op)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cat := catalog.New(0)
+	cat.Put("t", relation.NewBuilder([]string{"x"}, []vector.Kind{vector.String}).Add("a").Build())
+	ctx := NewCtx(cat)
+
+	// Extend with failing expression
+	if _, err := ctx.Exec(NewExtend(NewScan("t"), "y", expr.Column("missing"))); err == nil {
+		t.Error("Extend over missing column should fail")
+	}
+	// Project with failing expression
+	if _, err := ctx.Exec(NewProject(NewScan("t"), ProjCol{Name: "y", E: expr.NewCall("log", expr.Column("x"))})); err == nil {
+		t.Error("Project log(string) should fail")
+	}
+	// Aggregate over missing group column
+	if _, err := ctx.Exec(NewAggregate(NewScan("t"), []string{"nope"}, nil, GroupCertain)); err == nil {
+		t.Error("Aggregate over missing column should fail")
+	}
+	// Aggregate sum over string column
+	if _, err := ctx.Exec(NewAggregate(NewScan("t"), nil,
+		[]AggSpec{{Op: Sum, Col: "x", As: "s"}}, GroupCertain)); err == nil {
+		t.Error("Sum over string should fail")
+	}
+	// Aggregate with neither groups nor aggregates
+	if _, err := ctx.Exec(NewAggregate(NewScan("t"), nil, nil, GroupCertain)); err == nil {
+		t.Error("degenerate aggregate should fail")
+	}
+	// ProbFromCol over string column
+	if _, err := ctx.Exec(NewProbFromCol(NewScan("t"), "x", false, false)); err == nil {
+		t.Error("ProbFromCol over string should fail")
+	}
+	// ProbFromCol over missing column
+	if _, err := ctx.Exec(NewProbFromCol(NewScan("t"), "nope", false, false)); err == nil {
+		t.Error("ProbFromCol over missing column should fail")
+	}
+	// Subtract with right side missing the left's columns
+	cat.Put("u", relation.NewBuilder([]string{"y"}, []vector.Kind{vector.String}).Build())
+	if _, err := ctx.Exec(NewSubtract(NewScan("t"), NewScan("u"), false)); err == nil {
+		t.Error("Subtract with mismatched schema should fail")
+	}
+	// Exec without catalog
+	bare := &Ctx{}
+	if _, err := bare.Exec(NewScan("t")); err == nil {
+		t.Error("Scan without catalog should fail")
+	}
+	// Tokenize with missing columns
+	if _, err := ctx.Exec(NewTokenize(NewScan("t"), "nope", "x", text.Default())); err == nil {
+		t.Error("Tokenize missing id column should fail")
+	}
+	if _, err := ctx.Exec(NewTokenize(NewScan("t"), "x", "nope", text.Default())); err == nil {
+		t.Error("Tokenize missing data column should fail")
+	}
+	// TopN with bad sort column
+	if _, err := ctx.Exec(NewTopN(NewScan("t"), 1, SortSpec{Col: "nope"})); err == nil {
+		t.Error("TopN on missing column should fail")
+	}
+}
+
+func TestAggregateMinMaxAndCountCol(t *testing.T) {
+	cat := catalog.New(0)
+	cat.Put("t", relation.NewBuilder([]string{"k", "v"}, []vector.Kind{vector.String, vector.Float64}).
+		Add("a", 2.5).Add("a", 1.5).Add("b", 9.0).Build())
+	ctx := NewCtx(cat)
+	r, err := ctx.Exec(NewAggregate(NewScan("t"), []string{"k"}, []AggSpec{
+		{Op: Count, Col: "v", As: "n"},
+		{Op: Min, Col: "v", As: "lo"},
+		{Op: Max, Col: "v", As: "hi"},
+		{Op: Sum, Col: "v", As: "s"},
+	}, GroupCertain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Col(1).Vec.(*vector.Int64s).At(0) != 2 {
+		t.Errorf("count = %s", r.Format(-1))
+	}
+	if r.Col(2).Vec.(*vector.Float64s).At(0) != 1.5 || r.Col(3).Vec.(*vector.Float64s).At(0) != 2.5 {
+		t.Errorf("min/max = %s", r.Format(-1))
+	}
+	// float sums stay float
+	if r.Col(4).Vec.Kind() != vector.Float64 {
+		t.Error("float sum kind lost")
+	}
+}
+
+func TestUniteBagModeAndJoinRight(t *testing.T) {
+	cat := catalog.New(0)
+	cat.Put("l", relation.NewBuilder([]string{"x"}, []vector.Kind{vector.String}).AddP(0.3, "a").Build())
+	cat.Put("r", relation.NewBuilder([]string{"x"}, []vector.Kind{vector.String}).AddP(0.9, "a").Build())
+	ctx := NewCtx(cat)
+	j, err := ctx.Exec(NewHashJoin(NewScan("l"), NewScan("r"), []string{"x"}, []string{"x"}, JoinRight))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Prob()[0] != 0.9 {
+		t.Errorf("JoinRight p = %g", j.Prob()[0])
+	}
+}

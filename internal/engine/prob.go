@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"fmt"
+
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+// ScaleProb multiplies every tuple probability by a constant factor in
+// [0,1] — the WEIGHT operator of SpinQL, used by the linear-combination
+// mixing of strategies (section 3, step 4: "mixed via linear combination,
+// with the given weights").
+type ScaleProb struct {
+	Child  Node
+	Factor float64
+}
+
+// NewScaleProb scales child's probabilities by factor.
+func NewScaleProb(child Node, factor float64) *ScaleProb {
+	return &ScaleProb{Child: child, Factor: factor}
+}
+
+// Execute implements Node.
+func (s *ScaleProb) Execute(ctx *Ctx) (*relation.Relation, error) {
+	if s.Factor < 0 {
+		return nil, fmt.Errorf("negative probability weight %g", s.Factor)
+	}
+	in, err := ctx.Exec(s.Child)
+	if err != nil {
+		return nil, err
+	}
+	out := in.Gather(identity(in.NumRows()))
+	p := out.Prob()
+	for i := range p {
+		p[i] *= s.Factor
+	}
+	return out, nil
+}
+
+// Fingerprint implements Node.
+func (s *ScaleProb) Fingerprint() string {
+	return fmt.Sprintf("weight(%g)(%s)", s.Factor, s.Child.Fingerprint())
+}
+
+// Children implements Node.
+func (s *ScaleProb) Children() []Node { return []Node{s.Child} }
+
+// Label implements Node.
+func (s *ScaleProb) Label() string { return fmt.Sprintf("Weight %g", s.Factor) }
+
+// ---------------------------------------------------------------------------
+// ProbFromCol
+
+// ProbFromCol replaces tuple probabilities with the values of a float
+// column, optionally clamping to [0,1] and dropping the source column.
+// Retrieval models use it to turn a computed score column into the ranked
+// (probabilistic) result relation.
+type ProbFromCol struct {
+	Child Node
+	Col   string
+	Clamp bool
+	Drop  bool
+}
+
+// NewProbFromCol moves column col into the tuple probability.
+func NewProbFromCol(child Node, col string, clamp, drop bool) *ProbFromCol {
+	return &ProbFromCol{Child: child, Col: col, Clamp: clamp, Drop: drop}
+}
+
+// Execute implements Node.
+func (n *ProbFromCol) Execute(ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	col, err := in.ColByName(n.Col)
+	if err != nil {
+		return nil, err
+	}
+	var vals []float64
+	switch v := col.Vec.(type) {
+	case *vector.Float64s:
+		vals = v.Values()
+	case *vector.Int64s:
+		iv := v.Values()
+		vals = make([]float64, len(iv))
+		for i, x := range iv {
+			vals[i] = float64(x)
+		}
+	default:
+		return nil, fmt.Errorf("probability source column %q is %v, want numeric", n.Col, col.Vec.Kind())
+	}
+	prob := make([]float64, len(vals))
+	copy(prob, vals)
+	if n.Clamp {
+		for i, p := range prob {
+			if p < 0 {
+				prob[i] = 0
+			} else if p > 1 {
+				prob[i] = 1
+			}
+		}
+	}
+	cols := make([]relation.Column, 0, in.NumCols())
+	for _, c := range in.Columns() {
+		if n.Drop && c.Name == n.Col {
+			continue
+		}
+		cols = append(cols, c)
+	}
+	return relation.FromColumns(cols, prob)
+}
+
+// Fingerprint implements Node.
+func (n *ProbFromCol) Fingerprint() string {
+	return fmt.Sprintf("probfromcol(%s,clamp=%v,drop=%v)(%s)", n.Col, n.Clamp, n.Drop, n.Child.Fingerprint())
+}
+
+// Children implements Node.
+func (n *ProbFromCol) Children() []Node { return []Node{n.Child} }
+
+// Label implements Node.
+func (n *ProbFromCol) Label() string { return "ProbFromCol " + n.Col }
+
+// ---------------------------------------------------------------------------
+// ProbToCol
+
+// ProbToCol exposes the tuple probability as a visible float column named
+// Name, leaving probabilities in place. Needed when a score must feed a
+// further computation (e.g. the relational Bayes normalizer).
+type ProbToCol struct {
+	Child Node
+	Name  string
+}
+
+// NewProbToCol appends the probability column under the given name.
+func NewProbToCol(child Node, name string) *ProbToCol {
+	return &ProbToCol{Child: child, Name: name}
+}
+
+// Execute implements Node.
+func (n *ProbToCol) Execute(ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	p := in.Prob()
+	vals := make([]float64, len(p))
+	copy(vals, p)
+	prob := make([]float64, len(p))
+	copy(prob, p)
+	cols := make([]relation.Column, 0, in.NumCols()+1)
+	cols = append(cols, in.Columns()...)
+	cols = append(cols, relation.Column{Name: n.Name, Vec: vector.FromFloat64s(vals)})
+	return relation.FromColumns(cols, prob)
+}
+
+// Fingerprint implements Node.
+func (n *ProbToCol) Fingerprint() string {
+	return fmt.Sprintf("probtocol(%s)(%s)", n.Name, n.Child.Fingerprint())
+}
+
+// Children implements Node.
+func (n *ProbToCol) Children() []Node { return []Node{n.Child} }
+
+// Label implements Node.
+func (n *ProbToCol) Label() string { return "ProbToCol " + n.Name }
+
+func identity(n int) []int {
+	sel := make([]int, n)
+	for i := range sel {
+		sel[i] = i
+	}
+	return sel
+}

@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"fmt"
+
+	"irdb/internal/expr"
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+// Select filters rows by a boolean predicate, keeping tuple probabilities
+// untouched (PRA selection leaves probabilities unchanged; it only removes
+// tuples whose condition is false).
+type Select struct {
+	Child Node
+	Pred  expr.Expr
+}
+
+// NewSelect filters child by pred.
+func NewSelect(child Node, pred expr.Expr) *Select { return &Select{Child: child, Pred: pred} }
+
+// Execute implements Node.
+func (s *Select) Execute(ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(s.Child)
+	if err != nil {
+		return nil, err
+	}
+	pv, err := s.Pred.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	bv, ok := pv.(*vector.Bools)
+	if !ok {
+		return nil, fmt.Errorf("predicate %s is %v, want boolean", s.Pred.String(), pv.Kind())
+	}
+	vals := bv.Values()
+	sel := make([]int, 0, len(vals)/4)
+	for i, b := range vals {
+		if b {
+			sel = append(sel, i)
+		}
+	}
+	return in.Gather(sel), nil
+}
+
+// Fingerprint implements Node.
+func (s *Select) Fingerprint() string {
+	return fmt.Sprintf("select(%s)(%s)", s.Pred.String(), s.Child.Fingerprint())
+}
+
+// Children implements Node.
+func (s *Select) Children() []Node { return []Node{s.Child} }
+
+// Label implements Node.
+func (s *Select) Label() string { return "Select " + s.Pred.String() }
+
+// ---------------------------------------------------------------------------
+// Project
+
+// ProjCol is one output column of a projection: a name and the expression
+// computing it.
+type ProjCol struct {
+	Name string
+	E    expr.Expr
+}
+
+// Project computes a new column list. Tuple probabilities pass through
+// unchanged; duplicate elimination (the probabilistic PROJECT of PRA) is a
+// separate operator, Distinct.
+type Project struct {
+	Child Node
+	Cols  []ProjCol
+}
+
+// NewProject projects child onto the given output columns.
+func NewProject(child Node, cols ...ProjCol) *Project { return &Project{Child: child, Cols: cols} }
+
+// ByName is a convenience constructor for pass-through projection columns.
+func ByName(names ...string) []ProjCol {
+	out := make([]ProjCol, len(names))
+	for i, n := range names {
+		out[i] = ProjCol{Name: n, E: expr.Column(n)}
+	}
+	return out
+}
+
+// Execute implements Node.
+func (p *Project) Execute(ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(p.Child)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]relation.Column, len(p.Cols))
+	for i, pc := range p.Cols {
+		v, err := pc.E.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = relation.Column{Name: pc.Name, Vec: v}
+	}
+	prob := make([]float64, in.NumRows())
+	copy(prob, in.Prob())
+	return relation.FromColumns(cols, prob)
+}
+
+// Fingerprint implements Node.
+func (p *Project) Fingerprint() string {
+	s := "project("
+	for i, pc := range p.Cols {
+		if i > 0 {
+			s += ","
+		}
+		s += pc.Name + "=" + pc.E.String()
+	}
+	return s + ")(" + p.Child.Fingerprint() + ")"
+}
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+// Label implements Node.
+func (p *Project) Label() string {
+	s := "Project "
+	for i, pc := range p.Cols {
+		if i > 0 {
+			s += ", "
+		}
+		s += pc.Name
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Extend
+
+// Extend appends one computed column to its input, keeping all existing
+// columns. It is the engine's equivalent of SELECT *, expr AS name.
+type Extend struct {
+	Child Node
+	Name  string
+	E     expr.Expr
+}
+
+// NewExtend appends column name computed by e.
+func NewExtend(child Node, name string, e expr.Expr) *Extend {
+	return &Extend{Child: child, Name: name, E: e}
+}
+
+// Execute implements Node.
+func (x *Extend) Execute(ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(x.Child)
+	if err != nil {
+		return nil, err
+	}
+	v, err := x.E.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]relation.Column, 0, in.NumCols()+1)
+	cols = append(cols, in.Columns()...)
+	cols = append(cols, relation.Column{Name: x.Name, Vec: v})
+	prob := make([]float64, in.NumRows())
+	copy(prob, in.Prob())
+	return relation.FromColumns(cols, prob)
+}
+
+// Fingerprint implements Node.
+func (x *Extend) Fingerprint() string {
+	return fmt.Sprintf("extend(%s=%s)(%s)", x.Name, x.E.String(), x.Child.Fingerprint())
+}
+
+// Children implements Node.
+func (x *Extend) Children() []Node { return []Node{x.Child} }
+
+// Label implements Node.
+func (x *Extend) Label() string { return "Extend " + x.Name }

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"fmt"
+	"hash/maphash"
+
+	"irdb/internal/relation"
+)
+
+// Union concatenates two schema-compatible inputs (bag semantics, no
+// dedup). Column names are taken from the left input.
+type Union struct{ L, R Node }
+
+// NewUnion concatenates l and r.
+func NewUnion(l, r Node) *Union { return &Union{L: l, R: r} }
+
+// Execute implements Node.
+func (u *Union) Execute(ctx *Ctx) (*relation.Relation, error) {
+	left, err := ctx.Exec(u.L)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ctx.Exec(u.R)
+	if err != nil {
+		return nil, err
+	}
+	return concat(left, right)
+}
+
+func concat(left, right *relation.Relation) (*relation.Relation, error) {
+	if left.NumCols() != right.NumCols() {
+		return nil, fmt.Errorf("union arity mismatch: %d vs %d columns", left.NumCols(), right.NumCols())
+	}
+	cols := make([]relation.Column, left.NumCols())
+	for i := 0; i < left.NumCols(); i++ {
+		lc, rc := left.Col(i), right.Col(i)
+		if lc.Vec.Kind() != rc.Vec.Kind() {
+			return nil, fmt.Errorf("union column %d kind mismatch: %v vs %v", i, lc.Vec.Kind(), rc.Vec.Kind())
+		}
+		v := lc.Vec.New(lc.Vec.Len() + rc.Vec.Len())
+		for j := 0; j < lc.Vec.Len(); j++ {
+			v.AppendFrom(lc.Vec, j)
+		}
+		for j := 0; j < rc.Vec.Len(); j++ {
+			v.AppendFrom(rc.Vec, j)
+		}
+		cols[i] = relation.Column{Name: lc.Name, Vec: v}
+	}
+	prob := make([]float64, 0, left.NumRows()+right.NumRows())
+	prob = append(prob, left.Prob()...)
+	prob = append(prob, right.Prob()...)
+	return relation.FromColumns(cols, prob)
+}
+
+// Fingerprint implements Node.
+func (u *Union) Fingerprint() string {
+	return fmt.Sprintf("union(%s,%s)", u.L.Fingerprint(), u.R.Fingerprint())
+}
+
+// Children implements Node.
+func (u *Union) Children() []Node { return []Node{u.L, u.R} }
+
+// Label implements Node.
+func (u *Union) Label() string { return "Union" }
+
+// ---------------------------------------------------------------------------
+// Unite
+
+// Unite is the probabilistic union of PRA: duplicate rows across both
+// inputs are collapsed and their probabilities combined under the given
+// assumption (independent → noisy-or, disjoint → clamped sum, max → max).
+type Unite struct {
+	L, R  Node
+	PMode GroupProb
+}
+
+// NewUnite unions l and r collapsing duplicates under pmode.
+func NewUnite(l, r Node, pmode GroupProb) *Unite { return &Unite{L: l, R: r, PMode: pmode} }
+
+// Execute implements Node.
+func (u *Unite) Execute(ctx *Ctx) (*relation.Relation, error) {
+	left, err := ctx.Exec(u.L)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ctx.Exec(u.R)
+	if err != nil {
+		return nil, err
+	}
+	all, err := concat(left, right)
+	if err != nil {
+		return nil, err
+	}
+	return aggregateRel(all, all.ColumnNames(), nil, u.PMode)
+}
+
+// Fingerprint implements Node.
+func (u *Unite) Fingerprint() string {
+	return fmt.Sprintf("unite[%s](%s,%s)", u.PMode, u.L.Fingerprint(), u.R.Fingerprint())
+}
+
+// Children implements Node.
+func (u *Unite) Children() []Node { return []Node{u.L, u.R} }
+
+// Label implements Node.
+func (u *Unite) Label() string { return fmt.Sprintf("Unite[%s]", u.PMode) }
+
+// ---------------------------------------------------------------------------
+// Subtract
+
+// Subtract computes probabilistic difference: rows of the left input,
+// discounted by matching rows of the right input (matching on all visible
+// columns of the left input against the same-named columns of the right).
+//
+// Probabilistic (independent) semantics per PRA: p = pL · (1 − pR) for
+// matches, pL for non-matches. With Boolean = true it behaves like SQL
+// EXCEPT: matching rows are removed regardless of probability.
+type Subtract struct {
+	L, R    Node
+	Boolean bool
+}
+
+// NewSubtract returns probabilistic difference of l and r.
+func NewSubtract(l, r Node, boolean bool) *Subtract {
+	return &Subtract{L: l, R: r, Boolean: boolean}
+}
+
+// Execute implements Node.
+func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
+	left, err := ctx.Exec(s.L)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ctx.Exec(s.R)
+	if err != nil {
+		return nil, err
+	}
+	names := left.ColumnNames()
+	lIdx, err := colPositions(left, names)
+	if err != nil {
+		return nil, err
+	}
+	rIdx, err := colPositions(right, names)
+	if err != nil {
+		return nil, fmt.Errorf("subtract right side: %w", err)
+	}
+	seed := maphash.MakeSeed()
+	rHash := right.HashRows(seed, rIdx)
+	buckets := make(map[uint64][]int, right.NumRows())
+	for i, h := range rHash {
+		buckets[h] = append(buckets[h], i)
+	}
+	lHash := left.HashRows(seed, lIdx)
+	lp, rp := left.Prob(), right.Prob()
+
+	sel := make([]int, 0, left.NumRows())
+	prob := make([]float64, 0, left.NumRows())
+	for i := 0; i < left.NumRows(); i++ {
+		match := -1
+		for _, ri := range buckets[lHash[i]] {
+			if left.RowsEqual(i, lIdx, right, ri, rIdx) {
+				match = ri
+				break
+			}
+		}
+		switch {
+		case match < 0:
+			sel = append(sel, i)
+			prob = append(prob, lp[i])
+		case s.Boolean:
+			// removed
+		default:
+			p := lp[i] * (1 - rp[match])
+			if p > 0 {
+				sel = append(sel, i)
+				prob = append(prob, p)
+			}
+		}
+	}
+	out := left.Gather(sel)
+	out.SetProb(prob)
+	return out, nil
+}
+
+// Fingerprint implements Node.
+func (s *Subtract) Fingerprint() string {
+	return fmt.Sprintf("subtract[boolean=%v](%s,%s)", s.Boolean, s.L.Fingerprint(), s.R.Fingerprint())
+}
+
+// Children implements Node.
+func (s *Subtract) Children() []Node { return []Node{s.L, s.R} }
+
+// Label implements Node.
+func (s *Subtract) Label() string { return "Subtract" }

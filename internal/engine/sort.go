@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"irdb/internal/relation"
+)
+
+// SortSpec is one ordering criterion: a column name, or the empty string
+// for the tuple-probability column (ranked retrieval orders by p).
+type SortSpec struct {
+	Col  string
+	Desc bool
+}
+
+func (s SortSpec) String() string {
+	name := s.Col
+	if name == "" {
+		name = "p"
+	}
+	if s.Desc {
+		return name + " desc"
+	}
+	return name
+}
+
+func resolveSortKeys(in *relation.Relation, specs []SortSpec) ([]relation.SortKey, error) {
+	keys := make([]relation.SortKey, len(specs))
+	for i, s := range specs {
+		if s.Col == "" {
+			keys[i] = relation.SortKey{Col: relation.ProbCol, Desc: s.Desc}
+			continue
+		}
+		idx := in.ColIndex(s.Col)
+		if idx < 0 {
+			return nil, fmt.Errorf("sort: no column %q", s.Col)
+		}
+		keys[i] = relation.SortKey{Col: idx, Desc: s.Desc}
+	}
+	return keys, nil
+}
+
+// Sort orders its input by the given keys (stable).
+type Sort struct {
+	Child Node
+	Keys  []SortSpec
+}
+
+// NewSort sorts child by keys.
+func NewSort(child Node, keys ...SortSpec) *Sort { return &Sort{Child: child, Keys: keys} }
+
+// Execute implements Node.
+func (s *Sort) Execute(ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(s.Child)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := resolveSortKeys(in, s.Keys)
+	if err != nil {
+		return nil, err
+	}
+	return in.Sorted(keys), nil
+}
+
+// Fingerprint implements Node.
+func (s *Sort) Fingerprint() string {
+	return fmt.Sprintf("sort(%s)(%s)", specString(s.Keys), s.Child.Fingerprint())
+}
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+// Label implements Node.
+func (s *Sort) Label() string { return "Sort " + specString(s.Keys) }
+
+func specString(keys []SortSpec) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// TopN returns the first N rows under the given ordering — the ranked
+// result list of a retrieval run.
+type TopN struct {
+	Child Node
+	Keys  []SortSpec
+	N     int
+}
+
+// NewTopN returns the top n rows of child under keys.
+func NewTopN(child Node, n int, keys ...SortSpec) *TopN {
+	return &TopN{Child: child, Keys: keys, N: n}
+}
+
+// Execute implements Node.
+func (t *TopN) Execute(ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(t.Child)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := resolveSortKeys(in, t.Keys)
+	if err != nil {
+		return nil, err
+	}
+	sorted := in.Sorted(keys)
+	n := t.N
+	if n > sorted.NumRows() {
+		n = sorted.NumRows()
+	}
+	sel := make([]int, n)
+	for i := range sel {
+		sel[i] = i
+	}
+	return sorted.Gather(sel), nil
+}
+
+// Fingerprint implements Node.
+func (t *TopN) Fingerprint() string {
+	return fmt.Sprintf("topn(%d;%s)(%s)", t.N, specString(t.Keys), t.Child.Fingerprint())
+}
+
+// Children implements Node.
+func (t *TopN) Children() []Node { return []Node{t.Child} }
+
+// Label implements Node.
+func (t *TopN) Label() string { return fmt.Sprintf("TopN %d by %s", t.N, specString(t.Keys)) }

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"fmt"
+
+	"irdb/internal/relation"
+	"irdb/internal/text"
+	"irdb/internal/vector"
+)
+
+// Tokenize is the table-valued tokenizer of section 2.1: it turns a
+// (docID, data) input into one output row per token occurrence,
+// (docID, token, pos), inheriting the document tuple's probability. It is
+// the engine equivalent of the paper's
+//
+//	SELECT ... FROM tokenize( (SELECT docID, data FROM docs) )
+//
+// WithCompounds additionally emits joined adjacent-pair tokens so
+// compound query terms can match (used by the production strategy of
+// section 3).
+type Tokenize struct {
+	Child         Node
+	IDCol         string
+	DataCol       string
+	Tok           text.Tokenizer
+	WithCompounds bool
+}
+
+// NewTokenize tokenizes child's dataCol per row of idCol.
+func NewTokenize(child Node, idCol, dataCol string, tok text.Tokenizer) *Tokenize {
+	return &Tokenize{Child: child, IDCol: idCol, DataCol: dataCol, Tok: tok}
+}
+
+// Execute implements Node.
+func (t *Tokenize) Execute(ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(t.Child)
+	if err != nil {
+		return nil, err
+	}
+	idCol, err := in.ColByName(t.IDCol)
+	if err != nil {
+		return nil, err
+	}
+	dataCol, err := in.ColByName(t.DataCol)
+	if err != nil {
+		return nil, err
+	}
+	data, ok := dataCol.Vec.(*vector.Strings)
+	if !ok {
+		return nil, fmt.Errorf("tokenize: data column %q is %v, want string", t.DataCol, dataCol.Vec.Kind())
+	}
+
+	ids := idCol.Vec.New(0)
+	tokens := vector.NewStrings(0)
+	positions := vector.NewInt64s(0)
+	var prob []float64
+	inProb := in.Prob()
+	for row, s := range data.Values() {
+		toks := t.Tok.TokensPos(s)
+		if t.WithCompounds {
+			toks = text.CompoundVariants(toks)
+		}
+		for _, tok := range toks {
+			ids.AppendFrom(idCol.Vec, row)
+			tokens.Append(tok.Term)
+			positions.Append(int64(tok.Pos))
+			prob = append(prob, inProb[row])
+		}
+	}
+	cols := []relation.Column{
+		{Name: t.IDCol, Vec: ids},
+		{Name: "token", Vec: tokens},
+		{Name: "pos", Vec: positions},
+	}
+	return relation.FromColumns(cols, prob)
+}
+
+// Fingerprint implements Node.
+func (t *Tokenize) Fingerprint() string {
+	return fmt.Sprintf("tokenize(%s,%s,%s,compounds=%v)(%s)",
+		t.IDCol, t.DataCol, t.Tok.Spec(), t.WithCompounds, t.Child.Fingerprint())
+}
+
+// Children implements Node.
+func (t *Tokenize) Children() []Node { return []Node{t.Child} }
+
+// Label implements Node.
+func (t *Tokenize) Label() string { return fmt.Sprintf("Tokenize %s(%s)", t.IDCol, t.DataCol) }

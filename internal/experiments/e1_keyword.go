@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"irdb/internal/bench"
+	"irdb/internal/ir"
+	"irdb/internal/workload"
+)
+
+// E1 reproduces section 2.1's headline number: BM25 keyword search
+// expressed relationally, "runtime performance in the range of 20ms (hot
+// data) for 3-term queries against a 2.3GB collection of raw text (1.1M
+// documents)". We sweep collection size and report cold (on-demand index
+// construction) and hot latencies; the shape claim is that hot latency
+// stays interactive and grows roughly with matched postings.
+func E1(cfg Config) (*Result, error) {
+	sizes := []int{cfg.size(2000), cfg.size(10000), cfg.size(40000)}
+	const meanLen, vocab = 80, 30000
+	queries := workload.Queries(cfg.reps(20), 3, vocab, cfg.Seed+1)
+
+	table := &bench.Table{
+		Title:  "E1: BM25-on-DB keyword search, 3-term queries",
+		Header: []string{"docs", "postings", "terms", "index build", "hot p50", "hot p95", "hot qps"},
+	}
+	var lastHot string
+	for _, n := range sizes {
+		docs := workload.GenDocs(n, meanLen, vocab, cfg.Seed)
+		ctx, scan := newDocsCtx(docs)
+		s, err := ir.NewSearcher(ctx, scan, ir.DefaultParams())
+		if err != nil {
+			return nil, err
+		}
+		build, err := bench.Measure(1, s.BuildIndex)
+		if err != nil {
+			return nil, err
+		}
+		st, err := s.Stats()
+		if err != nil {
+			return nil, err
+		}
+		// warm the per-query path once
+		if _, err := s.Search(queries[0], 10); err != nil {
+			return nil, err
+		}
+		qi := 0
+		hot, err := bench.Measure(len(queries), func() error {
+			_, err := s.Search(queries[qi%len(queries)], 10)
+			qi++
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(n, st.Postings, st.Terms, build.Mean(), hot.P(0.5), hot.P(0.95),
+			fmt.Sprintf("%.1f", hot.Throughput()))
+		lastHot = bench.Ms(hot.P(0.5))
+	}
+	table.AddNote("paper: ~20ms hot on 1.1M docs (MonetDB, i7-3770S); same shape expected: interactive hot latency, build ≫ query")
+
+	return &Result{
+		ID:         "E1",
+		Name:       "keyword search latency (section 2.1)",
+		PaperClaim: "BM25 over a relational engine answers 3-term queries in ~20ms hot on a 1.1M-document collection",
+		Finding:    fmt.Sprintf("hot p50 at largest size: %s; on-demand index build dominates cold cost", lastHot),
+		Tables:     []*bench.Table{table},
+	}, nil
+}

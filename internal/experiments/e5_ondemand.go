@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"irdb/internal/bench"
+	"irdb/internal/ir"
+	"irdb/internal/workload"
+)
+
+// E5 isolates the on-demand indexing claim of section 2.1: "the ability
+// to create such index structures on-demand is crucial", enabled by the
+// fact that "most of the SQL queries above are independent of query-terms,
+// which allows to materialize intermediate results for reuse in different
+// search scenarios on the same data". We measure:
+//
+//   - cold index construction (first search pays it),
+//   - hot query latency afterwards,
+//   - a second searcher with the same parameters on the same collection,
+//     whose "build" is answered entirely from the shared cache,
+//   - a searcher with different parameters (stemmer), which must NOT share
+//     and pays its own build.
+func E5(cfg Config) (*Result, error) {
+	n := cfg.size(15000)
+	docs := workload.GenDocs(n, 80, 30000, cfg.Seed)
+	queries := workload.Queries(cfg.reps(15), 3, 30000, cfg.Seed+2)
+	ctx, scan := newDocsCtx(docs)
+
+	s1, err := ir.NewSearcher(ctx, scan, ir.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	cold, err := bench.Measure(1, s1.BuildIndex)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s1.Search(queries[0], 10); err != nil {
+		return nil, err
+	}
+	qi := 0
+	hot, err := bench.Measure(len(queries), func() error {
+		_, err := s1.Search(queries[qi%len(queries)], 10)
+		qi++
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Same parameters, new searcher instance: everything is shared.
+	s2, err := ir.NewSearcher(ctx, scan, ir.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	shared, err := bench.Measure(1, s2.BuildIndex)
+	if err != nil {
+		return nil, err
+	}
+
+	// Different stemming choice: a different index, built on demand.
+	p3 := ir.DefaultParams()
+	p3.Stemmer = "porter"
+	s3, err := ir.NewSearcher(ctx, scan, p3)
+	if err != nil {
+		return nil, err
+	}
+	rebuild, err := bench.Measure(1, s3.BuildIndex)
+	if err != nil {
+		return nil, err
+	}
+
+	speedup := float64(cold.Mean()) / float64(hot.P(0.5))
+
+	table := &bench.Table{
+		Title:  fmt.Sprintf("E5: on-demand indexing, %d docs", n),
+		Header: []string{"phase", "latency"},
+	}
+	table.AddRow("cold build (first search pays this)", cold.Mean())
+	table.AddRow("hot query p50", hot.P(0.5))
+	table.AddRow("second searcher, same params (cache shared)", shared.Mean())
+	table.AddRow("searcher with different stemmer (new index)", rebuild.Mean())
+	table.AddNote("cold/hot ratio %.0fx; same-parameter reuse is effectively free; changed parameters correctly trigger a rebuild", speedup)
+
+	return &Result{
+		ID:         "E5",
+		Name:       "on-demand index construction and reuse (sections 2.1, 3)",
+		PaperClaim: "indexes are created on demand at query time ('no specific indexing configuration was required') and query-independent intermediates are materialized for reuse across search scenarios",
+		Finding: fmt.Sprintf("cold build %s vs hot query %s (%.0fx); same-parameter searcher builds in %s from the shared cache",
+			bench.Ms(cold.Mean()), bench.Ms(hot.P(0.5)), speedup, bench.Ms(shared.Mean())),
+		Tables: []*bench.Table{table},
+	}, nil
+}

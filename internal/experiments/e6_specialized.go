@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"irdb/internal/bench"
+	"irdb/internal/invidx"
+	"irdb/internal/ir"
+	"irdb/internal/workload"
+)
+
+// E6 tests the claim inherited from references [5] and [10] that
+// "relational technology can compete, performance-wise, with specialized
+// data structures". Same collection, same analyzer, same BM25, same
+// queries: the relational IR-on-DB pipeline against a dedicated in-memory
+// inverted-index engine. Expected shape: the dedicated engine wins on raw
+// hot latency by a modest factor; the relational stack stays in the same
+// order of magnitude (and gets flexibility for free).
+func E6(cfg Config) (*Result, error) {
+	n := cfg.size(20000)
+	gen := workload.GenDocs(n, 80, 30000, cfg.Seed)
+	queries := workload.Queries(cfg.reps(20), 3, 30000, cfg.Seed+3)
+	p := ir.DefaultParams()
+
+	// Relational IR-on-DB.
+	ctx, scan := newDocsCtx(gen)
+	rel, err := ir.NewSearcher(ctx, scan, p)
+	if err != nil {
+		return nil, err
+	}
+	relBuild, err := bench.Measure(1, rel.BuildIndex)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := rel.Search(queries[0], 10); err != nil {
+		return nil, err
+	}
+	qi := 0
+	relHot, err := bench.Measure(len(queries), func() error {
+		_, err := rel.Search(queries[qi%len(queries)], 10)
+		qi++
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Dedicated inverted index.
+	ivDocs := make([]invidx.Doc, len(gen))
+	for i, d := range gen {
+		ivDocs[i] = invidx.Doc{ID: d.ID, Data: d.Data}
+	}
+	var idx *invidx.Index
+	ivBuild, err := bench.Measure(1, func() error {
+		var err error
+		idx, err = invidx.Build(ivDocs, p)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	qi = 0
+	ivHot, err := bench.Measure(len(queries), func() error {
+		idx.Search(queries[qi%len(queries)], 10)
+		qi++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Ranking agreement on top-10 (correctness guard inside the bench).
+	agree := 0
+	for _, q := range queries {
+		a, err := rel.Search(q, 10)
+		if err != nil {
+			return nil, err
+		}
+		b := idx.Search(q, 10)
+		if len(a) == len(b) {
+			same := true
+			for i := range a {
+				if a[i].DocID != b[i].DocID {
+					same = false
+					break
+				}
+			}
+			if same {
+				agree++
+			}
+		}
+	}
+
+	factor := float64(relHot.P(0.5)) / float64(ivHot.P(0.5))
+	table := &bench.Table{
+		Title:  fmt.Sprintf("E6: IR-on-DB vs dedicated inverted index, %d docs", n),
+		Header: []string{"engine", "build", "hot p50", "hot p95", "qps"},
+	}
+	table.AddRow("relational (IR-on-DB)", relBuild.Mean(), relHot.P(0.5), relHot.P(0.95),
+		fmt.Sprintf("%.1f", relHot.Throughput()))
+	table.AddRow("dedicated inverted index", ivBuild.Mean(), ivHot.P(0.5), ivHot.P(0.95),
+		fmt.Sprintf("%.1f", ivHot.Throughput()))
+	table.AddNote("dedicated engine is %.1fx faster hot; top-10 rankings agree on %d/%d queries", factor, agree, len(queries))
+
+	return &Result{
+		ID:         "E6",
+		Name:       "relational vs specialized retrieval (references [5],[10])",
+		PaperClaim: "relational engines compete with specialized IR data structures; beating them on raw speed is not the point, reasonable performance is",
+		Finding: fmt.Sprintf("dedicated engine wins hot latency by %.1fx while both stay interactive; rankings identical on %d/%d queries",
+			factor, agree, len(queries)),
+		Tables: []*bench.Table{table},
+	}, nil
+}

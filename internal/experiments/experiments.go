@@ -1,0 +1,141 @@
+// Package experiments implements the reproduction experiments E1–E7
+// catalogued in DESIGN.md, one per performance claim or figure of the
+// paper. cmd/benchrun drives them; integration tests run them in Quick
+// mode to keep the pipelines honest.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"irdb/internal/bench"
+	"irdb/internal/catalog"
+	"irdb/internal/engine"
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+	"irdb/internal/workload"
+)
+
+// Config controls experiment sizing.
+type Config struct {
+	// Scale multiplies the default dataset sizes (1.0 = laptop defaults).
+	Scale float64
+	// Quick shrinks everything to smoke-test size; used by tests.
+	Quick bool
+	// Seed for all generators.
+	Seed int64
+}
+
+// DefaultConfig returns the laptop-scale configuration.
+func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 42} }
+
+func (c Config) size(base int) int {
+	if c.Quick {
+		base /= 20
+		if base < 8 {
+			base = 8
+		}
+		return base
+	}
+	n := int(float64(base) * c.Scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (c Config) reps(base int) int {
+	if c.Quick {
+		if base > 3 {
+			return 3
+		}
+	}
+	return base
+}
+
+// Result is one experiment's report.
+type Result struct {
+	ID         string
+	Name       string
+	PaperClaim string
+	Finding    string
+	Tables     []*bench.Table
+}
+
+// String renders the result as text.
+func (r *Result) String() string {
+	s := fmt.Sprintf("--- %s: %s ---\npaper: %s\n\n", r.ID, r.Name, r.PaperClaim)
+	for _, t := range r.Tables {
+		s += t.String() + "\n"
+	}
+	if r.Finding != "" {
+		s += "finding: " + r.Finding + "\n"
+	}
+	return s
+}
+
+// Markdown renders the result for EXPERIMENTS.md.
+func (r *Result) Markdown() string {
+	s := fmt.Sprintf("## %s — %s\n\n**Paper claim.** %s\n\n", r.ID, r.Name, r.PaperClaim)
+	for _, t := range r.Tables {
+		s += t.Markdown() + "\n"
+	}
+	if r.Finding != "" {
+		s += "**Measured.** " + r.Finding + "\n"
+	}
+	return s
+}
+
+// runner is the registry of experiments.
+type runner func(Config) (*Result, error)
+
+var registry = map[string]runner{
+	"E1": E1,
+	"E2": E2,
+	"E3": E3,
+	"E4": E4,
+	"E5": E5,
+	"E6": E6,
+	"E7": E7,
+}
+
+// IDs returns the registered experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(cfg)
+}
+
+// docsRelation loads generated docs into a (docID, data) relation.
+func docsRelation(docs []workload.Doc) *relation.Relation {
+	ids := make([]int64, len(docs))
+	data := make([]string, len(docs))
+	for i, d := range docs {
+		ids[i] = d.ID
+		data[i] = d.Data
+	}
+	return relation.MustFromColumns([]relation.Column{
+		{Name: "docID", Vec: vector.FromInt64s(ids)},
+		{Name: "data", Vec: vector.FromStrings(data)},
+	}, nil)
+}
+
+// newDocsCtx registers docs as a base table and returns a context plus the
+// scan plan.
+func newDocsCtx(docs []workload.Doc) (*engine.Ctx, engine.Node) {
+	cat := catalog.New(0)
+	cat.Put("docs", docsRelation(docs))
+	return engine.NewCtx(cat), engine.NewScan("docs")
+}

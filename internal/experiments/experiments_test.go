@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must run end to end in Quick mode and produce a
+// well-formed report. These are the integration tests that keep the bench
+// harness honest between full benchmark runs.
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Quick = true
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if res.ID != id {
+				t.Errorf("result ID = %q", res.ID)
+			}
+			if res.PaperClaim == "" || res.Finding == "" {
+				t.Error("missing paper claim or finding")
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range res.Tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("table %q has no rows", tab.Title)
+				}
+				out := tab.String()
+				if !strings.Contains(out, tab.Header[0]) {
+					t.Errorf("table text missing header: %s", out)
+				}
+				md := tab.Markdown()
+				if !strings.Contains(md, "| --- |") && !strings.Contains(md, "| --- ") {
+					t.Errorf("markdown table malformed: %s", md)
+				}
+			}
+			if !strings.Contains(res.String(), res.ID) {
+				t.Error("String() missing experiment ID")
+			}
+			if !strings.Contains(res.Markdown(), "**Paper claim.**") {
+				t.Error("Markdown() missing paper claim")
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("E99", DefaultConfig()); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestConfigSizing(t *testing.T) {
+	cfg := Config{Scale: 2.0}
+	if got := cfg.size(100); got != 200 {
+		t.Errorf("size(100) at scale 2 = %d", got)
+	}
+	q := Config{Quick: true}
+	if got := q.size(100); got > 10 {
+		t.Errorf("quick size(100) = %d, want small", got)
+	}
+	if got := q.size(10); got < 1 {
+		t.Errorf("quick size(10) = %d", got)
+	}
+	if got := q.reps(20); got != 3 {
+		t.Errorf("quick reps(20) = %d", got)
+	}
+}

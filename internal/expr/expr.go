@@ -1,0 +1,615 @@
+// Package expr implements vectorized scalar expressions evaluated against
+// whole relations, one column at a time. Expressions appear in selection
+// predicates and projection lists of the engine, mirroring the scalar
+// expressions of the paper's SQL examples (lcase, stem, log, arithmetic on
+// term frequencies, ...).
+//
+// Every expression has a canonical String form; the engine uses it to build
+// stable plan fingerprints for the on-demand materialization cache.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+// Expr is a vectorized scalar expression: evaluated against a relation it
+// yields one value per row.
+type Expr interface {
+	// Eval computes the expression over all rows of r.
+	Eval(r *relation.Relation) (vector.Vector, error)
+	// String returns the canonical, parseable-looking rendering used in
+	// plan fingerprints and EXPLAIN output.
+	String() string
+}
+
+// ---------------------------------------------------------------------------
+// Column references
+
+// Col references a column by name.
+type Col struct{ Name string }
+
+// Column returns a reference to the named column.
+func Column(name string) Col { return Col{Name: name} }
+
+// Eval implements Expr.
+func (c Col) Eval(r *relation.Relation) (vector.Vector, error) {
+	col, err := r.ColByName(c.Name)
+	if err != nil {
+		return nil, err
+	}
+	return col.Vec, nil
+}
+
+// String implements Expr.
+func (c Col) String() string { return c.Name }
+
+// ColIdx references a column by 1-based position, the $n notation of
+// SpinQL (section 2.3 of the paper).
+type ColIdx struct{ Idx int }
+
+// ColumnAt returns a reference to the 1-based idx-th column.
+func ColumnAt(idx int) ColIdx { return ColIdx{Idx: idx} }
+
+// Eval implements Expr.
+func (c ColIdx) Eval(r *relation.Relation) (vector.Vector, error) {
+	if c.Idx < 1 || c.Idx > r.NumCols() {
+		return nil, fmt.Errorf("expr: $%d out of range (relation has %d columns)", c.Idx, r.NumCols())
+	}
+	return r.Col(c.Idx - 1).Vec, nil
+}
+
+// String implements Expr.
+func (c ColIdx) String() string { return "$" + strconv.Itoa(c.Idx) }
+
+// Prob references the tuple-probability column as a float expression,
+// letting retrieval models read scores computed upstream.
+type Prob struct{}
+
+// Eval implements Expr.
+func (Prob) Eval(r *relation.Relation) (vector.Vector, error) {
+	p := r.Prob()
+	out := make([]float64, len(p))
+	copy(out, p)
+	return vector.FromFloat64s(out), nil
+}
+
+// String implements Expr.
+func (Prob) String() string { return "PROB()" }
+
+// ---------------------------------------------------------------------------
+// Literals
+
+// Lit is a constant. Value must be int64, float64, string or bool.
+type Lit struct{ Value any }
+
+// Int returns an integer literal.
+func Int(x int64) Lit { return Lit{Value: x} }
+
+// Float returns a float literal.
+func Float(x float64) Lit { return Lit{Value: x} }
+
+// Str returns a string literal.
+func Str(s string) Lit { return Lit{Value: s} }
+
+// BoolLit returns a boolean literal.
+func BoolLit(b bool) Lit { return Lit{Value: b} }
+
+// Eval implements Expr.
+func (l Lit) Eval(r *relation.Relation) (vector.Vector, error) {
+	n := r.NumRows()
+	switch x := l.Value.(type) {
+	case int64:
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = x
+		}
+		return vector.FromInt64s(vals), nil
+	case float64:
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = x
+		}
+		return vector.FromFloat64s(vals), nil
+	case string:
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = x
+		}
+		return vector.FromStrings(vals), nil
+	case bool:
+		vals := make([]bool, n)
+		for i := range vals {
+			vals[i] = x
+		}
+		return vector.FromBools(vals), nil
+	default:
+		return nil, fmt.Errorf("expr: unsupported literal type %T", l.Value)
+	}
+}
+
+// String implements Expr.
+func (l Lit) String() string {
+	switch x := l.Value.(type) {
+	case string:
+		return strconv.Quote(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// Cmp compares two expressions, producing booleans. Mixed int/float
+// operands are coerced to float; any other kind mismatch is an error.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (c Cmp) Eval(r *relation.Relation) (vector.Vector, error) {
+	lv, err := c.L.Eval(r)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := c.R.Eval(r)
+	if err != nil {
+		return nil, err
+	}
+	n := lv.Len()
+	out := make([]bool, n)
+	switch {
+	case lv.Kind() == vector.String && rv.Kind() == vector.String:
+		ls, rs := lv.(*vector.Strings).Values(), rv.(*vector.Strings).Values()
+		for i := 0; i < n; i++ {
+			out[i] = cmpOrdered(c.Op, strings.Compare(ls[i], rs[i]))
+		}
+	case lv.Kind() == vector.Bool && rv.Kind() == vector.Bool:
+		lb, rb := lv.(*vector.Bools).Values(), rv.(*vector.Bools).Values()
+		for i := 0; i < n; i++ {
+			switch c.Op {
+			case Eq:
+				out[i] = lb[i] == rb[i]
+			case Ne:
+				out[i] = lb[i] != rb[i]
+			default:
+				return nil, fmt.Errorf("expr: %v not defined on booleans", c.Op)
+			}
+		}
+	case lv.Kind() == vector.Int64 && rv.Kind() == vector.Int64:
+		li, ri := lv.(*vector.Int64s).Values(), rv.(*vector.Int64s).Values()
+		for i := 0; i < n; i++ {
+			switch {
+			case li[i] < ri[i]:
+				out[i] = cmpOrdered(c.Op, -1)
+			case li[i] > ri[i]:
+				out[i] = cmpOrdered(c.Op, 1)
+			default:
+				out[i] = cmpOrdered(c.Op, 0)
+			}
+		}
+	default:
+		lf, err := toFloats(lv)
+		if err != nil {
+			return nil, fmt.Errorf("expr: cannot compare %v to %v", lv.Kind(), rv.Kind())
+		}
+		rf, err := toFloats(rv)
+		if err != nil {
+			return nil, fmt.Errorf("expr: cannot compare %v to %v", lv.Kind(), rv.Kind())
+		}
+		for i := 0; i < n; i++ {
+			switch {
+			case lf[i] < rf[i]:
+				out[i] = cmpOrdered(c.Op, -1)
+			case lf[i] > rf[i]:
+				out[i] = cmpOrdered(c.Op, 1)
+			default:
+				out[i] = cmpOrdered(c.Op, 0)
+			}
+		}
+	}
+	return vector.FromBools(out), nil
+}
+
+func cmpOrdered(op CmpOp, c int) bool {
+	switch op {
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	}
+	return false
+}
+
+// String implements Expr.
+func (c Cmp) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.L.String(), c.Op.String(), c.R.String())
+}
+
+// ---------------------------------------------------------------------------
+// Boolean connectives
+
+// And is logical conjunction.
+type And struct{ L, R Expr }
+
+// Eval implements Expr.
+func (a And) Eval(r *relation.Relation) (vector.Vector, error) {
+	return evalBoolPair(a.L, a.R, r, func(x, y bool) bool { return x && y })
+}
+
+// String implements Expr.
+func (a And) String() string { return fmt.Sprintf("(%s and %s)", a.L.String(), a.R.String()) }
+
+// Or is logical disjunction.
+type Or struct{ L, R Expr }
+
+// Eval implements Expr.
+func (o Or) Eval(r *relation.Relation) (vector.Vector, error) {
+	return evalBoolPair(o.L, o.R, r, func(x, y bool) bool { return x || y })
+}
+
+// String implements Expr.
+func (o Or) String() string { return fmt.Sprintf("(%s or %s)", o.L.String(), o.R.String()) }
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+// Eval implements Expr.
+func (n Not) Eval(r *relation.Relation) (vector.Vector, error) {
+	v, err := n.E.Eval(r)
+	if err != nil {
+		return nil, err
+	}
+	bv, ok := v.(*vector.Bools)
+	if !ok {
+		return nil, fmt.Errorf("expr: not applied to %v", v.Kind())
+	}
+	vals := bv.Values()
+	out := make([]bool, len(vals))
+	for i, x := range vals {
+		out[i] = !x
+	}
+	return vector.FromBools(out), nil
+}
+
+// String implements Expr.
+func (n Not) String() string { return fmt.Sprintf("(not %s)", n.E.String()) }
+
+func evalBoolPair(le, re Expr, r *relation.Relation, f func(a, b bool) bool) (vector.Vector, error) {
+	lv, err := le.Eval(r)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := re.Eval(r)
+	if err != nil {
+		return nil, err
+	}
+	lb, ok1 := lv.(*vector.Bools)
+	rb, ok2 := rv.(*vector.Bools)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("expr: boolean connective over %v and %v", lv.Kind(), rv.Kind())
+	}
+	ls, rs := lb.Values(), rb.Values()
+	out := make([]bool, len(ls))
+	for i := range ls {
+		out[i] = f(ls[i], rs[i])
+	}
+	return vector.FromBools(out), nil
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+
+// ArithOp is an arithmetic operator.
+type ArithOp int
+
+// Arithmetic operators. Division always yields float (the SQL examples in
+// the paper divide counts to produce scores).
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	}
+	return "?"
+}
+
+// Arith combines two numeric expressions.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (a Arith) Eval(r *relation.Relation) (vector.Vector, error) {
+	lv, err := a.L.Eval(r)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := a.R.Eval(r)
+	if err != nil {
+		return nil, err
+	}
+	if lv.Kind() == vector.Int64 && rv.Kind() == vector.Int64 && a.Op != Div {
+		li, ri := lv.(*vector.Int64s).Values(), rv.(*vector.Int64s).Values()
+		out := make([]int64, len(li))
+		for i := range li {
+			switch a.Op {
+			case Add:
+				out[i] = li[i] + ri[i]
+			case Sub:
+				out[i] = li[i] - ri[i]
+			case Mul:
+				out[i] = li[i] * ri[i]
+			}
+		}
+		return vector.FromInt64s(out), nil
+	}
+	lf, err := toFloats(lv)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := toFloats(rv)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(lf))
+	for i := range lf {
+		switch a.Op {
+		case Add:
+			out[i] = lf[i] + rf[i]
+		case Sub:
+			out[i] = lf[i] - rf[i]
+		case Mul:
+			out[i] = lf[i] * rf[i]
+		case Div:
+			out[i] = lf[i] / rf[i]
+		}
+	}
+	return vector.FromFloat64s(out), nil
+}
+
+// String implements Expr.
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L.String(), a.Op.String(), a.R.String())
+}
+
+func toFloats(v vector.Vector) ([]float64, error) {
+	switch x := v.(type) {
+	case *vector.Float64s:
+		return x.Values(), nil
+	case *vector.Int64s:
+		in := x.Values()
+		out := make([]float64, len(in))
+		for i, n := range in {
+			out[i] = float64(n)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("expr: %v is not numeric", v.Kind())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scalar function calls
+
+// Func is a registered vectorized scalar function.
+type Func struct {
+	Name string
+	// Eval receives the evaluated argument vectors (all of length n) and
+	// must return a vector of length n.
+	Eval func(args []vector.Vector, n int) (vector.Vector, error)
+}
+
+var funcs = map[string]Func{}
+
+// RegisterFunc installs a scalar function under its (case-insensitive)
+// name. Later registrations replace earlier ones, mirroring how the paper
+// extends MonetDB with user-defined functions (tokenize, stem).
+func RegisterFunc(f Func) {
+	funcs[strings.ToLower(f.Name)] = f
+}
+
+// LookupFunc finds a registered function by name.
+func LookupFunc(name string) (Func, bool) {
+	f, ok := funcs[strings.ToLower(name)]
+	return f, ok
+}
+
+// Call invokes a registered scalar function.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// NewCall builds a function-call expression.
+func NewCall(name string, args ...Expr) Call { return Call{Name: name, Args: args} }
+
+// Eval implements Expr.
+func (c Call) Eval(r *relation.Relation) (vector.Vector, error) {
+	f, ok := LookupFunc(c.Name)
+	if !ok {
+		return nil, fmt.Errorf("expr: unknown function %q", c.Name)
+	}
+	args := make([]vector.Vector, len(c.Args))
+	for i, a := range c.Args {
+		v, err := a.Eval(r)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return f.Eval(args, r.NumRows())
+}
+
+// String implements Expr.
+func (c Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", strings.ToLower(c.Name), strings.Join(parts, ","))
+}
+
+func init() {
+	RegisterFunc(Func{Name: "lcase", Eval: func(args []vector.Vector, n int) (vector.Vector, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("lcase: want 1 argument, got %d", len(args))
+		}
+		sv, ok := args[0].(*vector.Strings)
+		if !ok {
+			return nil, fmt.Errorf("lcase: want string argument, got %v", args[0].Kind())
+		}
+		in := sv.Values()
+		out := make([]string, len(in))
+		for i, s := range in {
+			out[i] = strings.ToLower(s)
+		}
+		return vector.FromStrings(out), nil
+	}})
+	RegisterFunc(Func{Name: "ucase", Eval: func(args []vector.Vector, n int) (vector.Vector, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("ucase: want 1 argument, got %d", len(args))
+		}
+		sv, ok := args[0].(*vector.Strings)
+		if !ok {
+			return nil, fmt.Errorf("ucase: want string argument, got %v", args[0].Kind())
+		}
+		in := sv.Values()
+		out := make([]string, len(in))
+		for i, s := range in {
+			out[i] = strings.ToUpper(s)
+		}
+		return vector.FromStrings(out), nil
+	}})
+	RegisterFunc(Func{Name: "length", Eval: func(args []vector.Vector, n int) (vector.Vector, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("length: want 1 argument, got %d", len(args))
+		}
+		sv, ok := args[0].(*vector.Strings)
+		if !ok {
+			return nil, fmt.Errorf("length: want string argument, got %v", args[0].Kind())
+		}
+		in := sv.Values()
+		out := make([]int64, len(in))
+		for i, s := range in {
+			out[i] = int64(len(s))
+		}
+		return vector.FromInt64s(out), nil
+	}})
+	for _, uf := range []struct {
+		name string
+		f    func(float64) float64
+	}{
+		{"log", math.Log}, // natural log, as in the paper's IDF formula
+		{"log2", math.Log2},
+		{"log10", math.Log10},
+		{"sqrt", math.Sqrt},
+		{"abs", math.Abs},
+		{"exp", math.Exp},
+	} {
+		fn := uf.f
+		name := uf.name
+		RegisterFunc(Func{Name: name, Eval: func(args []vector.Vector, n int) (vector.Vector, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("%s: want 1 argument, got %d", name, len(args))
+			}
+			in, err := toFloats(args[0])
+			if err != nil {
+				return nil, fmt.Errorf("%s: %v", name, err)
+			}
+			out := make([]float64, len(in))
+			for i, x := range in {
+				out[i] = fn(x)
+			}
+			return vector.FromFloat64s(out), nil
+		}})
+	}
+	RegisterFunc(Func{Name: "greatest", Eval: binaryFloat("greatest", math.Max)})
+	RegisterFunc(Func{Name: "least", Eval: binaryFloat("least", math.Min)})
+}
+
+func binaryFloat(name string, f func(a, b float64) float64) func(args []vector.Vector, n int) (vector.Vector, error) {
+	return func(args []vector.Vector, n int) (vector.Vector, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("%s: want 2 arguments, got %d", name, len(args))
+		}
+		a, err := toFloats(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := toFloats(args[1])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(a))
+		for i := range a {
+			out[i] = f(a[i], b[i])
+		}
+		return vector.FromFloat64s(out), nil
+	}
+}

@@ -1,0 +1,85 @@
+package ir
+
+import (
+	"testing"
+)
+
+func TestPhraseSearchExactAdjacency(t *testing.T) {
+	ctx, docs := newIRCtx(t)
+	s, _ := NewSearcher(ctx, docs, DefaultParams())
+	// "wooden train" appears as a phrase only in doc 1; doc 4 has "train"
+	// but not preceded by "wooden".
+	hits, err := s.SearchPhrase("wooden train")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].DocID != "1" {
+		t.Errorf("phrase hits = %v, want doc 1 only", hits)
+	}
+	// reversed order must not match
+	rev, err := s.SearchPhrase("train wooden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rev) != 0 {
+		t.Errorf("reversed phrase matched %v", rev)
+	}
+}
+
+func TestPhraseSearchCountsOccurrences(t *testing.T) {
+	ctx, docs := newIRCtx(t)
+	s, _ := NewSearcher(ctx, docs, DefaultParams())
+	// doc 5: "a book about books and a book" → "a book" occurs twice
+	// (stemming folds books→book but "about books" is not "a book").
+	hits, err := s.SearchPhrase("a book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits for 'a book'")
+	}
+	if hits[0].DocID != "5" || hits[0].Score != 2 {
+		t.Errorf("top phrase hit = %+v, want doc 5 with 2 occurrences", hits[0])
+	}
+}
+
+func TestPhraseSearchStemsTerms(t *testing.T) {
+	ctx, docs := newIRCtx(t)
+	s, _ := NewSearcher(ctx, docs, DefaultParams())
+	// "about toys" in doc 2; querying "about toy" must match after
+	// stemming both sides.
+	hits, err := s.SearchPhrase("about toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].DocID != "2" {
+		t.Errorf("stemmed phrase hits = %v", hits)
+	}
+}
+
+func TestPhraseSingleTermAndErrors(t *testing.T) {
+	ctx, docs := newIRCtx(t)
+	s, _ := NewSearcher(ctx, docs, DefaultParams())
+	hits, err := s.SearchPhrase("history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Errorf("single-term phrase = %v, want docs 2 and 3", hits)
+	}
+	if _, err := s.SearchPhrase("  ...  "); err == nil {
+		t.Error("empty phrase should fail")
+	}
+}
+
+func TestPhraseUnknownTerm(t *testing.T) {
+	ctx, docs := newIRCtx(t)
+	s, _ := NewSearcher(ctx, docs, DefaultParams())
+	hits, err := s.SearchPhrase("wooden zebra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Errorf("phrase with unknown term matched %v", hits)
+	}
+}

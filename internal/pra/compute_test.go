@@ -1,0 +1,161 @@
+package pra
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"irdb/internal/catalog"
+	"irdb/internal/engine"
+	"irdb/internal/expr"
+	"irdb/internal/relation"
+	"irdb/internal/text"
+	"irdb/internal/vector"
+)
+
+func docsBase(cat *catalog.Catalog) *Base {
+	cat.Put("docs", relation.NewBuilder(
+		[]string{"docID", "data"},
+		[]vector.Kind{vector.Int64, vector.String},
+	).
+		Add(1, "Wooden train set").
+		AddP(0.5, 2, "toy cars and toys").
+		Build())
+	return NewBase("docs", engine.NewScan("docs"), "docID", "data")
+}
+
+func TestMapComputedColumns(t *testing.T) {
+	cat := catalog.New(0)
+	base := docsBase(cat)
+	ctx := engine.NewCtx(cat)
+
+	m := NewMap(base,
+		MapCol{As: "id2", E: expr.Arith{Op: expr.Mul, L: expr.ColumnAt(1), R: expr.Int(2)}},
+		MapCol{As: "upper", E: expr.NewCall("ucase", expr.ColumnAt(2))},
+	)
+	if got := strings.Join(m.Schema(), ","); got != "id2,upper" {
+		t.Errorf("schema = %s", got)
+	}
+	rel := compileAndRun(t, ctx, m)
+	if rel.Col(0).Vec.Format(1) != "4" {
+		t.Errorf("computed column = %s", rel.Format(-1))
+	}
+	if rel.Col(1).Vec.Format(0) != "WOODEN TRAIN SET" {
+		t.Errorf("ucase = %s", rel.Col(1).Vec.Format(0))
+	}
+	// probabilities pass through
+	if rel.Prob()[1] != 0.5 {
+		t.Errorf("prob = %v", rel.Prob())
+	}
+	// errors
+	if _, err := NewMap(base).Compile(); err == nil {
+		t.Error("MAP with no columns should fail")
+	}
+	bad := NewMap(base, MapCol{As: "x", E: expr.ColumnAt(9)})
+	if _, err := bad.Compile(); err == nil {
+		t.Error("MAP $9 should fail")
+	}
+}
+
+func TestGroupAggregates(t *testing.T) {
+	cat := catalog.New(0)
+	cat.Put("t", relation.NewBuilder(
+		[]string{"k", "v"}, []vector.Kind{vector.String, vector.Int64}).
+		AddP(0.5, "a", 10).AddP(0.5, "a", 20).Add("b", 5).Build())
+	base := NewBase("t", engine.NewScan("t"), "k", "v")
+	ctx := engine.NewCtx(cat)
+
+	g := NewGroup(base, None, []int{1},
+		GroupAgg{Kind: AggCount, As: "n"},
+		GroupAgg{Kind: AggSum, Col: 2, As: "total"},
+		GroupAgg{Kind: AggAvg, Col: 2, As: "mean"},
+		GroupAgg{Kind: AggMin, Col: 2, As: "lo"},
+		GroupAgg{Kind: AggMax, Col: 2, As: "hi"},
+		GroupAgg{Kind: AggSumProb, As: "sp"},
+		GroupAgg{Kind: AggMaxProb, As: "mp"},
+	)
+	if got := strings.Join(g.Schema(), ","); got != "k,n,total,mean,lo,hi,sp,mp" {
+		t.Errorf("schema = %s", got)
+	}
+	rel := compileAndRun(t, ctx, g)
+	if rel.NumRows() != 2 {
+		t.Fatalf("groups = %d", rel.NumRows())
+	}
+	row := map[string]string{}
+	for c := 0; c < rel.NumCols(); c++ {
+		row[rel.Col(c).Name] = rel.Col(c).Vec.Format(0) // group "a"
+	}
+	if row["n"] != "2" || row["total"] != "30" || row["mean"] != "15" ||
+		row["lo"] != "10" || row["hi"] != "20" || row["sp"] != "1" || row["mp"] != "0.5" {
+		t.Errorf("aggregates = %v", row)
+	}
+	// default assumption: certain output probability
+	if rel.Prob()[0] != 1.0 {
+		t.Errorf("certain group p = %g", rel.Prob()[0])
+	}
+
+	// probabilistic assumption
+	gi := NewGroup(base, Independent, []int{1})
+	rel2 := compileAndRun(t, ctx, gi)
+	for i := 0; i < rel2.NumRows(); i++ {
+		if rel2.Col(0).Vec.Format(i) == "a" {
+			if math.Abs(rel2.Prob()[i]-0.75) > 1e-12 {
+				t.Errorf("independent group p = %g, want 0.75", rel2.Prob()[i])
+			}
+		}
+	}
+
+	// errors
+	if _, err := NewGroup(base, None, []int{9}).Compile(); err == nil {
+		t.Error("GROUP key $9 should fail")
+	}
+	if _, err := NewGroup(base, None, []int{1}, GroupAgg{Kind: AggSum, Col: 9, As: "x"}).Compile(); err == nil {
+		t.Error("sum($9) should fail")
+	}
+	if _, err := NewGroup(base, None, []int{1}, GroupAgg{Kind: "median", As: "x"}).Compile(); err == nil {
+		t.Error("unknown aggregate should fail")
+	}
+}
+
+func TestTokenizeOp(t *testing.T) {
+	cat := catalog.New(0)
+	base := docsBase(cat)
+	ctx := engine.NewCtx(cat)
+	tok := NewTokenize(base, 1, 2, text.Default())
+	if got := strings.Join(tok.Schema(), ","); got != "docID,token,pos" {
+		t.Errorf("schema = %s", got)
+	}
+	rel := compileAndRun(t, ctx, tok)
+	if rel.NumRows() != 7 {
+		t.Fatalf("tokens = %d, want 7", rel.NumRows())
+	}
+	// doc 2's tokens inherit p=0.5
+	for i := 0; i < rel.NumRows(); i++ {
+		if rel.Col(0).Vec.Format(i) == "2" && rel.Prob()[i] != 0.5 {
+			t.Errorf("token prob = %g", rel.Prob()[i])
+		}
+	}
+	if _, err := NewTokenize(base, 9, 2, text.Default()).Compile(); err == nil {
+		t.Error("TOKENIZE id $9 should fail")
+	}
+	if _, err := NewTokenize(base, 1, 9, text.Default()).Compile(); err == nil {
+		t.Error("TOKENIZE data $9 should fail")
+	}
+}
+
+func TestComputeStringRendering(t *testing.T) {
+	cat := catalog.New(0)
+	base := docsBase(cat)
+	m := NewMap(base, MapCol{As: "term", E: expr.NewCall("lcase", expr.ColumnAt(2))})
+	if !strings.Contains(m.String(), "MAP [lcase($2) as term]") {
+		t.Errorf("MAP String = %s", m.String())
+	}
+	g := NewGroup(base, Disjoint, []int{1}, GroupAgg{Kind: AggCount, As: "n"})
+	if !strings.Contains(g.String(), "GROUP DISJOINT [$1 ; count() as n]") {
+		t.Errorf("GROUP String = %s", g.String())
+	}
+	tk := NewTokenize(base, 1, 2, text.Default())
+	if !strings.Contains(tk.String(), "TOKENIZE [$1,$2]") {
+		t.Errorf("TOKENIZE String = %s", tk.String())
+	}
+}

@@ -1,0 +1,254 @@
+// Package pra implements the Probabilistic Relational Algebra of section
+// 2.3 — the algebra of Fuhr and Rölleke (paper reference [8]) extended
+// with the relational Bayes of Roelleke et al. (reference [12]) — as a
+// typed plan layer compiling onto the relational engine.
+//
+// PRA plans are positional: columns are addressed $1..$n as in SpinQL.
+// Every node knows its output schema statically, so arity errors surface
+// at plan-construction time rather than mid-query. Each relational
+// operator "defines how to compute probability columns"; the assumptions
+// (independent, disjoint, ...) select the combination rule.
+package pra
+
+import (
+	"fmt"
+	"strings"
+
+	"irdb/internal/engine"
+	"irdb/internal/expr"
+)
+
+// Assumption qualifies how an operator combines the probabilities of the
+// tuples it merges.
+type Assumption int
+
+const (
+	// None performs no merging: bag semantics (the plain PROJECT of the
+	// paper's SpinQL example, which translates to SQL without DISTINCT).
+	None Assumption = iota
+	// Independent treats merged tuples as independent events
+	// (noisy-or for projection/union, product for join).
+	Independent
+	// Disjoint treats merged tuples as mutually exclusive events
+	// (probability sum, clamped at 1).
+	Disjoint
+	// Max keeps the strongest supporting event.
+	Max
+	// SumRaw accumulates probabilities without clamping; not a
+	// probability in general, used to sum retrieval-score contributions.
+	SumRaw
+)
+
+func (a Assumption) String() string {
+	switch a {
+	case None:
+		return ""
+	case Independent:
+		return "INDEPENDENT"
+	case Disjoint:
+		return "DISJOINT"
+	case Max:
+		return "MAX"
+	case SumRaw:
+		return "SUM"
+	}
+	return "?"
+}
+
+func (a Assumption) groupProb() engine.GroupProb {
+	switch a {
+	case Disjoint:
+		return engine.GroupDisjoint
+	case Max:
+		return engine.GroupMax
+	case SumRaw:
+		return engine.GroupSumRaw
+	default:
+		return engine.GroupIndependent
+	}
+}
+
+// Node is a PRA plan node.
+type Node interface {
+	// Schema returns the output column names, in order.
+	Schema() []string
+	// Compile lowers the node onto the engine.
+	Compile() (engine.Node, error)
+	// String renders the plan in SpinQL-like concrete syntax.
+	String() string
+}
+
+// ---------------------------------------------------------------------------
+// Base
+
+// Base wraps an engine plan (usually a table scan) as a PRA leaf with a
+// declared schema.
+type Base struct {
+	Name string
+	Plan engine.Node
+	Cols []string
+}
+
+// NewBase declares a PRA leaf over an engine plan.
+func NewBase(name string, plan engine.Node, cols ...string) *Base {
+	return &Base{Name: name, Plan: plan, Cols: cols}
+}
+
+// Schema implements Node.
+func (b *Base) Schema() []string { return b.Cols }
+
+// Compile implements Node.
+func (b *Base) Compile() (engine.Node, error) {
+	if b.Plan == nil {
+		return nil, fmt.Errorf("pra: base %q has no plan", b.Name)
+	}
+	return b.Plan, nil
+}
+
+// String implements Node.
+func (b *Base) String() string { return b.Name }
+
+// ---------------------------------------------------------------------------
+// Select
+
+// Select filters tuples by a condition over positional columns;
+// probabilities pass through unchanged.
+type Select struct {
+	Child Node
+	Cond  expr.Expr
+}
+
+// NewSelect filters child by cond (built from expr.ColumnAt references).
+func NewSelect(child Node, cond expr.Expr) *Select { return &Select{Child: child, Cond: cond} }
+
+// Schema implements Node.
+func (s *Select) Schema() []string { return s.Child.Schema() }
+
+// Compile implements Node.
+func (s *Select) Compile() (engine.Node, error) {
+	child, err := s.Child.Compile()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkPositions(s.Cond, len(s.Child.Schema())); err != nil {
+		return nil, fmt.Errorf("pra: SELECT %s: %w", s.Cond.String(), err)
+	}
+	return engine.NewSelect(child, s.Cond), nil
+}
+
+// String implements Node.
+func (s *Select) String() string {
+	return fmt.Sprintf("SELECT [%s] (%s)", s.Cond.String(), s.Child.String())
+}
+
+// checkPositions validates that every $n reference in e is within arity.
+func checkPositions(e expr.Expr, arity int) error {
+	switch x := e.(type) {
+	case expr.ColIdx:
+		if x.Idx < 1 || x.Idx > arity {
+			return fmt.Errorf("$%d out of range (input has %d columns)", x.Idx, arity)
+		}
+	case expr.Cmp:
+		if err := checkPositions(x.L, arity); err != nil {
+			return err
+		}
+		return checkPositions(x.R, arity)
+	case expr.And:
+		if err := checkPositions(x.L, arity); err != nil {
+			return err
+		}
+		return checkPositions(x.R, arity)
+	case expr.Or:
+		if err := checkPositions(x.L, arity); err != nil {
+			return err
+		}
+		return checkPositions(x.R, arity)
+	case expr.Not:
+		return checkPositions(x.E, arity)
+	case expr.Arith:
+		if err := checkPositions(x.L, arity); err != nil {
+			return err
+		}
+		return checkPositions(x.R, arity)
+	case expr.Call:
+		for _, a := range x.Args {
+			if err := checkPositions(a, arity); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Project
+
+// Project keeps the given 1-based column positions. With Assumption None
+// it is a bag projection (no duplicate elimination), matching the paper's
+// SpinQL-to-SQL example; any other assumption deduplicates and combines
+// the probabilities of collapsed tuples under that assumption.
+type Project struct {
+	Child      Node
+	Cols       []int
+	Assumption Assumption
+}
+
+// NewProject projects child onto 1-based positions cols.
+func NewProject(child Node, assumption Assumption, cols ...int) *Project {
+	return &Project{Child: child, Cols: cols, Assumption: assumption}
+}
+
+// Schema implements Node.
+func (p *Project) Schema() []string {
+	in := p.Child.Schema()
+	out := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		if c >= 1 && c <= len(in) {
+			out[i] = in[c-1]
+		} else {
+			out[i] = fmt.Sprintf("$%d", c)
+		}
+	}
+	return out
+}
+
+// Compile implements Node.
+func (p *Project) Compile() (engine.Node, error) {
+	child, err := p.Child.Compile()
+	if err != nil {
+		return nil, err
+	}
+	arity := len(p.Child.Schema())
+	names := p.Schema()
+	seen := map[string]int{}
+	cols := make([]engine.ProjCol, len(p.Cols))
+	for i, c := range p.Cols {
+		if c < 1 || c > arity {
+			return nil, fmt.Errorf("pra: PROJECT $%d out of range (input has %d columns)", c, arity)
+		}
+		name := names[i]
+		seen[name]++
+		if seen[name] > 1 {
+			name = fmt.Sprintf("%s_%d", name, seen[name])
+		}
+		cols[i] = engine.ProjCol{Name: name, E: expr.ColumnAt(c)}
+	}
+	proj := engine.NewProject(child, cols...)
+	if p.Assumption == None {
+		return proj, nil
+	}
+	return engine.NewDistinct(proj, p.Assumption.groupProb()), nil
+}
+
+// String implements Node.
+func (p *Project) String() string {
+	refs := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		refs[i] = fmt.Sprintf("$%d", c)
+	}
+	op := "PROJECT"
+	if p.Assumption != None {
+		op += " " + p.Assumption.String()
+	}
+	return fmt.Sprintf("%s [%s] (%s)", op, strings.Join(refs, ","), p.Child.String())
+}

@@ -1,0 +1,86 @@
+package relation
+
+import (
+	"fmt"
+
+	"irdb/internal/vector"
+)
+
+// Builder assembles a relation row by row. It is the convenient (not the
+// fast) path, used by loaders, tests and examples; operators build columns
+// directly.
+type Builder struct {
+	names []string
+	kinds []vector.Kind
+	cols  []vector.Vector
+	prob  []float64
+}
+
+// NewBuilder creates a builder for the given schema.
+func NewBuilder(names []string, kinds []vector.Kind) *Builder {
+	if len(names) != len(kinds) {
+		panic("relation: names and kinds length mismatch")
+	}
+	cols := make([]vector.Vector, len(kinds))
+	for i, k := range kinds {
+		cols[i] = vector.NewOfKind(k, 0)
+	}
+	return &Builder{names: names, kinds: kinds, cols: cols}
+}
+
+// Add appends one certain row (p = 1.0). Values must match the schema
+// kinds: int64/int for Int64, float64 for Float64, string for String, bool
+// for Bool.
+func (b *Builder) Add(values ...any) *Builder { return b.AddP(1.0, values...) }
+
+// AddP appends one row with the given tuple probability.
+func (b *Builder) AddP(p float64, values ...any) *Builder {
+	if len(values) != len(b.cols) {
+		panic(fmt.Sprintf("relation: row with %d values for %d columns", len(values), len(b.cols)))
+	}
+	for i, v := range values {
+		switch col := b.cols[i].(type) {
+		case *vector.Int64s:
+			switch x := v.(type) {
+			case int64:
+				col.Append(x)
+			case int:
+				col.Append(int64(x))
+			default:
+				panic(fmt.Sprintf("relation: column %q wants integer, got %T", b.names[i], v))
+			}
+		case *vector.Float64s:
+			switch x := v.(type) {
+			case float64:
+				col.Append(x)
+			case int:
+				col.Append(float64(x))
+			default:
+				panic(fmt.Sprintf("relation: column %q wants float, got %T", b.names[i], v))
+			}
+		case *vector.Strings:
+			s, ok := v.(string)
+			if !ok {
+				panic(fmt.Sprintf("relation: column %q wants string, got %T", b.names[i], v))
+			}
+			col.Append(s)
+		case *vector.Bools:
+			x, ok := v.(bool)
+			if !ok {
+				panic(fmt.Sprintf("relation: column %q wants bool, got %T", b.names[i], v))
+			}
+			col.Append(x)
+		}
+	}
+	b.prob = append(b.prob, p)
+	return b
+}
+
+// Build finalizes the relation. The builder must not be reused afterwards.
+func (b *Builder) Build() *Relation {
+	cols := make([]Column, len(b.cols))
+	for i := range b.cols {
+		cols[i] = Column{Name: b.names[i], Vec: b.cols[i]}
+	}
+	return MustFromColumns(cols, b.prob)
+}

@@ -1,0 +1,318 @@
+// Package relation defines the materialized relation exchanged between
+// operators of the column-at-a-time engine.
+//
+// Following section 2.3 of the paper, every relation is probabilistic: "a
+// probability column p is appended to all tables". The probability column
+// is structural — it always exists, deterministic data simply carries
+// p = 1.0 — so structured and unstructured search results flow through the
+// same operators ("first-class citizens of the same computational
+// platform").
+package relation
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+	"strings"
+
+	"irdb/internal/vector"
+)
+
+// Column is a named column of a relation.
+type Column struct {
+	Name string
+	Vec  vector.Vector
+}
+
+// Relation is a fully materialized table: a fixed set of named, typed
+// columns plus the implicit tuple-probability column.
+type Relation struct {
+	cols []Column
+	prob []float64
+}
+
+// New creates an empty relation with the given column names and kinds.
+func New(names []string, kinds []vector.Kind) *Relation {
+	if len(names) != len(kinds) {
+		panic("relation: names and kinds length mismatch")
+	}
+	cols := make([]Column, len(names))
+	for i := range names {
+		cols[i] = Column{Name: names[i], Vec: vector.NewOfKind(kinds[i], 0)}
+	}
+	return &Relation{cols: cols}
+}
+
+// FromColumns builds a relation from pre-built columns and an optional
+// probability column. A nil prob means "all certain" (p = 1.0). All columns
+// must have equal length.
+func FromColumns(cols []Column, prob []float64) (*Relation, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relation: at least one column required")
+	}
+	n := cols[0].Vec.Len()
+	for _, c := range cols[1:] {
+		if c.Vec.Len() != n {
+			return nil, fmt.Errorf("relation: column %q has %d rows, want %d", c.Name, c.Vec.Len(), n)
+		}
+	}
+	if prob == nil {
+		prob = certain(n)
+	} else if len(prob) != n {
+		return nil, fmt.Errorf("relation: probability column has %d rows, want %d", len(prob), n)
+	}
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("relation: duplicate column name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return &Relation{cols: cols, prob: prob}, nil
+}
+
+// MustFromColumns is FromColumns that panics on error, for literals in
+// tests and examples.
+func MustFromColumns(cols []Column, prob []float64) *Relation {
+	r, err := FromColumns(cols, prob)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func certain(n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1.0
+	}
+	return p
+}
+
+// NumRows reports the number of tuples.
+func (r *Relation) NumRows() int {
+	if len(r.cols) == 0 {
+		return 0
+	}
+	return r.cols[0].Vec.Len()
+}
+
+// NumCols reports the number of visible (non-probability) columns.
+func (r *Relation) NumCols() int { return len(r.cols) }
+
+// Columns returns the column slice. Callers must treat it as read-only.
+func (r *Relation) Columns() []Column { return r.cols }
+
+// Col returns the i-th column.
+func (r *Relation) Col(i int) Column { return r.cols[i] }
+
+// ColIndex returns the position of the named column, or -1.
+func (r *Relation) ColIndex(name string) int {
+	for i, c := range r.cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColByName returns the named column, or an error naming the candidates.
+func (r *Relation) ColByName(name string) (Column, error) {
+	if i := r.ColIndex(name); i >= 0 {
+		return r.cols[i], nil
+	}
+	return Column{}, fmt.Errorf("relation: no column %q (have %s)", name, strings.Join(r.ColumnNames(), ", "))
+}
+
+// ColumnNames returns the visible column names in order.
+func (r *Relation) ColumnNames() []string {
+	out := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Kinds returns the column kinds in order.
+func (r *Relation) Kinds() []vector.Kind {
+	out := make([]vector.Kind, len(r.cols))
+	for i, c := range r.cols {
+		out[i] = c.Vec.Kind()
+	}
+	return out
+}
+
+// Prob returns the probability column. Callers must treat it as read-only.
+func (r *Relation) Prob() []float64 {
+	if r.prob == nil {
+		r.prob = certain(r.NumRows())
+	}
+	return r.prob
+}
+
+// SetProb replaces the probability column. len(p) must equal NumRows.
+func (r *Relation) SetProb(p []float64) {
+	if len(p) != r.NumRows() {
+		panic(fmt.Sprintf("relation: SetProb with %d values for %d rows", len(p), r.NumRows()))
+	}
+	r.prob = p
+}
+
+// Gather returns a new relation holding the rows at the given indexes, in
+// order. Indexes may repeat.
+func (r *Relation) Gather(sel []int) *Relation {
+	cols := make([]Column, len(r.cols))
+	for i, c := range r.cols {
+		cols[i] = Column{Name: c.Name, Vec: c.Vec.Gather(sel)}
+	}
+	prob := make([]float64, len(sel))
+	src := r.Prob()
+	for i, s := range sel {
+		prob[i] = src[s]
+	}
+	return &Relation{cols: cols, prob: prob}
+}
+
+// WithColumns returns a relation sharing this relation's probability column
+// but exposing only the named columns, in the given order.
+func (r *Relation) WithColumns(names ...string) (*Relation, error) {
+	cols := make([]Column, len(names))
+	for i, name := range names {
+		c, err := r.ColByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	return &Relation{cols: cols, prob: r.Prob()}, nil
+}
+
+// Renamed returns a relation with the same columns and probabilities but
+// new column names.
+func (r *Relation) Renamed(names []string) (*Relation, error) {
+	if len(names) != len(r.cols) {
+		return nil, fmt.Errorf("relation: rename with %d names for %d columns", len(names), len(r.cols))
+	}
+	cols := make([]Column, len(r.cols))
+	for i, c := range r.cols {
+		cols[i] = Column{Name: names[i], Vec: c.Vec}
+	}
+	return &Relation{cols: cols, prob: r.Prob()}, nil
+}
+
+// HashRows computes one hash per row over the given column positions.
+// Used by hash join, group-by and distinct.
+func (r *Relation) HashRows(seed maphash.Seed, colIdx []int) []uint64 {
+	sums := make([]uint64, r.NumRows())
+	for _, ci := range colIdx {
+		r.cols[ci].Vec.HashInto(seed, sums)
+	}
+	return sums
+}
+
+// RowsEqual reports whether row i of r equals row j of other on the given
+// column positions (pairwise: cols[k] of r against otherCols[k] of other).
+func (r *Relation) RowsEqual(i int, cols []int, other *Relation, j int, otherCols []int) bool {
+	for k := range cols {
+		if !r.cols[cols[k]].Vec.EqualAt(i, other.cols[otherCols[k]].Vec, j) {
+			return false
+		}
+	}
+	return true
+}
+
+// SortKey describes one ordering criterion.
+type SortKey struct {
+	Col  int  // column position; -1 means the probability column
+	Desc bool // descending order when true
+}
+
+// ProbCol is the SortKey.Col value addressing the probability column.
+const ProbCol = -1
+
+// Sorted returns a new relation with rows reordered by the given keys.
+// The sort is stable so equal rows keep their input order, which keeps
+// query results deterministic.
+func (r *Relation) Sorted(keys []SortKey) *Relation {
+	n := r.NumRows()
+	sel := make([]int, n)
+	for i := range sel {
+		sel[i] = i
+	}
+	prob := r.Prob()
+	sort.SliceStable(sel, func(a, b int) bool {
+		ia, ib := sel[a], sel[b]
+		for _, k := range keys {
+			if k.Col == ProbCol {
+				pa, pb := prob[ia], prob[ib]
+				if pa != pb {
+					return (pa < pb) != k.Desc
+				}
+				continue
+			}
+			v := r.cols[k.Col].Vec
+			if v.LessAt(ia, v, ib) {
+				return !k.Desc
+			}
+			if v.LessAt(ib, v, ia) {
+				return k.Desc
+			}
+		}
+		return false
+	})
+	return r.Gather(sel)
+}
+
+// String renders the relation as an aligned text table, capped at 30 rows.
+// Intended for examples, EXPLAIN output and test failure messages.
+func (r *Relation) String() string { return r.Format(30) }
+
+// Format renders up to maxRows rows as an aligned text table including the
+// probability column.
+func (r *Relation) Format(maxRows int) string {
+	var b strings.Builder
+	n := r.NumRows()
+	header := make([]string, 0, len(r.cols)+1)
+	for _, c := range r.cols {
+		header = append(header, c.Name)
+	}
+	header = append(header, "p")
+	rows := [][]string{header}
+	shown := n
+	if maxRows >= 0 && shown > maxRows {
+		shown = maxRows
+	}
+	prob := r.Prob()
+	for i := 0; i < shown; i++ {
+		row := make([]string, 0, len(r.cols)+1)
+		for _, c := range r.cols {
+			row = append(row, c.Vec.Format(i))
+		}
+		row = append(row, fmt.Sprintf("%.4f", prob[i]))
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for _, w := range widths {
+				b.WriteString(strings.Repeat("-", w) + "  ")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if shown < n {
+		fmt.Fprintf(&b, "... (%d rows total)\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,234 @@
+// Package server exposes search strategies over HTTP — the deployment
+// shape of section 3, where "via the website's search-bar, users activate
+// this strategy to find the items they are interested in" and a single VM
+// serves 150,000 requests per day.
+//
+// Endpoints:
+//
+//	GET  /search?strategy=<name>&q=<keywords>&k=<n>  ranked results (JSON)
+//	GET  /strategies                                 installed strategies
+//	POST /strategies                                 install a strategy (JSON body)
+//	GET  /stats                                      catalog + cache statistics
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"irdb/internal/engine"
+	"irdb/internal/strategy"
+	"irdb/internal/text"
+	"irdb/internal/triple"
+)
+
+// Server routes search requests to installed strategies over one shared
+// execution context (and therefore one shared materialization cache, so
+// concurrent requests reuse each other's on-demand indexes).
+type Server struct {
+	ctx      *engine.Ctx
+	synonyms text.SynonymDict
+
+	mu         sync.RWMutex
+	strategies map[string]*strategy.Strategy
+
+	requests sync.Map // strategy name -> *counter
+}
+
+type counter struct {
+	mu      sync.Mutex
+	n       int64
+	totalNS int64
+}
+
+// New creates a server over the given execution context.
+func New(ctx *engine.Ctx, synonyms text.SynonymDict) *Server {
+	return &Server{
+		ctx:        ctx,
+		synonyms:   synonyms,
+		strategies: make(map[string]*strategy.Strategy),
+	}
+}
+
+// Install registers a strategy under its name, replacing any previous
+// one.
+func (s *Server) Install(st *strategy.Strategy) error {
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.strategies[st.Name] = st
+	return nil
+}
+
+// StrategyNames returns the installed strategy names, sorted.
+func (s *Server) StrategyNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.strategies))
+	for n := range s.strategies {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /strategies", s.handleListStrategies)
+	mux.HandleFunc("POST /strategies", s.handleInstallStrategy)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// SearchResult is one ranked hit in a search response.
+type SearchResult struct {
+	Subject string  `json:"subject"`
+	Score   float64 `json:"score"`
+}
+
+// SearchResponse is the /search payload.
+type SearchResponse struct {
+	Strategy  string         `json:"strategy"`
+	Query     string         `json:"query"`
+	K         int            `json:"k"`
+	Results   []SearchResult `json:"results"`
+	LatencyMS float64        `json:"latency_ms"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("strategy")
+	query := r.URL.Query().Get("q")
+	if name == "" || query == "" {
+		httpError(w, http.StatusBadRequest, "parameters 'strategy' and 'q' are required")
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v < 1 || v > 1000 {
+			httpError(w, http.StatusBadRequest, "k must be an integer in [1,1000]")
+			return
+		}
+		k = v
+	}
+	s.mu.RLock()
+	st, ok := s.strategies[name]
+	s.mu.RUnlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("no strategy %q (installed: %v)", name, s.StrategyNames()))
+		return
+	}
+
+	start := time.Now()
+	plan, err := st.Compile(&strategy.Compiler{Query: query, Synonyms: s.synonyms})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	rel, err := s.ctx.Exec(engine.NewTopN(plan, k,
+		engine.SortSpec{Col: "", Desc: true}, engine.SortSpec{Col: triple.ColSubject}))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	elapsed := time.Since(start)
+
+	c, _ := s.requests.LoadOrStore(name, &counter{})
+	cc := c.(*counter)
+	cc.mu.Lock()
+	cc.n++
+	cc.totalNS += elapsed.Nanoseconds()
+	cc.mu.Unlock()
+
+	resp := SearchResponse{
+		Strategy:  name,
+		Query:     query,
+		K:         k,
+		Results:   make([]SearchResult, rel.NumRows()),
+		LatencyMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	prob := rel.Prob()
+	for i := range resp.Results {
+		resp.Results[i] = SearchResult{Subject: rel.Col(0).Vec.Format(i), Score: prob[i]}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleListStrategies(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type entry struct {
+		Name   string `json:"name"`
+		Blocks int    `json:"blocks"`
+	}
+	out := make([]entry, 0, len(s.strategies))
+	for _, st := range s.strategies {
+		out = append(out, entry{Name: st.Name, Blocks: st.NumBlocks()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleInstallStrategy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st, err := strategy.FromJSON(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.Install(st); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"installed": st.Name})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cacheStats := s.ctx.Cat.Cache().Stats()
+	type stratStats struct {
+		Requests int64   `json:"requests"`
+		AvgMS    float64 `json:"avg_ms"`
+	}
+	perStrategy := map[string]stratStats{}
+	s.requests.Range(func(k, v any) bool {
+		cc := v.(*counter)
+		cc.mu.Lock()
+		st := stratStats{Requests: cc.n}
+		if cc.n > 0 {
+			st.AvgMS = float64(cc.totalNS) / float64(cc.n) / 1e6
+		}
+		cc.mu.Unlock()
+		perStrategy[k.(string)] = st
+		return true
+	})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tables":     s.ctx.Cat.TableNames(),
+		"cache":      cacheStats,
+		"strategies": perStrategy,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,165 @@
+// Package spinql implements the SpinQL query language of section 2.3 —
+// the "proprietary domain specific language … which implements the
+// Probabilistic Relational Algebra (PRA) … with particular focus on
+// efficient translation to SQL". Programs are sequences of named
+// statements over base relations:
+//
+//	docs = PROJECT [$1,$6] (
+//	  JOIN INDEPENDENT [$1=$1] (
+//	    SELECT [$2="category" and $3="toy"] (triples),
+//	    SELECT [$2="description"] (triples) ) );
+//
+// Supported operators: SELECT, PROJECT, JOIN, UNITE, SUBTRACT, WEIGHT,
+// BAYES, with the assumptions INDEPENDENT, DISJOINT, MAX and SUM, plus
+// the computation forms retrieval models need — MAP (computed
+// projections with function calls such as stem(lcase($2),"sb-english")),
+// GROUP (aggregation) and TOKENIZE (the tokenizer table function) — which
+// together make BM25 expressible entirely in SpinQL, as the paper states
+// for its "Rank by Text BM25" block.
+// Compilation produces pra plans, which in turn lower onto the relational
+// engine (and can be printed as SQL via pra.ToSQL).
+package spinql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokColRef // $n
+	tokString
+	tokNumber
+	tokSymbol // one of = != < <= > >= ( ) [ ] , ;
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	tokens []token
+}
+
+// lex splits src into tokens. Comments run from "--" or "#" to end of
+// line.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#' || (c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-'):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '-' || c == '+' || c == '*' || c == '/':
+			l.emit(tokSymbol, string(c), l.pos)
+			l.pos++
+		case c == '$':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			if l.pos == start+1 {
+				return nil, fmt.Errorf("spinql: line %d: '$' must be followed by a column number", l.line)
+			}
+			l.emit(tokColRef, l.src[start:l.pos], start)
+		case c == '"' || c == '\'':
+			quote := c
+			start := l.pos
+			l.pos++
+			var sb strings.Builder
+			closed := false
+			for l.pos < len(l.src) {
+				ch := l.src[l.pos]
+				if ch == quote {
+					closed = true
+					l.pos++
+					break
+				}
+				if ch == '\\' && l.pos+1 < len(l.src) {
+					l.pos++
+					sb.WriteByte(l.src[l.pos])
+					l.pos++
+					continue
+				}
+				if ch == '\n' {
+					l.line++
+				}
+				sb.WriteByte(ch)
+				l.pos++
+			}
+			if !closed {
+				return nil, fmt.Errorf("spinql: line %d: unterminated string literal", l.line)
+			}
+			l.emit(tokString, sb.String(), start)
+		case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			start := l.pos
+			for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.emit(tokNumber, l.src[start:l.pos], start)
+		case c == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.emit(tokSymbol, "!=", l.pos)
+				l.pos += 2
+			} else {
+				return nil, fmt.Errorf("spinql: line %d: unexpected '!'", l.line)
+			}
+		case c == '<' || c == '>':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.emit(tokSymbol, l.src[l.pos:l.pos+2], l.pos)
+				l.pos += 2
+			} else if c == '<' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+				l.emit(tokSymbol, "!=", l.pos)
+				l.pos += 2
+			} else {
+				l.emit(tokSymbol, string(c), l.pos)
+				l.pos++
+			}
+		case strings.ContainsRune("=()[],;", rune(c)):
+			l.emit(tokSymbol, string(c), l.pos)
+			l.pos++
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos], start)
+		default:
+			return nil, fmt.Errorf("spinql: line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(tokEOF, "", l.pos)
+	return l.tokens, nil
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.tokens = append(l.tokens, token{kind: kind, text: text, pos: pos, line: l.line})
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}

@@ -1,0 +1,33 @@
+package stem
+
+import "testing"
+
+var benchWords = []string{
+	"running", "relational", "databases", "retrieval", "conditional",
+	"generously", "beautiful", "consignment", "toys", "auctions",
+	"descriptions", "probabilistic", "implementation", "tokenization",
+}
+
+func BenchmarkEnglish(b *testing.B) {
+	s, _ := Get("sb-english")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Stem(benchWords[i%len(benchWords)])
+	}
+}
+
+func BenchmarkPorter(b *testing.B) {
+	s, _ := Get("porter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Stem(benchWords[i%len(benchWords)])
+	}
+}
+
+func BenchmarkSStemmer(b *testing.B) {
+	s, _ := Get("s")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Stem(benchWords[i%len(benchWords)])
+	}
+}

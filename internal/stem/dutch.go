@@ -1,0 +1,275 @@
+package stem
+
+import "strings"
+
+// Dutch implements the Snowball Dutch stemmer, registered as "sb-dutch".
+// The paper's MonetDB extension provides "Snowball stemmers for several
+// languages" selected per query (section 2.1); Dutch is the natural second
+// language for a system built in the Netherlands.
+type Dutch struct{}
+
+// NewDutch returns the Snowball Dutch stemmer.
+func NewDutch() Dutch { return Dutch{} }
+
+// Name implements Stemmer.
+func (Dutch) Name() string { return "sb-dutch" }
+
+func dutchVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u', 'y':
+		return true
+	}
+	return false
+}
+
+// Stem implements Stemmer.
+func (Dutch) Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	w := []byte(dutchPrelude(word))
+	if len(w) <= 2 {
+		return string(w)
+	}
+	d := &dutchWord{w: w}
+	d.markRegions()
+	d.step1()
+	d.step2()
+	d.step3a()
+	d.step3b()
+	d.step4()
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case 'I':
+			return 'i'
+		case 'Y':
+			return 'y'
+		}
+		return r
+	}, string(d.w))
+}
+
+// dutchPrelude folds accented vowels and marks consonant-use i and y as
+// 'I' and 'Y'.
+func dutchPrelude(word string) string {
+	var b strings.Builder
+	for _, r := range word {
+		switch r {
+		case 'ä', 'á', 'à', 'â':
+			b.WriteByte('a')
+		case 'ë', 'é', 'è', 'ê':
+			b.WriteByte('e')
+		case 'ï', 'í', 'ì', 'î':
+			b.WriteByte('i')
+		case 'ö', 'ó', 'ò', 'ô':
+			b.WriteByte('o')
+		case 'ü', 'ú', 'ù', 'û':
+			b.WriteByte('u')
+		default:
+			if r < 128 {
+				b.WriteByte(byte(r))
+			} else {
+				return word // non-Dutch characters: pass through unstemmed
+			}
+		}
+	}
+	w := []byte(b.String())
+	for i := range w {
+		switch w[i] {
+		case 'y':
+			// initial y, or y after a vowel, is a consonant
+			if i == 0 || dutchVowel(w[i-1]) {
+				w[i] = 'Y'
+			}
+		case 'i':
+			// i between vowels is a consonant
+			if i > 0 && i+1 < len(w) && dutchVowel(w[i-1]) && dutchVowel(w[i+1]) {
+				w[i] = 'I'
+			}
+		}
+	}
+	return string(w)
+}
+
+type dutchWord struct {
+	w      []byte
+	r1, r2 int
+	eFound bool
+}
+
+func (d *dutchWord) markRegions() {
+	d.r1 = regionAfterVCBytes(d.w, 0, dutchVowel)
+	// R1 must contain at least 3 letters before it
+	if d.r1 < 3 {
+		d.r1 = 3
+	}
+	d.r2 = regionAfterVCBytes(d.w, d.r1, dutchVowel)
+}
+
+func regionAfterVCBytes(w []byte, start int, vowel func(byte) bool) int {
+	i := start
+	for i < len(w) && !vowel(w[i]) {
+		i++
+	}
+	for i < len(w) && vowel(w[i]) {
+		i++
+	}
+	if i < len(w) {
+		return i + 1
+	}
+	return len(w)
+}
+
+func (d *dutchWord) inR1(sufLen int) bool { return len(d.w)-sufLen >= d.r1 }
+func (d *dutchWord) inR2(sufLen int) bool { return len(d.w)-sufLen >= d.r2 }
+
+func (d *dutchWord) has(suf string) bool {
+	return len(d.w) >= len(suf) && string(d.w[len(d.w)-len(suf):]) == suf
+}
+
+func (d *dutchWord) cut(n int) { d.w = d.w[:len(d.w)-n] }
+
+// undouble removes the last letter of a trailing kk, dd or tt.
+func (d *dutchWord) undouble() {
+	n := len(d.w)
+	if n < 2 || d.w[n-1] != d.w[n-2] {
+		return
+	}
+	switch d.w[n-1] {
+	case 'k', 'd', 't':
+		d.cut(1)
+	}
+}
+
+// validEnEnding: non-vowel, and the stem must not end in "gem".
+func (d *dutchWord) validEnEnding(cutLen int) bool {
+	n := len(d.w) - cutLen
+	if n < 1 || dutchVowel(d.w[n-1]) {
+		return false
+	}
+	return !(n >= 3 && string(d.w[n-3:n]) == "gem")
+}
+
+// validSEnding: non-vowel other than j.
+func (d *dutchWord) validSEnding(cutLen int) bool {
+	n := len(d.w) - cutLen
+	return n >= 1 && !dutchVowel(d.w[n-1]) && d.w[n-1] != 'j'
+}
+
+func (d *dutchWord) step1() {
+	switch {
+	case d.has("heden"):
+		if d.inR1(5) {
+			d.w = append(d.w[:len(d.w)-5], "heid"...)
+		}
+	case d.has("ene"):
+		if d.inR1(3) && d.validEnEnding(3) {
+			d.cut(3)
+			d.undouble()
+		}
+	case d.has("en"):
+		if d.inR1(2) && d.validEnEnding(2) {
+			d.cut(2)
+			d.undouble()
+		}
+	case d.has("se"):
+		if d.inR1(2) && d.validSEnding(2) {
+			d.cut(2)
+		}
+	case d.has("s"):
+		if d.inR1(1) && d.validSEnding(1) {
+			d.cut(1)
+		}
+	}
+}
+
+// step2 deletes a final e if in R1 and preceded by a non-vowel.
+func (d *dutchWord) step2() {
+	n := len(d.w)
+	if n >= 2 && d.w[n-1] == 'e' && d.inR1(1) && !dutchVowel(d.w[n-2]) {
+		d.cut(1)
+		d.eFound = true
+		d.undouble()
+	}
+}
+
+// step3a deletes "heid" if in R2 and not preceded by c, then applies the
+// en-removal of step 1b to the remainder.
+func (d *dutchWord) step3a() {
+	if !d.has("heid") || !d.inR2(4) {
+		return
+	}
+	if n := len(d.w) - 5; n >= 0 && d.w[n] == 'c' {
+		return
+	}
+	d.cut(4)
+	if d.has("en") && d.inR1(2) && d.validEnEnding(2) {
+		d.cut(2)
+		d.undouble()
+	}
+}
+
+// step3b removes derivational (d-)suffixes.
+func (d *dutchWord) step3b() {
+	switch {
+	case d.has("end") || d.has("ing"):
+		if !d.inR2(3) {
+			return
+		}
+		d.cut(3)
+		// if now ends "ig" in R2 not preceded by e: delete, else undouble
+		if d.has("ig") && d.inR2(2) {
+			if n := len(d.w) - 3; !(n >= 0 && d.w[n] == 'e') {
+				d.cut(2)
+				return
+			}
+		}
+		d.undouble()
+	case d.has("ig"):
+		if d.inR2(2) {
+			if n := len(d.w) - 3; !(n >= 0 && d.w[n] == 'e') {
+				d.cut(2)
+			}
+		}
+	case d.has("lijk"):
+		if d.inR2(4) {
+			d.cut(4)
+			d.step2()
+		}
+	case d.has("baar"):
+		if d.inR2(4) {
+			d.cut(4)
+		}
+	case d.has("bar"):
+		if d.inR2(3) && d.eFound {
+			d.cut(3)
+		}
+	}
+}
+
+// step4 undoubles a double vowel: consonant + aa/ee/oo/uu + consonant
+// (last consonant not I) loses one vowel.
+func (d *dutchWord) step4() {
+	n := len(d.w)
+	if n < 4 {
+		return
+	}
+	c := d.w[n-1]
+	if dutchVowel(c) || c == 'I' {
+		return
+	}
+	v := d.w[n-2]
+	if v != d.w[n-3] {
+		return
+	}
+	switch v {
+	case 'a', 'e', 'o', 'u':
+		if !dutchVowel(d.w[n-4]) {
+			d.w = append(d.w[:n-3], v, c)
+		}
+	}
+}
+
+func init() {
+	Register(NewDutch())
+}

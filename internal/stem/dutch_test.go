@@ -1,0 +1,99 @@
+package stem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDutchRegistered(t *testing.T) {
+	s, err := Get("sb-dutch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "sb-dutch" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+// Vectors derivable step by step from the published Snowball Dutch
+// algorithm.
+func TestDutchKnownVectors(t *testing.T) {
+	s, _ := Get("sb-dutch")
+	cases := map[string]string{
+		// step 1b: plural -en with undoubling
+		"boeken": "boek",
+		"katten": "kat",
+		"lopen":  "lop",
+		// step 1c: plural -s after valid ending
+		"boeks": "boek",
+		// -s after vowel is kept
+		"kaas": "kas", // no s-removal (preceded by vowel); step 4 undoubles aa
+		// step 2: final e after non-vowel
+		"grote": "grot",
+		// step 4: double-vowel undoubling conflates singular/plural
+		"boom": "bom", "bomen": "bom",
+		"groot": "grot",
+		"jaren": "jar",
+		// heden → heid (step 1), heid deleted in R2 (step 3a); "lijk"
+		// survives because it falls outside R2
+		"mogelijkheden": "mogelijk",
+		// short words untouched
+		"de": "de", "en": "en",
+	}
+	for in, want := range cases {
+		if got := s.Stem(in); got != want {
+			t.Errorf("sb-dutch(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Singular/plural conflation is the property a retrieval stemmer exists
+// for.
+func TestDutchConflation(t *testing.T) {
+	s, _ := Get("sb-dutch")
+	groups := [][]string{
+		{"boek", "boeken"},
+		{"kat", "katten"},
+		{"boom", "bomen"},
+		{"groot", "grote"},
+	}
+	for _, g := range groups {
+		want := s.Stem(g[0])
+		for _, w := range g[1:] {
+			if got := s.Stem(w); got != want {
+				t.Errorf("stem(%q) = %q, want %q (conflated with %q)", w, got, want, g[0])
+			}
+		}
+	}
+}
+
+func TestDutchAccentFolding(t *testing.T) {
+	s, _ := Get("sb-dutch")
+	if got := s.Stem("één"); got != "een" {
+		t.Errorf("stem(één) = %q, want accents folded to 'een'", got)
+	}
+	// non-Latin input passes through untouched
+	if got := s.Stem("日本語"); got != "日本語" {
+		t.Errorf("non-Latin input modified: %q", got)
+	}
+}
+
+func TestDutchProperties(t *testing.T) {
+	s, _ := Get("sb-dutch")
+	f := func(raw string) bool {
+		w := ""
+		for _, r := range raw {
+			if r >= 'a' && r <= 'z' {
+				w += string(r)
+			}
+		}
+		got := s.Stem(w)
+		if len(got) > len(w) {
+			return false // stems never grow (heden→heid shrinks)
+		}
+		return s.Stem(w) == got // deterministic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

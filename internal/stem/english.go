@@ -1,0 +1,393 @@
+package stem
+
+import "strings"
+
+// English implements the Snowball English stemmer (Porter2), registered as
+// "sb-english" — the exact stemmer name the paper's SQL passes to its
+// MonetDB UDF: stem(lcase(token),'sb-english').
+type English struct{}
+
+// NewEnglish returns the Snowball English (Porter2) stemmer.
+func NewEnglish() English { return English{} }
+
+// Name implements Stemmer.
+func (English) Name() string { return "sb-english" }
+
+// Exceptional whole-word forms (stemmed directly).
+var englishExceptions = map[string]string{
+	"skis": "ski", "skies": "sky", "dying": "die", "lying": "lie",
+	"tying": "tie", "idly": "idl", "gently": "gentl", "ugly": "ugli",
+	"early": "earli", "only": "onli", "singly": "singl",
+	// invariants
+	"sky": "sky", "news": "news", "howe": "howe", "atlas": "atlas",
+	"cosmos": "cosmos", "bias": "bias", "andes": "andes",
+}
+
+// Words left untouched after step 1a.
+var englishStop1a = map[string]bool{
+	"inning": true, "outing": true, "canning": true, "herring": true,
+	"earring": true, "proceed": true, "exceed": true, "succeed": true,
+}
+
+// Stem implements Stemmer.
+func (English) Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	if out, ok := englishExceptions[word]; ok {
+		return out
+	}
+	if !isASCIILowerApos(word) {
+		return word
+	}
+	e := &engWord{w: []byte(word)}
+	e.prelude()
+	e.markRegions()
+	e.step0()
+	e.step1a()
+	if englishStop1a[string(e.w)] {
+		return string(e.w)
+	}
+	e.step1b()
+	e.step1c()
+	e.step2()
+	e.step3()
+	e.step4()
+	e.step5()
+	return strings.ReplaceAll(string(e.w), "Y", "y")
+}
+
+func isASCIILowerApos(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if (s[i] < 'a' || s[i] > 'z') && s[i] != '\'' {
+			return false
+		}
+	}
+	return true
+}
+
+// engWord carries the mutable word and its R1/R2 region offsets.
+type engWord struct {
+	w      []byte
+	r1, r2 int
+}
+
+func engVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u', 'y':
+		return true
+	}
+	return false
+}
+
+// prelude strips a leading apostrophe and marks consonant-y as 'Y'
+// (y at the start of the word or after a vowel).
+func (e *engWord) prelude() {
+	if len(e.w) > 0 && e.w[0] == '\'' {
+		e.w = e.w[1:]
+	}
+	for i := range e.w {
+		if e.w[i] != 'y' {
+			continue
+		}
+		if i == 0 || engVowel(e.w[i-1]) {
+			e.w[i] = 'Y'
+		}
+	}
+}
+
+// markRegions computes R1 and R2. R1 is the region after the first
+// non-vowel following a vowel (with special prefixes gener-, commun-,
+// arsen-); R2 is the same definition applied within R1.
+func (e *engWord) markRegions() {
+	w := e.w
+	e.r1 = len(w)
+	e.r2 = len(w)
+	for _, pre := range []string{"gener", "commun", "arsen"} {
+		if strings.HasPrefix(string(w), pre) {
+			e.r1 = len(pre)
+			goto r2
+		}
+	}
+	e.r1 = regionAfterVC(w, 0)
+r2:
+	e.r2 = regionAfterVC(w, e.r1)
+}
+
+// regionAfterVC returns the index after the first non-vowel that follows a
+// vowel, scanning from start; len(w) if there is none.
+func regionAfterVC(w []byte, start int) int {
+	i := start
+	for i < len(w) && !engVowel(w[i]) {
+		i++
+	}
+	for i < len(w) && engVowel(w[i]) {
+		i++
+	}
+	if i < len(w) {
+		return i + 1
+	}
+	return len(w)
+}
+
+// inR1 and inR2 report whether a suffix of the given length lies in the
+// region.
+func (e *engWord) inR1(sufLen int) bool { return len(e.w)-sufLen >= e.r1 }
+func (e *engWord) inR2(sufLen int) bool { return len(e.w)-sufLen >= e.r2 }
+
+func (e *engWord) has(suf string) bool {
+	return len(e.w) >= len(suf) && string(e.w[len(e.w)-len(suf):]) == suf
+}
+
+func (e *engWord) cut(n int) { e.w = e.w[:len(e.w)-n] }
+
+func (e *engWord) replace(sufLen int, r string) {
+	e.w = append(e.w[:len(e.w)-sufLen], r...)
+}
+
+// isShortSyllable reports whether the syllable ending at position end
+// (exclusive) is short: either a vowel at position 0 followed by a
+// non-vowel, or non-vowel, vowel, non-vowel(≠ w,x,Y).
+func (e *engWord) isShortSyllable(end int) bool {
+	w := e.w
+	if end == 2 && engVowel(w[0]) && !engVowel(w[1]) {
+		return true
+	}
+	if end >= 3 {
+		c := w[end-1]
+		if engVowel(w[end-2]) && !engVowel(c) && c != 'w' && c != 'x' && c != 'Y' && !engVowel(w[end-3]) {
+			return true
+		}
+	}
+	return false
+}
+
+// isShortWord reports whether the word ends in a short syllable and R1 is
+// empty (covers the whole word).
+func (e *engWord) isShortWord() bool {
+	return e.r1 >= len(e.w) && e.isShortSyllable(len(e.w))
+}
+
+func (e *engWord) hasVowelBefore(end int) bool {
+	for i := 0; i < end; i++ {
+		if engVowel(e.w[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// step0 removes a trailing 's, ' or 's.
+func (e *engWord) step0() {
+	switch {
+	case e.has("'s'"):
+		e.cut(3)
+	case e.has("'s"):
+		e.cut(2)
+	case e.has("'"):
+		e.cut(1)
+	}
+}
+
+func (e *engWord) step1a() {
+	switch {
+	case e.has("sses"):
+		e.cut(2)
+	case e.has("ied") || e.has("ies"):
+		if len(e.w) > 4 {
+			e.cut(2)
+		} else {
+			e.cut(1)
+		}
+	case e.has("us") || e.has("ss"):
+		// no-op
+	case e.has("s"):
+		// delete if there is a vowel before the penultimate letter
+		if len(e.w) >= 2 && e.hasVowelBefore(len(e.w)-2) {
+			e.cut(1)
+		}
+	}
+}
+
+func (e *engWord) step1b() {
+	switch {
+	case e.has("eedly"):
+		if e.inR1(5) {
+			e.replace(5, "ee")
+		}
+	case e.has("eed"):
+		if e.inR1(3) {
+			e.replace(3, "ee")
+		}
+	case e.has("ingly") || e.has("edly") || e.has("ing") || e.has("ed"):
+		var n int
+		switch {
+		case e.has("ingly"):
+			n = 5
+		case e.has("edly"):
+			n = 4
+		case e.has("ing"):
+			n = 3
+		default:
+			n = 2
+		}
+		if !e.hasVowelBefore(len(e.w) - n) {
+			return
+		}
+		e.cut(n)
+		switch {
+		case e.has("at") || e.has("bl") || e.has("iz"):
+			e.w = append(e.w, 'e')
+		case e.endsDouble():
+			e.cut(1)
+		case e.isShortWord():
+			e.w = append(e.w, 'e')
+		}
+	}
+}
+
+func (e *engWord) endsDouble() bool {
+	n := len(e.w)
+	if n < 2 || e.w[n-1] != e.w[n-2] {
+		return false
+	}
+	switch e.w[n-1] {
+	case 'b', 'd', 'f', 'g', 'm', 'n', 'p', 'r', 't':
+		return true
+	}
+	return false
+}
+
+// step1c turns final y/Y into i when preceded by a non-vowel that is not
+// the first letter ("cry"→"cri", "by" unchanged, "say" unchanged).
+func (e *engWord) step1c() {
+	n := len(e.w)
+	if n < 3 {
+		return
+	}
+	last := e.w[n-1]
+	if (last == 'y' || last == 'Y') && !engVowel(e.w[n-2]) {
+		e.w[n-1] = 'i'
+	}
+}
+
+type engRule struct {
+	suf string
+	rep string
+	// special: 0 none, 1 = "li" needs valid li-ending, 2 = "ogi" needs
+	// preceding l, 3 = delete only when in R2 (ative in step 3)
+	special int
+}
+
+var engStep2Rules = []engRule{
+	{suf: "ization", rep: "ize"}, {suf: "ational", rep: "ate"},
+	{suf: "fulness", rep: "ful"}, {suf: "ousness", rep: "ous"},
+	{suf: "iveness", rep: "ive"}, {suf: "tional", rep: "tion"},
+	{suf: "biliti", rep: "ble"}, {suf: "lessli", rep: "less"},
+	{suf: "entli", rep: "ent"}, {suf: "ation", rep: "ate"},
+	{suf: "alism", rep: "al"}, {suf: "aliti", rep: "al"},
+	{suf: "ousli", rep: "ous"}, {suf: "iviti", rep: "ive"},
+	{suf: "fulli", rep: "ful"}, {suf: "enci", rep: "ence"},
+	{suf: "anci", rep: "ance"}, {suf: "abli", rep: "able"},
+	{suf: "izer", rep: "ize"}, {suf: "ator", rep: "ate"},
+	{suf: "alli", rep: "al"}, {suf: "bli", rep: "ble"},
+	{suf: "ogi", rep: "og", special: 2}, {suf: "li", rep: "", special: 1},
+}
+
+func validLiEnding(c byte) bool {
+	switch c {
+	case 'c', 'd', 'e', 'g', 'h', 'k', 'm', 'n', 'r', 't':
+		return true
+	}
+	return false
+}
+
+func (e *engWord) step2() {
+	for _, r := range engStep2Rules {
+		if !e.has(r.suf) {
+			continue
+		}
+		if !e.inR1(len(r.suf)) {
+			return // longest match found; condition failed → stop
+		}
+		switch r.special {
+		case 1:
+			if n := len(e.w) - 2; n > 0 && validLiEnding(e.w[n-1]) {
+				e.cut(2)
+			}
+		case 2:
+			if n := len(e.w) - 3; n > 0 && e.w[n-1] == 'l' {
+				e.replace(3, "og")
+			}
+		default:
+			e.replace(len(r.suf), r.rep)
+		}
+		return
+	}
+}
+
+var engStep3Rules = []engRule{
+	{suf: "ational", rep: "ate"}, {suf: "tional", rep: "tion"},
+	{suf: "alize", rep: "al"}, {suf: "icate", rep: "ic"},
+	{suf: "iciti", rep: "ic"}, {suf: "ative", rep: "", special: 3},
+	{suf: "ical", rep: "ic"}, {suf: "ness", rep: ""}, {suf: "ful", rep: ""},
+}
+
+func (e *engWord) step3() {
+	for _, r := range engStep3Rules {
+		if !e.has(r.suf) {
+			continue
+		}
+		if !e.inR1(len(r.suf)) {
+			return
+		}
+		if r.special == 3 {
+			if e.inR2(len(r.suf)) {
+				e.cut(len(r.suf))
+			}
+			return
+		}
+		e.replace(len(r.suf), r.rep)
+		return
+	}
+}
+
+var engStep4Suffixes = []string{
+	"ement", "ance", "ence", "able", "ible", "ment", "ant", "ent", "ism",
+	"ate", "iti", "ous", "ive", "ize", "ion", "al", "er", "ic",
+}
+
+func (e *engWord) step4() {
+	for _, suf := range engStep4Suffixes {
+		if !e.has(suf) {
+			continue
+		}
+		if !e.inR2(len(suf)) {
+			return
+		}
+		if suf == "ion" {
+			if n := len(e.w) - 3; n > 0 && (e.w[n-1] == 's' || e.w[n-1] == 't') {
+				e.cut(3)
+			}
+			return
+		}
+		e.cut(len(suf))
+		return
+	}
+}
+
+func (e *engWord) step5() {
+	n := len(e.w)
+	if n == 0 {
+		return
+	}
+	if e.w[n-1] == 'e' {
+		if e.inR2(1) || (e.inR1(1) && !e.isShortSyllable(n-1)) {
+			e.cut(1)
+		}
+		return
+	}
+	if e.w[n-1] == 'l' && e.inR2(1) && n >= 2 && e.w[n-2] == 'l' {
+		e.cut(1)
+	}
+}

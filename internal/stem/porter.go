@@ -1,0 +1,250 @@
+package stem
+
+// Porter implements the classic Porter stemming algorithm (Porter, 1980),
+// working on ASCII lower-case words. Non-ASCII or very short words pass
+// through unchanged.
+type Porter struct{}
+
+// NewPorter returns the classic Porter stemmer.
+func NewPorter() Porter { return Porter{} }
+
+// Name implements Stemmer.
+func (Porter) Name() string { return "porter" }
+
+// Stem implements Stemmer.
+func (Porter) Stem(word string) string {
+	if len(word) <= 2 || !isASCIILower(word) {
+		return word
+	}
+	w := []byte(word)
+	w = porterStep1a(w)
+	w = porterStep1b(w)
+	w = porterStep1c(w)
+	w = porterStep2(w)
+	w = porterStep3(w)
+	w = porterStep4(w)
+	w = porterStep5(w)
+	return string(w)
+}
+
+func isASCIILower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 'a' || s[i] > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// isCons reports whether w[i] is a consonant in Porter's sense: not
+// a/e/i/o/u, and y only when not preceded by a consonant.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m in the [C](VC)^m[V] decomposition of w[:end].
+func measure(w []byte, end int) int {
+	m := 0
+	i := 0
+	// skip initial consonants
+	for i < end && isCons(w, i) {
+		i++
+	}
+	for {
+		// skip vowels
+		for i < end && !isCons(w, i) {
+			i++
+		}
+		if i >= end {
+			return m
+		}
+		// skip consonants
+		for i < end && isCons(w, i) {
+			i++
+		}
+		m++
+	}
+}
+
+// hasVowel reports whether w[:end] contains a vowel.
+func hasVowel(w []byte, end int) bool {
+	for i := 0; i < end; i++ {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether w ends in a doubled consonant.
+func endsDoubleCons(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// endsCVC reports whether w[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x or y (Porter's *o condition).
+func endsCVC(w []byte, end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !isCons(w, end-3) || isCons(w, end-2) || !isCons(w, end-1) {
+		return false
+	}
+	c := w[end-1]
+	return c != 'w' && c != 'x' && c != 'y'
+}
+
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+// replaceIf replaces suffix s with r when the measure of the remaining
+// stem exceeds minM. It reports whether the suffix matched (not whether it
+// was replaced), because Porter's rule lists stop at the first match.
+func replaceIf(w []byte, s, r string, minM int) ([]byte, bool) {
+	if !hasSuffix(w, s) {
+		return w, false
+	}
+	stemEnd := len(w) - len(s)
+	if measure(w, stemEnd) > minM {
+		return append(w[:stemEnd], r...), true
+	}
+	return w, true
+}
+
+func porterStep1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func porterStep1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w, len(w)-3) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	fired := false
+	if hasSuffix(w, "ed") && hasVowel(w, len(w)-2) {
+		w = w[:len(w)-2]
+		fired = true
+	} else if hasSuffix(w, "ing") && hasVowel(w, len(w)-3) {
+		w = w[:len(w)-3]
+		fired = true
+	}
+	if !fired {
+		return w
+	}
+	switch {
+	case hasSuffix(w, "at"), hasSuffix(w, "bl"), hasSuffix(w, "iz"):
+		return append(w, 'e')
+	case endsDoubleCons(w) && !hasSuffix(w, "l") && !hasSuffix(w, "s") && !hasSuffix(w, "z"):
+		return w[:len(w)-1]
+	case measure(w, len(w)) == 1 && endsCVC(w, len(w)):
+		return append(w, 'e')
+	}
+	return w
+}
+
+func porterStep1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w, len(w)-1) {
+		w[len(w)-1] = 'i'
+	}
+	return w
+}
+
+var step2Rules = []struct{ s, r string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+	{"logi", "log"},
+}
+
+func porterStep2(w []byte) []byte {
+	for _, rule := range step2Rules {
+		var matched bool
+		w, matched = replaceIf(w, rule.s, rule.r, 0)
+		if matched {
+			return w
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ s, r string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func porterStep3(w []byte) []byte {
+	for _, rule := range step3Rules {
+		var matched bool
+		w, matched = replaceIf(w, rule.s, rule.r, 0)
+		if matched {
+			return w
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func porterStep4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stemEnd := len(w) - len(s)
+		if s == "ion" && !(stemEnd > 0 && (w[stemEnd-1] == 's' || w[stemEnd-1] == 't')) {
+			return w
+		}
+		if measure(w, stemEnd) > 1 {
+			return w[:stemEnd]
+		}
+		return w
+	}
+	return w
+}
+
+func porterStep5(w []byte) []byte {
+	// Step 5a
+	if hasSuffix(w, "e") {
+		m := measure(w, len(w)-1)
+		if m > 1 || (m == 1 && !endsCVC(w, len(w)-1)) {
+			w = w[:len(w)-1]
+		}
+	}
+	// Step 5b
+	if hasSuffix(w, "ll") && measure(w, len(w)) > 1 {
+		w = w[:len(w)-1]
+	}
+	return w
+}

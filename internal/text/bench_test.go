@@ -1,0 +1,34 @@
+package text
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchDoc = strings.Repeat("the quick wooden train set raced past a history book about toys ", 16)
+
+func BenchmarkTokenize(b *testing.B) {
+	tok := Default()
+	b.SetBytes(int64(len(benchDoc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tok.TokensPos(benchDoc)
+	}
+}
+
+func BenchmarkTokenizeStopwords(b *testing.B) {
+	tok := Tokenizer{Lower: true, DropStopwords: true}
+	b.SetBytes(int64(len(benchDoc)))
+	for i := 0; i < b.N; i++ {
+		tok.TokensPos(benchDoc)
+	}
+}
+
+func BenchmarkCompoundVariants(b *testing.B) {
+	tok := Default()
+	toks := tok.TokensPos(benchDoc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CompoundVariants(toks)
+	}
+}

@@ -1,0 +1,32 @@
+package text
+
+// EnglishStopwords is a compact English stop-word list covering the
+// high-frequency function words that dominate Zipfian text. Search
+// strategies choose per-block whether to apply it — another parameter the
+// paper notes is "hard to decide upfront" and therefore applied at query
+// time.
+var EnglishStopwords = map[string]bool{
+	"a": true, "about": true, "above": true, "after": true, "again": true,
+	"all": true, "am": true, "an": true, "and": true, "any": true,
+	"are": true, "as": true, "at": true, "be": true, "because": true,
+	"been": true, "before": true, "being": true, "below": true,
+	"between": true, "both": true, "but": true, "by": true, "can": true,
+	"did": true, "do": true, "does": true, "doing": true, "down": true,
+	"during": true, "each": true, "few": true, "for": true, "from": true,
+	"further": true, "had": true, "has": true, "have": true, "having": true,
+	"he": true, "her": true, "here": true, "hers": true, "him": true,
+	"his": true, "how": true, "i": true, "if": true, "in": true,
+	"into": true, "is": true, "it": true, "its": true, "just": true,
+	"me": true, "more": true, "most": true, "my": true, "no": true,
+	"nor": true, "not": true, "now": true, "of": true, "off": true,
+	"on": true, "once": true, "only": true, "or": true, "other": true,
+	"our": true, "ours": true, "out": true, "over": true, "own": true,
+	"same": true, "she": true, "so": true, "some": true, "such": true,
+	"than": true, "that": true, "the": true, "their": true, "theirs": true,
+	"them": true, "then": true, "there": true, "these": true, "they": true,
+	"this": true, "those": true, "through": true, "to": true, "too": true,
+	"under": true, "until": true, "up": true, "very": true, "was": true,
+	"we": true, "were": true, "what": true, "when": true, "where": true,
+	"which": true, "while": true, "who": true, "whom": true, "why": true,
+	"will": true, "with": true, "you": true, "your": true, "yours": true,
+}

@@ -1,0 +1,292 @@
+// Package triple implements the flexible data model of section 2.2: a
+// probabilistic triple store on top of the relational engine. Statements
+// are (subject, property, object, p) tuples — "semantic triples no longer
+// encode facts, but rather uncertain events" (section 2.3).
+//
+// Two of the paper's storage decisions are reproduced:
+//
+//   - data-driven partitioning "by the physical data type of objects":
+//     string-, integer- and float-valued triples live in separate base
+//     tables (triples_str, triples_int, triples_flt);
+//   - on-demand vertical partitioning: per-property selections are plans
+//     wrapped in Materialize, so the catalog cache adaptively builds the
+//     equivalent of Abadi-style property tables for exactly the
+//     properties queries touch.
+package triple
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"irdb/internal/catalog"
+	"irdb/internal/engine"
+	"irdb/internal/expr"
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+// Table names used in the catalog.
+const (
+	TableStr = "triples_str"
+	TableInt = "triples_int"
+	TableFlt = "triples_flt"
+)
+
+// Column names of every triples table.
+const (
+	ColSubject  = "subject"
+	ColProperty = "property"
+	ColObject   = "object"
+)
+
+// Triple is one statement. Exactly one of Str/Int/Flt is meaningful,
+// selected by Kind.
+type Triple struct {
+	Subject  string
+	Property string
+	Obj      Object
+	P        float64 // tuple probability; 1.0 for facts
+}
+
+// Object is a typed triple object.
+type Object struct {
+	Kind vector.Kind
+	Str  string
+	Int  int64
+	Flt  float64
+}
+
+// String makes a string object.
+func String(s string) Object { return Object{Kind: vector.String, Str: s} }
+
+// Int makes an integer object.
+func Int(i int64) Object { return Object{Kind: vector.Int64, Int: i} }
+
+// Float makes a float object.
+func Float(f float64) Object { return Object{Kind: vector.Float64, Flt: f} }
+
+// Format renders the object value as text.
+func (o Object) Format() string {
+	switch o.Kind {
+	case vector.String:
+		return o.Str
+	case vector.Int64:
+		return strconv.FormatInt(o.Int, 10)
+	case vector.Float64:
+		return strconv.FormatFloat(o.Flt, 'g', -1, 64)
+	default:
+		return fmt.Sprintf("?kind=%v", o.Kind)
+	}
+}
+
+// Store is a loaded triple collection bound to a catalog.
+type Store struct {
+	cat *catalog.Catalog
+}
+
+// NewStore registers empty triples tables in the catalog and returns the
+// store.
+func NewStore(cat *catalog.Catalog) *Store {
+	s := &Store{cat: cat}
+	s.Load(nil)
+	return s
+}
+
+// Load replaces the store contents with the given triples, partitioned by
+// object type. The whole materialization cache is invalidated (the
+// catalog does this on table replacement).
+func (s *Store) Load(triples []Triple) {
+	str := relation.NewBuilder(
+		[]string{ColSubject, ColProperty, ColObject},
+		[]vector.Kind{vector.String, vector.String, vector.String})
+	ints := relation.NewBuilder(
+		[]string{ColSubject, ColProperty, ColObject},
+		[]vector.Kind{vector.String, vector.String, vector.Int64})
+	flts := relation.NewBuilder(
+		[]string{ColSubject, ColProperty, ColObject},
+		[]vector.Kind{vector.String, vector.String, vector.Float64})
+	for _, t := range triples {
+		p := t.P
+		if p == 0 {
+			p = 1.0
+		}
+		switch t.Obj.Kind {
+		case vector.String:
+			str.AddP(p, t.Subject, t.Property, t.Obj.Str)
+		case vector.Int64:
+			ints.AddP(p, t.Subject, t.Property, t.Obj.Int)
+		case vector.Float64:
+			flts.AddP(p, t.Subject, t.Property, t.Obj.Flt)
+		}
+	}
+	s.cat.Put(TableStr, str.Build())
+	s.cat.Put(TableInt, ints.Build())
+	s.cat.Put(TableFlt, flts.Build())
+}
+
+// Catalog returns the backing catalog.
+func (s *Store) Catalog() *catalog.Catalog { return s.cat }
+
+// Counts reports the number of triples per object-type partition.
+func (s *Store) Counts() (str, ints, flts int, err error) {
+	for _, spec := range []struct {
+		table string
+		out   *int
+	}{{TableStr, &str}, {TableInt, &ints}, {TableFlt, &flts}} {
+		rel, terr := s.cat.Table(spec.table)
+		if terr != nil {
+			return 0, 0, 0, terr
+		}
+		*spec.out = rel.NumRows()
+	}
+	return str, ints, flts, nil
+}
+
+// ---------------------------------------------------------------------------
+// Plans
+
+// ScanAll returns the plan scanning the string-object partition — the
+// "triples" table of the paper's examples (descriptions, categories and
+// graph edges are all string-valued).
+func ScanAll() engine.Node { return engine.NewScan(TableStr) }
+
+// Property returns the on-demand vertically partitioned plan
+// SELECT [property = name] (triples): a materialized (subject, object)
+// pair table for one property, the adaptive "cache table" of section 2.2.
+func Property(name string) engine.Node {
+	sel := engine.NewSelect(ScanAll(),
+		expr.Cmp{Op: expr.Eq, L: expr.Column(ColProperty), R: expr.Str(name)})
+	proj := engine.NewProject(sel,
+		engine.ProjCol{Name: ColSubject, E: expr.Column(ColSubject)},
+		engine.ProjCol{Name: ColObject, E: expr.Column(ColObject)},
+	)
+	return engine.NewMaterialize(proj)
+}
+
+// PropertyInt is Property for the integer-object partition.
+func PropertyInt(name string) engine.Node {
+	sel := engine.NewSelect(engine.NewScan(TableInt),
+		expr.Cmp{Op: expr.Eq, L: expr.Column(ColProperty), R: expr.Str(name)})
+	proj := engine.NewProject(sel,
+		engine.ProjCol{Name: ColSubject, E: expr.Column(ColSubject)},
+		engine.ProjCol{Name: ColObject, E: expr.Column(ColObject)},
+	)
+	return engine.NewMaterialize(proj)
+}
+
+// SubjectsOfType returns subjects s with a (s, "type", typeName) triple —
+// the strategy entry point "select nodes of type lot" of section 3.
+// Output column: subject.
+func SubjectsOfType(typeName string) engine.Node {
+	sel := engine.NewSelect(ScanAll(), expr.And{
+		L: expr.Cmp{Op: expr.Eq, L: expr.Column(ColProperty), R: expr.Str("type")},
+		R: expr.Cmp{Op: expr.Eq, L: expr.Column(ColObject), R: expr.Str(typeName)},
+	})
+	proj := engine.NewProject(sel,
+		engine.ProjCol{Name: ColSubject, E: expr.Column(ColSubject)})
+	return engine.NewMaterialize(proj)
+}
+
+// TraverseForward follows property edges from the subjects of in (column
+// "subject"): out.subject = object of the edge whose subject matched.
+// Probabilities multiply (JOIN INDEPENDENT), so ranked inputs propagate
+// their scores through the graph — the "traverse" block of Figure 3.
+func TraverseForward(in engine.Node, property string) engine.Node {
+	join := engine.NewHashJoin(in, Property(property),
+		[]string{ColSubject}, []string{ColSubject}, engine.JoinIndependent)
+	// join output: subject, [in extras...], subject_2, object
+	return engine.NewProject(join,
+		engine.ProjCol{Name: ColSubject, E: expr.Column(ColObject)})
+}
+
+// TraverseBackward follows property edges in reverse: given nodes that
+// appear as edge objects, returns the edge subjects. Used by Figure 3's
+// final step ("traverses hasAuction backward, to obtain lots again").
+func TraverseBackward(in engine.Node, property string) engine.Node {
+	join := engine.NewHashJoin(in, Property(property),
+		[]string{ColSubject}, []string{ColObject}, engine.JoinIndependent)
+	// join output: subject(=auction), ..., subject_2(=lot), object(=auction)
+	return engine.NewProject(join,
+		engine.ProjCol{Name: ColSubject, E: expr.Column(ColSubject + "_2")})
+}
+
+// DocsOf builds the (docID, data) collection for keyword search from the
+// given nodes (column "subject") and a text property — the docs view of
+// section 2.2/2.3, with p = t1.p · t2.p.
+func DocsOf(in engine.Node, textProperty string) engine.Node {
+	join := engine.NewHashJoin(in, Property(textProperty),
+		[]string{ColSubject}, []string{ColSubject}, engine.JoinIndependent)
+	return engine.NewProject(join,
+		engine.ProjCol{Name: "docID", E: expr.Column(ColSubject)},
+		engine.ProjCol{Name: "data", E: expr.Column(ColObject)},
+	)
+}
+
+// ---------------------------------------------------------------------------
+// TSV loading
+
+// ReadTSV parses triples from tab-separated lines:
+//
+//	subject <TAB> property <TAB> object [<TAB> probability]
+//
+// Object values are stored typed: integers and floats are detected
+// (data-driven partitioning by physical type); everything else is a
+// string. Empty lines and lines starting with '#' are skipped.
+func ReadTSV(r io.Reader) ([]Triple, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var out []Triple
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 3 || len(fields) > 4 {
+			return nil, fmt.Errorf("triple: line %d: want 3 or 4 tab-separated fields, got %d", lineNo, len(fields))
+		}
+		t := Triple{Subject: fields[0], Property: fields[1], P: 1.0}
+		obj := fields[2]
+		if i, err := strconv.ParseInt(obj, 10, 64); err == nil {
+			t.Obj = Int(i)
+		} else if f, err := strconv.ParseFloat(obj, 64); err == nil {
+			t.Obj = Float(f)
+		} else {
+			t.Obj = String(obj)
+		}
+		if len(fields) == 4 {
+			p, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("triple: line %d: bad probability %q", lineNo, fields[3])
+			}
+			t.P = p
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteTSV emits triples in the ReadTSV format.
+func WriteTSV(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if t.P != 1.0 && t.P != 0 {
+			if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%g\n", t.Subject, t.Property, t.Obj.Format(), t.P); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\n", t.Subject, t.Property, t.Obj.Format()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

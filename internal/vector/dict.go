@@ -1,0 +1,82 @@
+package vector
+
+import "sort"
+
+// Dict is an order-preserving string dictionary, used for dictionary
+// encoding of high-cardinality string columns such as the term dictionary
+// of section 2.1 ("termdict") and the subject/object columns of the triple
+// store. IDs are dense, start at 0, and are stable for the lifetime of the
+// dictionary.
+//
+// Dict is not safe for concurrent mutation; wrap it or confine it to one
+// goroutine while loading.
+type Dict struct {
+	ids  map[string]int64
+	strs []string
+}
+
+// NewDict returns an empty dictionary with the given capacity hint.
+func NewDict(capacity int) *Dict {
+	return &Dict{
+		ids:  make(map[string]int64, capacity),
+		strs: make([]string, 0, capacity),
+	}
+}
+
+// Put interns s and returns its ID, allocating a fresh ID on first sight.
+func (d *Dict) Put(s string) int64 {
+	if id, ok := d.ids[s]; ok {
+		return id
+	}
+	id := int64(len(d.strs))
+	d.ids[s] = id
+	d.strs = append(d.strs, s)
+	return id
+}
+
+// Lookup returns the ID of s, or (-1, false) when s has never been interned.
+func (d *Dict) Lookup(s string) (int64, bool) {
+	id, ok := d.ids[s]
+	if !ok {
+		return -1, false
+	}
+	return id, true
+}
+
+// Get returns the string for a previously allocated ID.
+func (d *Dict) Get(id int64) string { return d.strs[id] }
+
+// Len reports the number of distinct strings interned.
+func (d *Dict) Len() int { return len(d.strs) }
+
+// Strings returns a copy of all interned strings in ID order.
+func (d *Dict) Strings() []string {
+	out := make([]string, len(d.strs))
+	copy(out, d.strs)
+	return out
+}
+
+// SortedStrings returns all interned strings in lexicographic order.
+func (d *Dict) SortedStrings() []string {
+	out := d.Strings()
+	sort.Strings(out)
+	return out
+}
+
+// Encode interns every value of the string vector and returns the ID column.
+func (d *Dict) Encode(v *Strings) *Int64s {
+	out := make([]int64, v.Len())
+	for i, s := range v.Values() {
+		out[i] = d.Put(s)
+	}
+	return FromInt64s(out)
+}
+
+// Decode maps an ID column back to strings.
+func (d *Dict) Decode(v *Int64s) *Strings {
+	out := make([]string, v.Len())
+	for i, id := range v.Values() {
+		out[i] = d.strs[id]
+	}
+	return FromStrings(out)
+}

@@ -1,0 +1,388 @@
+// Package vector provides the typed columnar vectors that underpin the
+// column-at-a-time execution engine. A vector is a dense, append-only
+// sequence of values of a single physical type, mirroring the BATs of a
+// column store such as MonetDB (the substrate used by the paper).
+//
+// Vectors are deliberately simple: no null bitmap (the IR workloads in the
+// paper never produce SQL NULLs; absence is represented by absence of the
+// row) and no compression besides dictionary encoding for strings, which is
+// provided separately by Dict.
+package vector
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the physical types a vector can hold.
+type Kind int
+
+// The supported physical types. These are the same object-type partitions
+// the paper's triple store uses ("partitioning by the physical data type of
+// objects", section 2.2).
+const (
+	Int64 Kind = iota
+	Float64
+	String
+	Bool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case String:
+		return "STRING"
+	case Bool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Vector is a dense column of values of one Kind.
+//
+// The interface is small on purpose: operators in the engine switch on the
+// concrete type for hot loops and fall back to the interface for generic
+// plumbing (gather, hashing, ordering, formatting).
+type Vector interface {
+	// Kind reports the physical type of the vector.
+	Kind() Kind
+	// Len reports the number of values.
+	Len() int
+	// Gather returns a new vector holding the values at the given row
+	// indexes, in order. Indexes may repeat.
+	Gather(sel []int) Vector
+	// AppendFrom appends the value at row i of src (which must have the
+	// same Kind) to this vector.
+	AppendFrom(src Vector, i int)
+	// HashInto mixes the value at each row into the corresponding slot of
+	// sums using the supplied seed. len(sums) must equal Len().
+	HashInto(seed maphash.Seed, sums []uint64)
+	// EqualAt reports whether the value at row i equals the value at row j
+	// of other, which must have the same Kind.
+	EqualAt(i int, other Vector, j int) bool
+	// LessAt reports whether the value at row i orders before the value at
+	// row j of other, which must have the same Kind.
+	LessAt(i int, other Vector, j int) bool
+	// Format returns a human-readable rendering of the value at row i.
+	Format(i int) string
+	// New returns an empty vector of the same Kind with the given capacity
+	// hint.
+	New(capacity int) Vector
+}
+
+// NewOfKind returns an empty vector of the given kind.
+func NewOfKind(k Kind, capacity int) Vector {
+	switch k {
+	case Int64:
+		return NewInt64s(capacity)
+	case Float64:
+		return NewFloat64s(capacity)
+	case String:
+		return NewStrings(capacity)
+	case Bool:
+		return NewBools(capacity)
+	default:
+		panic(fmt.Sprintf("vector: unknown kind %v", k))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Int64s
+
+// Int64s is a column of 64-bit signed integers.
+type Int64s struct {
+	vals []int64
+}
+
+// NewInt64s returns an empty integer vector with the given capacity hint.
+func NewInt64s(capacity int) *Int64s { return &Int64s{vals: make([]int64, 0, capacity)} }
+
+// FromInt64s wraps the given slice (not copied) as a vector.
+func FromInt64s(vals []int64) *Int64s { return &Int64s{vals: vals} }
+
+// Kind implements Vector.
+func (v *Int64s) Kind() Kind { return Int64 }
+
+// Len implements Vector.
+func (v *Int64s) Len() int { return len(v.vals) }
+
+// Values exposes the backing slice for hot loops. Callers must not resize.
+func (v *Int64s) Values() []int64 { return v.vals }
+
+// Append adds a value.
+func (v *Int64s) Append(x int64) { v.vals = append(v.vals, x) }
+
+// At returns the value at row i.
+func (v *Int64s) At(i int) int64 { return v.vals[i] }
+
+// Gather implements Vector.
+func (v *Int64s) Gather(sel []int) Vector {
+	out := make([]int64, len(sel))
+	for i, s := range sel {
+		out[i] = v.vals[s]
+	}
+	return &Int64s{vals: out}
+}
+
+// AppendFrom implements Vector.
+func (v *Int64s) AppendFrom(src Vector, i int) { v.vals = append(v.vals, src.(*Int64s).vals[i]) }
+
+// HashInto implements Vector.
+func (v *Int64s) HashInto(seed maphash.Seed, sums []uint64) {
+	var buf [8]byte
+	for i, x := range v.vals {
+		u := uint64(x)
+		buf[0] = byte(u)
+		buf[1] = byte(u >> 8)
+		buf[2] = byte(u >> 16)
+		buf[3] = byte(u >> 24)
+		buf[4] = byte(u >> 32)
+		buf[5] = byte(u >> 40)
+		buf[6] = byte(u >> 48)
+		buf[7] = byte(u >> 56)
+		sums[i] = mix(sums[i], maphash.Bytes(seed, buf[:]))
+	}
+}
+
+// EqualAt implements Vector.
+func (v *Int64s) EqualAt(i int, other Vector, j int) bool {
+	return v.vals[i] == other.(*Int64s).vals[j]
+}
+
+// LessAt implements Vector.
+func (v *Int64s) LessAt(i int, other Vector, j int) bool {
+	return v.vals[i] < other.(*Int64s).vals[j]
+}
+
+// Format implements Vector.
+func (v *Int64s) Format(i int) string { return strconv.FormatInt(v.vals[i], 10) }
+
+// New implements Vector.
+func (v *Int64s) New(capacity int) Vector { return NewInt64s(capacity) }
+
+// ---------------------------------------------------------------------------
+// Float64s
+
+// Float64s is a column of 64-bit floats. It backs probability columns and
+// every score computation in the IR layer.
+type Float64s struct {
+	vals []float64
+}
+
+// NewFloat64s returns an empty float vector with the given capacity hint.
+func NewFloat64s(capacity int) *Float64s { return &Float64s{vals: make([]float64, 0, capacity)} }
+
+// FromFloat64s wraps the given slice (not copied) as a vector.
+func FromFloat64s(vals []float64) *Float64s { return &Float64s{vals: vals} }
+
+// Kind implements Vector.
+func (v *Float64s) Kind() Kind { return Float64 }
+
+// Len implements Vector.
+func (v *Float64s) Len() int { return len(v.vals) }
+
+// Values exposes the backing slice for hot loops. Callers must not resize.
+func (v *Float64s) Values() []float64 { return v.vals }
+
+// Append adds a value.
+func (v *Float64s) Append(x float64) { v.vals = append(v.vals, x) }
+
+// At returns the value at row i.
+func (v *Float64s) At(i int) float64 { return v.vals[i] }
+
+// Gather implements Vector.
+func (v *Float64s) Gather(sel []int) Vector {
+	out := make([]float64, len(sel))
+	for i, s := range sel {
+		out[i] = v.vals[s]
+	}
+	return &Float64s{vals: out}
+}
+
+// AppendFrom implements Vector.
+func (v *Float64s) AppendFrom(src Vector, i int) {
+	v.vals = append(v.vals, src.(*Float64s).vals[i])
+}
+
+// HashInto implements Vector.
+func (v *Float64s) HashInto(seed maphash.Seed, sums []uint64) {
+	var buf [8]byte
+	for i, x := range v.vals {
+		u := math.Float64bits(x)
+		buf[0] = byte(u)
+		buf[1] = byte(u >> 8)
+		buf[2] = byte(u >> 16)
+		buf[3] = byte(u >> 24)
+		buf[4] = byte(u >> 32)
+		buf[5] = byte(u >> 40)
+		buf[6] = byte(u >> 48)
+		buf[7] = byte(u >> 56)
+		sums[i] = mix(sums[i], maphash.Bytes(seed, buf[:]))
+	}
+}
+
+// EqualAt implements Vector.
+func (v *Float64s) EqualAt(i int, other Vector, j int) bool {
+	return v.vals[i] == other.(*Float64s).vals[j]
+}
+
+// LessAt implements Vector.
+func (v *Float64s) LessAt(i int, other Vector, j int) bool {
+	return v.vals[i] < other.(*Float64s).vals[j]
+}
+
+// Format implements Vector.
+func (v *Float64s) Format(i int) string {
+	return strconv.FormatFloat(v.vals[i], 'g', 6, 64)
+}
+
+// New implements Vector.
+func (v *Float64s) New(capacity int) Vector { return NewFloat64s(capacity) }
+
+// ---------------------------------------------------------------------------
+// Strings
+
+// Strings is a column of strings.
+type Strings struct {
+	vals []string
+}
+
+// NewStrings returns an empty string vector with the given capacity hint.
+func NewStrings(capacity int) *Strings { return &Strings{vals: make([]string, 0, capacity)} }
+
+// FromStrings wraps the given slice (not copied) as a vector.
+func FromStrings(vals []string) *Strings { return &Strings{vals: vals} }
+
+// Kind implements Vector.
+func (v *Strings) Kind() Kind { return String }
+
+// Len implements Vector.
+func (v *Strings) Len() int { return len(v.vals) }
+
+// Values exposes the backing slice for hot loops. Callers must not resize.
+func (v *Strings) Values() []string { return v.vals }
+
+// Append adds a value.
+func (v *Strings) Append(x string) { v.vals = append(v.vals, x) }
+
+// At returns the value at row i.
+func (v *Strings) At(i int) string { return v.vals[i] }
+
+// Gather implements Vector.
+func (v *Strings) Gather(sel []int) Vector {
+	out := make([]string, len(sel))
+	for i, s := range sel {
+		out[i] = v.vals[s]
+	}
+	return &Strings{vals: out}
+}
+
+// AppendFrom implements Vector.
+func (v *Strings) AppendFrom(src Vector, i int) {
+	v.vals = append(v.vals, src.(*Strings).vals[i])
+}
+
+// HashInto implements Vector.
+func (v *Strings) HashInto(seed maphash.Seed, sums []uint64) {
+	for i, x := range v.vals {
+		sums[i] = mix(sums[i], maphash.String(seed, x))
+	}
+}
+
+// EqualAt implements Vector.
+func (v *Strings) EqualAt(i int, other Vector, j int) bool {
+	return v.vals[i] == other.(*Strings).vals[j]
+}
+
+// LessAt implements Vector.
+func (v *Strings) LessAt(i int, other Vector, j int) bool {
+	return v.vals[i] < other.(*Strings).vals[j]
+}
+
+// Format implements Vector.
+func (v *Strings) Format(i int) string { return v.vals[i] }
+
+// New implements Vector.
+func (v *Strings) New(capacity int) Vector { return NewStrings(capacity) }
+
+// ---------------------------------------------------------------------------
+// Bools
+
+// Bools is a column of booleans, mostly produced by predicate evaluation.
+type Bools struct {
+	vals []bool
+}
+
+// NewBools returns an empty boolean vector with the given capacity hint.
+func NewBools(capacity int) *Bools { return &Bools{vals: make([]bool, 0, capacity)} }
+
+// FromBools wraps the given slice (not copied) as a vector.
+func FromBools(vals []bool) *Bools { return &Bools{vals: vals} }
+
+// Kind implements Vector.
+func (v *Bools) Kind() Kind { return Bool }
+
+// Len implements Vector.
+func (v *Bools) Len() int { return len(v.vals) }
+
+// Values exposes the backing slice for hot loops. Callers must not resize.
+func (v *Bools) Values() []bool { return v.vals }
+
+// Append adds a value.
+func (v *Bools) Append(x bool) { v.vals = append(v.vals, x) }
+
+// At returns the value at row i.
+func (v *Bools) At(i int) bool { return v.vals[i] }
+
+// Gather implements Vector.
+func (v *Bools) Gather(sel []int) Vector {
+	out := make([]bool, len(sel))
+	for i, s := range sel {
+		out[i] = v.vals[s]
+	}
+	return &Bools{vals: out}
+}
+
+// AppendFrom implements Vector.
+func (v *Bools) AppendFrom(src Vector, i int) { v.vals = append(v.vals, src.(*Bools).vals[i]) }
+
+// HashInto implements Vector.
+func (v *Bools) HashInto(seed maphash.Seed, sums []uint64) {
+	for i, x := range v.vals {
+		b := []byte{0}
+		if x {
+			b[0] = 1
+		}
+		sums[i] = mix(sums[i], maphash.Bytes(seed, b))
+	}
+}
+
+// EqualAt implements Vector.
+func (v *Bools) EqualAt(i int, other Vector, j int) bool {
+	return v.vals[i] == other.(*Bools).vals[j]
+}
+
+// LessAt implements Vector.
+func (v *Bools) LessAt(i int, other Vector, j int) bool {
+	return !v.vals[i] && other.(*Bools).vals[j]
+}
+
+// Format implements Vector.
+func (v *Bools) Format(i int) string { return strconv.FormatBool(v.vals[i]) }
+
+// New implements Vector.
+func (v *Bools) New(capacity int) Vector { return NewBools(capacity) }
+
+// mix combines an accumulated hash with a new value hash. The constant is
+// the 64-bit FNV prime, which spreads consecutive column hashes well enough
+// for hash-join buckets.
+func mix(acc, h uint64) uint64 {
+	return (acc*1099511628211 + h) ^ (h >> 32)
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"irdb/internal/triple"
+)
+
+func TestVocabularyDeterministic(t *testing.T) {
+	a := NewVocabulary(100, 7)
+	b := NewVocabulary(100, 7)
+	for i := 0; i < 100; i++ {
+		if a.Word(i) != b.Word(i) {
+			t.Fatalf("vocabulary not deterministic at %d", i)
+		}
+	}
+	if a.Size() != 100 {
+		t.Errorf("Size = %d", a.Size())
+	}
+	// distinct words
+	seen := map[string]bool{}
+	for i := 0; i < a.Size(); i++ {
+		if seen[a.Word(i)] {
+			t.Fatalf("duplicate word %q", a.Word(i))
+		}
+		seen[a.Word(i)] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	v := NewVocabulary(1000, 3)
+	counts := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		counts[v.SampleRank()]++
+	}
+	if counts[0] < counts[100] {
+		t.Errorf("rank 0 (%d draws) should dominate rank 100 (%d draws)", counts[0], counts[100])
+	}
+}
+
+func TestGenDocs(t *testing.T) {
+	docs := GenDocs(50, 20, 500, 11)
+	if len(docs) != 50 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	var total int
+	for i, d := range docs {
+		if d.ID != int64(i+1) {
+			t.Fatalf("IDs not dense: %d at %d", d.ID, i)
+		}
+		n := len(strings.Fields(d.Data))
+		if n < 1 {
+			t.Fatalf("empty doc %d", d.ID)
+		}
+		total += n
+	}
+	mean := float64(total) / 50
+	if mean < 10 || mean > 30 {
+		t.Errorf("mean doc length = %g, want ≈20", mean)
+	}
+	// determinism
+	again := GenDocs(50, 20, 500, 11)
+	if again[17].Data != docs[17].Data {
+		t.Error("GenDocs not deterministic")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	qs := Queries(20, 3, 500, 5)
+	if len(qs) != 20 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	for _, q := range qs {
+		if n := len(strings.Fields(q)); n != 3 {
+			t.Errorf("query %q has %d terms, want 3", q, n)
+		}
+	}
+}
+
+func TestSynonyms(t *testing.T) {
+	syn := Synonyms(500, 20, 2, 9)
+	if len(syn) != 20 {
+		t.Fatalf("synonym entries = %d", len(syn))
+	}
+	for term, ss := range syn {
+		if len(ss) != 2 {
+			t.Errorf("term %q has %d synonyms", term, len(ss))
+		}
+		for _, s := range ss {
+			if s == term {
+				t.Errorf("term %q is its own synonym", term)
+			}
+		}
+	}
+}
+
+func TestProductCatalogShape(t *testing.T) {
+	ts := ProductCatalog(100, 500, 3)
+	byProp := map[string]int{}
+	var uncertain int
+	for _, tr := range ts {
+		byProp[tr.Property]++
+		if tr.P < 1 {
+			uncertain++
+			if tr.Property != "category" {
+				t.Errorf("uncertain non-category triple: %+v", tr)
+			}
+		}
+	}
+	if byProp["type"] != 100 || byProp["description"] != 100 || byProp["category"] != 100 || byProp["price"] != 100 {
+		t.Errorf("property counts = %v", byProp)
+	}
+	if uncertain == 0 {
+		t.Error("no confidence-scored category triples generated")
+	}
+}
+
+func TestAuctionGraphShape(t *testing.T) {
+	cfg := AuctionConfig{Lots: 200, Auctions: 5, Sellers: 10, VocabSize: 500, LotDescLen: 10, AuctionDescLen: 20, Seed: 4}
+	ts := AuctionGraph(cfg)
+	types := map[string]int{}
+	links := map[string]int{}
+	for _, tr := range ts {
+		if tr.Property == "type" {
+			types[tr.Obj.Str]++
+		}
+		if tr.Property == "hasAuction" || tr.Property == "hasSeller" {
+			links[tr.Property]++
+		}
+	}
+	if types["lot"] != 200 || types["auction"] != 5 || types["seller"] != 10 {
+		t.Errorf("types = %v", types)
+	}
+	if links["hasAuction"] != 200 || links["hasSeller"] != 200 {
+		t.Errorf("links = %v", links)
+	}
+	// every hasAuction target must be a generated auction
+	for _, tr := range ts {
+		if tr.Property == "hasAuction" && !strings.HasPrefix(tr.Obj.Str, "auction") {
+			t.Fatalf("dangling hasAuction: %+v", tr)
+		}
+	}
+}
+
+func TestWidePropertyGraph(t *testing.T) {
+	ts := WidePropertyGraph(100, 30, 500, 6)
+	props := map[string]bool{}
+	for _, tr := range ts {
+		if tr.Property != "type" {
+			props[tr.Property] = true
+		}
+	}
+	if len(props) < 20 {
+		t.Errorf("only %d distinct properties generated, want close to 30", len(props))
+	}
+	var _ []triple.Triple = ts
+}
+
+func TestDefaultAuctionConfigRatio(t *testing.T) {
+	cfg := DefaultAuctionConfig()
+	ratio := float64(cfg.Lots) / float64(cfg.Auctions)
+	// paper: 8M lots / 25k auctions = 320 lots per auction
+	if ratio != 320 {
+		t.Errorf("lots/auction = %g, want 320 (the paper's shape)", ratio)
+	}
+}
