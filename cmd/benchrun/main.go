@@ -1,4 +1,4 @@
-// Command benchrun executes the reproduction experiments E1–E7 (see
+// Command benchrun executes the reproduction experiments E1–E8 (see
 // DESIGN.md for the experiment index) and prints their report tables,
 // optionally as the markdown used in EXPERIMENTS.md.
 //
@@ -6,6 +6,7 @@
 //
 //	benchrun -e all            # run everything at default scale
 //	benchrun -e E1,E4 -scale 2 # selected experiments, double size
+//	benchrun -e E8 -par 4      # concurrency sweep with a 4-worker engine pool
 //	benchrun -e all -md        # emit markdown
 package main
 
@@ -27,6 +28,7 @@ func main() {
 		quick = flag.Bool("quick", false, "smoke-test sizes")
 		md    = flag.Bool("md", false, "emit markdown instead of text tables")
 		seed  = flag.Int64("seed", 42, "workload generator seed")
+		par   = flag.Int("par", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -34,6 +36,7 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Quick = *quick
 	cfg.Seed = *seed
+	cfg.Parallelism = *par
 
 	var ids []string
 	if *list == "all" {

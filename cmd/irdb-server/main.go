@@ -35,6 +35,7 @@ func main() {
 		dataPath = flag.String("data", "", "triples TSV file (required)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		synTerms = flag.Int("synonyms", 200, "synthetic synonym dictionary size (0 disables)")
+		par      = flag.Int("parallelism", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -59,7 +60,9 @@ func main() {
 	if *synTerms > 0 {
 		syn = text.SynonymDict(workload.Synonyms(20000, *synTerms, 2, 42))
 	}
-	srv := server.New(engine.NewCtx(cat), syn)
+	ctx := engine.NewCtx(cat)
+	ctx.Parallelism = *par
+	srv := server.New(ctx, syn)
 	for _, st := range []*strategy.Strategy{
 		strategy.Toy(),
 		strategy.Auction(0.7, 0.3),

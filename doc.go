@@ -5,6 +5,17 @@
 // probabilistic triple data model, the SpinQL algebra language, and a
 // block-based search strategy layer on top.
 //
+// The engine executes plans in parallel — independent subtrees fan out
+// over a worker pool, hot per-row loops split into morsels — while
+// guaranteeing results bit-identical to serial execution, and the shared
+// materialization cache single-flights concurrent misses so one VM's
+// worth of traffic (the paper's 150k requests/day deployment) rebuilds
+// each on-demand cache table once, not once per concurrent request. The
+// serial-vs-parallel equivalence suite in internal/engine and the -race
+// traffic tests in internal/server hold both properties in place;
+// experiment E8 (internal/experiments) measures the resulting throughput
+// against worker count.
+//
 // The root package holds the per-experiment benchmarks (bench_test.go);
 // the implementation lives under internal/ (see DESIGN.md for the system
 // inventory) with runnable entry points under cmd/ and examples/.

@@ -1,0 +1,3 @@
+module irdb
+
+go 1.22

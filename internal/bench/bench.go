@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -27,6 +28,50 @@ func Measure(n int, f func() error) (*Latencies, error) {
 		l.samples = append(l.samples, time.Since(start))
 	}
 	return l, nil
+}
+
+// MeasureConcurrent runs f from clients goroutines, perClient calls each,
+// timing every call. It returns the merged per-call latencies plus the
+// wall-clock time of the whole stampede — the number throughput claims
+// should be computed from, since per-call latencies overlap. f receives
+// the client index and the call index and must be safe for concurrent
+// use. The first error stops that client and is returned.
+func MeasureConcurrent(clients, perClient int, f func(client, call int) error) (*Latencies, time.Duration, error) {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	merged := &Latencies{samples: make([]time.Duration, 0, clients*perClient)}
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				if err := f(c, i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = fmt.Errorf("bench: client %d call %d: %w", c, i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			merged.samples = append(merged.samples, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if first != nil {
+		return nil, wall, first
+	}
+	return merged, wall, nil
 }
 
 // Add appends a sample.

@@ -3,9 +3,52 @@ package bench
 import (
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
+
+func TestMeasureConcurrent(t *testing.T) {
+	var calls atomic.Int64
+	lat, wall, err := MeasureConcurrent(4, 10, func(c, i int) error {
+		if c < 0 || c >= 4 || i < 0 || i >= 10 {
+			t.Errorf("indexes out of range: client %d call %d", c, i)
+		}
+		calls.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 40 {
+		t.Errorf("calls = %d, want 40", calls.Load())
+	}
+	if lat.N() != 40 {
+		t.Errorf("samples = %d, want 40", lat.N())
+	}
+	if wall <= 0 {
+		t.Errorf("wall = %v", wall)
+	}
+}
+
+func TestMeasureConcurrentError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, _, err := MeasureConcurrent(3, 5, func(c, i int) error {
+		calls.Add(1)
+		if c == 1 && i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failing client stops early; the others finish their calls.
+	if n := calls.Load(); n > 13 {
+		t.Errorf("calls = %d, want at most 13 (failing client stopped)", n)
+	}
+}
 
 func TestMeasureCollectsSamples(t *testing.T) {
 	n := 0

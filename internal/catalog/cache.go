@@ -13,7 +13,14 @@ import (
 // pays the scan; every later query touching the same sub-plan reads the
 // materialized "cache table".
 //
-// Eviction is LRU by entry count. Statistics are exposed for the E2/E5
+// Concurrent misses on the same fingerprint are single-flighted: the first
+// caller of GetOrCompute runs the computation, later callers block on that
+// in-flight result instead of recomputing it. This is what keeps a shared
+// cache useful under the paper's deployment load (one VM, 150k requests a
+// day) — without it, every popular cold sub-plan would be rebuilt once per
+// concurrent request (a cache stampede).
+//
+// Eviction is LRU by entry count. Statistics are exposed for the E2/E5/E8
 // experiments, which measure exactly this mechanism.
 type Cache struct {
 	mu       sync.Mutex
@@ -22,9 +29,26 @@ type Cache struct {
 	order    *list.List // front = most recently used
 	aux      map[string]any
 
+	// In-flight computations by key, for GetOrCompute/GetOrComputeAux.
+	// gen invalidates flights started before the last Clear: their result
+	// is still handed to callers that joined them, but is not inserted
+	// into the (now newer) cache.
+	flights    map[string]*flight
+	auxFlights map[string]*flight
+	gen        uint64
+
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	shared    uint64
+}
+
+// flight is one in-progress computation that concurrent callers share.
+type flight struct {
+	done chan struct{}
+	rel  *relation.Relation
+	aux  any
+	err  error
 }
 
 type cacheEntry struct {
@@ -36,11 +60,91 @@ type cacheEntry struct {
 // unbounded).
 func NewCache(capacity int) *Cache {
 	return &Cache{
-		capacity: capacity,
-		entries:  make(map[string]*list.Element),
-		order:    list.New(),
-		aux:      make(map[string]any),
+		capacity:   capacity,
+		entries:    make(map[string]*list.Element),
+		order:      list.New(),
+		aux:        make(map[string]any),
+		flights:    make(map[string]*flight),
+		auxFlights: make(map[string]*flight),
 	}
+}
+
+// GetOrCompute returns the cached relation for key, computing and caching
+// it on a miss. Concurrent callers missing on the same key share one
+// computation: exactly one runs compute, the rest block until it finishes
+// and receive the same result (or the same error; errors are not cached).
+// The second return value reports whether the caller was served without
+// running compute itself.
+//
+// compute runs without the cache lock held, so it may use the cache for
+// other keys — but it must not call GetOrCompute for its own key, which
+// would deadlock on the in-flight entry.
+func (c *Cache) GetOrCompute(key string, compute func() (*relation.Relation, error)) (*relation.Relation, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		rel := el.Value.(*cacheEntry).rel
+		c.mu.Unlock()
+		return rel, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.shared++
+		c.mu.Unlock()
+		<-f.done
+		return f.rel, f.err == nil, f.err
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{})}
+	gen := c.gen
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	f.rel, f.err = compute()
+
+	c.mu.Lock()
+	if c.flights[key] == f {
+		delete(c.flights, key)
+	}
+	if f.err == nil && c.gen == gen {
+		c.putLocked(key, f.rel)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.rel, false, f.err
+}
+
+// GetOrComputeAux is GetOrCompute for auxiliary structures (join indexes):
+// one flight per key, result stored until the next Clear.
+func (c *Cache) GetOrComputeAux(key string, compute func() (any, error)) (any, bool, error) {
+	c.mu.Lock()
+	if v, ok := c.aux[key]; ok {
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if f, ok := c.auxFlights[key]; ok {
+		c.shared++
+		c.mu.Unlock()
+		<-f.done
+		return f.aux, f.err == nil, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	gen := c.gen
+	c.auxFlights[key] = f
+	c.mu.Unlock()
+
+	f.aux, f.err = compute()
+
+	c.mu.Lock()
+	if c.auxFlights[key] == f {
+		delete(c.auxFlights, key)
+	}
+	if f.err == nil && c.gen == gen {
+		c.aux[key] = f.aux
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.aux, false, f.err
 }
 
 // GetAux returns an auxiliary cached structure (e.g. a hash index built
@@ -59,6 +163,14 @@ func (c *Cache) PutAux(key string, v any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.aux[key] = v
+}
+
+// DropAux removes one auxiliary entry, e.g. an index discovered to be
+// stale by its owner.
+func (c *Cache) DropAux(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.aux, key)
 }
 
 // Get returns the cached relation for the fingerprint, if present.
@@ -80,6 +192,10 @@ func (c *Cache) Get(key string) (*relation.Relation, bool) {
 func (c *Cache) Put(key string, r *relation.Relation) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, r)
+}
+
+func (c *Cache) putLocked(key string, r *relation.Relation) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).rel = r
 		c.order.MoveToFront(el)
@@ -98,13 +214,19 @@ func (c *Cache) Put(key string, r *relation.Relation) {
 }
 
 // Clear drops every entry (including auxiliary structures) but keeps the
-// statistics counters.
+// statistics counters. Computations in flight at the time of the Clear
+// still complete and are handed to the callers that joined them, but their
+// results are discarded instead of cached: they may reflect the old base
+// data. Callers arriving after the Clear start a fresh flight.
 func (c *Cache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = make(map[string]*list.Element)
 	c.order.Init()
 	c.aux = make(map[string]any)
+	c.flights = make(map[string]*flight)
+	c.auxFlights = make(map[string]*flight)
+	c.gen++
 }
 
 // Len reports the number of cached entries.
@@ -114,11 +236,14 @@ func (c *Cache) Len() int {
 	return c.order.Len()
 }
 
-// Stats is a point-in-time snapshot of cache effectiveness.
+// Stats is a point-in-time snapshot of cache effectiveness. Shared counts
+// callers that joined another caller's in-flight computation instead of
+// recomputing — the stampedes avoided by single-flight.
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+	Shared    uint64
 	Entries   int
 }
 
@@ -126,7 +251,7 @@ type Stats struct {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Shared: c.shared, Entries: c.order.Len()}
 }
 
 // ResetStats zeroes the counters (entries are kept). Benchmarks call this
@@ -134,5 +259,5 @@ func (c *Cache) Stats() Stats {
 func (c *Cache) ResetStats() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.hits, c.misses, c.evictions, c.shared = 0, 0, 0, 0
 }

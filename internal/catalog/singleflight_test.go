@@ -1,0 +1,229 @@
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+func oneRowRel(v int64) *relation.Relation {
+	return relation.MustFromColumns([]relation.Column{
+		{Name: "v", Vec: vector.FromInt64s([]int64{v})}}, nil)
+}
+
+// TestGetOrComputeSingleFlight: concurrent misses on one key run the
+// computation exactly once and all receive its result.
+func TestGetOrComputeSingleFlight(t *testing.T) {
+	c := NewCache(0)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+
+	const callers = 32
+	var wg sync.WaitGroup
+	rels := make([]*relation.Relation, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rel, _, err := c.GetOrCompute("k", func() (*relation.Relation, error) {
+				computes.Add(1)
+				<-gate // hold the flight open until every caller has piled in
+				return oneRowRel(42), nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", g, err)
+			}
+			rels[g] = rel
+		}(g)
+	}
+	// Let callers join, then release the leader. The sleep-free way: wait
+	// until the cache records callers-1 shared joins or all are blocked.
+	for {
+		c.mu.Lock()
+		joined := c.shared
+		c.mu.Unlock()
+		if joined == callers-1 || computes.Load() > 1 {
+			break
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for g := 1; g < callers; g++ {
+		if rels[g] != rels[0] {
+			t.Fatalf("caller %d got a different relation", g)
+		}
+	}
+	st := c.Stats()
+	if st.Shared != callers-1 {
+		t.Errorf("Shared = %d, want %d", st.Shared, callers-1)
+	}
+	if st.Entries != 1 {
+		t.Errorf("Entries = %d, want 1", st.Entries)
+	}
+	// Later callers hit the completed entry without computing.
+	if _, hit, _ := c.GetOrCompute("k", func() (*relation.Relation, error) {
+		t.Fatal("compute must not run on a warm key")
+		return nil, nil
+	}); !hit {
+		t.Error("warm key reported as miss")
+	}
+}
+
+// TestGetOrComputeError: errors reach every waiter and are never cached.
+func TestGetOrComputeError(t *testing.T) {
+	c := NewCache(0)
+	boom := errors.New("boom")
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, hit, err := c.GetOrCompute("k", func() (*relation.Relation, error) {
+				computes.Add(1)
+				return nil, boom
+			})
+			if !errors.Is(err, boom) {
+				t.Errorf("err = %v, want boom", err)
+			}
+			if hit {
+				t.Error("failed computation reported as hit")
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 0 {
+		t.Errorf("cache holds %d entries after failures, want 0", c.Len())
+	}
+	// The key is not poisoned: a succeeding compute works.
+	rel, _, err := c.GetOrCompute("k", func() (*relation.Relation, error) {
+		return oneRowRel(1), nil
+	})
+	if err != nil || rel == nil {
+		t.Fatalf("recovery compute: rel=%v err=%v", rel, err)
+	}
+}
+
+// TestClearDuringFlight: a Clear racing an in-flight computation must not
+// let the (possibly stale) result land in the post-Clear cache.
+func TestClearDuringFlight(t *testing.T) {
+	c := NewCache(0)
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan *relation.Relation, 1)
+	go func() {
+		rel, _, _ := c.GetOrCompute("k", func() (*relation.Relation, error) {
+			close(entered)
+			<-gate
+			return oneRowRel(7), nil
+		})
+		done <- rel
+	}()
+	<-entered
+	c.Clear()
+	close(gate)
+	if rel := <-done; rel == nil || rel.NumRows() != 1 {
+		t.Fatal("flight caller must still receive the computed relation")
+	}
+	if c.Len() != 0 {
+		t.Errorf("stale flight result was cached across Clear (%d entries)", c.Len())
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("stale entry visible after Clear")
+	}
+}
+
+// TestGetOrComputeAuxSingleFlight mirrors the relation path for auxiliary
+// structures (join indexes).
+func TestGetOrComputeAuxSingleFlight(t *testing.T) {
+	c := NewCache(0)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	vals := make([]any, 16)
+	for g := range vals {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, _, err := c.GetOrComputeAux("idx", func() (any, error) {
+				computes.Add(1)
+				return &struct{ x int }{x: 9}, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", g, err)
+			}
+			vals[g] = v
+		}(g)
+	}
+	wg.Wait()
+	if n := computes.Load(); n < 1 {
+		t.Fatalf("compute ran %d times", n)
+	}
+	for g := 1; g < len(vals); g++ {
+		if vals[g] != vals[0] {
+			t.Fatalf("caller %d got a different aux value", g)
+		}
+	}
+	if v, ok := c.GetAux("idx"); !ok || v != vals[0] {
+		t.Error("aux entry not stored")
+	}
+	c.DropAux("idx")
+	if _, ok := c.GetAux("idx"); ok {
+		t.Error("DropAux left the entry")
+	}
+}
+
+// TestCacheConcurrentHammer drives every public cache method from many
+// goroutines at once; the -race detector is the assertion.
+func TestCacheConcurrentHammer(t *testing.T) {
+	c := NewCache(8) // small capacity: exercise eviction under load
+	const goroutines = 16
+	const iters = 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%12)
+				switch i % 7 {
+				case 0:
+					c.Put(key, oneRowRel(int64(i)))
+				case 1:
+					c.Get(key)
+				case 2:
+					c.GetOrCompute(key, func() (*relation.Relation, error) {
+						return oneRowRel(int64(g)), nil
+					})
+				case 3:
+					c.PutAux(key, i)
+				case 4:
+					c.GetAux(key)
+				case 5:
+					if i%63 == 5 {
+						c.Clear()
+					} else {
+						c.GetOrComputeAux(key, func() (any, error) { return g, nil })
+					}
+				case 6:
+					c.Stats()
+					c.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Errorf("capacity 8 exceeded: %d entries", c.Len())
+	}
+}

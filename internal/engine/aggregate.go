@@ -119,16 +119,18 @@ func (a *Aggregate) Execute(ctx *Ctx) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return aggregateRel(in, a.GroupBy, a.Aggs, a.PMode)
+	return aggregateRel(ctx, in, a.GroupBy, a.Aggs, a.PMode)
 }
 
-// aggregateRel is the operator core, shared with Distinct.
-func aggregateRel(in *relation.Relation, groupBy []string, aggSpecs []AggSpec, pmode GroupProb) (*relation.Relation, error) {
+// aggregateRel is the operator core, shared with Distinct and Unite. Row
+// hashing is chunk-parallel; group assignment stays serial because group
+// ids are handed out in first-appearance order.
+func aggregateRel(ctx *Ctx, in *relation.Relation, groupBy []string, aggSpecs []AggSpec, pmode GroupProb) (*relation.Relation, error) {
 	gIdx, err := colPositions(in, groupBy)
 	if err != nil {
 		return nil, err
 	}
-	groupOf, firstRow := groupRows(in, gIdx)
+	groupOf, firstRow := groupRows(ctx, in, gIdx)
 
 	nGroups := len(firstRow)
 	cols := make([]relation.Column, 0, len(gIdx)+len(aggSpecs))
@@ -200,14 +202,14 @@ func aggregateRel(in *relation.Relation, groupBy []string, aggSpecs []AggSpec, p
 // 64-bit hash collisions between distinct keys) keeps high-cardinality
 // group-bys — the tf view has one group per (term, document) pair —
 // allocation-light.
-func groupRows(in *relation.Relation, gIdx []int) (groupOf []int, firstRow []int) {
+func groupRows(ctx *Ctx, in *relation.Relation, gIdx []int) (groupOf []int, firstRow []int) {
 	n := in.NumRows()
 	if len(gIdx) == 0 {
 		groupOf = make([]int, n)
 		return groupOf, []int{0}
 	}
 	seed := maphash.MakeSeed()
-	hashes := in.HashRows(seed, gIdx)
+	hashes := hashRowsParallel(ctx, in, seed, gIdx)
 	groupOf = make([]int, n)
 	first := make(map[uint64]int, 1024)
 	var spill map[uint64][]int
@@ -392,7 +394,7 @@ func (d *Distinct) Execute(ctx *Ctx) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return aggregateRel(in, in.ColumnNames(), nil, d.PMode)
+	return aggregateRel(ctx, in, in.ColumnNames(), nil, d.PMode)
 }
 
 // Fingerprint implements Node.

@@ -1,13 +1,30 @@
 // Package engine implements a column-at-a-time relational query engine in
 // the style of the column store the paper builds on (MonetDB): operators
-// consume and produce fully materialized relations, one operator at a
-// time.
+// consume and produce fully materialized relations.
+//
+// Execution is parallel along two axes, following MonetDB's
+// column-at-a-time-with-parallel-fragments lineage, while keeping results
+// bit-identical to serial evaluation:
+//
+//   - Independent subtrees run concurrently: both inputs of a HashJoin,
+//     both branches of the set operators, and every child of a Concat are
+//     evaluated on separate workers when slots are free.
+//   - Hot per-row loops — hash-join probe, row hashing, selection
+//     predicate evaluation, probability recombination — split their rows
+//     into contiguous morsels processed by concurrent workers, and merge
+//     per-worker outputs in morsel order so row order is deterministic.
+//
+// The worker pool lives on Ctx (Parallelism; default GOMAXPROCS) and is
+// shared by all concurrent queries on the context. Workers are acquired
+// without blocking — saturated plans simply fall back to inline, serial
+// evaluation — so arbitrarily nested parallel operators cannot deadlock.
 //
 // Plans are immutable trees of Node values. Every node has a canonical
 // Fingerprint; together with catalog.Cache this gives the paper's
 // on-demand materialization — wrap any sub-plan in Materialize and its
 // result becomes an adaptive "cache table" reused across queries
-// (sections 2.1 and 2.2).
+// (sections 2.1 and 2.2). Concurrent queries that miss on the same
+// fingerprint share one single-flight computation instead of stampeding.
 //
 // Relations flowing between operators are treated as immutable; operators
 // may share column vectors of their inputs but never modify them.
@@ -15,6 +32,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"irdb/internal/catalog"
@@ -37,8 +55,9 @@ type Node interface {
 }
 
 // Ctx carries everything a plan needs to run: the catalog (base tables +
-// materialization cache) and execution statistics. A single Ctx may be
-// shared by concurrent queries.
+// materialization cache), the worker pool for intra-query parallelism, and
+// execution statistics. A single Ctx may be shared by concurrent queries;
+// all of its state is safe for concurrent use.
 type Ctx struct {
 	Cat *catalog.Catalog
 	// UseCache enables the materialization cache for Materialize nodes.
@@ -47,6 +66,14 @@ type Ctx struct {
 	// and by the E2 experiment to emulate "cache tables for any
 	// intermediate result" (section 2.2).
 	CacheAll bool
+	// Parallelism bounds the worker goroutines this context may run at
+	// once, across all concurrent queries sharing it. 0 (the default)
+	// means GOMAXPROCS; 1 forces fully serial execution. Results are
+	// bit-identical at every setting. Must be set before the first Exec.
+	Parallelism int
+
+	semOnce sync.Once
+	sem     chan struct{}
 
 	nodeExecs atomic.Int64
 	cacheHits atomic.Int64
@@ -74,25 +101,43 @@ func (ctx *Ctx) ResetStats() {
 
 // Exec evaluates a plan node, consulting the materialization cache when
 // enabled. This is the only correct way to evaluate a plan or child plan.
+//
+// Cacheable nodes are single-flighted through catalog.Cache: when several
+// goroutines miss on the same fingerprint at once, one executes the
+// subtree and the others block on its result instead of stampeding the
+// computation.
 func (ctx *Ctx) Exec(n Node) (*relation.Relation, error) {
 	cacheable := ctx.UseCache && ctx.Cat != nil && (ctx.CacheAll || isMaterialize(n))
-	var key string
-	if cacheable {
-		key = n.Fingerprint()
-		if r, ok := ctx.Cat.Cache().Get(key); ok {
-			ctx.cacheHits.Add(1)
-			return r, nil
+	// Unwrap Materialize before executing: it shares its child's
+	// fingerprint, so executing through it would re-enter the same
+	// single-flight key and deadlock on our own in-flight computation.
+	for {
+		if m, ok := n.(*Materialize); ok {
+			n = m.Child
+			continue
 		}
+		break
 	}
-	ctx.nodeExecs.Add(1)
-	r, err := n.Execute(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", n.Label(), err)
+	if !cacheable {
+		ctx.nodeExecs.Add(1)
+		r, err := n.Execute(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", n.Label(), err)
+		}
+		return r, nil
 	}
-	if cacheable {
-		ctx.Cat.Cache().Put(key, r)
+	r, hit, err := ctx.Cat.Cache().GetOrCompute(n.Fingerprint(), func() (*relation.Relation, error) {
+		ctx.nodeExecs.Add(1)
+		r, err := n.Execute(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", n.Label(), err)
+		}
+		return r, nil
+	})
+	if hit {
+		ctx.cacheHits.Add(1)
 	}
-	return r, nil
+	return r, err
 }
 
 func isMaterialize(n Node) bool {

@@ -75,11 +75,7 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 	} else if len(j.LKeys) == 0 || len(j.LKeys) != len(j.RKeys) {
 		return nil, fmt.Errorf("join wants matching non-empty key lists, got %v and %v", j.LKeys, j.RKeys)
 	}
-	left, err := ctx.Exec(j.L)
-	if err != nil {
-		return nil, err
-	}
-	right, err := ctx.Exec(j.R)
+	left, right, err := ctx.execPair(j.L, j.R)
 	if err != nil {
 		return nil, err
 	}
@@ -108,20 +104,42 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 		}
 	}
 
-	idx := j.buildIndex(ctx, right, rIdx)
-	lHash := left.HashRows(idx.seed, lIdx)
+	idx, err := j.buildIndex(ctx, right, rIdx)
+	if err != nil {
+		return nil, err
+	}
+	lHash := hashRowsParallel(ctx, left, idx.seed, lIdx)
 
-	// Many-to-one joins (foreign key → dictionary) are the common case;
-	// start with one output row per probe row.
-	lSel := make([]int, 0, len(lHash))
-	rSel := make([]int, 0, len(lHash))
-	for i, h := range lHash {
-		for _, ri := range idx.buckets[h] {
-			if left.RowsEqual(i, lIdx, right, ri, rIdx) {
-				lSel = append(lSel, i)
-				rSel = append(rSel, ri)
+	// Probe in parallel: each morsel of probe rows collects its matches
+	// into its own pair lists, merged in morsel order below — the same
+	// output order the serial loop produces. Many-to-one joins (foreign
+	// key → dictionary) are the common case; start with one output row per
+	// probe row.
+	ranges := ctx.morselRanges(len(lHash))
+	lParts := make([][]int, len(ranges))
+	rParts := make([][]int, len(ranges))
+	ctx.runRanges(ranges, func(m, lo, hi int) {
+		lp := make([]int, 0, hi-lo)
+		rp := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			for _, ri := range idx.buckets[lHash[i]] {
+				if left.RowsEqual(i, lIdx, right, ri, rIdx) {
+					lp = append(lp, i)
+					rp = append(rp, ri)
+				}
 			}
 		}
+		lParts[m], rParts[m] = lp, rp
+	})
+	total := 0
+	for _, p := range lParts {
+		total += len(p)
+	}
+	lSel := make([]int, 0, total)
+	rSel := make([]int, 0, total)
+	for m := range lParts {
+		lSel = append(lSel, lParts[m]...)
+		rSel = append(rSel, rParts[m]...)
 	}
 
 	lOut := left.Gather(lSel)
@@ -140,18 +158,22 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 		names[name] = true
 		cols = append(cols, relation.Column{Name: name, Vec: c.Vec})
 	}
+	// Probability recombination is embarrassingly parallel: every output
+	// row writes only its own slot.
 	lp, rp := lOut.Prob(), rOut.Prob()
 	prob := make([]float64, len(lSel))
-	for i := range prob {
+	ctx.parallelRanges(len(prob), func(lo, hi int) {
 		switch j.PMode {
 		case JoinIndependent:
-			prob[i] = lp[i] * rp[i]
+			for i := lo; i < hi; i++ {
+				prob[i] = lp[i] * rp[i]
+			}
 		case JoinLeft:
-			prob[i] = lp[i]
+			copy(prob[lo:hi], lp[lo:hi])
 		case JoinRight:
-			prob[i] = rp[i]
+			copy(prob[lo:hi], rp[lo:hi])
 		}
-	}
+	})
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("join produced zero columns")
 	}
@@ -207,27 +229,42 @@ type joinIndex struct {
 	rel     *relation.Relation // identity check: index is valid for this exact relation
 }
 
-func (j *HashJoin) buildIndex(ctx *Ctx, right *relation.Relation, rIdx []int) *joinIndex {
-	var key string
-	cacheable := ctx.UseCache && ctx.Cat != nil && (ctx.CacheAll || isMaterialize(j.R))
-	if cacheable {
-		key = "hashidx|" + j.R.Fingerprint() + "|" + j.rKeySpec()
-		if v, ok := ctx.Cat.Cache().GetAux(key); ok {
-			if idx, ok := v.(*joinIndex); ok && idx.rel == right {
-				return idx
-			}
+func (j *HashJoin) buildIndex(ctx *Ctx, right *relation.Relation, rIdx []int) (*joinIndex, error) {
+	build := func() *joinIndex {
+		idx := &joinIndex{seed: maphash.MakeSeed(), rel: right}
+		rHash := hashRowsParallel(ctx, right, idx.seed, rIdx)
+		idx.buckets = make(map[uint64][]int, right.NumRows())
+		for i, h := range rHash {
+			idx.buckets[h] = append(idx.buckets[h], i)
 		}
+		return idx
 	}
-	idx := &joinIndex{seed: maphash.MakeSeed(), rel: right}
-	rHash := right.HashRows(idx.seed, rIdx)
-	idx.buckets = make(map[uint64][]int, right.NumRows())
-	for i, h := range rHash {
-		idx.buckets[h] = append(idx.buckets[h], i)
+	cacheable := ctx.UseCache && ctx.Cat != nil && (ctx.CacheAll || isMaterialize(j.R))
+	if !cacheable {
+		return build(), nil
 	}
-	if cacheable {
-		ctx.Cat.Cache().PutAux(key, idx)
+	// Single-flight the index build: concurrent joins probing the same
+	// materialized build side wait for one index instead of each building
+	// their own (the on-demand index tables of section 2.1).
+	key := "hashidx|" + j.R.Fingerprint() + "|" + j.rKeySpec()
+	for try := 0; try < 2; try++ {
+		v, _, err := ctx.Cat.Cache().GetOrComputeAux(key, func() (any, error) {
+			return build(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		idx, ok := v.(*joinIndex)
+		if ok && idx.rel == right {
+			return idx, nil
+		}
+		// The cached index belongs to a stale relation (base data was
+		// replaced mid-flight). Drop it and rebuild once; if it is still
+		// stale after that — two queries racing over different snapshots —
+		// fall through to a private, unshared build.
+		ctx.Cat.Cache().DropAux(key)
 	}
-	return idx
+	return build(), nil
 }
 
 func colPositions(r *relation.Relation, names []string) ([]int, error) {

@@ -67,7 +67,7 @@ func (n *Normalize) Execute(ctx *Ctx) (*relation.Relation, error) {
 			denom[i] = agg
 		}
 	} else {
-		groupOf, firstRow := groupRows(in, n.KeyPos)
+		groupOf, firstRow := groupRows(ctx, in, n.KeyPos)
 		aggs := make([]float64, len(firstRow))
 		for i, g := range groupOf {
 			if n.Mode == NormSum {
@@ -80,16 +80,22 @@ func (n *Normalize) Execute(ctx *Ctx) (*relation.Relation, error) {
 			denom[i] = aggs[groupOf[i]]
 		}
 	}
-	out := in.Gather(identity(in.NumRows()))
-	p := out.Prob()
-	for i := range p {
-		if denom[i] > 0 {
-			p[i] = prob[i] / denom[i]
-		} else {
-			p[i] = 0
+	// Recombine probabilities chunk-parallel; column vectors are shared
+	// with the input (treated as immutable), only the probability column
+	// is rebuilt.
+	p := make([]float64, in.NumRows())
+	ctx.parallelRanges(len(p), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if denom[i] > 0 {
+				p[i] = prob[i] / denom[i]
+			} else {
+				p[i] = 0
+			}
 		}
-	}
-	return out, nil
+	})
+	cols := make([]relation.Column, in.NumCols())
+	copy(cols, in.Columns())
+	return relation.FromColumns(cols, p)
 }
 
 // Fingerprint implements Node.

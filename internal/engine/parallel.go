@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sync"
+
+	"irdb/internal/relation"
+)
+
+// minMorsel is the smallest row range worth shipping to another worker.
+// Below this, goroutine hand-off costs more than the loop body; chunked
+// loops over fewer than 2*minMorsel rows run inline.
+const minMorsel = 2048
+
+// parallelism reports the effective worker count: Ctx.Parallelism, or
+// GOMAXPROCS when unset.
+func (ctx *Ctx) parallelism() int {
+	if ctx.Parallelism > 0 {
+		return ctx.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// acquire tries to reserve one extra worker slot. It never blocks: when the
+// pool is saturated the caller runs the work inline instead, which keeps
+// plan execution deadlock-free no matter how subtrees nest — a goroutine
+// never waits for a slot while holding one.
+func (ctx *Ctx) acquire() bool {
+	ctx.semOnce.Do(func() {
+		// Slots gate only the extra goroutines; the calling goroutine
+		// always works too, so parallelism p means at most p-1 slots.
+		ctx.sem = make(chan struct{}, ctx.parallelism()-1)
+	})
+	select {
+	case ctx.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (ctx *Ctx) release() { <-ctx.sem }
+
+// execPair evaluates two sibling subtrees, concurrently when a worker slot
+// is free. The left subtree runs on the calling goroutine; the right is
+// shipped to a worker. Used by the binary operators (join, set ops) whose
+// inputs are independent.
+func (ctx *Ctx) execPair(l, r Node) (*relation.Relation, *relation.Relation, error) {
+	if !ctx.acquire() {
+		left, err := ctx.Exec(l)
+		if err != nil {
+			return nil, nil, err
+		}
+		right, err := ctx.Exec(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		return left, right, nil
+	}
+	var (
+		right *relation.Relation
+		rErr  error
+		done  = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		defer ctx.release()
+		right, rErr = ctx.Exec(r)
+	}()
+	left, lErr := ctx.Exec(l)
+	<-done
+	if lErr != nil {
+		return nil, nil, lErr
+	}
+	if rErr != nil {
+		return nil, nil, rErr
+	}
+	return left, right, nil
+}
+
+// execAll evaluates n independent subtrees, spreading them over available
+// worker slots; results keep input order. Used by Concat and by any caller
+// fanning out over a list of branches.
+func (ctx *Ctx) execAll(nodes []Node) ([]*relation.Relation, error) {
+	out := make([]*relation.Relation, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		if i < len(nodes)-1 && ctx.acquire() {
+			wg.Add(1)
+			go func(i int, n Node) {
+				defer wg.Done()
+				defer ctx.release()
+				out[i], errs[i] = ctx.Exec(n)
+			}(i, n)
+		} else {
+			out[i], errs[i] = ctx.Exec(n)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// parallelRanges splits [0, n) into contiguous morsels and runs fn once per
+// morsel, concurrently when worker slots are free. Morsels are disjoint, so
+// fn may write to per-row output slots without synchronization; callers
+// that accumulate per-morsel results must merge them in morsel order to
+// stay bit-identical to the serial loop.
+func (ctx *Ctx) parallelRanges(n int, fn func(lo, hi int)) {
+	ctx.runRanges(ctx.morselRanges(n), func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// morselRanges returns the [lo, hi) boundaries parallelRanges would use,
+// for callers that need to pre-size one output bucket per morsel.
+func (ctx *Ctx) morselRanges(n int) [][2]int {
+	p := ctx.parallelism()
+	if p <= 1 || n < 2*minMorsel {
+		if n == 0 {
+			return nil
+		}
+		return [][2]int{{0, n}}
+	}
+	chunks := (n + minMorsel - 1) / minMorsel
+	if chunks > p {
+		chunks = p
+	}
+	size := (n + chunks - 1) / chunks
+	out := make([][2]int, 0, chunks)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// runRanges executes fn for each pre-computed morsel, concurrently when
+// slots are free. fn receives the morsel index so callers can fill
+// per-morsel buckets and merge them in order afterwards.
+func (ctx *Ctx) runRanges(ranges [][2]int, fn func(m, lo, hi int)) {
+	var wg sync.WaitGroup
+	for m, r := range ranges {
+		if m < len(ranges)-1 && ctx.acquire() {
+			wg.Add(1)
+			go func(m, lo, hi int) {
+				defer wg.Done()
+				defer ctx.release()
+				fn(m, lo, hi)
+			}(m, r[0], r[1])
+		} else {
+			fn(m, r[0], r[1])
+		}
+	}
+	wg.Wait()
+}
+
+// hashRowsParallel is relation.HashRows with the rows split over morsels.
+func hashRowsParallel(ctx *Ctx, r *relation.Relation, seed maphash.Seed, colIdx []int) []uint64 {
+	sums := make([]uint64, r.NumRows())
+	ctx.parallelRanges(r.NumRows(), func(lo, hi int) {
+		r.HashRowsRange(seed, colIdx, sums, lo, hi)
+	})
+	return sums
+}

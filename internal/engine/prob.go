@@ -30,12 +30,19 @@ func (s *ScaleProb) Execute(ctx *Ctx) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := in.Gather(identity(in.NumRows()))
-	p := out.Prob()
-	for i := range p {
-		p[i] *= s.Factor
-	}
-	return out, nil
+	// Copy probabilities (the input's rows are shared, its probability
+	// column is not modified) and rescale chunk-parallel: every slot is
+	// written by exactly one worker.
+	src := in.Prob()
+	p := make([]float64, len(src))
+	ctx.parallelRanges(len(p), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p[i] = src[i] * s.Factor
+		}
+	})
+	cols := make([]relation.Column, in.NumCols())
+	copy(cols, in.Columns())
+	return relation.FromColumns(cols, p)
 }
 
 // Fingerprint implements Node.
@@ -92,16 +99,18 @@ func (n *ProbFromCol) Execute(ctx *Ctx) (*relation.Relation, error) {
 		return nil, fmt.Errorf("probability source column %q is %v, want numeric", n.Col, col.Vec.Kind())
 	}
 	prob := make([]float64, len(vals))
-	copy(prob, vals)
-	if n.Clamp {
-		for i, p := range prob {
-			if p < 0 {
-				prob[i] = 0
-			} else if p > 1 {
-				prob[i] = 1
+	ctx.parallelRanges(len(vals), func(lo, hi int) {
+		copy(prob[lo:hi], vals[lo:hi])
+		if n.Clamp {
+			for i := lo; i < hi; i++ {
+				if prob[i] < 0 {
+					prob[i] = 0
+				} else if prob[i] > 1 {
+					prob[i] = 1
+				}
 			}
 		}
-	}
+	})
 	cols := make([]relation.Column, 0, in.NumCols())
 	for _, c := range in.Columns() {
 		if n.Drop && c.Name == n.Col {
@@ -166,11 +175,3 @@ func (n *ProbToCol) Children() []Node { return []Node{n.Child} }
 
 // Label implements Node.
 func (n *ProbToCol) Label() string { return "ProbToCol " + n.Name }
-
-func identity(n int) []int {
-	sel := make([]int, n)
-	for i := range sel {
-		sel[i] = i
-	}
-	return sel
-}

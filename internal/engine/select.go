@@ -20,25 +20,62 @@ type Select struct {
 func NewSelect(child Node, pred expr.Expr) *Select { return &Select{Child: child, Pred: pred} }
 
 // Execute implements Node.
+//
+// The predicate is evaluated chunk-parallel: each worker evaluates the
+// expression over a row-range view of the input and collects its matching
+// row numbers; per-worker matches are merged in morsel order, so the
+// output rows are exactly those of a serial scan. This relies on the
+// expr contract that all expressions — including registered scalar
+// functions (see expr.Func) — are element-wise.
 func (s *Select) Execute(ctx *Ctx) (*relation.Relation, error) {
 	in, err := ctx.Exec(s.Child)
 	if err != nil {
 		return nil, err
 	}
-	pv, err := s.Pred.Eval(in)
-	if err != nil {
-		return nil, err
+	ranges := ctx.morselRanges(in.NumRows())
+	if len(ranges) == 0 {
+		// Still evaluate the predicate over the empty input so type
+		// errors surface exactly as they would serially.
+		ranges = [][2]int{{0, 0}}
 	}
-	bv, ok := pv.(*vector.Bools)
-	if !ok {
-		return nil, fmt.Errorf("predicate %s is %v, want boolean", s.Pred.String(), pv.Kind())
-	}
-	vals := bv.Values()
-	sel := make([]int, 0, len(vals)/4)
-	for i, b := range vals {
-		if b {
-			sel = append(sel, i)
+	selParts := make([][]int, len(ranges))
+	errParts := make([]error, len(ranges))
+	ctx.runRanges(ranges, func(m, lo, hi int) {
+		view := in
+		if len(ranges) > 1 {
+			view = in.Slice(lo, hi)
 		}
+		pv, err := s.Pred.Eval(view)
+		if err != nil {
+			errParts[m] = err
+			return
+		}
+		bv, ok := pv.(*vector.Bools)
+		if !ok {
+			errParts[m] = fmt.Errorf("predicate %s is %v, want boolean", s.Pred.String(), pv.Kind())
+			return
+		}
+		vals := bv.Values()
+		sel := make([]int, 0, len(vals)/4)
+		for i, b := range vals {
+			if b {
+				sel = append(sel, lo+i)
+			}
+		}
+		selParts[m] = sel
+	})
+	for _, err := range errParts {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, p := range selParts {
+		total += len(p)
+	}
+	sel := make([]int, 0, total)
+	for _, p := range selParts {
+		sel = append(sel, p...)
 	}
 	return in.Gather(sel), nil
 }

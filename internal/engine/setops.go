@@ -3,12 +3,14 @@ package engine
 import (
 	"fmt"
 	"hash/maphash"
+	"strings"
 
 	"irdb/internal/relation"
 )
 
 // Union concatenates two schema-compatible inputs (bag semantics, no
-// dedup). Column names are taken from the left input.
+// dedup). Column names are taken from the left input. Both branches are
+// evaluated concurrently when worker slots are free.
 type Union struct{ L, R Node }
 
 // NewUnion concatenates l and r.
@@ -16,40 +18,62 @@ func NewUnion(l, r Node) *Union { return &Union{L: l, R: r} }
 
 // Execute implements Node.
 func (u *Union) Execute(ctx *Ctx) (*relation.Relation, error) {
-	left, err := ctx.Exec(u.L)
+	left, right, err := ctx.execPair(u.L, u.R)
 	if err != nil {
 		return nil, err
 	}
-	right, err := ctx.Exec(u.R)
-	if err != nil {
-		return nil, err
-	}
-	return concat(left, right)
+	return concatAll(ctx, []*relation.Relation{left, right})
 }
 
-func concat(left, right *relation.Relation) (*relation.Relation, error) {
-	if left.NumCols() != right.NumCols() {
-		return nil, fmt.Errorf("union arity mismatch: %d vs %d columns", left.NumCols(), right.NumCols())
+// concatAll appends the rows of every input in order. Column values are
+// copied chunk-parallel: each worker fills a disjoint slice of the output
+// column, so the result is identical to a serial append.
+func concatAll(ctx *Ctx, ins []*relation.Relation) (*relation.Relation, error) {
+	first := ins[0]
+	total := 0
+	for _, in := range ins {
+		if in.NumCols() != first.NumCols() {
+			return nil, fmt.Errorf("union arity mismatch: %d vs %d columns", first.NumCols(), in.NumCols())
+		}
+		for i := 0; i < first.NumCols(); i++ {
+			if in.Col(i).Vec.Kind() != first.Col(i).Vec.Kind() {
+				return nil, fmt.Errorf("union column %d kind mismatch: %v vs %v",
+					i, first.Col(i).Vec.Kind(), in.Col(i).Vec.Kind())
+			}
+		}
+		total += in.NumRows()
 	}
-	cols := make([]relation.Column, left.NumCols())
-	for i := 0; i < left.NumCols(); i++ {
-		lc, rc := left.Col(i), right.Col(i)
-		if lc.Vec.Kind() != rc.Vec.Kind() {
-			return nil, fmt.Errorf("union column %d kind mismatch: %v vs %v", i, lc.Vec.Kind(), rc.Vec.Kind())
+	// One task per output column: columns are independent, and within a
+	// column the inputs append in order, so the result is identical to a
+	// fully serial concatenation.
+	cols := make([]relation.Column, first.NumCols())
+	ctx.runRanges(taskRanges(first.NumCols()), func(_, lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			fc := first.Col(ci)
+			v := fc.Vec.New(total)
+			for _, in := range ins {
+				src := in.Col(ci).Vec
+				for j := 0; j < src.Len(); j++ {
+					v.AppendFrom(src, j)
+				}
+			}
+			cols[ci] = relation.Column{Name: fc.Name, Vec: v}
 		}
-		v := lc.Vec.New(lc.Vec.Len() + rc.Vec.Len())
-		for j := 0; j < lc.Vec.Len(); j++ {
-			v.AppendFrom(lc.Vec, j)
-		}
-		for j := 0; j < rc.Vec.Len(); j++ {
-			v.AppendFrom(rc.Vec, j)
-		}
-		cols[i] = relation.Column{Name: lc.Name, Vec: v}
+	})
+	prob := make([]float64, 0, total)
+	for _, in := range ins {
+		prob = append(prob, in.Prob()...)
 	}
-	prob := make([]float64, 0, left.NumRows()+right.NumRows())
-	prob = append(prob, left.Prob()...)
-	prob = append(prob, right.Prob()...)
 	return relation.FromColumns(cols, prob)
+}
+
+// taskRanges splits nTasks coarse-grained tasks one per morsel.
+func taskRanges(nTasks int) [][2]int {
+	out := make([][2]int, nTasks)
+	for i := range out {
+		out[i] = [2]int{i, i + 1}
+	}
+	return out
 }
 
 // Fingerprint implements Node.
@@ -62,6 +86,49 @@ func (u *Union) Children() []Node { return []Node{u.L, u.R} }
 
 // Label implements Node.
 func (u *Union) Label() string { return "Union" }
+
+// ---------------------------------------------------------------------------
+// Concat
+
+// Concat concatenates any number of schema-compatible inputs (bag
+// semantics, no dedup) — the n-ary Union used by multi-branch strategies,
+// e.g. the production strategy's five parallel keyword-search branches.
+// All children are evaluated concurrently when worker slots are free;
+// output rows keep child order.
+type Concat struct{ Inputs []Node }
+
+// NewConcat concatenates the given inputs in order.
+func NewConcat(inputs ...Node) *Concat { return &Concat{Inputs: inputs} }
+
+// Execute implements Node.
+func (c *Concat) Execute(ctx *Ctx) (*relation.Relation, error) {
+	if len(c.Inputs) == 0 {
+		return nil, fmt.Errorf("concat of zero inputs")
+	}
+	rels, err := ctx.execAll(c.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	if len(rels) == 1 {
+		return rels[0], nil
+	}
+	return concatAll(ctx, rels)
+}
+
+// Fingerprint implements Node.
+func (c *Concat) Fingerprint() string {
+	parts := make([]string, len(c.Inputs))
+	for i, in := range c.Inputs {
+		parts[i] = in.Fingerprint()
+	}
+	return "concat(" + strings.Join(parts, ",") + ")"
+}
+
+// Children implements Node.
+func (c *Concat) Children() []Node { return c.Inputs }
+
+// Label implements Node.
+func (c *Concat) Label() string { return fmt.Sprintf("Concat %d", len(c.Inputs)) }
 
 // ---------------------------------------------------------------------------
 // Unite
@@ -79,19 +146,15 @@ func NewUnite(l, r Node, pmode GroupProb) *Unite { return &Unite{L: l, R: r, PMo
 
 // Execute implements Node.
 func (u *Unite) Execute(ctx *Ctx) (*relation.Relation, error) {
-	left, err := ctx.Exec(u.L)
+	left, right, err := ctx.execPair(u.L, u.R)
 	if err != nil {
 		return nil, err
 	}
-	right, err := ctx.Exec(u.R)
+	all, err := concatAll(ctx, []*relation.Relation{left, right})
 	if err != nil {
 		return nil, err
 	}
-	all, err := concat(left, right)
-	if err != nil {
-		return nil, err
-	}
-	return aggregateRel(all, all.ColumnNames(), nil, u.PMode)
+	return aggregateRel(ctx, all, all.ColumnNames(), nil, u.PMode)
 }
 
 // Fingerprint implements Node.
@@ -127,11 +190,7 @@ func NewSubtract(l, r Node, boolean bool) *Subtract {
 
 // Execute implements Node.
 func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
-	left, err := ctx.Exec(s.L)
-	if err != nil {
-		return nil, err
-	}
-	right, err := ctx.Exec(s.R)
+	left, right, err := ctx.execPair(s.L, s.R)
 	if err != nil {
 		return nil, err
 	}
@@ -145,37 +204,55 @@ func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
 		return nil, fmt.Errorf("subtract right side: %w", err)
 	}
 	seed := maphash.MakeSeed()
-	rHash := right.HashRows(seed, rIdx)
+	rHash := hashRowsParallel(ctx, right, seed, rIdx)
 	buckets := make(map[uint64][]int, right.NumRows())
 	for i, h := range rHash {
 		buckets[h] = append(buckets[h], i)
 	}
-	lHash := left.HashRows(seed, lIdx)
+	lHash := hashRowsParallel(ctx, left, seed, lIdx)
 	lp, rp := left.Prob(), right.Prob()
 
-	sel := make([]int, 0, left.NumRows())
-	prob := make([]float64, 0, left.NumRows())
-	for i := 0; i < left.NumRows(); i++ {
-		match := -1
-		for _, ri := range buckets[lHash[i]] {
-			if left.RowsEqual(i, lIdx, right, ri, rIdx) {
-				match = ri
-				break
+	// Anti-probe in parallel morsels, merged in morsel order (same output
+	// order as the serial loop).
+	ranges := ctx.morselRanges(left.NumRows())
+	selParts := make([][]int, len(ranges))
+	probParts := make([][]float64, len(ranges))
+	ctx.runRanges(ranges, func(m, lo, hi int) {
+		sel := make([]int, 0, hi-lo)
+		prob := make([]float64, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			match := -1
+			for _, ri := range buckets[lHash[i]] {
+				if left.RowsEqual(i, lIdx, right, ri, rIdx) {
+					match = ri
+					break
+				}
 			}
-		}
-		switch {
-		case match < 0:
-			sel = append(sel, i)
-			prob = append(prob, lp[i])
-		case s.Boolean:
-			// removed
-		default:
-			p := lp[i] * (1 - rp[match])
-			if p > 0 {
+			switch {
+			case match < 0:
 				sel = append(sel, i)
-				prob = append(prob, p)
+				prob = append(prob, lp[i])
+			case s.Boolean:
+				// removed
+			default:
+				p := lp[i] * (1 - rp[match])
+				if p > 0 {
+					sel = append(sel, i)
+					prob = append(prob, p)
+				}
 			}
 		}
+		selParts[m], probParts[m] = sel, prob
+	})
+	total := 0
+	for _, p := range selParts {
+		total += len(p)
+	}
+	sel := make([]int, 0, total)
+	prob := make([]float64, 0, total)
+	for m := range selParts {
+		sel = append(sel, selParts[m]...)
+		prob = append(prob, probParts[m]...)
 	}
 	out := left.Gather(sel)
 	out.SetProb(prob)

@@ -96,6 +96,10 @@ func NewTopN(child Node, n int, keys ...SortSpec) *TopN {
 }
 
 // Execute implements Node.
+//
+// Sorting stays serial — a stable sort's permutation is its definition of
+// determinism — but only the N surviving rows are materialized, instead of
+// gathering the whole sorted input and then gathering again.
 func (t *TopN) Execute(ctx *Ctx) (*relation.Relation, error) {
 	in, err := ctx.Exec(t.Child)
 	if err != nil {
@@ -105,16 +109,11 @@ func (t *TopN) Execute(ctx *Ctx) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	sorted := in.Sorted(keys)
-	n := t.N
-	if n > sorted.NumRows() {
-		n = sorted.NumRows()
+	sel := in.SortedSel(keys)
+	if t.N < len(sel) {
+		sel = sel[:t.N]
 	}
-	sel := make([]int, n)
-	for i := range sel {
-		sel[i] = i
-	}
-	return sorted.Gather(sel), nil
+	return in.Gather(sel), nil
 }
 
 // Fingerprint implements Node.

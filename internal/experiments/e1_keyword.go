@@ -26,7 +26,7 @@ func E1(cfg Config) (*Result, error) {
 	var lastHot string
 	for _, n := range sizes {
 		docs := workload.GenDocs(n, meanLen, vocab, cfg.Seed)
-		ctx, scan := newDocsCtx(docs)
+		ctx, scan := newDocsCtx(cfg, docs)
 		s, err := ir.NewSearcher(ctx, scan, ir.DefaultParams())
 		if err != nil {
 			return nil, err

@@ -45,6 +45,7 @@ func E2(cfg Config) (*Result, error) {
 		catA := catalog.New(0)
 		triple.NewStore(catA).Load(graph)
 		ctxA := engine.NewCtx(catA)
+		ctxA.Parallelism = cfg.Parallelism
 		ctxA.UseCache = false
 		qi := 0
 		selfJoin, err := bench.Measure(queriesPerRun, func() error {
@@ -61,6 +62,7 @@ func E2(cfg Config) (*Result, error) {
 		catB := catalog.New(0)
 		triple.NewStore(catB).Load(graph)
 		ctxB := engine.NewCtx(catB)
+		ctxB.Parallelism = cfg.Parallelism
 		prep, err := bench.Measure(1, func() error {
 			for i := 1; i <= nProps; i++ {
 				if _, err := ctxB.Exec(triple.Property(fmt.Sprintf("prop%06d", i))); err != nil {
@@ -88,6 +90,7 @@ func E2(cfg Config) (*Result, error) {
 		catC := catalog.New(0)
 		triple.NewStore(catC).Load(graph)
 		ctxC := engine.NewCtx(catC)
+		ctxC.Parallelism = cfg.Parallelism
 		first := &bench.Latencies{}
 		for _, prop := range props {
 			l, err := bench.Measure(1, func() error {

@@ -27,6 +27,7 @@ func E3(cfg Config) (*Result, error) {
 	cat := catalog.New(0)
 	triple.NewStore(cat).Load(graph)
 	ctx := engine.NewCtx(cat)
+	ctx.Parallelism = cfg.Parallelism
 	// Pre-materialize the shared property tables so both variants measure
 	// pure operator cost, not first-touch materialization.
 	if _, err := ctx.Exec(triple.Property("hasAuction")); err != nil {

@@ -37,6 +37,7 @@ func E4(cfg Config) (*Result, error) {
 	cat := catalog.New(0)
 	triple.NewStore(cat).Load(graph)
 	ctx := engine.NewCtx(cat)
+	ctx.Parallelism = cfg.Parallelism
 
 	queries := workload.Queries(cfg.reps(20), 3, acfg.VocabSize, cfg.Seed+5)
 	strat := strategy.Auction(0.7, 0.3)

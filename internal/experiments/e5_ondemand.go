@@ -24,7 +24,7 @@ func E5(cfg Config) (*Result, error) {
 	n := cfg.size(15000)
 	docs := workload.GenDocs(n, 80, 30000, cfg.Seed)
 	queries := workload.Queries(cfg.reps(15), 3, 30000, cfg.Seed+2)
-	ctx, scan := newDocsCtx(docs)
+	ctx, scan := newDocsCtx(cfg, docs)
 
 	s1, err := ir.NewSearcher(ctx, scan, ir.DefaultParams())
 	if err != nil {

@@ -23,7 +23,7 @@ func E6(cfg Config) (*Result, error) {
 	p := ir.DefaultParams()
 
 	// Relational IR-on-DB.
-	ctx, scan := newDocsCtx(gen)
+	ctx, scan := newDocsCtx(cfg, gen)
 	rel, err := ir.NewSearcher(ctx, scan, p)
 	if err != nil {
 		return nil, err

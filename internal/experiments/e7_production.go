@@ -33,6 +33,7 @@ func E7(cfg Config) (*Result, error) {
 	cat := catalog.New(0)
 	triple.NewStore(cat).Load(graph)
 	ctx := engine.NewCtx(cat)
+	ctx.Parallelism = cfg.Parallelism
 
 	queries := workload.Queries(cfg.reps(15), 3, acfg.VocabSize, cfg.Seed+9)
 	synonyms := text.SynonymDict(workload.Synonyms(acfg.VocabSize, 200, 2, cfg.Seed))

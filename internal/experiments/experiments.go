@@ -24,6 +24,9 @@ type Config struct {
 	Quick bool
 	// Seed for all generators.
 	Seed int64
+	// Parallelism is passed to every experiment's engine context
+	// (0 = GOMAXPROCS, 1 = serial). E8 sweeps it explicitly.
+	Parallelism int
 }
 
 // DefaultConfig returns the laptop-scale configuration.
@@ -97,6 +100,7 @@ var registry = map[string]runner{
 	"E5": E5,
 	"E6": E6,
 	"E7": E7,
+	"E8": E8,
 }
 
 // IDs returns the registered experiment IDs, sorted.
@@ -134,8 +138,10 @@ func docsRelation(docs []workload.Doc) *relation.Relation {
 
 // newDocsCtx registers docs as a base table and returns a context plus the
 // scan plan.
-func newDocsCtx(docs []workload.Doc) (*engine.Ctx, engine.Node) {
+func newDocsCtx(cfg Config, docs []workload.Doc) (*engine.Ctx, engine.Node) {
 	cat := catalog.New(0)
 	cat.Put("docs", docsRelation(docs))
-	return engine.NewCtx(cat), engine.NewScan("docs")
+	ctx := engine.NewCtx(cat)
+	ctx.Parallelism = cfg.Parallelism
+	return ctx, engine.NewScan("docs")
 }

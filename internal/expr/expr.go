@@ -458,10 +458,18 @@ func toFloats(v vector.Vector) ([]float64, error) {
 // Scalar function calls
 
 // Func is a registered vectorized scalar function.
+//
+// Eval MUST be element-wise: output row i may depend only on row i of the
+// arguments (and constants), never on other rows or on n. The engine
+// evaluates selection predicates over row-range views of the input on
+// concurrent workers; a function that aggregates across rows (a mean, a
+// rank) would see per-morsel slices and silently break the engine's
+// serial/parallel bit-identical guarantee. Whole-relation computations
+// belong in operators (Aggregate, Normalize), not scalar functions.
 type Func struct {
 	Name string
 	// Eval receives the evaluated argument vectors (all of length n) and
-	// must return a vector of length n.
+	// must return a vector of length n, computed element-wise.
 	Eval func(args []vector.Vector, n int) (vector.Vector, error)
 }
 

@@ -204,10 +204,28 @@ func (r *Relation) Renamed(names []string) (*Relation, error) {
 // Used by hash join, group-by and distinct.
 func (r *Relation) HashRows(seed maphash.Seed, colIdx []int) []uint64 {
 	sums := make([]uint64, r.NumRows())
-	for _, ci := range colIdx {
-		r.cols[ci].Vec.HashInto(seed, sums)
-	}
+	r.HashRowsRange(seed, colIdx, sums, 0, r.NumRows())
 	return sums
+}
+
+// HashRowsRange hashes rows [lo, hi) over the given column positions into
+// sums[lo:hi]. Disjoint ranges touch disjoint slots, so the engine can
+// split the rows of one relation over several workers and obtain exactly
+// the sums HashRows would produce.
+func (r *Relation) HashRowsRange(seed maphash.Seed, colIdx []int, sums []uint64, lo, hi int) {
+	for _, ci := range colIdx {
+		r.cols[ci].Vec.HashRangeInto(seed, sums, lo, hi)
+	}
+}
+
+// Slice returns a view of rows [lo, hi) sharing this relation's column
+// storage and probability values. The view must be treated as read-only.
+func (r *Relation) Slice(lo, hi int) *Relation {
+	cols := make([]Column, len(r.cols))
+	for i, c := range r.cols {
+		cols[i] = Column{Name: c.Name, Vec: c.Vec.Slice(lo, hi)}
+	}
+	return &Relation{cols: cols, prob: r.Prob()[lo:hi:hi]}
 }
 
 // RowsEqual reports whether row i of r equals row j of other on the given
@@ -234,6 +252,13 @@ const ProbCol = -1
 // The sort is stable so equal rows keep their input order, which keeps
 // query results deterministic.
 func (r *Relation) Sorted(keys []SortKey) *Relation {
+	return r.Gather(r.SortedSel(keys))
+}
+
+// SortedSel returns the row permutation a stable sort by the given keys
+// would apply, without materializing the sorted relation. TopN uses it to
+// gather only the rows it keeps instead of copying the whole input twice.
+func (r *Relation) SortedSel(keys []SortKey) []int {
 	n := r.NumRows()
 	sel := make([]int, n)
 	for i := range sel {
@@ -260,7 +285,7 @@ func (r *Relation) Sorted(keys []SortKey) *Relation {
 		}
 		return false
 	})
-	return r.Gather(sel)
+	return sel
 }
 
 // String renders the relation as an aligned text table, capped at 30 rows.

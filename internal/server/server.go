@@ -3,12 +3,18 @@
 // this strategy to find the items they are interested in" and a single VM
 // serves 150,000 requests per day.
 //
+// Every request compiles its own plan, so concurrent requests never share
+// mutable plan state; they share one engine.Ctx, which gives them the
+// shared materialization cache (single-flighted, so a burst of identical
+// cold queries computes each sub-plan once) and the shared worker pool
+// bounding total intra-query parallelism across the whole process.
+//
 // Endpoints:
 //
 //	GET  /search?strategy=<name>&q=<keywords>&k=<n>  ranked results (JSON)
 //	GET  /strategies                                 installed strategies
 //	POST /strategies                                 install a strategy (JSON body)
-//	GET  /stats                                      catalog + cache statistics
+//	GET  /stats                                      catalog + cache + executor statistics
 package server
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -214,10 +221,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		perStrategy[k.(string)] = st
 		return true
 	})
+	parallelism := s.ctx.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"tables":     s.ctx.Cat.TableNames(),
 		"cache":      cacheStats,
 		"strategies": perStrategy,
+		"executor": map[string]any{
+			"parallelism": parallelism,
+			"node_execs":  s.ctx.NodeExecs(),
+			"cache_hits":  s.ctx.CacheHits(),
+		},
 	})
 }
 

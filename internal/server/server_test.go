@@ -19,6 +19,10 @@ import (
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	return newTestServerParallel(t, 0)
+}
+
+func newTestServerParallel(t *testing.T, parallelism int) (*Server, *httptest.Server) {
 	t.Helper()
 	cfg := workload.AuctionConfig{
 		Lots: 200, Auctions: 4, Sellers: 8, VocabSize: 500,
@@ -27,7 +31,9 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	cat := catalog.New(0)
 	triple.NewStore(cat).Load(workload.AuctionGraph(cfg))
 	syn := text.SynonymDict(workload.Synonyms(500, 50, 2, 7))
-	srv := New(engine.NewCtx(cat), syn)
+	ctx := engine.NewCtx(cat)
+	ctx.Parallelism = parallelism
+	srv := New(ctx, syn)
 	if err := srv.Install(strategy.Auction(0.7, 0.3)); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,60 @@
+package spinql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the SpinQL lexer and parser with arbitrary inputs. The
+// invariants are crash-freedom and a basic parse/render round-trip: any
+// program that parses must render to text that parses again.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Queries from spinql_test.go, covering every statement form.
+		`SELECT [$2="price" and $3 >= 10] (triples_int);`,
+		`toys = PROJECT INDEPENDENT [$1] (SELECT [$2="category" and $3="toy"] (triples));`,
+		`books = PROJECT INDEPENDENT [$1] (SELECT [$2="category" and $3="book"] (triples));`,
+		`SELECT [$2="price" and $3 != 25] (triples_int);`,
+		`SELECT [$2="price" and $3 < 25] (triples_int);`,
+		`SELECT [$2="price" and ($3 = 25 or $3 = 5)] (triples_int);`,
+		`SELECT [not $2="price"] (triples_int);`,
+		`SELECT [$2 <> "price"] (triples_int);`,
+		`SELECT [$2="x"] (nope);`,
+		`SELECT [$2="x"] (triples)`,
+		`WEIGHT ["high"] (triples);`,
+		`SELECT [$2="x"] (triples, triples);`,
+		`SELECT [$2="unterminated] (triples);`,
+		`select [$2="category" AND $3="toy"] (TRIPLES);`,
+		`PROJECT INDEPENDENT [$1] (SELECT [$2="category"] (triples));`,
+		`SUBTRACT [] (PROJECT INDEPENDENT [$1] (triples), PROJECT INDEPENDENT [$1] (SELECT [$2="price"] (triples)));`,
+		`SELECT [$2="category" or not $3="toy"] (triples);`,
+		`a = SELECT [$2="category"] (triples); b = WEIGHT [0.5] (a); UNITE INDEPENDENT (a, b);`,
+		`JOIN INDEPENDENT [$1=$1] (triples, triples_int);`,
+		// Degenerate shapes the lexer must survive.
+		"", ";", "=", "(", ")", "[", "]", "$", "$0", "$999999999999999999999",
+		"\"", "'", "“smart quotes”", "\x00", "\xff\xfe", "SELECT", "select [",
+		strings.Repeat("(", 500), strings.Repeat("a=", 200) + "b",
+		"-- comment only\n", "0.0.0.0", "1e309", ".5;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		env := TriplesEnv()
+		prog, err := Parse(src, env)
+		if err != nil || prog == nil {
+			return
+		}
+		result := prog.Result()
+		if result == nil {
+			return
+		}
+		// Round-trip: the canonical rendering of a valid program must
+		// itself parse (against a fresh environment, since parsing may
+		// have defined assignment names).
+		rendered := result.String() + ";"
+		if _, err := Parse(rendered, NewEnvFrom(env)); err != nil {
+			t.Fatalf("round-trip failed:\n src: %q\nrendered: %q\n err: %v", src, rendered, err)
+		}
+	})
+}

@@ -64,6 +64,13 @@ type Vector interface {
 	// HashInto mixes the value at each row into the corresponding slot of
 	// sums using the supplied seed. len(sums) must equal Len().
 	HashInto(seed maphash.Seed, sums []uint64)
+	// HashRangeInto is HashInto restricted to rows [lo, hi), writing only
+	// sums[lo:hi]. It lets the engine hash row morsels on separate workers
+	// while still producing the exact sums HashInto would.
+	HashRangeInto(seed maphash.Seed, sums []uint64, lo, hi int)
+	// Slice returns a view of rows [lo, hi) sharing this vector's storage.
+	// The view must be treated as read-only.
+	Slice(lo, hi int) Vector
 	// EqualAt reports whether the value at row i equals the value at row j
 	// of other, which must have the same Kind.
 	EqualAt(i int, other Vector, j int) bool
@@ -136,9 +143,14 @@ func (v *Int64s) AppendFrom(src Vector, i int) { v.vals = append(v.vals, src.(*I
 
 // HashInto implements Vector.
 func (v *Int64s) HashInto(seed maphash.Seed, sums []uint64) {
+	v.HashRangeInto(seed, sums, 0, len(v.vals))
+}
+
+// HashRangeInto implements Vector.
+func (v *Int64s) HashRangeInto(seed maphash.Seed, sums []uint64, lo, hi int) {
 	var buf [8]byte
-	for i, x := range v.vals {
-		u := uint64(x)
+	for i := lo; i < hi; i++ {
+		u := uint64(v.vals[i])
 		buf[0] = byte(u)
 		buf[1] = byte(u >> 8)
 		buf[2] = byte(u >> 16)
@@ -150,6 +162,9 @@ func (v *Int64s) HashInto(seed maphash.Seed, sums []uint64) {
 		sums[i] = mix(sums[i], maphash.Bytes(seed, buf[:]))
 	}
 }
+
+// Slice implements Vector.
+func (v *Int64s) Slice(lo, hi int) Vector { return &Int64s{vals: v.vals[lo:hi:hi]} }
 
 // EqualAt implements Vector.
 func (v *Int64s) EqualAt(i int, other Vector, j int) bool {
@@ -213,9 +228,14 @@ func (v *Float64s) AppendFrom(src Vector, i int) {
 
 // HashInto implements Vector.
 func (v *Float64s) HashInto(seed maphash.Seed, sums []uint64) {
+	v.HashRangeInto(seed, sums, 0, len(v.vals))
+}
+
+// HashRangeInto implements Vector.
+func (v *Float64s) HashRangeInto(seed maphash.Seed, sums []uint64, lo, hi int) {
 	var buf [8]byte
-	for i, x := range v.vals {
-		u := math.Float64bits(x)
+	for i := lo; i < hi; i++ {
+		u := math.Float64bits(v.vals[i])
 		buf[0] = byte(u)
 		buf[1] = byte(u >> 8)
 		buf[2] = byte(u >> 16)
@@ -227,6 +247,9 @@ func (v *Float64s) HashInto(seed maphash.Seed, sums []uint64) {
 		sums[i] = mix(sums[i], maphash.Bytes(seed, buf[:]))
 	}
 }
+
+// Slice implements Vector.
+func (v *Float64s) Slice(lo, hi int) Vector { return &Float64s{vals: v.vals[lo:hi:hi]} }
 
 // EqualAt implements Vector.
 func (v *Float64s) EqualAt(i int, other Vector, j int) bool {
@@ -291,10 +314,18 @@ func (v *Strings) AppendFrom(src Vector, i int) {
 
 // HashInto implements Vector.
 func (v *Strings) HashInto(seed maphash.Seed, sums []uint64) {
-	for i, x := range v.vals {
-		sums[i] = mix(sums[i], maphash.String(seed, x))
+	v.HashRangeInto(seed, sums, 0, len(v.vals))
+}
+
+// HashRangeInto implements Vector.
+func (v *Strings) HashRangeInto(seed maphash.Seed, sums []uint64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		sums[i] = mix(sums[i], maphash.String(seed, v.vals[i]))
 	}
 }
+
+// Slice implements Vector.
+func (v *Strings) Slice(lo, hi int) Vector { return &Strings{vals: v.vals[lo:hi:hi]} }
 
 // EqualAt implements Vector.
 func (v *Strings) EqualAt(i int, other Vector, j int) bool {
@@ -355,14 +386,23 @@ func (v *Bools) AppendFrom(src Vector, i int) { v.vals = append(v.vals, src.(*Bo
 
 // HashInto implements Vector.
 func (v *Bools) HashInto(seed maphash.Seed, sums []uint64) {
-	for i, x := range v.vals {
-		b := []byte{0}
-		if x {
-			b[0] = 1
+	v.HashRangeInto(seed, sums, 0, len(v.vals))
+}
+
+// HashRangeInto implements Vector.
+func (v *Bools) HashRangeInto(seed maphash.Seed, sums []uint64, lo, hi int) {
+	var buf [1]byte
+	for i := lo; i < hi; i++ {
+		buf[0] = 0
+		if v.vals[i] {
+			buf[0] = 1
 		}
-		sums[i] = mix(sums[i], maphash.Bytes(seed, b))
+		sums[i] = mix(sums[i], maphash.Bytes(seed, buf[:]))
 	}
 }
+
+// Slice implements Vector.
+func (v *Bools) Slice(lo, hi int) Vector { return &Bools{vals: v.vals[lo:hi:hi]} }
 
 // EqualAt implements Vector.
 func (v *Bools) EqualAt(i int, other Vector, j int) bool {
