@@ -36,6 +36,8 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		synTerms = flag.Int("synonyms", 200, "synthetic synonym dictionary size (0 disables)")
 		par      = flag.Int("parallelism", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		cacheMB  = flag.Int64("cache-mb", 0, "materialization cache byte budget in MiB (0 = unbounded)")
+		maxReq   = flag.Int("max-in-flight", 0, "concurrent search request limit (0 = 2x parallelism)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -53,6 +55,9 @@ func main() {
 		log.Fatal(err)
 	}
 	cat := catalog.New(0)
+	if *cacheMB > 0 {
+		cat.Cache().SetMaxBytes(*cacheMB << 20)
+	}
 	triple.NewStore(cat).Load(triples)
 	log.Printf("loaded %d triples from %s", len(triples), *dataPath)
 
@@ -63,6 +68,9 @@ func main() {
 	ctx := engine.NewCtx(cat)
 	ctx.Parallelism = *par
 	srv := server.New(ctx, syn)
+	if *maxReq > 0 {
+		srv.SetMaxInFlight(*maxReq)
+	}
 	for _, st := range []*strategy.Strategy{
 		strategy.Toy(),
 		strategy.Auction(0.7, 0.3),

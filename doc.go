@@ -6,7 +6,11 @@
 // block-based search strategy layer on top.
 //
 // The engine executes plans in parallel — independent subtrees fan out
-// over a worker pool, hot per-row loops split into morsels — while
+// over a worker pool, hot per-row loops split into morsels, and
+// materialization itself is morsel-parallel: output columns are
+// pre-sized and written at offset, TopN merges per-morsel bounded-heap
+// selections instead of fully sorting, the join build partitions its
+// buckets, and grouping deduplicates per morsel before a re-rank — while
 // guaranteeing results bit-identical to serial execution, and the shared
 // materialization cache single-flights concurrent misses so one VM's
 // worth of traffic (the paper's 150k requests/day deployment) rebuilds

@@ -20,11 +20,19 @@ import (
 // day) — without it, every popular cold sub-plan would be rebuilt once per
 // concurrent request (a cache stampede).
 //
-// Eviction is LRU by entry count. Statistics are exposed for the E2/E5/E8
-// experiments, which measure exactly this mechanism.
+// Eviction is LRU, weighted by estimated materialized bytes when a byte
+// budget is set (SetMaxBytes) and optionally bounded by entry count. Byte
+// weighting is what keeps many small hot entries (join indexes, tiny
+// cache tables) resident when one huge materialization arrives: an entry
+// larger than the whole budget is never admitted at all, and admitted
+// entries evict only as many LRU bytes as they actually need. Statistics
+// are exposed for the E2/E5/E8 experiments, which measure exactly this
+// mechanism.
 type Cache struct {
 	mu       sync.Mutex
-	capacity int // <= 0 means unbounded
+	capacity int   // <= 0 means unbounded
+	maxBytes int64 // <= 0 means unbounded
+	bytes    int64 // estimated bytes of all cached relations
 	entries  map[string]*list.Element
 	order    *list.List // front = most recently used
 	aux      map[string]any
@@ -41,6 +49,7 @@ type Cache struct {
 	misses    uint64
 	evictions uint64
 	shared    uint64
+	oversize  uint64
 }
 
 // flight is one in-progress computation that concurrent callers share.
@@ -52,8 +61,9 @@ type flight struct {
 }
 
 type cacheEntry struct {
-	key string
-	rel *relation.Relation
+	key   string
+	rel   *relation.Relation
+	bytes int64 // EstimatedBytes at insertion, so accounting stays consistent
 }
 
 // NewCache returns a cache holding at most capacity entries (<= 0 for
@@ -101,13 +111,19 @@ func (c *Cache) GetOrCompute(key string, compute func() (*relation.Relation, err
 	c.mu.Unlock()
 
 	f.rel, f.err = compute()
+	var b int64
+	if f.err == nil {
+		// Size the result before re-taking the lock: EstimatedBytes walks
+		// every string payload, which must not stall concurrent Gets.
+		b = f.rel.EstimatedBytes()
+	}
 
 	c.mu.Lock()
 	if c.flights[key] == f {
 		delete(c.flights, key)
 	}
 	if f.err == nil && c.gen == gen {
-		c.putLocked(key, f.rel)
+		c.putLocked(key, f.rel, b)
 	}
 	c.mu.Unlock()
 	close(f.done)
@@ -190,26 +206,59 @@ func (c *Cache) Get(key string) (*relation.Relation, bool) {
 // Put stores a materialized relation under the fingerprint, evicting the
 // least recently used entry if the cache is full.
 func (c *Cache) Put(key string, r *relation.Relation) {
+	b := r.EstimatedBytes() // sized outside the lock; see GetOrCompute
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.putLocked(key, r)
+	c.putLocked(key, r, b)
 }
 
-func (c *Cache) putLocked(key string, r *relation.Relation) {
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).rel = r
-		c.order.MoveToFront(el)
+// putLocked inserts r, whose EstimatedBytes the caller computed as b
+// before taking the lock (the walk over string payloads is too slow to
+// run under c.mu).
+func (c *Cache) putLocked(key string, r *relation.Relation, b int64) {
+	if c.maxBytes > 0 && b > c.maxBytes {
+		// An entry larger than the whole budget would evict everything and
+		// then thrash; refuse it instead so the small hot entries survive.
+		c.oversize++
+		if el, ok := c.entries[key]; ok {
+			c.removeLocked(el)
+		}
 		return
 	}
-	el := c.order.PushFront(&cacheEntry{key: key, rel: r})
-	c.entries[key] = el
-	if c.capacity > 0 && c.order.Len() > c.capacity {
-		last := c.order.Back()
-		if last != nil {
-			c.order.Remove(last)
-			delete(c.entries, last.Value.(*cacheEntry).key)
-			c.evictions++
-		}
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += b - e.bytes
+		e.rel, e.bytes = r, b
+		c.order.MoveToFront(el)
+	} else {
+		el = c.order.PushFront(&cacheEntry{key: key, rel: r, bytes: b})
+		c.entries[key] = el
+		c.bytes += b
+	}
+	for c.order.Len() > 1 &&
+		((c.capacity > 0 && c.order.Len() > c.capacity) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		c.removeLocked(c.order.Back())
+		c.evictions++
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.order.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+}
+
+// SetMaxBytes sets the byte budget for cached relations (<= 0 means
+// unbounded). Shrinking the budget evicts LRU entries immediately.
+func (c *Cache) SetMaxBytes(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = n
+	for c.order.Len() > 0 && c.maxBytes > 0 && c.bytes > c.maxBytes {
+		c.removeLocked(c.order.Back())
+		c.evictions++
 	}
 }
 
@@ -223,6 +272,7 @@ func (c *Cache) Clear() {
 	defer c.mu.Unlock()
 	c.entries = make(map[string]*list.Element)
 	c.order.Init()
+	c.bytes = 0
 	c.aux = make(map[string]any)
 	c.flights = make(map[string]*flight)
 	c.auxFlights = make(map[string]*flight)
@@ -238,20 +288,29 @@ func (c *Cache) Len() int {
 
 // Stats is a point-in-time snapshot of cache effectiveness. Shared counts
 // callers that joined another caller's in-flight computation instead of
-// recomputing — the stampedes avoided by single-flight.
+// recomputing — the stampedes avoided by single-flight. Bytes is the
+// estimated footprint of all cached relations; Oversize counts results
+// refused admission because they alone exceeded the byte budget.
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
 	Shared    uint64
+	Oversize  uint64
 	Entries   int
+	Bytes     int64
+	MaxBytes  int64
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Shared: c.shared, Entries: c.order.Len()}
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Shared: c.shared, Oversize: c.oversize,
+		Entries: c.order.Len(), Bytes: c.bytes, MaxBytes: c.maxBytes,
+	}
 }
 
 // ResetStats zeroes the counters (entries are kept). Benchmarks call this
@@ -259,5 +318,5 @@ func (c *Cache) Stats() Stats {
 func (c *Cache) ResetStats() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.hits, c.misses, c.evictions, c.shared = 0, 0, 0, 0
+	c.hits, c.misses, c.evictions, c.shared, c.oversize = 0, 0, 0, 0, 0
 }

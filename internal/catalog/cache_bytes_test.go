@@ -1,0 +1,102 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestByteWeightedEviction: many small hot entries must survive the
+// arrival of one huge materialization — the oversize result is refused
+// admission instead of flushing the cache.
+func TestByteWeightedEviction(t *testing.T) {
+	c := NewCache(0)
+	small := rel(10) // 10 rows * (8 bytes value + 8 bytes prob) = 160 bytes
+	perEntry := small.EstimatedBytes()
+	c.SetMaxBytes(perEntry * 8)
+	for i := 0; i < 8; i++ {
+		c.Put(fmt.Sprintf("small%d", i), rel(10))
+	}
+	st := c.Stats()
+	if st.Entries != 8 || st.Evictions != 0 {
+		t.Fatalf("after smalls: entries=%d evictions=%d, want 8, 0", st.Entries, st.Evictions)
+	}
+	if st.Bytes != perEntry*8 {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, perEntry*8)
+	}
+
+	// A relation bigger than the whole budget must not be admitted.
+	c.Put("huge", rel(1000))
+	st = c.Stats()
+	if st.Entries != 8 {
+		t.Errorf("huge insert evicted smalls: entries = %d, want 8", st.Entries)
+	}
+	if st.Oversize != 1 {
+		t.Errorf("oversize = %d, want 1", st.Oversize)
+	}
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversize entry was cached")
+	}
+
+	// A fitting entry evicts only as many LRU bytes as it needs.
+	c.Put("medium", rel(20)) // 2 small entries' worth
+	st = c.Stats()
+	if st.Bytes > perEntry*8 {
+		t.Errorf("bytes = %d over budget %d", st.Bytes, perEntry*8)
+	}
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if _, ok := c.Get("medium"); !ok {
+		t.Error("medium entry missing")
+	}
+	// The two oldest smalls went; the rest survive.
+	for i := 2; i < 8; i++ {
+		if _, ok := c.Get(fmt.Sprintf("small%d", i)); !ok {
+			t.Errorf("small%d evicted, want resident", i)
+		}
+	}
+}
+
+// TestByteAccountingOnReplaceAndClear keeps the bytes gauge consistent
+// across entry replacement and Clear.
+func TestByteAccountingOnReplaceAndClear(t *testing.T) {
+	c := NewCache(0)
+	c.Put("k", rel(10))
+	b10 := c.Stats().Bytes
+	c.Put("k", rel(30))
+	if got := c.Stats().Bytes; got != 3*b10 {
+		t.Errorf("bytes after replace = %d, want %d", got, 3*b10)
+	}
+	c.Clear()
+	if got := c.Stats().Bytes; got != 0 {
+		t.Errorf("bytes after clear = %d, want 0", got)
+	}
+}
+
+// TestSetMaxBytesShrinkEvicts: lowering the budget evicts immediately.
+func TestSetMaxBytesShrinkEvicts(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), rel(10))
+	}
+	per := rel(10).EstimatedBytes()
+	c.SetMaxBytes(2 * per)
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 2*per {
+		t.Errorf("after shrink: entries=%d bytes=%d, want 2, %d", st.Entries, st.Bytes, 2*per)
+	}
+	// MRU entries are the survivors.
+	for _, k := range []string{"k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted, want resident", k)
+		}
+	}
+
+	// Shrinking below a single resident entry must evict it too: nothing
+	// protects the last entry during a budget change.
+	c.SetMaxBytes(per / 2)
+	st = c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("after shrink below one entry: entries=%d bytes=%d, want 0, 0", st.Entries, st.Bytes)
+	}
+}

@@ -198,10 +198,12 @@ func aggregateRel(ctx *Ctx, in *relation.Relation, groupBy []string, aggSpecs []
 // ids are assigned in first-appearance order). With no group columns all
 // rows (even zero) form a single group, matching SQL's global aggregate.
 //
-// The single map insert per distinct group (plus a rare spill map for
-// 64-bit hash collisions between distinct keys) keeps high-cardinality
-// group-bys — the tf view has one group per (term, document) pair —
-// allocation-light.
+// Large inputs group in two parallel phases: every morsel deduplicates its
+// own rows against a local table (phase 1), then a serial re-rank pass
+// walks only the per-morsel representatives — in morsel order, so global
+// ids come out in exactly the first-appearance order the serial loop
+// assigns — and a final parallel sweep rewrites local ids to global ones.
+// The serial stage therefore costs O(distinct groups), not O(rows).
 func groupRows(ctx *Ctx, in *relation.Relation, gIdx []int) (groupOf []int, firstRow []int) {
 	n := in.NumRows()
 	if len(gIdx) == 0 {
@@ -211,17 +213,89 @@ func groupRows(ctx *Ctx, in *relation.Relation, gIdx []int) (groupOf []int, firs
 	seed := maphash.MakeSeed()
 	hashes := hashRowsParallel(ctx, in, seed, gIdx)
 	groupOf = make([]int, n)
+	ranges := ctx.morselRanges(n)
+	if len(ranges) <= 1 {
+		return groupOf, dedupRange(in, gIdx, hashes, 0, n, groupOf)
+	}
+
+	// Phase 1: per-morsel local dedup. groupOf temporarily holds ids local
+	// to the row's morsel; localFirst[m] lists each local group's first row
+	// in local first-appearance order.
+	localFirst := make([][]int, len(ranges))
+	ctx.runRanges(ranges, func(m, lo, hi int) {
+		localFirst[m] = dedupRange(in, gIdx, hashes, lo, hi, groupOf)
+	})
+
+	// Phase 2: re-rank. Morsels are visited in order and their local groups
+	// in local first-appearance order, so a group's global id is assigned
+	// when its earliest representative — its true global first row — is
+	// seen. remap[m][localID] = globalID.
+	remap := make([][]int, len(ranges))
+	gFirst := make(map[uint64]int, 1024)
+	var gSpill map[uint64][]int
+	for m, firsts := range localFirst {
+		mr := make([]int, len(firsts))
+		for lg, row := range firsts {
+			h := hashes[row]
+			gid := -1
+			if g, ok := gFirst[h]; ok {
+				if in.RowsEqual(row, gIdx, in, firstRow[g], gIdx) {
+					gid = g
+				} else {
+					for _, g2 := range gSpill[h] {
+						if in.RowsEqual(row, gIdx, in, firstRow[g2], gIdx) {
+							gid = g2
+							break
+						}
+					}
+				}
+			}
+			if gid < 0 {
+				gid = len(firstRow)
+				firstRow = append(firstRow, row)
+				if _, ok := gFirst[h]; !ok {
+					gFirst[h] = gid
+				} else {
+					if gSpill == nil {
+						gSpill = make(map[uint64][]int)
+					}
+					gSpill[h] = append(gSpill[h], gid)
+				}
+			}
+			mr[lg] = gid
+		}
+		remap[m] = mr
+	}
+
+	// Phase 3: rewrite local ids to global ids, one morsel per worker.
+	ctx.runRanges(ranges, func(m, lo, hi int) {
+		mr := remap[m]
+		for i := lo; i < hi; i++ {
+			groupOf[i] = mr[groupOf[i]]
+		}
+	})
+	return groupOf, firstRow
+}
+
+// dedupRange assigns rows [lo, hi) to groups keyed by hash plus row
+// equality, writing ids (0-based within this range, in first-appearance
+// order) into groupOf[lo:hi] and returning each group's first row index.
+// The single map insert per distinct group (plus a rare spill map for
+// 64-bit hash collisions between distinct keys) keeps high-cardinality
+// group-bys — the tf view has one group per (term, document) pair —
+// allocation-light.
+func dedupRange(in *relation.Relation, gIdx []int, hashes []uint64, lo, hi int, groupOf []int) (firsts []int) {
 	first := make(map[uint64]int, 1024)
 	var spill map[uint64][]int
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		h := hashes[i]
 		gid := -1
 		if g, ok := first[h]; ok {
-			if in.RowsEqual(i, gIdx, in, firstRow[g], gIdx) {
+			if in.RowsEqual(i, gIdx, in, firsts[g], gIdx) {
 				gid = g
 			} else {
 				for _, g2 := range spill[h] {
-					if in.RowsEqual(i, gIdx, in, firstRow[g2], gIdx) {
+					if in.RowsEqual(i, gIdx, in, firsts[g2], gIdx) {
 						gid = g2
 						break
 					}
@@ -229,8 +303,8 @@ func groupRows(ctx *Ctx, in *relation.Relation, gIdx []int) (groupOf []int, firs
 			}
 		}
 		if gid < 0 {
-			gid = len(firstRow)
-			firstRow = append(firstRow, i)
+			gid = len(firsts)
+			firsts = append(firsts, i)
 			if _, ok := first[h]; !ok {
 				first[h] = gid
 			} else {
@@ -242,7 +316,7 @@ func groupRows(ctx *Ctx, in *relation.Relation, gIdx []int) (groupOf []int, firs
 		}
 		groupOf[i] = gid
 	}
-	return groupOf, firstRow
+	return firsts
 }
 
 func evalAgg(in *relation.Relation, spec AggSpec, groupOf []int, nGroups int) (vector.Vector, error) {

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"hash/maphash"
+	"math/rand"
 	"testing"
 
 	"irdb/internal/catalog"
@@ -105,6 +107,134 @@ func BenchmarkTopN(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Morsel-parallel materialization microbenchmarks: each pair compares the
+// serial legacy path against the write-at-offset parallel path at 8
+// workers, on E8-shaped data (string key + numeric columns + random
+// probabilities).
+
+// matRel builds the materialization benchmark input: n rows of (k string,
+// v int64, x float64) with nKeys distinct keys and random probabilities.
+func matRel(n, nKeys int) *relation.Relation {
+	r := rand.New(rand.NewSource(42))
+	keys := make([]string, n)
+	vals := make([]int64, n)
+	xs := make([]float64, n)
+	ps := make([]float64, n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("k%06d", r.Intn(nKeys))
+		vals[i] = int64(r.Intn(1 << 30))
+		xs[i] = r.Float64()
+		ps[i] = r.Float64()
+	}
+	return relation.MustFromColumns([]relation.Column{
+		{Name: "k", Vec: vector.FromStrings(keys)},
+		{Name: "v", Vec: vector.FromInt64s(vals)},
+		{Name: "x", Vec: vector.FromFloat64s(xs)},
+	}, ps)
+}
+
+func shuffledSel(n int) []int {
+	r := rand.New(rand.NewSource(43))
+	sel := r.Perm(n)
+	return sel
+}
+
+const matRows = 400000
+
+func BenchmarkGatherSerial(b *testing.B) {
+	rel := matRel(matRows, 20000)
+	sel := shuffledSel(matRows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel.Gather(sel)
+	}
+}
+
+func BenchmarkGatherParallel8(b *testing.B) {
+	rel := matRel(matRows, 20000)
+	sel := shuffledSel(matRows)
+	ctx := &Ctx{Parallelism: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gatherParallel(ctx, rel, sel)
+	}
+}
+
+var topNKeys = []relation.SortKey{{Col: relation.ProbCol, Desc: true}, {Col: 0}}
+
+func BenchmarkTopNFullSort(b *testing.B) {
+	rel := matRel(matRows, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rel.SortedSel(topNKeys)[:50]
+	}
+}
+
+// BenchmarkTopNSerialFallback measures topNSel at parallelism 1, which
+// takes the single-morsel fallback (a full SortedSel) — it should match
+// BenchmarkTopNFullSort, not the heap-and-merge path that TopNMerge8
+// exercises.
+func BenchmarkTopNSerialFallback(b *testing.B) {
+	rel := matRel(matRows, 20000)
+	ctx := &Ctx{Parallelism: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topNSel(ctx, rel, topNKeys, 50)
+	}
+}
+
+func BenchmarkTopNMerge8(b *testing.B) {
+	rel := matRel(matRows, 20000)
+	ctx := &Ctx{Parallelism: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topNSel(ctx, rel, topNKeys, 50)
+	}
+}
+
+func benchJoinBuild(b *testing.B, par int) {
+	rel := matRel(matRows, 20000)
+	ctx := &Ctx{Parallelism: par}
+	hashes := hashRowsParallel(ctx, rel, maphash.MakeSeed(), []int{0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buildBuckets(ctx, hashes)
+	}
+}
+
+func BenchmarkJoinBuildSerial(b *testing.B)    { benchJoinBuild(b, 1) }
+func BenchmarkJoinBuildParallel8(b *testing.B) { benchJoinBuild(b, 8) }
+
+func benchGroupRows(b *testing.B, par int) {
+	rel := matRel(matRows, 20000)
+	ctx := &Ctx{Parallelism: par}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groupRows(ctx, rel, []int{0})
+	}
+}
+
+func BenchmarkGroupRowsSerial(b *testing.B)    { benchGroupRows(b, 1) }
+func BenchmarkGroupRowsParallel8(b *testing.B) { benchGroupRows(b, 8) }
+
+func benchConcat(b *testing.B, par int) {
+	parts := make([]*relation.Relation, 8)
+	for i := range parts {
+		parts[i] = matRel(matRows/8, 20000)
+	}
+	ctx := &Ctx{Parallelism: par}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := concatAll(ctx, parts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConcatSerial(b *testing.B)    { benchConcat(b, 1) }
+func BenchmarkConcatParallel8(b *testing.B) { benchConcat(b, 8) }
 
 func BenchmarkNormalizeGrouped(b *testing.B) {
 	ctx := benchCtx(100000, 1000)

@@ -13,6 +13,17 @@
 //     predicate evaluation, probability recombination — split their rows
 //     into contiguous morsels processed by concurrent workers, and merge
 //     per-worker outputs in morsel order so row order is deterministic.
+//   - Materialization writes at offset instead of appending serially:
+//     output columns are allocated once at full size and concurrent
+//     morsels fill disjoint row ranges in place (gather, concat), TopN
+//     selects per-morsel survivors with a bounded heap and k-way-merges
+//     them (stable-sort-equivalent, the input is never fully sorted),
+//     the hash-join build partitions buckets by hash bits, and grouping
+//     deduplicates morsels locally before a serial re-rank over group
+//     representatives restores first-appearance ids.
+//
+// See README.md in this package for the materialization model and the
+// determinism contracts in detail.
 //
 // The worker pool lives on Ctx (Parallelism; default GOMAXPROCS) and is
 // shared by all concurrent queries on the context. Workers are acquired
@@ -251,7 +262,7 @@ func (l *Limit) Execute(ctx *Ctx) (*relation.Relation, error) {
 	for i := range sel {
 		sel[i] = i
 	}
-	return in.Gather(sel), nil
+	return gatherParallel(ctx, in, sel), nil
 }
 
 // Fingerprint implements Node.

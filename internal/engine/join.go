@@ -122,7 +122,7 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 		lp := make([]int, 0, hi-lo)
 		rp := make([]int, 0, hi-lo)
 		for i := lo; i < hi; i++ {
-			for _, ri := range idx.buckets[lHash[i]] {
+			for _, ri := range idx.buckets.lookup(lHash[i]) {
 				if left.RowsEqual(i, lIdx, right, ri, rIdx) {
 					lp = append(lp, i)
 					rp = append(rp, ri)
@@ -142,8 +142,8 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 		rSel = append(rSel, rParts[m]...)
 	}
 
-	lOut := left.Gather(lSel)
-	rOut := right.Gather(rSel)
+	lOut := gatherParallel(ctx, left, lSel)
+	rOut := gatherParallel(ctx, right, rSel)
 	names := make(map[string]bool, lOut.NumCols()+rOut.NumCols())
 	cols := make([]relation.Column, 0, lOut.NumCols()+rOut.NumCols())
 	for _, c := range lOut.Columns() {
@@ -222,10 +222,12 @@ func checkPositions(r *relation.Relation, pos []int) ([]int, error) {
 // For materialized (cached) build sides — the on-demand index tables of
 // section 2.1 — the index is built once and reused by every later query,
 // which is what makes "hot" query latencies possible: probing costs only
-// the matching postings, as in Figure 1's term look-up.
+// the matching postings, as in Figure 1's term look-up. The bucket table
+// is partitioned by low hash bits so the build itself runs on all workers
+// (hashing and partition merging are both morsel-parallel).
 type joinIndex struct {
 	seed    maphash.Seed
-	buckets map[uint64][]int
+	buckets *bucketIndex
 	rel     *relation.Relation // identity check: index is valid for this exact relation
 }
 
@@ -233,10 +235,7 @@ func (j *HashJoin) buildIndex(ctx *Ctx, right *relation.Relation, rIdx []int) (*
 	build := func() *joinIndex {
 		idx := &joinIndex{seed: maphash.MakeSeed(), rel: right}
 		rHash := hashRowsParallel(ctx, right, idx.seed, rIdx)
-		idx.buckets = make(map[uint64][]int, right.NumRows())
-		for i, h := range rHash {
-			idx.buckets[h] = append(idx.buckets[h], i)
-		}
+		idx.buckets = buildBuckets(ctx, rHash)
 		return idx
 	}
 	cacheable := ctx.UseCache && ctx.Cat != nil && (ctx.CacheAll || isMaterialize(j.R))

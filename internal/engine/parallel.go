@@ -162,6 +162,19 @@ func (ctx *Ctx) runRanges(ranges [][2]int, fn func(m, lo, hi int)) {
 	wg.Wait()
 }
 
+// gatherParallel is relation.Gather with the row copies split over
+// morsels: the destination relation is allocated once at full size and
+// each worker writes its [lo, hi) slice of sel through the write-at-offset
+// vector API. Disjoint ranges touch disjoint output rows, so the result is
+// bit-identical to the serial Gather at any parallelism.
+func gatherParallel(ctx *Ctx, r *relation.Relation, sel []int) *relation.Relation {
+	out := r.NewSizedLike(len(sel))
+	ctx.parallelRanges(len(sel), func(lo, hi int) {
+		r.GatherRangeInto(out, sel, lo, hi)
+	})
+	return out
+}
+
 // hashRowsParallel is relation.HashRows with the rows split over morsels.
 func hashRowsParallel(ctx *Ctx, r *relation.Relation, seed maphash.Seed, colIdx []int) []uint64 {
 	sums := make([]uint64, r.NumRows())
@@ -169,4 +182,72 @@ func hashRowsParallel(ctx *Ctx, r *relation.Relation, seed maphash.Seed, colIdx 
 		r.HashRowsRange(seed, colIdx, sums, lo, hi)
 	})
 	return sums
+}
+
+// bucketIndex maps 64-bit row hashes to lists of row indexes, partitioned
+// by the low hash bits. Partitioning is what makes the build parallel: a
+// hash lives in exactly one partition, so per-partition maps can be filled
+// by concurrent workers without sharing. Row lists hold ascending row
+// indexes — the same order a serial single-map build appends them in — so
+// probes that scan a bucket in order emit matches bit-identically to the
+// serial build.
+type bucketIndex struct {
+	mask  uint64
+	parts []map[uint64][]int
+}
+
+// lookup returns the rows whose hash equals h.
+func (b *bucketIndex) lookup(h uint64) []int { return b.parts[h&b.mask][h] }
+
+// buildBuckets builds the hash → rows index over the given per-row hashes.
+// Large inputs build in two parallel phases: each morsel splits its rows by
+// partition, then one worker per partition merges the morsel lists — in
+// morsel order, so every bucket's rows stay ascending — into that
+// partition's map. Small inputs fall back to the serial single-map build.
+func buildBuckets(ctx *Ctx, hashes []uint64) *bucketIndex {
+	n := len(hashes)
+	ranges := ctx.morselRanges(n)
+	if len(ranges) <= 1 {
+		m := make(map[uint64][]int, n)
+		for i, h := range hashes {
+			m[h] = append(m[h], i)
+		}
+		return &bucketIndex{mask: 0, parts: []map[uint64][]int{m}}
+	}
+	nParts := 1
+	for nParts < ctx.parallelism() {
+		nParts <<= 1
+	}
+	if nParts > 64 {
+		nParts = 64
+	}
+	mask := uint64(nParts - 1)
+	byMorsel := make([][][]int, len(ranges))
+	ctx.runRanges(ranges, func(m, lo, hi int) {
+		parts := make([][]int, nParts)
+		est := (hi-lo)/nParts + 1
+		for i := lo; i < hi; i++ {
+			q := hashes[i] & mask
+			if parts[q] == nil {
+				parts[q] = make([]int, 0, est)
+			}
+			parts[q] = append(parts[q], i)
+		}
+		byMorsel[m] = parts
+	})
+	parts := make([]map[uint64][]int, nParts)
+	ctx.runRanges(taskRanges(nParts), func(_, q, _ int) {
+		total := 0
+		for _, mp := range byMorsel {
+			total += len(mp[q])
+		}
+		mq := make(map[uint64][]int, total)
+		for _, mp := range byMorsel {
+			for _, i := range mp[q] {
+				mq[hashes[i]] = append(mq[hashes[i]], i)
+			}
+		}
+		parts[q] = mq
+	})
+	return &bucketIndex{mask: mask, parts: parts}
 }

@@ -144,6 +144,9 @@ func TestSerialParallelEquivalence(t *testing.T) {
 		{"sort", NewSort(scanL, SortSpec{Col: "b"}, SortSpec{Col: "x", Desc: true})},
 		{"sort-by-prob", NewSort(scanL, SortSpec{Col: "", Desc: true})},
 		{"topn", NewTopN(scanL, 100, SortSpec{Col: "", Desc: true}, SortSpec{Col: "a"})},
+		{"topn-dups", NewTopN(scanL, 500, SortSpec{Col: "b"}, SortSpec{Col: "", Desc: true})},
+		{"topn-large-n", NewTopN(scanL, 8000, SortSpec{Col: "x", Desc: true})},
+		{"topn-over-input", NewTopN(scanL, 20000, SortSpec{Col: "a"}, SortSpec{Col: "b", Desc: true})},
 		{"limit", NewLimit(scanL, 123)},
 		{"rename", NewRename(scanL, "c1", "c2", "c3")},
 		{"aggregate", NewAggregate(scanL, []string{"b"}, []AggSpec{
@@ -156,6 +159,9 @@ func TestSerialParallelEquivalence(t *testing.T) {
 			{Op: MaxProb, As: "mp"},
 		}, GroupDisjoint)},
 		{"aggregate-independent", NewAggregate(scanL, []string{"b"}, []AggSpec{{Op: CountAll, As: "n"}}, GroupIndependent)},
+		{"aggregate-high-cardinality", NewAggregate(scanL, []string{"a"}, []AggSpec{
+			{Op: CountAll, As: "n"}, {Op: SumProb, As: "sp"}}, GroupDisjoint)},
+		{"aggregate-multi-key", NewAggregate(scanL, []string{"b", "a"}, []AggSpec{{Op: Max, Col: "x", As: "mx"}}, GroupMax)},
 		{"aggregate-sumraw", NewAggregate(scanL, []string{"b"}, []AggSpec{{Op: Count, Col: "x", As: "n"}}, GroupSumRaw)},
 		{"distinct", NewDistinct(NewProject(scanL, ByName("b")...), GroupIndependent)},
 		{"rownumber", NewRowNumber(scanL, "rowid")},

@@ -25,13 +25,16 @@ func (u *Union) Execute(ctx *Ctx) (*relation.Relation, error) {
 	return concatAll(ctx, []*relation.Relation{left, right})
 }
 
-// concatAll appends the rows of every input in order. Column values are
-// copied chunk-parallel: each worker fills a disjoint slice of the output
-// column, so the result is identical to a serial append.
+// concatAll appends the rows of every input in order. Every output column
+// is allocated once at full size; each (input, column) pair is one task
+// that writes the input's column at its precomputed row offset, so workers
+// fill disjoint output ranges in place and the result is identical to a
+// serial append.
 func concatAll(ctx *Ctx, ins []*relation.Relation) (*relation.Relation, error) {
 	first := ins[0]
 	total := 0
-	for _, in := range ins {
+	offs := make([]int, len(ins))
+	for k, in := range ins {
 		if in.NumCols() != first.NumCols() {
 			return nil, fmt.Errorf("union arity mismatch: %d vs %d columns", first.NumCols(), in.NumCols())
 		}
@@ -41,29 +44,35 @@ func concatAll(ctx *Ctx, ins []*relation.Relation) (*relation.Relation, error) {
 					i, first.Col(i).Vec.Kind(), in.Col(i).Vec.Kind())
 			}
 		}
+		offs[k] = total
 		total += in.NumRows()
 	}
-	// One task per output column: columns are independent, and within a
-	// column the inputs append in order, so the result is identical to a
-	// fully serial concatenation.
-	cols := make([]relation.Column, first.NumCols())
-	ctx.runRanges(taskRanges(first.NumCols()), func(_, lo, hi int) {
-		for ci := lo; ci < hi; ci++ {
-			fc := first.Col(ci)
-			v := fc.Vec.New(total)
-			for _, in := range ins {
-				src := in.Col(ci).Vec
-				for j := 0; j < src.Len(); j++ {
-					v.AppendFrom(src, j)
-				}
-			}
-			cols[ci] = relation.Column{Name: fc.Name, Vec: v}
-		}
-	})
-	prob := make([]float64, 0, total)
-	for _, in := range ins {
-		prob = append(prob, in.Prob()...)
+	nCols := first.NumCols()
+	cols := make([]relation.Column, nCols)
+	for ci := 0; ci < nCols; ci++ {
+		fc := first.Col(ci)
+		cols[ci] = relation.Column{Name: fc.Name, Vec: fc.Vec.NewSized(total)}
 	}
+	prob := make([]float64, total)
+	// Fetch every input's probability column before fanning out: Prob()
+	// initializes lazily, and the same relation may appear as several
+	// inputs, so the concurrent tasks must only read.
+	probs := make([][]float64, len(ins))
+	for k, in := range ins {
+		probs[k] = in.Prob()
+	}
+	// One task per (input, column) pair plus one per input for the
+	// probability column; tasks write disjoint ranges of the pre-sized
+	// output columns.
+	ctx.runRanges(taskRanges(len(ins)*(nCols+1)), func(_, lo, _ int) {
+		k, ci := lo/(nCols+1), lo%(nCols+1)
+		in := ins[k]
+		if ci == nCols {
+			copy(prob[offs[k]:], probs[k])
+			return
+		}
+		in.Col(ci).Vec.CopyRangeAt(cols[ci].Vec, 0, in.NumRows(), offs[k])
+	})
 	return relation.FromColumns(cols, prob)
 }
 
@@ -204,11 +213,7 @@ func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
 		return nil, fmt.Errorf("subtract right side: %w", err)
 	}
 	seed := maphash.MakeSeed()
-	rHash := hashRowsParallel(ctx, right, seed, rIdx)
-	buckets := make(map[uint64][]int, right.NumRows())
-	for i, h := range rHash {
-		buckets[h] = append(buckets[h], i)
-	}
+	buckets := buildBuckets(ctx, hashRowsParallel(ctx, right, seed, rIdx))
 	lHash := hashRowsParallel(ctx, left, seed, lIdx)
 	lp, rp := left.Prob(), right.Prob()
 
@@ -222,7 +227,7 @@ func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
 		prob := make([]float64, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			match := -1
-			for _, ri := range buckets[lHash[i]] {
+			for _, ri := range buckets.lookup(lHash[i]) {
 				if left.RowsEqual(i, lIdx, right, ri, rIdx) {
 					match = ri
 					break
@@ -254,7 +259,7 @@ func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
 		sel = append(sel, selParts[m]...)
 		prob = append(prob, probParts[m]...)
 	}
-	out := left.Gather(sel)
+	out := gatherParallel(ctx, left, sel)
 	out.SetProb(prob)
 	return out, nil
 }

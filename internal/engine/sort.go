@@ -60,7 +60,7 @@ func (s *Sort) Execute(ctx *Ctx) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return in.Sorted(keys), nil
+	return gatherParallel(ctx, in, in.SortedSel(keys)), nil
 }
 
 // Fingerprint implements Node.
@@ -97,9 +97,10 @@ func NewTopN(child Node, n int, keys ...SortSpec) *TopN {
 
 // Execute implements Node.
 //
-// Sorting stays serial — a stable sort's permutation is its definition of
-// determinism — but only the N surviving rows are materialized, instead of
-// gathering the whole sorted input and then gathering again.
+// The input is never fully sorted: every morsel keeps only its own best N
+// rows via a bounded heap and a k-way merge (with original-row-index
+// tie-break) reproduces exactly the first N entries of the serial stable
+// sort's permutation. Only those N rows are materialized.
 func (t *TopN) Execute(ctx *Ctx) (*relation.Relation, error) {
 	in, err := ctx.Exec(t.Child)
 	if err != nil {
@@ -109,11 +110,7 @@ func (t *TopN) Execute(ctx *Ctx) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	sel := in.SortedSel(keys)
-	if t.N < len(sel) {
-		sel = sel[:t.N]
-	}
-	return in.Gather(sel), nil
+	return gatherParallel(ctx, in, topNSel(ctx, in, keys, t.N)), nil
 }
 
 // Fingerprint implements Node.

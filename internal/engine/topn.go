@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"sort"
+
+	"irdb/internal/relation"
+)
+
+// Parallel TopN selection.
+//
+// The serial definition of TopN is the first n entries of the stable-sort
+// permutation relation.SortedSel. Breaking comparison ties on the original
+// row index turns that stable ordering into a strict total order, which
+// makes the result reproducible piecewise: each morsel keeps only its own
+// best n rows (a bounded max-heap, so the input is never fully sorted) and
+// a k-way merge of the per-morsel runs yields exactly SortedSel(keys)[:n].
+
+// topNSel returns the first n entries of in.SortedSel(keys), computed with
+// per-morsel partial selection plus a k-way merge when worker slots allow.
+// The returned permutation prefix is bit-identical at every parallelism.
+func topNSel(ctx *Ctx, in *relation.Relation, keys []relation.SortKey, n int) []int {
+	total := in.NumRows()
+	if n > total {
+		n = total
+	}
+	if n <= 0 {
+		return []int{}
+	}
+	less := func(i, j int) bool {
+		if c := in.CompareRows(keys, i, j); c != 0 {
+			return c < 0
+		}
+		return i < j // stable-sort tie-break: original row order
+	}
+	ranges := ctx.morselRanges(total)
+	if len(ranges) <= 1 {
+		return in.SortedSel(keys)[:n:n]
+	}
+	runs := make([][]int, len(ranges))
+	ctx.runRanges(ranges, func(m, lo, hi int) {
+		runs[m] = topOfRange(less, lo, hi, n)
+	})
+	return mergeRuns(less, runs, n)
+}
+
+// topOfRange returns the min(n, hi-lo) smallest rows of [lo, hi) under
+// less, in ascending order. It maintains a bounded max-heap of the best n
+// rows seen — O(m log n) instead of the O(m log m) full sort — and sorts
+// only the survivors.
+func topOfRange(less func(i, j int) bool, lo, hi, n int) []int {
+	if m := hi - lo; n > m {
+		n = m
+	}
+	h := make([]int, 0, n)
+	for i := lo; i < hi; i++ {
+		if len(h) < n {
+			// Sift up: the root holds the worst kept row.
+			h = append(h, i)
+			for c := len(h) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !less(h[p], h[c]) {
+					break
+				}
+				h[p], h[c] = h[c], h[p]
+				c = p
+			}
+			continue
+		}
+		if !less(i, h[0]) {
+			continue
+		}
+		// Replace the worst kept row and sift down.
+		h[0] = i
+		for p := 0; ; {
+			c := 2*p + 1
+			if c >= n {
+				break
+			}
+			if c+1 < n && less(h[c], h[c+1]) {
+				c++
+			}
+			if !less(h[p], h[c]) {
+				break
+			}
+			h[p], h[c] = h[c], h[p]
+			p = c
+		}
+	}
+	sort.Slice(h, func(a, b int) bool { return less(h[a], h[b]) })
+	return h
+}
+
+// mergeRuns k-way merges ascending runs under less and returns the first n
+// merged values. Run heads are kept in a min-heap keyed by less.
+func mergeRuns(less func(i, j int) bool, runs [][]int, n int) []int {
+	type head struct {
+		run, pos int
+	}
+	// lessHead orders heap entries by their current run value.
+	lessHead := func(a, b head) bool { return less(runs[a.run][a.pos], runs[b.run][b.pos]) }
+	h := make([]head, 0, len(runs))
+	for r, run := range runs {
+		if len(run) == 0 {
+			continue
+		}
+		h = append(h, head{run: r})
+		for c := len(h) - 1; c > 0; {
+			p := (c - 1) / 2
+			if !lessHead(h[c], h[p]) {
+				break
+			}
+			h[p], h[c] = h[c], h[p]
+			c = p
+		}
+	}
+	out := make([]int, 0, n)
+	for len(h) > 0 && len(out) < n {
+		top := h[0]
+		out = append(out, runs[top.run][top.pos])
+		if top.pos+1 < len(runs[top.run]) {
+			h[0] = head{run: top.run, pos: top.pos + 1}
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		for p := 0; ; {
+			c := 2*p + 1
+			if c >= len(h) {
+				break
+			}
+			if c+1 < len(h) && lessHead(h[c+1], h[c]) {
+				c++
+			}
+			if !lessHead(h[c], h[p]) {
+				break
+			}
+			h[p], h[c] = h[c], h[p]
+			p = c
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+// dupRel builds a relation whose sort keys are heavily duplicated, so the
+// original-index tie-break does real work: a tiny int domain, a 3-value
+// string column and probabilities quantized to quarters.
+func dupRel(r *rand.Rand, n int) *relation.Relation {
+	a := make([]int64, n)
+	b := make([]string, n)
+	p := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = int64(r.Intn(5))
+		b[i] = fmt.Sprintf("s%d", r.Intn(3))
+		p[i] = float64(r.Intn(4)) / 4
+	}
+	return relation.MustFromColumns([]relation.Column{
+		{Name: "a", Vec: vector.FromInt64s(a)},
+		{Name: "b", Vec: vector.FromStrings(b)},
+	}, p)
+}
+
+// TestTopNSelDeterminism is the property test for the parallel TopN path:
+// over randomized duplicate-heavy inputs, every (keys, n, parallelism)
+// combination must return exactly the first n entries of the serial stable
+// sort's permutation — the same rows, in the same order, at parallelism 1,
+// 2 and 8.
+func TestTopNSelDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, rows := range []int{100, 2*minMorsel + 123, 20000} {
+		in := dupRel(r, rows)
+		keySets := [][]relation.SortKey{
+			{{Col: relation.ProbCol, Desc: true}, {Col: 0}},
+			{{Col: 0}, {Col: 1, Desc: true}},
+			{{Col: 1}},
+			{{Col: relation.ProbCol}},
+		}
+		for ki, keys := range keySets {
+			want := in.SortedSel(keys)
+			for _, n := range []int{0, 1, 10, 500, rows / 2, rows, rows + 17} {
+				capped := n
+				if capped > rows {
+					capped = rows
+				}
+				for _, par := range []int{1, 2, 8} {
+					ctx := &Ctx{Parallelism: par}
+					got := topNSel(ctx, in, keys, n)
+					if len(got) != capped {
+						t.Fatalf("rows=%d keys=%d n=%d par=%d: len = %d, want %d",
+							rows, ki, n, par, len(got), capped)
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("rows=%d keys=%d n=%d par=%d: position %d = row %d, want %d",
+								rows, ki, n, par, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildBucketsMatchesSerial checks the partitioned build produces the
+// same bucket contents, in the same (ascending row) order, as the serial
+// single-map build at any parallelism.
+func TestBuildBucketsMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for _, n := range []int{0, 100, 2*minMorsel + 7, 30000} {
+		hashes := make([]uint64, n)
+		for i := range hashes {
+			hashes[i] = uint64(r.Intn(997)) * 0x9e3779b97f4a7c15 // duplicate-heavy
+		}
+		serial := buildBuckets(&Ctx{Parallelism: 1}, hashes)
+		for _, par := range []int{2, 8} {
+			idx := buildBuckets(&Ctx{Parallelism: par}, hashes)
+			for _, h := range hashes {
+				a, b := serial.lookup(h), idx.lookup(h)
+				if len(a) != len(b) {
+					t.Fatalf("n=%d par=%d hash %x: %d rows, want %d", n, par, h, len(b), len(a))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("n=%d par=%d hash %x: row order %v, want %v", n, par, h, b, a)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGroupRowsParallelMatchesSerial checks the two-phase grouping hands
+// out identical group ids and first rows as the serial first-appearance
+// loop.
+func TestGroupRowsParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for _, n := range []int{0, 50, 2*minMorsel + 11, 25000} {
+		in := dupRel(r, n)
+		for _, gIdx := range [][]int{{0}, {0, 1}, {}} {
+			wantOf, wantFirst := groupRows(&Ctx{Parallelism: 1}, in, gIdx)
+			for _, par := range []int{2, 8} {
+				gotOf, gotFirst := groupRows(&Ctx{Parallelism: par}, in, gIdx)
+				if len(gotFirst) != len(wantFirst) {
+					t.Fatalf("n=%d gIdx=%v par=%d: %d groups, want %d",
+						n, gIdx, par, len(gotFirst), len(wantFirst))
+				}
+				for g := range wantFirst {
+					if gotFirst[g] != wantFirst[g] {
+						t.Fatalf("n=%d gIdx=%v par=%d: group %d first row %d, want %d",
+							n, gIdx, par, g, gotFirst[g], wantFirst[g])
+					}
+				}
+				for i := range wantOf {
+					if gotOf[i] != wantOf[i] {
+						t.Fatalf("n=%d gIdx=%v par=%d: row %d group %d, want %d",
+							n, gIdx, par, i, gotOf[i], wantOf[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGatherParallelMatchesSerial checks the write-at-offset Gather equals
+// relation.Gather bit for bit.
+func TestGatherParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	in := dupRel(r, 9000)
+	sel := make([]int, 3*minMorsel+77)
+	for i := range sel {
+		sel[i] = r.Intn(in.NumRows())
+	}
+	want := in.Gather(sel)
+	for _, par := range []int{1, 2, 8} {
+		got := gatherParallel(&Ctx{Parallelism: par}, in, sel)
+		mustEqualRel(t, want, got, fmt.Sprintf("gatherParallel par=%d", par))
+	}
+}

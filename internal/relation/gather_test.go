@@ -1,0 +1,160 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"irdb/internal/vector"
+)
+
+// randTestRel builds a relation with duplicate-heavy columns so ordering
+// ties are common.
+func randTestRel(r *rand.Rand, n int) *Relation {
+	a := make([]int64, n)
+	b := make([]string, n)
+	p := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = int64(r.Intn(7))
+		b[i] = fmt.Sprintf("s%d", r.Intn(3))
+		p[i] = float64(r.Intn(4)) / 4 // quantized: long runs of equal probabilities
+	}
+	return MustFromColumns([]Column{
+		{Name: "a", Vec: vector.FromInt64s(a)},
+		{Name: "b", Vec: vector.FromStrings(b)},
+	}, p)
+}
+
+// TestGatherRangeIntoMatchesGather fills a NewSizedLike destination from
+// disjoint chunks and compares against the serial Gather, including the
+// probability column.
+func TestGatherRangeIntoMatchesGather(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	rel := randTestRel(r, 500)
+	sel := make([]int, 1234)
+	for i := range sel {
+		sel[i] = r.Intn(rel.NumRows())
+	}
+	want := rel.Gather(sel)
+	dst := rel.NewSizedLike(len(sel))
+	for lo := 0; lo < len(sel); lo += 217 {
+		hi := lo + 217
+		if hi > len(sel) {
+			hi = len(sel)
+		}
+		rel.GatherRangeInto(dst, sel, lo, hi)
+	}
+	if dst.NumRows() != want.NumRows() || dst.NumCols() != want.NumCols() {
+		t.Fatalf("shape %dx%d, want %dx%d", dst.NumRows(), dst.NumCols(), want.NumRows(), want.NumCols())
+	}
+	wp, gp := want.Prob(), dst.Prob()
+	for i := 0; i < want.NumRows(); i++ {
+		for c := 0; c < want.NumCols(); c++ {
+			if !want.Col(c).Vec.EqualAt(i, dst.Col(c).Vec, i) {
+				t.Fatalf("row %d col %d: %s != %s", i, c, dst.Col(c).Vec.Format(i), want.Col(c).Vec.Format(i))
+			}
+		}
+		if wp[i] != gp[i] {
+			t.Fatalf("row %d prob %v != %v", i, gp[i], wp[i])
+		}
+	}
+}
+
+// TestCompareRowsReproducesSortedSel re-derives the stable-sort
+// permutation from CompareRows plus the original-index tie-break and
+// checks it is exactly SortedSel's output — the identity the engine's
+// parallel TopN merge depends on.
+func TestCompareRowsReproducesSortedSel(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	rel := randTestRel(r, 2000)
+	keySets := [][]SortKey{
+		{{Col: 0}},
+		{{Col: ProbCol, Desc: true}, {Col: 0}},
+		{{Col: 1, Desc: true}, {Col: ProbCol}},
+		{{Col: 0}, {Col: 1}, {Col: ProbCol, Desc: true}},
+	}
+	for ki, keys := range keySets {
+		want := rel.SortedSel(keys)
+		got := make([]int, rel.NumRows())
+		for i := range got {
+			got[i] = i
+		}
+		sort.Slice(got, func(a, b int) bool {
+			if c := rel.CompareRows(keys, got[a], got[b]); c != 0 {
+				return c < 0
+			}
+			return got[a] < got[b]
+		})
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("keys %d: position %d = row %d, want %d", ki, i, got[i], want[i])
+			}
+		}
+		// Antisymmetry spot check.
+		for trial := 0; trial < 200; trial++ {
+			i, j := r.Intn(rel.NumRows()), r.Intn(rel.NumRows())
+			if rel.CompareRows(keys, i, j) != -rel.CompareRows(keys, j, i) {
+				t.Fatalf("keys %d: CompareRows(%d,%d) not antisymmetric", ki, i, j)
+			}
+		}
+	}
+}
+
+// TestNilProbConcurrentReads: a relation whose probability column was
+// never materialized (prob == nil) must be safe to read from concurrent
+// morsels — GatherRangeInto and CompareRows may not trigger Prob()'s lazy
+// initialization. Run under -race; also checks the all-certain semantics.
+func TestNilProbConcurrentReads(t *testing.T) {
+	n := 1000
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(i % 5)
+	}
+	rel := &Relation{cols: []Column{{Name: "a", Vec: vector.FromInt64s(a)}}} // prob nil
+	sel := make([]int, n)
+	for i := range sel {
+		sel[i] = (i * 7) % n
+	}
+	dst := rel.NewSizedLike(n)
+	keys := []SortKey{{Col: ProbCol, Desc: true}, {Col: 0}}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*n/4, (w+1)*n/4
+			rel.GatherRangeInto(dst, sel, lo, hi)
+			for i := lo; i < hi-1; i++ {
+				rel.CompareRows(keys, i, i+1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if rel.prob != nil {
+		t.Fatal("concurrent readers materialized the lazy prob column")
+	}
+	for i, p := range dst.Prob() {
+		if p != 1.0 {
+			t.Fatalf("gathered prob[%d] = %v, want 1.0 (all-certain)", i, p)
+		}
+	}
+	want := rel.Gather(sel)
+	for i := 0; i < n; i++ {
+		if !want.Col(0).Vec.EqualAt(i, dst.Col(0).Vec, i) {
+			t.Fatalf("row %d: %s != %s", i, dst.Col(0).Vec.Format(i), want.Col(0).Vec.Format(i))
+		}
+	}
+}
+
+func TestRelationEstimatedBytes(t *testing.T) {
+	rel := MustFromColumns([]Column{
+		{Name: "a", Vec: vector.FromInt64s(make([]int64, 4))},
+		{Name: "s", Vec: vector.FromStrings([]string{"ab", "", "c", ""})},
+	}, nil)
+	want := int64(4*8) + int64(4*8) + int64(4*16+3)
+	if got := rel.EstimatedBytes(); got != want {
+		t.Errorf("EstimatedBytes = %d, want %d", got, want)
+	}
+}

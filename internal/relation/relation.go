@@ -173,6 +173,53 @@ func (r *Relation) Gather(sel []int) *Relation {
 	return &Relation{cols: cols, prob: prob}
 }
 
+// NewSizedLike returns a relation with the same schema as r and exactly n
+// zero-filled rows. It is the destination side of the write-at-offset
+// materialization protocol: concurrent morsels fill disjoint row ranges
+// through GatherRangeInto (or the column vectors' CopyRangeAt) and the
+// relation is complete once every range has been written. Until then it
+// must not escape to readers.
+func (r *Relation) NewSizedLike(n int) *Relation {
+	cols := make([]Column, len(r.cols))
+	for i, c := range r.cols {
+		cols[i] = Column{Name: c.Name, Vec: c.Vec.NewSized(n)}
+	}
+	return &Relation{cols: cols, prob: make([]float64, n)}
+}
+
+// GatherRangeInto writes rows sel[lo:hi] of r (all columns plus the
+// probability column) into rows [lo, hi) of dst, which must have been
+// created by NewSizedLike with at least hi rows. Disjoint [lo, hi) ranges
+// touch disjoint dst rows, so the engine can split one Gather over many
+// workers and obtain exactly the relation Gather(sel) would produce.
+func (r *Relation) GatherRangeInto(dst *Relation, sel []int, lo, hi int) {
+	for i, c := range r.cols {
+		c.Vec.GatherRangeInto(dst.cols[i].Vec, sel, lo, hi, 0)
+	}
+	// Read r.prob directly rather than through Prob(): concurrent morsels
+	// must not race on its lazy initialization. nil means all-certain.
+	if src := r.prob; src != nil {
+		for i := lo; i < hi; i++ {
+			dst.prob[i] = src[sel[i]]
+		}
+	} else {
+		for i := lo; i < hi; i++ {
+			dst.prob[i] = 1.0
+		}
+	}
+}
+
+// EstimatedBytes reports the approximate heap footprint of the relation's
+// materialized values (columns plus probability column). The catalog cache
+// uses it to weigh entries so eviction is by bytes, not entry count.
+func (r *Relation) EstimatedBytes() int64 {
+	n := int64(r.NumRows()) * 8 // probability column
+	for _, c := range r.cols {
+		n += c.Vec.EstimatedBytes()
+	}
+	return n
+}
+
 // WithColumns returns a relation sharing this relation's probability column
 // but exposing only the named columns, in the given order.
 func (r *Relation) WithColumns(names ...string) (*Relation, error) {
@@ -264,28 +311,51 @@ func (r *Relation) SortedSel(keys []SortKey) []int {
 	for i := range sel {
 		sel[i] = i
 	}
-	prob := r.Prob()
 	sort.SliceStable(sel, func(a, b int) bool {
-		ia, ib := sel[a], sel[b]
-		for _, k := range keys {
-			if k.Col == ProbCol {
-				pa, pb := prob[ia], prob[ib]
-				if pa != pb {
-					return (pa < pb) != k.Desc
-				}
-				continue
-			}
-			v := r.cols[k.Col].Vec
-			if v.LessAt(ia, v, ib) {
-				return !k.Desc
-			}
-			if v.LessAt(ib, v, ia) {
-				return k.Desc
-			}
-		}
-		return false
+		return r.CompareRows(keys, sel[a], sel[b]) < 0
 	})
 	return sel
+}
+
+// CompareRows compares rows i and j under the given sort keys, returning a
+// negative, zero or positive value. It is exactly the ordering SortedSel
+// sorts by; breaking ties on the original row index turns it into the
+// strict total order of a stable sort, which is what the engine's parallel
+// TopN merge relies on to reproduce SortedSel's permutation bit for bit.
+func (r *Relation) CompareRows(keys []SortKey, i, j int) int {
+	// Read r.prob directly rather than through Prob(): concurrent TopN
+	// morsels must not race on its lazy initialization. nil means
+	// all-certain, so every probability comparison ties.
+	prob := r.prob
+	for _, k := range keys {
+		if k.Col == ProbCol {
+			if prob == nil {
+				continue
+			}
+			pa, pb := prob[i], prob[j]
+			if pa != pb {
+				if (pa < pb) != k.Desc {
+					return -1
+				}
+				return 1
+			}
+			continue
+		}
+		v := r.cols[k.Col].Vec
+		if v.LessAt(i, v, j) {
+			if k.Desc {
+				return 1
+			}
+			return -1
+		}
+		if v.LessAt(j, v, i) {
+			if k.Desc {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
 }
 
 // String renders the relation as an aligned text table, capped at 30 rows.

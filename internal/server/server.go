@@ -18,6 +18,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -26,6 +27,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"irdb/internal/engine"
@@ -37,6 +39,12 @@ import (
 // Server routes search requests to installed strategies over one shared
 // execution context (and therefore one shared materialization cache, so
 // concurrent requests reuse each other's on-demand indexes).
+//
+// Admission is gated by a request-level semaphore (default 2× the engine's
+// worker-pool size): excess requests queue instead of oversubscribing the
+// pool, so saturation shows up as predictable queueing latency rather than
+// a throughput collapse. The current queue depth and in-flight count are
+// exported via /stats.
 type Server struct {
 	ctx      *engine.Ctx
 	synonyms text.SynonymDict
@@ -45,6 +53,10 @@ type Server struct {
 	strategies map[string]*strategy.Strategy
 
 	requests sync.Map // strategy name -> *counter
+
+	inFlight    chan struct{} // request-level admission semaphore
+	queueDepth  atomic.Int64  // requests currently waiting for a slot
+	queuedTotal atomic.Int64  // requests that ever had to wait
 }
 
 type counter struct {
@@ -53,14 +65,52 @@ type counter struct {
 	totalNS int64
 }
 
-// New creates a server over the given execution context.
+// New creates a server over the given execution context. The request
+// semaphore defaults to twice the context's effective worker-pool size.
 func New(ctx *engine.Ctx, synonyms text.SynonymDict) *Server {
+	par := ctx.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	return &Server{
 		ctx:        ctx,
 		synonyms:   synonyms,
 		strategies: make(map[string]*strategy.Strategy),
+		inFlight:   make(chan struct{}, 2*par),
 	}
 }
+
+// SetMaxInFlight resizes the request admission semaphore. Must be called
+// before the server starts handling requests.
+func (s *Server) SetMaxInFlight(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.inFlight = make(chan struct{}, n)
+}
+
+// acquire admits a request, blocking (and counting the wait as queue
+// depth) while the semaphore is full. It reports false — without
+// admitting — if ctx is cancelled first, so a client that gave up while
+// queued never costs the pool a query's worth of work.
+func (s *Server) acquire(ctx context.Context) bool {
+	select {
+	case s.inFlight <- struct{}{}:
+		return true
+	default:
+	}
+	s.queuedTotal.Add(1)
+	s.queueDepth.Add(1)
+	defer s.queueDepth.Add(-1)
+	select {
+	case s.inFlight <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.inFlight }
 
 // Install registers a strategy under its name, replacing any previous
 // one.
@@ -136,6 +186,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
+	if !s.acquire(r.Context()) {
+		// Client went away while queued; nothing useful to send.
+		httpError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+		return
+	}
+	defer s.release()
 	plan, err := st.Compile(&strategy.Compiler{Query: query, Synonyms: s.synonyms})
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
@@ -233,6 +289,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"parallelism": parallelism,
 			"node_execs":  s.ctx.NodeExecs(),
 			"cache_hits":  s.ctx.CacheHits(),
+		},
+		"admission": map[string]any{
+			"max_in_flight": cap(s.inFlight),
+			"in_flight":     len(s.inFlight),
+			"queue_depth":   s.queueDepth.Load(),
+			"queued_total":  s.queuedTotal.Load(),
 		},
 	})
 }

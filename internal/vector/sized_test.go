@@ -1,0 +1,141 @@
+package vector
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// srcOfKind builds an n-row vector of kind k with distinguishable values.
+func srcOfKind(k Kind, n int, r *rand.Rand) Vector {
+	switch k {
+	case Int64:
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.Intn(1000) - 500)
+		}
+		return FromInt64s(vals)
+	case Float64:
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64() * 100
+		}
+		return FromFloat64s(vals)
+	case String:
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("s%04d", r.Intn(500))
+		}
+		return FromStrings(vals)
+	case Bool:
+		vals := make([]bool, n)
+		for i := range vals {
+			vals[i] = r.Intn(2) == 1
+		}
+		return FromBools(vals)
+	}
+	panic("unknown kind")
+}
+
+func TestNewSizedZeroFilled(t *testing.T) {
+	for _, k := range []Kind{Int64, Float64, String, Bool} {
+		v := NewSizedOfKind(k, 5)
+		if v.Kind() != k || v.Len() != 5 {
+			t.Fatalf("NewSizedOfKind(%v, 5): kind=%v len=%d", k, v.Kind(), v.Len())
+		}
+		zero := NewSizedOfKind(k, 1)
+		for i := 0; i < v.Len(); i++ {
+			if !v.EqualAt(i, zero, 0) {
+				t.Errorf("%v: row %d = %s, want zero value", k, i, v.Format(i))
+			}
+		}
+	}
+}
+
+// TestGatherRangeIntoMatchesGather fills a pre-sized destination from
+// several disjoint ranges and checks the result equals a plain Gather.
+func TestGatherRangeIntoMatchesGather(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, k := range []Kind{Int64, Float64, String, Bool} {
+		src := srcOfKind(k, 300, r)
+		sel := make([]int, 777)
+		for i := range sel {
+			sel[i] = r.Intn(src.Len())
+		}
+		want := src.Gather(sel)
+		dst := src.NewSized(len(sel))
+		for lo := 0; lo < len(sel); lo += 100 {
+			hi := lo + 100
+			if hi > len(sel) {
+				hi = len(sel)
+			}
+			src.GatherRangeInto(dst, sel, lo, hi, 0)
+		}
+		for i := 0; i < len(sel); i++ {
+			if !want.EqualAt(i, dst, i) {
+				t.Fatalf("%v: row %d = %s, want %s", k, i, dst.Format(i), want.Format(i))
+			}
+		}
+	}
+}
+
+// TestGatherRangeIntoOffset checks the off parameter shifts writes.
+func TestGatherRangeIntoOffset(t *testing.T) {
+	src := FromInt64s([]int64{10, 20, 30})
+	dst := src.NewSized(5)
+	src.GatherRangeInto(dst, []int{2, 0}, 0, 2, 3)
+	got := dst.(*Int64s).Values()
+	want := []int64{0, 0, 0, 30, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCopyRangeAtMatchesAppend concatenates two vectors via CopyRangeAt
+// and checks the result equals a serial AppendFrom loop.
+func TestCopyRangeAtMatchesAppend(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, k := range []Kind{Int64, Float64, String, Bool} {
+		a := srcOfKind(k, 120, r)
+		b := srcOfKind(k, 80, r)
+		want := NewOfKind(k, a.Len()+b.Len())
+		for _, src := range []Vector{a, b} {
+			for i := 0; i < src.Len(); i++ {
+				want.AppendFrom(src, i)
+			}
+		}
+		dst := a.NewSized(a.Len() + b.Len())
+		b.CopyRangeAt(dst, 0, b.Len(), a.Len())
+		a.CopyRangeAt(dst, 0, a.Len(), 0)
+		for i := 0; i < want.Len(); i++ {
+			if !want.EqualAt(i, dst, i) {
+				t.Fatalf("%v: row %d = %s, want %s", k, i, dst.Format(i), want.Format(i))
+			}
+		}
+		// Partial range: middle slice of b at offset 1.
+		part := b.NewSized(b.Len())
+		b.CopyRangeAt(part, 10, 20, 1)
+		for i := 0; i < 10; i++ {
+			if !part.EqualAt(1+i, b, 10+i) {
+				t.Fatalf("%v: partial copy row %d mismatch", k, i)
+			}
+		}
+	}
+}
+
+func TestEstimatedBytes(t *testing.T) {
+	if got := FromInt64s(make([]int64, 10)).EstimatedBytes(); got != 80 {
+		t.Errorf("Int64s bytes = %d, want 80", got)
+	}
+	if got := FromFloat64s(make([]float64, 10)).EstimatedBytes(); got != 80 {
+		t.Errorf("Float64s bytes = %d, want 80", got)
+	}
+	if got := FromBools(make([]bool, 10)).EstimatedBytes(); got != 10 {
+		t.Errorf("Bools bytes = %d, want 10", got)
+	}
+	if got := FromStrings([]string{"abc", ""}).EstimatedBytes(); got != 2*16+3 {
+		t.Errorf("Strings bytes = %d, want %d", got, 2*16+3)
+	}
+}

@@ -82,6 +82,29 @@ type Vector interface {
 	// New returns an empty vector of the same Kind with the given capacity
 	// hint.
 	New(capacity int) Vector
+	// NewSized returns a zero-filled vector of the same Kind with exactly n
+	// rows. Concurrent writers may then fill disjoint row ranges through
+	// GatherRangeInto / CopyRangeAt without synchronization, which is what
+	// lets the engine materialize one output column from many morsels at
+	// once instead of appending serially.
+	NewSized(n int) Vector
+	// GatherRangeInto writes the values at rows sel[lo:hi] of this vector
+	// into rows [off+lo, off+hi) of dst, which must have the same Kind and
+	// at least off+hi rows. Disjoint [lo, hi) ranges touch disjoint dst
+	// rows, so morsels may run concurrently.
+	GatherRangeInto(dst Vector, sel []int, lo, hi, off int)
+	// CopyRangeAt copies rows [lo, hi) of this vector into dst starting at
+	// row off. dst must have the same Kind and at least off+(hi-lo) rows.
+	CopyRangeAt(dst Vector, lo, hi, off int)
+	// EstimatedBytes reports the approximate heap footprint of the vector's
+	// values, used for byte-weighted cache accounting.
+	EstimatedBytes() int64
+}
+
+// NewSizedOfKind returns a zero-filled vector of the given kind with
+// exactly n rows, for write-at-offset materialization.
+func NewSizedOfKind(k Kind, n int) Vector {
+	return NewOfKind(k, 0).NewSized(n)
 }
 
 // NewOfKind returns an empty vector of the given kind.
@@ -182,6 +205,25 @@ func (v *Int64s) Format(i int) string { return strconv.FormatInt(v.vals[i], 10) 
 // New implements Vector.
 func (v *Int64s) New(capacity int) Vector { return NewInt64s(capacity) }
 
+// NewSized implements Vector.
+func (v *Int64s) NewSized(n int) Vector { return &Int64s{vals: make([]int64, n)} }
+
+// GatherRangeInto implements Vector.
+func (v *Int64s) GatherRangeInto(dst Vector, sel []int, lo, hi, off int) {
+	out := dst.(*Int64s).vals
+	for i := lo; i < hi; i++ {
+		out[off+i] = v.vals[sel[i]]
+	}
+}
+
+// CopyRangeAt implements Vector.
+func (v *Int64s) CopyRangeAt(dst Vector, lo, hi, off int) {
+	copy(dst.(*Int64s).vals[off:], v.vals[lo:hi])
+}
+
+// EstimatedBytes implements Vector.
+func (v *Int64s) EstimatedBytes() int64 { return int64(len(v.vals)) * 8 }
+
 // ---------------------------------------------------------------------------
 // Float64s
 
@@ -269,6 +311,25 @@ func (v *Float64s) Format(i int) string {
 // New implements Vector.
 func (v *Float64s) New(capacity int) Vector { return NewFloat64s(capacity) }
 
+// NewSized implements Vector.
+func (v *Float64s) NewSized(n int) Vector { return &Float64s{vals: make([]float64, n)} }
+
+// GatherRangeInto implements Vector.
+func (v *Float64s) GatherRangeInto(dst Vector, sel []int, lo, hi, off int) {
+	out := dst.(*Float64s).vals
+	for i := lo; i < hi; i++ {
+		out[off+i] = v.vals[sel[i]]
+	}
+}
+
+// CopyRangeAt implements Vector.
+func (v *Float64s) CopyRangeAt(dst Vector, lo, hi, off int) {
+	copy(dst.(*Float64s).vals[off:], v.vals[lo:hi])
+}
+
+// EstimatedBytes implements Vector.
+func (v *Float64s) EstimatedBytes() int64 { return int64(len(v.vals)) * 8 }
+
 // ---------------------------------------------------------------------------
 // Strings
 
@@ -342,6 +403,35 @@ func (v *Strings) Format(i int) string { return v.vals[i] }
 
 // New implements Vector.
 func (v *Strings) New(capacity int) Vector { return NewStrings(capacity) }
+
+// NewSized implements Vector.
+func (v *Strings) NewSized(n int) Vector { return &Strings{vals: make([]string, n)} }
+
+// GatherRangeInto implements Vector.
+func (v *Strings) GatherRangeInto(dst Vector, sel []int, lo, hi, off int) {
+	out := dst.(*Strings).vals
+	for i := lo; i < hi; i++ {
+		out[off+i] = v.vals[sel[i]]
+	}
+}
+
+// CopyRangeAt implements Vector.
+func (v *Strings) CopyRangeAt(dst Vector, lo, hi, off int) {
+	copy(dst.(*Strings).vals[off:], v.vals[lo:hi])
+}
+
+// EstimatedBytes implements Vector.
+//
+// Strings count the header (16 bytes) plus payload. Payload bytes are
+// summed on demand; callers cache the result (catalog.Cache computes it
+// once per inserted entry).
+func (v *Strings) EstimatedBytes() int64 {
+	n := int64(len(v.vals)) * 16
+	for _, s := range v.vals {
+		n += int64(len(s))
+	}
+	return n
+}
 
 // ---------------------------------------------------------------------------
 // Bools
@@ -419,6 +509,25 @@ func (v *Bools) Format(i int) string { return strconv.FormatBool(v.vals[i]) }
 
 // New implements Vector.
 func (v *Bools) New(capacity int) Vector { return NewBools(capacity) }
+
+// NewSized implements Vector.
+func (v *Bools) NewSized(n int) Vector { return &Bools{vals: make([]bool, n)} }
+
+// GatherRangeInto implements Vector.
+func (v *Bools) GatherRangeInto(dst Vector, sel []int, lo, hi, off int) {
+	out := dst.(*Bools).vals
+	for i := lo; i < hi; i++ {
+		out[off+i] = v.vals[sel[i]]
+	}
+}
+
+// CopyRangeAt implements Vector.
+func (v *Bools) CopyRangeAt(dst Vector, lo, hi, off int) {
+	copy(dst.(*Bools).vals[off:], v.vals[lo:hi])
+}
+
+// EstimatedBytes implements Vector.
+func (v *Bools) EstimatedBytes() int64 { return int64(len(v.vals)) }
 
 // mix combines an accumulated hash with a new value hash. The constant is
 // the 64-bit FNV prime, which spreads consecutive column hashes well enough
