@@ -5,12 +5,15 @@
 // probabilistic triple data model, the SpinQL algebra language, and a
 // block-based search strategy layer on top.
 //
-// The engine executes plans in parallel — independent subtrees fan out
-// over a worker pool, hot per-row loops split into morsels, and
-// materialization itself is morsel-parallel: output columns are
-// pre-sized and written at offset, TopN merges per-morsel bounded-heap
-// selections instead of fully sorting, the join build partitions its
-// buckets, and grouping deduplicates per morsel before a re-rank — while
+// The engine executes every operator stage in parallel — independent
+// subtrees fan out over a worker pool, hot per-row loops split into
+// morsels, and materialization itself is morsel-parallel: output columns
+// are pre-sized and written at offset, TopN merges per-morsel
+// bounded-heap selections and full Sort merge-sorts per-morsel runs
+// instead of running one serial sort, the join build fills partitioned
+// open-addressing tables whose probe reads contiguous row segments,
+// grouping deduplicates per morsel before a re-rank, and aggregation
+// folds per-chunk partial accumulators in a fixed merge order — while
 // guaranteeing results bit-identical to serial execution, and the shared
 // materialization cache single-flights concurrent misses so one VM's
 // worth of traffic (the paper's 150k requests/day deployment) rebuilds

@@ -25,17 +25,20 @@ import (
 // weighting is what keeps many small hot entries (join indexes, tiny
 // cache tables) resident when one huge materialization arrives: an entry
 // larger than the whole budget is never admitted at all, and admitted
-// entries evict only as many LRU bytes as they actually need. Statistics
-// are exposed for the E2/E5/E8 experiments, which measure exactly this
-// mechanism.
+// entries evict only as many LRU bytes as they actually need. Auxiliary
+// entries (join indexes) share the same LRU order and byte budget:
+// values implementing Sized are weighed by their reported footprint,
+// others count as zero bytes but remain evictable. Statistics are exposed
+// for the E2/E5/E8 experiments, which measure exactly this mechanism.
 type Cache struct {
 	mu       sync.Mutex
-	capacity int   // <= 0 means unbounded
-	maxBytes int64 // <= 0 means unbounded
+	capacity int   // <= 0 means unbounded; bounds relation entries only
+	maxBytes int64 // <= 0 means unbounded; bounds relation + aux bytes
 	bytes    int64 // estimated bytes of all cached relations
+	auxBytes int64 // estimated bytes of all auxiliary entries
 	entries  map[string]*list.Element
-	order    *list.List // front = most recently used
-	aux      map[string]any
+	order    *list.List // front = most recently used; holds relation AND aux entries
+	aux      map[string]*list.Element
 
 	// In-flight computations by key, for GetOrCompute/GetOrComputeAux.
 	// gen invalidates flights started before the last Clear: their result
@@ -60,10 +63,28 @@ type flight struct {
 	err  error
 }
 
+// Sized is implemented by auxiliary cache values (join indexes) that can
+// report their heap footprint, letting them count toward the byte budget.
+type Sized interface {
+	EstimatedBytes() int64
+}
+
 type cacheEntry struct {
 	key   string
-	rel   *relation.Relation
+	rel   *relation.Relation // nil for auxiliary entries
+	aux   any                // nil for relation entries
+	isAux bool
 	bytes int64 // EstimatedBytes at insertion, so accounting stays consistent
+}
+
+// sizeOfAux weighs an auxiliary value: its own estimate when it can report
+// one, zero otherwise (unweighable values stay admissible and evictable,
+// they just never trigger eviction themselves).
+func sizeOfAux(v any) int64 {
+	if s, ok := v.(Sized); ok {
+		return s.EstimatedBytes()
+	}
+	return 0
 }
 
 // NewCache returns a cache holding at most capacity entries (<= 0 for
@@ -73,7 +94,7 @@ func NewCache(capacity int) *Cache {
 		capacity:   capacity,
 		entries:    make(map[string]*list.Element),
 		order:      list.New(),
-		aux:        make(map[string]any),
+		aux:        make(map[string]*list.Element),
 		flights:    make(map[string]*flight),
 		auxFlights: make(map[string]*flight),
 	}
@@ -131,10 +152,13 @@ func (c *Cache) GetOrCompute(key string, compute func() (*relation.Relation, err
 }
 
 // GetOrComputeAux is GetOrCompute for auxiliary structures (join indexes):
-// one flight per key, result stored until the next Clear.
+// one flight per key, result weighed into the shared LRU like any other
+// entry.
 func (c *Cache) GetOrComputeAux(key string, compute func() (any, error)) (any, bool, error) {
 	c.mu.Lock()
-	if v, ok := c.aux[key]; ok {
+	if el, ok := c.aux[key]; ok {
+		c.order.MoveToFront(el)
+		v := el.Value.(*cacheEntry).aux
 		c.mu.Unlock()
 		return v, true, nil
 	}
@@ -150,13 +174,17 @@ func (c *Cache) GetOrComputeAux(key string, compute func() (any, error)) (any, b
 	c.mu.Unlock()
 
 	f.aux, f.err = compute()
+	var b int64
+	if f.err == nil {
+		b = sizeOfAux(f.aux) // sized before re-taking the lock, like GetOrCompute
+	}
 
 	c.mu.Lock()
 	if c.auxFlights[key] == f {
 		delete(c.auxFlights, key)
 	}
 	if f.err == nil && c.gen == gen {
-		c.aux[key] = f.aux
+		c.putAuxLocked(key, f.aux, b)
 	}
 	c.mu.Unlock()
 	close(f.done)
@@ -169,16 +197,47 @@ func (c *Cache) GetOrComputeAux(key string, compute func() (any, error)) (any, b
 func (c *Cache) GetAux(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	v, ok := c.aux[key]
-	return v, ok
+	el, ok := c.aux[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).aux, true
 }
 
-// PutAux stores an auxiliary structure. Aux entries live until the next
-// Clear (i.e. until base data changes).
+// PutAux stores an auxiliary structure. Aux entries share the relation
+// entries' LRU order and byte budget (weighed via Sized when implemented),
+// so a flood of join indexes can no longer grow without bound: they are
+// evicted like any cold entry, and one larger than the whole budget is
+// refused admission.
 func (c *Cache) PutAux(key string, v any) {
+	b := sizeOfAux(v) // sized outside the lock; see GetOrCompute
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.aux[key] = v
+	c.putAuxLocked(key, v, b)
+}
+
+// putAuxLocked inserts aux value v weighing b bytes, mirroring putLocked's
+// admission and eviction rules.
+func (c *Cache) putAuxLocked(key string, v any, b int64) {
+	if c.maxBytes > 0 && b > c.maxBytes {
+		c.oversize++
+		if el, ok := c.aux[key]; ok {
+			c.removeLocked(el)
+		}
+		return
+	}
+	if el, ok := c.aux[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.auxBytes += b - e.bytes
+		e.aux, e.bytes = v, b
+		c.order.MoveToFront(el)
+	} else {
+		el = c.order.PushFront(&cacheEntry{key: key, aux: v, isAux: true, bytes: b})
+		c.aux[key] = el
+		c.auxBytes += b
+	}
+	c.evictLocked()
 }
 
 // DropAux removes one auxiliary entry, e.g. an index discovered to be
@@ -186,7 +245,9 @@ func (c *Cache) PutAux(key string, v any) {
 func (c *Cache) DropAux(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	delete(c.aux, key)
+	if el, ok := c.aux[key]; ok {
+		c.removeLocked(el)
+	}
 }
 
 // Get returns the cached relation for the fingerprint, if present.
@@ -235,10 +296,30 @@ func (c *Cache) putLocked(key string, r *relation.Relation, b int64) {
 		c.entries[key] = el
 		c.bytes += b
 	}
-	for c.order.Len() > 1 &&
-		((c.capacity > 0 && c.order.Len() > c.capacity) ||
-			(c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+	c.evictLocked()
+}
+
+// evictLocked drops LRU entries until the capacity bound (relation
+// entries only) and the byte budget (relation + aux bytes) both hold.
+// Byte pressure evicts relation and auxiliary entries alike — both count
+// toward the budget. Capacity pressure evicts only relation entries:
+// auxiliary entries do not count toward capacity, so walking past them
+// keeps a count-capped cache from collaterally flushing every join index
+// colder than the LRU relation. The MRU entry is never evicted.
+func (c *Cache) evictLocked() {
+	for c.order.Len() > 1 && c.maxBytes > 0 && c.bytes+c.auxBytes > c.maxBytes {
 		c.removeLocked(c.order.Back())
+		c.evictions++
+	}
+	for c.capacity > 0 && len(c.entries) > c.capacity {
+		el := c.order.Back()
+		for el != nil && el.Value.(*cacheEntry).isAux {
+			el = el.Prev()
+		}
+		if el == nil {
+			return
+		}
+		c.removeLocked(el)
 		c.evictions++
 	}
 }
@@ -246,17 +327,23 @@ func (c *Cache) putLocked(key string, r *relation.Relation, b int64) {
 func (c *Cache) removeLocked(el *list.Element) {
 	e := el.Value.(*cacheEntry)
 	c.order.Remove(el)
-	delete(c.entries, e.key)
-	c.bytes -= e.bytes
+	if e.isAux {
+		delete(c.aux, e.key)
+		c.auxBytes -= e.bytes
+	} else {
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+	}
 }
 
-// SetMaxBytes sets the byte budget for cached relations (<= 0 means
-// unbounded). Shrinking the budget evicts LRU entries immediately.
+// SetMaxBytes sets the byte budget for cached relations plus auxiliary
+// entries (<= 0 means unbounded). Shrinking the budget evicts LRU entries
+// immediately.
 func (c *Cache) SetMaxBytes(n int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.maxBytes = n
-	for c.order.Len() > 0 && c.maxBytes > 0 && c.bytes > c.maxBytes {
+	for c.order.Len() > 0 && c.maxBytes > 0 && c.bytes+c.auxBytes > c.maxBytes {
 		c.removeLocked(c.order.Back())
 		c.evictions++
 	}
@@ -273,33 +360,39 @@ func (c *Cache) Clear() {
 	c.entries = make(map[string]*list.Element)
 	c.order.Init()
 	c.bytes = 0
-	c.aux = make(map[string]any)
+	c.auxBytes = 0
+	c.aux = make(map[string]*list.Element)
 	c.flights = make(map[string]*flight)
 	c.auxFlights = make(map[string]*flight)
 	c.gen++
 }
 
-// Len reports the number of cached entries.
+// Len reports the number of cached relation entries (auxiliary entries are
+// reported separately via Stats).
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.order.Len()
+	return len(c.entries)
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness. Shared counts
 // callers that joined another caller's in-flight computation instead of
 // recomputing — the stampedes avoided by single-flight. Bytes is the
-// estimated footprint of all cached relations; Oversize counts results
-// refused admission because they alone exceeded the byte budget.
+// estimated footprint of all cached relations and AuxBytes of all
+// auxiliary entries (join indexes); both count toward the one MaxBytes
+// budget. Oversize counts results refused admission because they alone
+// exceeded the byte budget.
 type Stats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Shared    uint64
-	Oversize  uint64
-	Entries   int
-	Bytes     int64
-	MaxBytes  int64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Shared     uint64
+	Oversize   uint64
+	Entries    int
+	AuxEntries int
+	Bytes      int64
+	AuxBytes   int64
+	MaxBytes   int64
 }
 
 // Stats returns a snapshot of the counters.
@@ -309,7 +402,8 @@ func (c *Cache) Stats() Stats {
 	return Stats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
 		Shared: c.shared, Oversize: c.oversize,
-		Entries: c.order.Len(), Bytes: c.bytes, MaxBytes: c.maxBytes,
+		Entries: len(c.entries), AuxEntries: len(c.aux),
+		Bytes: c.bytes, AuxBytes: c.auxBytes, MaxBytes: c.maxBytes,
 	}
 }
 

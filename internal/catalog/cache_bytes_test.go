@@ -73,6 +73,120 @@ func TestByteAccountingOnReplaceAndClear(t *testing.T) {
 	}
 }
 
+// sizedAux is a fake join index reporting a fixed footprint.
+type sizedAux struct{ bytes int64 }
+
+func (s sizedAux) EstimatedBytes() int64 { return s.bytes }
+
+// TestAuxEntriesCountTowardByteBudget: auxiliary entries implementing
+// Sized are weighed into the shared byte budget, evict LRU entries when
+// they arrive, are themselves evictable, and show up separately in Stats.
+func TestAuxEntriesCountTowardByteBudget(t *testing.T) {
+	c := NewCache(0)
+	per := rel(10).EstimatedBytes()
+	c.SetMaxBytes(per * 4)
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("rel%d", i), rel(10))
+	}
+
+	// An aux entry worth two relations must evict the two LRU relations.
+	c.PutAux("idx", sizedAux{bytes: per * 2})
+	st := c.Stats()
+	if st.Entries != 2 || st.AuxEntries != 1 {
+		t.Fatalf("entries=%d aux=%d, want 2, 1", st.Entries, st.AuxEntries)
+	}
+	if st.AuxBytes != per*2 {
+		t.Errorf("aux bytes = %d, want %d", st.AuxBytes, per*2)
+	}
+	if st.Bytes+st.AuxBytes > per*4 {
+		t.Errorf("total bytes %d over budget %d", st.Bytes+st.AuxBytes, per*4)
+	}
+	for _, k := range []string{"rel0", "rel1"} {
+		if _, ok := c.Get(k); ok {
+			t.Errorf("%s still resident, want evicted (LRU)", k)
+		}
+	}
+
+	// Relations arriving later evict the now-LRU aux entry in turn.
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("new%d", i), rel(10))
+	}
+	if _, ok := c.GetAux("idx"); ok {
+		t.Error("aux entry survived a full budget of newer relations")
+	}
+	if st := c.Stats(); st.AuxBytes != 0 || st.AuxEntries != 0 {
+		t.Errorf("aux accounting after eviction: entries=%d bytes=%d, want 0, 0", st.AuxEntries, st.AuxBytes)
+	}
+
+	// An aux entry bigger than the whole budget is refused admission.
+	before := c.Stats().Oversize
+	c.PutAux("huge", sizedAux{bytes: per * 100})
+	if _, ok := c.GetAux("huge"); ok {
+		t.Error("oversize aux entry was cached")
+	}
+	if got := c.Stats().Oversize; got != before+1 {
+		t.Errorf("oversize = %d, want %d", got, before+1)
+	}
+
+	// Unweighable aux values (no EstimatedBytes) stay admissible at zero
+	// weight — the pre-Sized behaviour.
+	c.PutAux("opaque", 42)
+	if v, ok := c.GetAux("opaque"); !ok || v != 42 {
+		t.Error("unweighable aux entry not stored")
+	}
+	if st := c.Stats(); st.AuxBytes != 0 {
+		t.Errorf("unweighable aux entry contributed %d bytes", st.AuxBytes)
+	}
+}
+
+// TestCapacityEvictionSkipsAuxEntries: entry-count pressure must evict
+// only relation entries — aux entries do not count toward capacity, so a
+// count-capped cache with relation churn must not collaterally flush its
+// join indexes.
+func TestCapacityEvictionSkipsAuxEntries(t *testing.T) {
+	c := NewCache(2)
+	c.PutAux("idx", sizedAux{bytes: 1000})
+	for i := 0; i < 6; i++ {
+		c.Put(fmt.Sprintf("rel%d", i), rel(10))
+	}
+	st := c.Stats()
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2 (capacity)", st.Entries)
+	}
+	if _, ok := c.GetAux("idx"); !ok {
+		t.Error("aux entry evicted by capacity pressure, want resident")
+	}
+	if st.AuxEntries != 1 {
+		t.Errorf("aux entries = %d, want 1", st.AuxEntries)
+	}
+	// Byte pressure, by contrast, still evicts the (now cold) aux entry.
+	c.SetMaxBytes(rel(10).EstimatedBytes() * 2)
+	if _, ok := c.GetAux("idx"); ok {
+		t.Error("aux entry survived byte pressure it no longer fits under")
+	}
+}
+
+// TestAuxBytesAccountingOnReplaceDropClear keeps the aux bytes gauge
+// consistent across replacement, DropAux and Clear.
+func TestAuxBytesAccountingOnReplaceDropClear(t *testing.T) {
+	c := NewCache(0)
+	c.PutAux("a", sizedAux{bytes: 100})
+	c.PutAux("a", sizedAux{bytes: 300})
+	if got := c.Stats().AuxBytes; got != 300 {
+		t.Errorf("aux bytes after replace = %d, want 300", got)
+	}
+	c.PutAux("b", sizedAux{bytes: 50})
+	c.DropAux("a")
+	if got := c.Stats().AuxBytes; got != 50 {
+		t.Errorf("aux bytes after drop = %d, want 50", got)
+	}
+	c.Clear()
+	st := c.Stats()
+	if st.AuxBytes != 0 || st.AuxEntries != 0 {
+		t.Errorf("after clear: aux entries=%d bytes=%d, want 0, 0", st.AuxEntries, st.AuxBytes)
+	}
+}
+
 // TestSetMaxBytesShrinkEvicts: lowering the budget evicts immediately.
 func TestSetMaxBytesShrinkEvicts(t *testing.T) {
 	c := NewCache(0)

@@ -123,8 +123,10 @@ func (a *Aggregate) Execute(ctx *Ctx) (*relation.Relation, error) {
 }
 
 // aggregateRel is the operator core, shared with Distinct and Unite. Row
-// hashing is chunk-parallel; group assignment stays serial because group
-// ids are handed out in first-appearance order.
+// hashing and grouping are morsel-parallel (groupRows), and accumulation —
+// the aggregate columns and the probability combine — folds per-chunk
+// partials merged in fixed chunk order (foldGroups), so the whole operator
+// scales with workers while staying bit-identical at every parallelism.
 func aggregateRel(ctx *Ctx, in *relation.Relation, groupBy []string, aggSpecs []AggSpec, pmode GroupProb) (*relation.Relation, error) {
 	gIdx, err := colPositions(in, groupBy)
 	if err != nil {
@@ -143,23 +145,22 @@ func aggregateRel(ctx *Ctx, in *relation.Relation, groupBy []string, aggSpecs []
 
 	prob := in.Prob()
 	for _, spec := range aggSpecs {
-		v, err := evalAgg(in, spec, groupOf, nGroups)
+		v, err := evalAgg(ctx, in, spec, groupOf, nGroups)
 		if err != nil {
 			return nil, err
 		}
 		cols = append(cols, relation.Column{Name: spec.As, Vec: v})
 	}
 
-	outProb := make([]float64, nGroups)
+	var outProb []float64
 	switch pmode {
 	case GroupCertain:
+		outProb = make([]float64, nGroups)
 		for g := range outProb {
 			outProb[g] = 1.0
 		}
 	case GroupDisjoint, GroupSumRaw:
-		for i, g := range groupOf {
-			outProb[g] += prob[i]
-		}
+		outProb = sumProbGroups(ctx, prob, groupOf, nGroups)
 		if pmode == GroupDisjoint {
 			for g, s := range outProb {
 				if s > 1 {
@@ -168,22 +169,30 @@ func aggregateRel(ctx *Ctx, in *relation.Relation, groupBy []string, aggSpecs []
 			}
 		}
 	case GroupIndependent:
-		q := make([]float64, nGroups)
-		for g := range q {
-			q[g] = 1.0
-		}
-		for i, g := range groupOf {
-			q[g] *= 1 - prob[i]
-		}
+		q := foldGroups(ctx, len(groupOf), nGroups,
+			func() []float64 {
+				acc := make([]float64, nGroups)
+				for g := range acc {
+					acc[g] = 1.0
+				}
+				return acc
+			},
+			func(acc []float64, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					acc[groupOf[i]] *= 1 - prob[i]
+				}
+			},
+			func(dst, src []float64) {
+				for g := range dst {
+					dst[g] *= src[g]
+				}
+			})
+		outProb = make([]float64, nGroups)
 		for g := range outProb {
 			outProb[g] = 1 - q[g]
 		}
 	case GroupMax:
-		for i, g := range groupOf {
-			if prob[i] > outProb[g] {
-				outProb[g] = prob[i]
-			}
-		}
+		outProb = maxProbGroups(ctx, prob, groupOf, nGroups)
 	}
 
 	if len(cols) == 0 {
@@ -319,29 +328,153 @@ func dedupRange(in *relation.Relation, gIdx []int, hashes []uint64, lo, hi int, 
 	return firsts
 }
 
-func evalAgg(in *relation.Relation, spec AggSpec, groupOf []int, nGroups int) (vector.Vector, error) {
+// aggChunk is the row-range granule for partial aggregation.
+const aggChunk = 4 * minMorsel
+
+// aggRanges splits [0, n) into the chunks partial aggregation folds over.
+// Unlike morselRanges, the decomposition depends only on n and nGroups —
+// never on Ctx.Parallelism: float accumulator merges are ordered but not
+// exactly associative, so a parallelism-dependent split would make Sum and
+// the probability combines drift in the last bits as worker count changes.
+// A fixed split plus a fixed merge order (chunk index order) keeps every
+// aggregate bit-identical at parallelism 1, 2 and 8.
+//
+// Each chunk carries a dense accumulator array of nGroups slots, so the
+// chunk count is capped both absolutely and relative to nGroups to keep
+// the partial footprint O(n) even for near-distinct groupings.
+func aggRanges(n, nGroups int) [][2]int {
+	chunks := n / aggChunk
+	if chunks > 16 {
+		chunks = 16
+	}
+	if nGroups > 0 && chunks > 1 {
+		if m := 8 * n / nGroups; chunks > m {
+			chunks = m
+		}
+	}
+	if chunks <= 1 {
+		return [][2]int{{0, n}}
+	}
+	size := (n + chunks - 1) / chunks
+	out := make([][2]int, 0, chunks)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// foldGroups computes a per-group aggregate over n rows with per-chunk
+// partial accumulators: fold accumulates rows [lo, hi) into a fresh
+// accumulator, and merge combines partials strictly in chunk index order —
+// the determinism contract float aggregates rely on (see aggRanges).
+// Chunks run on available workers; a single chunk folds inline, which is
+// byte-for-byte the serial loop.
+func foldGroups[T any](ctx *Ctx, n, nGroups int, newAcc func() []T, fold func(acc []T, lo, hi int), merge func(dst, src []T)) []T {
+	ranges := aggRanges(n, nGroups)
+	if len(ranges) <= 1 {
+		acc := newAcc()
+		fold(acc, 0, n)
+		return acc
+	}
+	parts := make([][]T, len(ranges))
+	ctx.runRanges(ranges, func(m, lo, hi int) {
+		acc := newAcc()
+		fold(acc, lo, hi)
+		parts[m] = acc
+	})
+	out := parts[0]
+	for _, p := range parts[1:] {
+		merge(out, p)
+	}
+	return out
+}
+
+func addFloats(dst, src []float64) {
+	for g := range dst {
+		dst[g] += src[g]
+	}
+}
+
+func maxFloats(dst, src []float64) {
+	for g := range dst {
+		if src[g] > dst[g] {
+			dst[g] = src[g]
+		}
+	}
+}
+
+func addInts(dst, src []int64) {
+	for g := range dst {
+		dst[g] += src[g]
+	}
+}
+
+// countGroups is the shared accumulator of CountAll and Count.
+func countGroups(ctx *Ctx, groupOf []int, nGroups int) []int64 {
+	return foldGroups(ctx, len(groupOf), nGroups,
+		func() []int64 { return make([]int64, nGroups) },
+		func(acc []int64, lo, hi int) {
+			for _, g := range groupOf[lo:hi] {
+				acc[g]++
+			}
+		},
+		addInts)
+}
+
+// sumProbGroups sums the probability column per group — the shared
+// accumulator of the SumProb aggregate and the disjoint/sum-raw
+// probability combines, so the two can never drift apart.
+func sumProbGroups(ctx *Ctx, prob []float64, groupOf []int, nGroups int) []float64 {
+	return foldGroups(ctx, len(groupOf), nGroups,
+		func() []float64 { return make([]float64, nGroups) },
+		func(acc []float64, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				acc[groupOf[i]] += prob[i]
+			}
+		},
+		addFloats)
+}
+
+// maxProbGroups takes the probability maximum per group — shared by the
+// MaxProb aggregate and the max probability combine.
+func maxProbGroups(ctx *Ctx, prob []float64, groupOf []int, nGroups int) []float64 {
+	return foldGroups(ctx, len(groupOf), nGroups,
+		func() []float64 { return make([]float64, nGroups) },
+		func(acc []float64, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if g := groupOf[i]; prob[i] > acc[g] {
+					acc[g] = prob[i]
+				}
+			}
+		},
+		maxFloats)
+}
+
+// sumCount is the partial state of Sum and Avg: the running sum plus the
+// member count (Avg's denominator).
+type sumCount struct {
+	sum float64
+	n   int64
+}
+
+// evalAgg computes one aggregate column. Accumulation is chunk-parallel
+// through foldGroups; every merge is either exact (counts, min/max,
+// integer-valued sums) or ordered by chunk index (float sums), so the
+// result is identical at every parallelism.
+func evalAgg(ctx *Ctx, in *relation.Relation, spec AggSpec, groupOf []int, nGroups int) (vector.Vector, error) {
 	prob := in.Prob()
+	n := len(groupOf)
 	switch spec.Op {
 	case CountAll:
-		out := make([]int64, nGroups)
-		for _, g := range groupOf {
-			out[g]++
-		}
-		return vector.FromInt64s(out), nil
+		return vector.FromInt64s(countGroups(ctx, groupOf, nGroups)), nil
 	case SumProb:
-		out := make([]float64, nGroups)
-		for i, g := range groupOf {
-			out[g] += prob[i]
-		}
-		return vector.FromFloat64s(out), nil
+		return vector.FromFloat64s(sumProbGroups(ctx, prob, groupOf, nGroups)), nil
 	case MaxProb:
-		out := make([]float64, nGroups)
-		for i, g := range groupOf {
-			if prob[i] > out[g] {
-				out[g] = prob[i]
-			}
-		}
-		return vector.FromFloat64s(out), nil
+		return vector.FromFloat64s(maxProbGroups(ctx, prob, groupOf, nGroups)), nil
 	}
 
 	col, err := in.ColByName(spec.Col)
@@ -350,26 +483,42 @@ func evalAgg(in *relation.Relation, spec AggSpec, groupOf []int, nGroups int) (v
 	}
 	switch spec.Op {
 	case Count:
-		out := make([]int64, nGroups)
-		for _, g := range groupOf {
-			out[g]++
-		}
-		return vector.FromInt64s(out), nil
+		return vector.FromInt64s(countGroups(ctx, groupOf, nGroups)), nil
 	case Min, Max:
-		best := make([]int, nGroups)
-		for i := range best {
-			best[i] = -1
-		}
-		for i, g := range groupOf {
-			switch {
-			case best[g] < 0:
-				best[g] = i
-			case spec.Op == Min && col.Vec.LessAt(i, col.Vec, best[g]):
-				best[g] = i
-			case spec.Op == Max && col.Vec.LessAt(best[g], col.Vec, i):
-				best[g] = i
+		// Partials track the best row per group; merging compares the
+		// earlier chunk's best against the later one's with the same strict
+		// inequality the serial loop uses, so equal values keep the earliest
+		// row exactly as a single left-to-right pass would.
+		isMin := spec.Op == Min
+		better := func(a, b int) bool { // does row a beat incumbent row b?
+			if isMin {
+				return col.Vec.LessAt(a, col.Vec, b)
 			}
+			return col.Vec.LessAt(b, col.Vec, a)
 		}
+		best := foldGroups(ctx, n, nGroups,
+			func() []int {
+				acc := make([]int, nGroups)
+				for g := range acc {
+					acc[g] = -1
+				}
+				return acc
+			},
+			func(acc []int, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					g := groupOf[i]
+					if acc[g] < 0 || better(i, acc[g]) {
+						acc[g] = i
+					}
+				}
+			},
+			func(dst, src []int) {
+				for g, b := range src {
+					if b >= 0 && (dst[g] < 0 || better(b, dst[g])) {
+						dst[g] = b
+					}
+				}
+			})
 		for g, b := range best {
 			if b < 0 {
 				return nil, fmt.Errorf("%s over empty group %d", spec.Op, g)
@@ -377,42 +526,58 @@ func evalAgg(in *relation.Relation, spec AggSpec, groupOf []int, nGroups int) (v
 		}
 		return col.Vec.Gather(best), nil
 	case Sum, Avg:
-		sums := make([]float64, nGroups)
-		counts := make([]int64, nGroups)
+		var fold func(acc []sumCount, lo, hi int)
 		isInt := col.Vec.Kind() == vector.Int64
 		switch v := col.Vec.(type) {
 		case *vector.Int64s:
 			vals := v.Values()
-			for i, g := range groupOf {
-				sums[g] += float64(vals[i])
-				counts[g]++
+			fold = func(acc []sumCount, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					acc[groupOf[i]].sum += float64(vals[i])
+					acc[groupOf[i]].n++
+				}
 			}
 		case *vector.Float64s:
 			vals := v.Values()
-			for i, g := range groupOf {
-				sums[g] += vals[i]
-				counts[g]++
+			fold = func(acc []sumCount, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					acc[groupOf[i]].sum += vals[i]
+					acc[groupOf[i]].n++
+				}
 			}
 		default:
 			return nil, fmt.Errorf("%s over non-numeric column %q", spec.Op, spec.Col)
 		}
+		sums := foldGroups(ctx, n, nGroups,
+			func() []sumCount { return make([]sumCount, nGroups) },
+			fold,
+			func(dst, src []sumCount) {
+				for g := range dst {
+					dst[g].sum += src[g].sum
+					dst[g].n += src[g].n
+				}
+			})
 		if spec.Op == Avg {
 			out := make([]float64, nGroups)
 			for g := range out {
-				if counts[g] > 0 {
-					out[g] = sums[g] / float64(counts[g])
+				if sums[g].n > 0 {
+					out[g] = sums[g].sum / float64(sums[g].n)
 				}
 			}
 			return vector.FromFloat64s(out), nil
 		}
 		if isInt {
 			out := make([]int64, nGroups)
-			for g, s := range sums {
-				out[g] = int64(s)
+			for g := range out {
+				out[g] = int64(sums[g].sum)
 			}
 			return vector.FromInt64s(out), nil
 		}
-		return vector.FromFloat64s(sums), nil
+		out := make([]float64, nGroups)
+		for g := range out {
+			out[g] = sums[g].sum
+		}
+		return vector.FromFloat64s(out), nil
 	}
 	return nil, fmt.Errorf("unknown aggregate op %v", spec.Op)
 }

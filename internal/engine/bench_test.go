@@ -246,3 +246,128 @@ func BenchmarkNormalizeGrouped(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// PR 3 microbenchmarks: the last three serial stages made parallel. On this
+// 1-CPU dev container only the algorithmic wins (open-addressing probe vs
+// map probe) show in wall-clock; the merge-sort and chunked-aggregation
+// scaling needs a multi-core host (see ROADMAP).
+
+var sortKeys = []relation.SortKey{{Col: 0}, {Col: 2, Desc: true}}
+
+// BenchmarkSortFullSliceStable is the serial baseline the parallel merge
+// sort is measured against: one sort.SliceStable over all 400k rows.
+func BenchmarkSortFullSliceStable(b *testing.B) {
+	rel := matRel(matRows, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rel.SortedSel(sortKeys)
+	}
+}
+
+func benchSortMerge(b *testing.B, par int) {
+	rel := matRel(matRows, 20000)
+	ctx := &Ctx{Parallelism: par}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sortSel(ctx, rel, sortKeys)
+	}
+}
+
+// BenchmarkSortMergeSerialFallback is sortSel at parallelism 1: the
+// single-morsel fallback, which is exactly BenchmarkSortFullSliceStable.
+func BenchmarkSortMergeSerialFallback(b *testing.B) { benchSortMerge(b, 1) }
+
+// BenchmarkSortMerge2 / 8: per-morsel stable sorts + k-way merge. The
+// per-morsel sorts run concurrently; with w workers each sorts n/w rows,
+// so the critical path drops to O((n/w)·log(n/w) + n·log w).
+func BenchmarkSortMerge2(b *testing.B) { benchSortMerge(b, 2) }
+func BenchmarkSortMerge8(b *testing.B) { benchSortMerge(b, 8) }
+
+func benchAggMorsel(b *testing.B, par, nKeys int) {
+	rel := matRel(matRows, nKeys)
+	cat := catalog.New(0)
+	cat.Put("m", rel)
+	ctx := NewCtx(cat)
+	ctx.Parallelism = par
+	plan := NewAggregate(NewScan("m"), []string{"k"}, []AggSpec{
+		{Op: CountAll, As: "n"},
+		{Op: Sum, Col: "x", As: "sx"},
+		{Op: MaxProb, As: "mp"},
+	}, GroupDisjoint)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Exec(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Aggregation over 400k rows with chunk-parallel accumulators: high group
+// cardinality (20k groups — dense partials are wide) and low cardinality
+// (16 groups — partials are tiny, accumulation is the whole cost).
+func BenchmarkAggregateMorselHighCard1(b *testing.B) { benchAggMorsel(b, 1, 20000) }
+func BenchmarkAggregateMorselHighCard8(b *testing.B) { benchAggMorsel(b, 8, 20000) }
+func BenchmarkAggregateMorselLowCard1(b *testing.B)  { benchAggMorsel(b, 1, 16) }
+func BenchmarkAggregateMorselLowCard8(b *testing.B)  { benchAggMorsel(b, 8, 16) }
+
+// probeWorkload builds the join-probe benchmark input: 20k distinct build
+// hashes (with a few duplicate rows per hash) and 400k probe hashes
+// drawn from the build domain.
+func probeWorkload() (build, probe []uint64) {
+	r := rand.New(rand.NewSource(44))
+	distinct := make([]uint64, 20000)
+	for i := range distinct {
+		distinct[i] = r.Uint64()
+	}
+	build = make([]uint64, 30000)
+	for i := range build {
+		if i < len(distinct) {
+			build[i] = distinct[i]
+		} else {
+			build[i] = distinct[r.Intn(len(distinct))]
+		}
+	}
+	probe = make([]uint64, matRows)
+	for i := range probe {
+		probe[i] = distinct[r.Intn(len(distinct))]
+	}
+	return build, probe
+}
+
+var benchProbeSink int
+
+// BenchmarkJoinProbeMap is the pre-PR-3 probe path: a Go map of row
+// slices, one pointer chase to the bucket header plus one to its backing
+// array per probe.
+func BenchmarkJoinProbeMap(b *testing.B) {
+	build, probe := probeWorkload()
+	m := make(map[uint64][]int, len(build))
+	for i, h := range build {
+		m[h] = append(m[h], i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, h := range probe {
+			n += len(m[h])
+		}
+		benchProbeSink = n
+	}
+}
+
+// BenchmarkJoinProbeOpen probes the flat open-addressing table at
+// parallelism 1 — the apples-to-apples comparison showing the algorithmic
+// win over the map probe independent of core count.
+func BenchmarkJoinProbeOpen(b *testing.B) {
+	build, probe := probeWorkload()
+	idx := buildBuckets(&Ctx{Parallelism: 1}, build)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, h := range probe {
+			n += len(idx.lookup(h))
+		}
+		benchProbeSink = n
+	}
+}

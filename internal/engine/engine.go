@@ -18,9 +18,14 @@
 //     morsels fill disjoint row ranges in place (gather, concat), TopN
 //     selects per-morsel survivors with a bounded heap and k-way-merges
 //     them (stable-sort-equivalent, the input is never fully sorted),
-//     the hash-join build partitions buckets by hash bits, and grouping
-//     deduplicates morsels locally before a serial re-rank over group
-//     representatives restores first-appearance ids.
+//     full Sort merge-sorts per-morsel stable runs through the same
+//     merge, the hash-join build partitions flat open-addressing tables
+//     by hash bits, grouping deduplicates morsels locally before a
+//     serial re-rank over group representatives restores
+//     first-appearance ids, and aggregation (including Normalize's
+//     denominators and the probability combines) folds per-chunk partial
+//     accumulators merged in a fixed chunk order so float results stay
+//     bit-identical at every parallelism.
 //
 // See README.md in this package for the materialization model and the
 // determinism contracts in detail.

@@ -123,9 +123,9 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 		rp := make([]int, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			for _, ri := range idx.buckets.lookup(lHash[i]) {
-				if left.RowsEqual(i, lIdx, right, ri, rIdx) {
+				if left.RowsEqual(i, lIdx, right, int(ri), rIdx) {
 					lp = append(lp, i)
-					rp = append(rp, ri)
+					rp = append(rp, int(ri))
 				}
 			}
 		}
@@ -230,6 +230,11 @@ type joinIndex struct {
 	buckets *bucketIndex
 	rel     *relation.Relation // identity check: index is valid for this exact relation
 }
+
+// EstimatedBytes implements catalog.Sized: cached join indexes count
+// toward (and are evictable under) the cache's byte budget. The build-side
+// relation is not counted — it is cached, and weighed, separately.
+func (ix *joinIndex) EstimatedBytes() int64 { return ix.buckets.EstimatedBytes() }
 
 func (j *HashJoin) buildIndex(ctx *Ctx, right *relation.Relation, rIdx []int) (*joinIndex, error) {
 	build := func() *joinIndex {

@@ -53,43 +53,51 @@ func (n *Normalize) Execute(ctx *Ctx) (*relation.Relation, error) {
 		return nil, err
 	}
 	prob := in.Prob()
-	denom := make([]float64, in.NumRows())
-	if len(n.KeyPos) == 0 {
-		var agg float64
-		for _, p := range prob {
-			if n.Mode == NormSum {
-				agg += p
-			} else if p > agg {
-				agg = p
-			}
-		}
-		for i := range denom {
-			denom[i] = agg
-		}
-	} else {
-		groupOf, firstRow := groupRows(ctx, in, n.KeyPos)
-		aggs := make([]float64, len(firstRow))
-		for i, g := range groupOf {
-			if n.Mode == NormSum {
-				aggs[g] += prob[i]
-			} else if prob[i] > aggs[g] {
-				aggs[g] = prob[i]
-			}
-		}
-		for i := range denom {
-			denom[i] = aggs[groupOf[i]]
-		}
+	// The denominators fold chunk-parallel through foldGroups: per-chunk
+	// partial sums (or maxima) merged in fixed chunk order, so the float
+	// results are bit-identical at every parallelism. The keyless global
+	// case is simply nGroups = 1.
+	groupOf := []int(nil)
+	nGroups := 1
+	if len(n.KeyPos) > 0 {
+		var firstRow []int
+		groupOf, firstRow = groupRows(ctx, in, n.KeyPos)
+		nGroups = len(firstRow)
 	}
+	aggs := foldGroups(ctx, in.NumRows(), nGroups,
+		func() []float64 { return make([]float64, nGroups) },
+		func(acc []float64, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				g := 0
+				if groupOf != nil {
+					g = groupOf[i]
+				}
+				if n.Mode == NormSum {
+					acc[g] += prob[i]
+				} else if prob[i] > acc[g] {
+					acc[g] = prob[i]
+				}
+			}
+		},
+		func(dst, src []float64) {
+			if n.Mode == NormSum {
+				addFloats(dst, src)
+			} else {
+				maxFloats(dst, src)
+			}
+		})
 	// Recombine probabilities chunk-parallel; column vectors are shared
 	// with the input (treated as immutable), only the probability column
 	// is rebuilt.
 	p := make([]float64, in.NumRows())
 	ctx.parallelRanges(len(p), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			if denom[i] > 0 {
-				p[i] = prob[i] / denom[i]
-			} else {
-				p[i] = 0
+			g := 0
+			if groupOf != nil {
+				g = groupOf[i]
+			}
+			if d := aggs[g]; d > 0 {
+				p[i] = prob[i] / d
 			}
 		}
 	})

@@ -184,35 +184,135 @@ func hashRowsParallel(ctx *Ctx, r *relation.Relation, seed maphash.Seed, colIdx 
 	return sums
 }
 
-// bucketIndex maps 64-bit row hashes to lists of row indexes, partitioned
-// by the low hash bits. Partitioning is what makes the build parallel: a
-// hash lives in exactly one partition, so per-partition maps can be filled
-// by concurrent workers without sharing. Row lists hold ascending row
-// indexes — the same order a serial single-map build appends them in — so
-// probes that scan a bucket in order emit matches bit-identically to the
-// serial build.
+// bucketIndex maps 64-bit row hashes to ascending runs of row indexes,
+// partitioned by the low hash bits. Partitioning is what makes the build
+// parallel: a hash lives in exactly one partition, so per-partition tables
+// can be filled by concurrent workers without sharing. Each partition is a
+// flat open-addressing table (openTable) instead of a Go map of slices:
+// the probe hot path touches a linear-probed slot array plus one
+// contiguous rows segment, with no per-bucket slice headers or map
+// internals to chase and no per-bucket allocations during the build.
 type bucketIndex struct {
 	mask  uint64
-	parts []map[uint64][]int
+	parts []openTable
 }
 
-// lookup returns the rows whose hash equals h.
-func (b *bucketIndex) lookup(h uint64) []int { return b.parts[h&b.mask][h] }
+// lookup returns the rows whose hash equals h, in ascending order — the
+// same order a serial append-based build would store them in, which probe
+// output order depends on.
+func (b *bucketIndex) lookup(h uint64) []int32 { return b.parts[h&b.mask].lookup(h) }
+
+// EstimatedBytes reports the heap footprint of the index's slot and row
+// arrays, so cached join indexes can be weighed against the catalog
+// cache's byte budget.
+func (b *bucketIndex) EstimatedBytes() int64 {
+	var n int64
+	for i := range b.parts {
+		t := &b.parts[i]
+		n += int64(len(t.hash))*8 + int64(len(t.start)+len(t.count)+len(t.rows))*4
+	}
+	return n
+}
+
+// openTable is one partition of a bucketIndex: a linear-probing slot array
+// over a contiguous rows array. All rows sharing one hash form a single
+// contiguous segment of rows (ascending row order), located by the slot's
+// start/count pair, so lookup returns a subslice without touching any
+// per-bucket structure. Row indexes are stored as int32 — relations are
+// in-memory columnar batches, far below 2^31 rows.
+type openTable struct {
+	mask  uint64 // len(hash) - 1; len is a power of two, load factor <= 0.5
+	hash  []uint64
+	start []int32
+	count []int32 // 0 marks an empty slot
+	rows  []int32
+}
+
+// lookup returns the ascending rows whose hash equals h, or nil.
+func (t *openTable) lookup(h uint64) []int32 {
+	// Partition selection consumed the low 6 bits at most; index slots by
+	// the bits above them so partitioned and single-partition tables both
+	// spread well.
+	i := (h >> 6) & t.mask
+	for {
+		c := t.count[i]
+		if c == 0 {
+			return nil
+		}
+		if t.hash[i] == h {
+			s := t.start[i]
+			return t.rows[s : s+c]
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// findSlot returns h's slot: the slot already holding h, or the empty slot
+// where it belongs. Load factor <= 0.5 guarantees the probe terminates.
+func (t *openTable) findSlot(h uint64) uint64 {
+	i := (h >> 6) & t.mask
+	for t.count[i] != 0 && t.hash[i] != h {
+		i = (i + 1) & t.mask
+	}
+	return i
+}
+
+// newOpenTable builds the table over total rows supplied as ordered lists
+// of ascending row indexes (the per-morsel partition lists, in morsel
+// order). Two passes: the first counts occurrences per distinct hash, the
+// second places each row into its hash's contiguous segment — in input
+// order, so every segment ends up ascending.
+func newOpenTable(hashes []uint64, lists [][]int32, total int) openTable {
+	size := 8
+	for size < 2*total {
+		size <<= 1
+	}
+	t := openTable{
+		mask:  uint64(size - 1),
+		hash:  make([]uint64, size),
+		start: make([]int32, size),
+		count: make([]int32, size),
+		rows:  make([]int32, total),
+	}
+	for _, l := range lists {
+		for _, r := range l {
+			h := hashes[r]
+			i := t.findSlot(h)
+			t.hash[i] = h
+			t.count[i]++
+		}
+	}
+	var off int32
+	for i, c := range t.count {
+		t.start[i] = off
+		off += c
+	}
+	cur := make([]int32, size)
+	copy(cur, t.start)
+	for _, l := range lists {
+		for _, r := range l {
+			i := t.findSlot(hashes[r])
+			t.rows[cur[i]] = r
+			cur[i]++
+		}
+	}
+	return t
+}
 
 // buildBuckets builds the hash → rows index over the given per-row hashes.
 // Large inputs build in two parallel phases: each morsel splits its rows by
-// partition, then one worker per partition merges the morsel lists — in
-// morsel order, so every bucket's rows stay ascending — into that
-// partition's map. Small inputs fall back to the serial single-map build.
+// partition, then one worker per partition builds that partition's open
+// table from the morsel lists — in morsel order, so every hash's rows stay
+// ascending. Small inputs build one table serially.
 func buildBuckets(ctx *Ctx, hashes []uint64) *bucketIndex {
 	n := len(hashes)
 	ranges := ctx.morselRanges(n)
 	if len(ranges) <= 1 {
-		m := make(map[uint64][]int, n)
-		for i, h := range hashes {
-			m[h] = append(m[h], i)
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
 		}
-		return &bucketIndex{mask: 0, parts: []map[uint64][]int{m}}
+		return &bucketIndex{mask: 0, parts: []openTable{newOpenTable(hashes, [][]int32{all}, n)}}
 	}
 	nParts := 1
 	for nParts < ctx.parallelism() {
@@ -222,32 +322,28 @@ func buildBuckets(ctx *Ctx, hashes []uint64) *bucketIndex {
 		nParts = 64
 	}
 	mask := uint64(nParts - 1)
-	byMorsel := make([][][]int, len(ranges))
+	byMorsel := make([][][]int32, len(ranges))
 	ctx.runRanges(ranges, func(m, lo, hi int) {
-		parts := make([][]int, nParts)
+		parts := make([][]int32, nParts)
 		est := (hi-lo)/nParts + 1
 		for i := lo; i < hi; i++ {
 			q := hashes[i] & mask
 			if parts[q] == nil {
-				parts[q] = make([]int, 0, est)
+				parts[q] = make([]int32, 0, est)
 			}
-			parts[q] = append(parts[q], i)
+			parts[q] = append(parts[q], int32(i))
 		}
 		byMorsel[m] = parts
 	})
-	parts := make([]map[uint64][]int, nParts)
+	parts := make([]openTable, nParts)
 	ctx.runRanges(taskRanges(nParts), func(_, q, _ int) {
+		lists := make([][]int32, 0, len(byMorsel))
 		total := 0
 		for _, mp := range byMorsel {
+			lists = append(lists, mp[q])
 			total += len(mp[q])
 		}
-		mq := make(map[uint64][]int, total)
-		for _, mp := range byMorsel {
-			for _, i := range mp[q] {
-				mq[hashes[i]] = append(mq[hashes[i]], i)
-			}
-		}
-		parts[q] = mq
+		parts[q] = newOpenTable(hashes, lists, total)
 	})
 	return &bucketIndex{mask: mask, parts: parts}
 }

@@ -200,6 +200,68 @@ func TestSerialParallelEquivalence(t *testing.T) {
 	}
 }
 
+// TestAggregationChunkedEquivalence runs the accumulating operators over
+// an input large enough to split into multiple aggregation chunks
+// (> 2*aggChunk rows), so the per-chunk partial accumulators and their
+// fixed-order merge — not the single-chunk serial fallback — are what is
+// being compared across parallelism 1, 2 and 8.
+func TestAggregationChunkedEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	rows := 2*aggChunk + 4321
+	if len(aggRanges(rows, 300)) < 2 {
+		t.Fatalf("test input does not split into chunks; aggRanges gave %v", aggRanges(rows, 300))
+	}
+	tables := map[string]*relation.Relation{"B": randRel(r, rows, 300)}
+	scanB := NewScan("B")
+	allAggs := []AggSpec{
+		{Op: CountAll, As: "n"},
+		{Op: Count, Col: "x", As: "cx"},
+		{Op: Sum, Col: "x", As: "sx"},
+		{Op: Sum, Col: "a", As: "sa"},
+		{Op: Avg, Col: "x", As: "ax"},
+		{Op: Min, Col: "b", As: "minb"},
+		{Op: Max, Col: "b", As: "maxb"},
+		{Op: Min, Col: "x", As: "minx"},
+		{Op: Max, Col: "x", As: "maxx"},
+		{Op: SumProb, As: "sp"},
+		{Op: MaxProb, As: "mp"},
+	}
+	cases := []struct {
+		name string
+		plan Node
+	}{
+		{"agg-disjoint", NewAggregate(scanB, []string{"b"}, allAggs, GroupDisjoint)},
+		{"agg-independent", NewAggregate(scanB, []string{"b"}, allAggs, GroupIndependent)},
+		{"agg-max", NewAggregate(scanB, []string{"b"}, allAggs, GroupMax)},
+		{"agg-sumraw-global", NewAggregate(scanB, nil, allAggs, GroupSumRaw)},
+		{"agg-high-cardinality", NewAggregate(scanB, []string{"a"}, []AggSpec{
+			{Op: Sum, Col: "x", As: "sx"}, {Op: SumProb, As: "sp"}}, GroupIndependent)},
+		{"distinct", NewDistinct(NewProject(scanB, ByName("b")...), GroupDisjoint)},
+		{"normalize-grouped", NewNormalize(scanB, []int{1}, NormSum)},
+		{"normalize-grouped-max", NewNormalize(scanB, []int{1}, NormMax)},
+		{"normalize-global", NewNormalize(scanB, nil, NormSum)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want *relation.Relation
+			for _, par := range []int{1, 2, 8} {
+				got, err := ctxAt(par, tables).Exec(tc.plan)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				if par == 1 {
+					want = got
+					if got.NumRows() == 0 {
+						t.Fatalf("degenerate case: serial run produced no rows")
+					}
+					continue
+				}
+				mustEqualRel(t, want, got, fmt.Sprintf("parallelism %d", par))
+			}
+		})
+	}
+}
+
 // TestEquivalenceUnderCacheAll re-runs a composite plan with every
 // intermediate cached, twice per context, at each parallelism level: the
 // cold run, the hot (all-hits) run and the serial baseline must agree.

@@ -228,8 +228,8 @@ func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
 		for i := lo; i < hi; i++ {
 			match := -1
 			for _, ri := range buckets.lookup(lHash[i]) {
-				if left.RowsEqual(i, lIdx, right, ri, rIdx) {
-					match = ri
+				if left.RowsEqual(i, lIdx, right, int(ri), rIdx) {
+					match = int(ri)
 					break
 				}
 			}

@@ -51,6 +51,11 @@ type Sort struct {
 func NewSort(child Node, keys ...SortSpec) *Sort { return &Sort{Child: child, Keys: keys} }
 
 // Execute implements Node.
+//
+// The sort permutation is computed as a parallel merge sort: each morsel
+// stable-sorts its own rows and a k-way merge (with original-row-index
+// tie-break) reassembles exactly the serial stable sort's permutation, so
+// ORDER BY without LIMIT scales like TopN does.
 func (s *Sort) Execute(ctx *Ctx) (*relation.Relation, error) {
 	in, err := ctx.Exec(s.Child)
 	if err != nil {
@@ -60,7 +65,7 @@ func (s *Sort) Execute(ctx *Ctx) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return gatherParallel(ctx, in, in.SortedSel(keys)), nil
+	return gatherParallel(ctx, in, sortSel(ctx, in, keys)), nil
 }
 
 // Fingerprint implements Node.

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+// nullishRel builds a relation whose string key column mixes empty strings
+// (the engine's NULL-like value) with a tiny domain of real values, so the
+// merge's tie-break has to order many equal — and many empty — keys.
+func nullishRel(r *rand.Rand, n int) *relation.Relation {
+	a := make([]string, n)
+	x := make([]int64, n)
+	p := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if r.Intn(3) == 0 {
+			a[i] = "" // NULL-like
+		} else {
+			a[i] = fmt.Sprintf("v%d", r.Intn(4))
+		}
+		x[i] = int64(r.Intn(7))
+		p[i] = float64(r.Intn(3)) / 2
+	}
+	return relation.MustFromColumns([]relation.Column{
+		{Name: "a", Vec: vector.FromStrings(a)},
+		{Name: "x", Vec: vector.FromInt64s(x)},
+	}, p)
+}
+
+// allEqualRel builds a relation whose sort keys are identical on every row,
+// the degenerate case where the merge output must be exactly the identity
+// permutation (stable sort of all-equal keys changes nothing).
+func allEqualRel(n int) *relation.Relation {
+	a := make([]string, n)
+	p := make([]float64, n)
+	for i := range a {
+		a[i] = "same"
+		p[i] = 0.5
+	}
+	return relation.MustFromColumns([]relation.Column{
+		{Name: "a", Vec: vector.FromStrings(a)},
+	}, p)
+}
+
+// TestSortSelMatchesSliceStable is the property test for the parallel
+// merge sort: over duplicate-heavy, NULL-like-empty-string and all-equal
+// inputs, sortSel at parallelism 1, 2 and 8 must reproduce the serial
+// sort.SliceStable permutation (relation.SortedSel) exactly — same rows,
+// same order, including the stable handling of ties.
+func TestSortSelMatchesSliceStable(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	sizes := []int{0, 100, 2*minMorsel + 123, 30000}
+	type input struct {
+		name string
+		rel  func(n int) *relation.Relation
+		keys [][]relation.SortKey
+	}
+	inputs := []input{
+		{
+			name: "duplicate-keys",
+			rel:  func(n int) *relation.Relation { return dupRel(r, n) },
+			keys: [][]relation.SortKey{
+				{{Col: 0}, {Col: 1, Desc: true}},
+				{{Col: relation.ProbCol, Desc: true}, {Col: 0}},
+				{{Col: 1}},
+			},
+		},
+		{
+			name: "empty-strings",
+			rel:  func(n int) *relation.Relation { return nullishRel(r, n) },
+			keys: [][]relation.SortKey{
+				{{Col: 0}},
+				{{Col: 0, Desc: true}, {Col: 1}},
+				{{Col: relation.ProbCol}, {Col: 0, Desc: true}},
+			},
+		},
+		{
+			name: "all-equal",
+			rel:  func(n int) *relation.Relation { return allEqualRel(n) },
+			keys: [][]relation.SortKey{
+				{{Col: 0}},
+				{{Col: 0, Desc: true}, {Col: relation.ProbCol}},
+			},
+		},
+	}
+	for _, in := range inputs {
+		for _, rows := range sizes {
+			rel := in.rel(rows)
+			for ki, keys := range in.keys {
+				want := rel.SortedSel(keys)
+				for _, par := range []int{1, 2, 8} {
+					got := sortSel(&Ctx{Parallelism: par}, rel, keys)
+					if len(got) != len(want) {
+						t.Fatalf("%s rows=%d keys=%d par=%d: len = %d, want %d",
+							in.name, rows, ki, par, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%s rows=%d keys=%d par=%d: position %d = row %d, want %d",
+								in.name, rows, ki, par, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSortNodeEquivalenceEmptyStrings runs the full Sort operator — not
+// just the permutation — over the NULL-like input at parallelism 1, 2 and
+// 8 and demands bit-identical relations, covering the parallel gather of
+// the merged permutation too.
+func TestSortNodeEquivalenceEmptyStrings(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	tables := map[string]*relation.Relation{"N": nullishRel(r, 2*minMorsel+517)}
+	plan := NewSort(NewScan("N"), SortSpec{Col: "a"}, SortSpec{Col: "x", Desc: true}, SortSpec{Col: "", Desc: true})
+	var want *relation.Relation
+	for _, par := range []int{1, 2, 8} {
+		got, err := ctxAt(par, tables).Exec(plan)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		mustEqualRel(t, want, got, fmt.Sprintf("parallelism %d", par))
+	}
+}
+
+// TestAggRangesDecompositionIsParallelismFree pins the determinism
+// contract of chunked aggregation: the chunk boundaries depend only on the
+// row count and group count, cover [0, n) exactly, and never explode the
+// dense-partial footprint for near-distinct groupings.
+func TestAggRangesDecompositionIsParallelismFree(t *testing.T) {
+	for _, n := range []int{0, 1, aggChunk, 2*aggChunk + 3, 400000} {
+		for _, nGroups := range []int{1, 16, n/2 + 1, n + 1} {
+			ranges := aggRanges(n, nGroups)
+			last := 0
+			for _, rg := range ranges {
+				if rg[0] != last {
+					t.Fatalf("n=%d groups=%d: gap before %d", n, nGroups, rg[0])
+				}
+				last = rg[1]
+			}
+			if last != n {
+				t.Fatalf("n=%d groups=%d: ranges end at %d", n, nGroups, last)
+			}
+			if len(ranges) > 1 && len(ranges)*nGroups > 8*n+nGroups {
+				t.Fatalf("n=%d groups=%d: %d chunks would allocate %d dense slots",
+					n, nGroups, len(ranges), len(ranges)*nGroups)
+			}
+		}
+	}
+}

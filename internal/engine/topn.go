@@ -6,14 +6,39 @@ import (
 	"irdb/internal/relation"
 )
 
-// Parallel TopN selection.
+// Parallel sort and TopN selection.
 //
-// The serial definition of TopN is the first n entries of the stable-sort
-// permutation relation.SortedSel. Breaking comparison ties on the original
-// row index turns that stable ordering into a strict total order, which
-// makes the result reproducible piecewise: each morsel keeps only its own
-// best n rows (a bounded max-heap, so the input is never fully sorted) and
-// a k-way merge of the per-morsel runs yields exactly SortedSel(keys)[:n].
+// The serial definition of both operators is the stable-sort permutation
+// relation.SortedSel (TopN keeps its first n entries). Breaking comparison
+// ties on the original row index turns that stable ordering into a strict
+// total order, which makes the permutation reproducible piecewise: each
+// morsel sorts (or, for TopN, bounded-heap-selects) its own rows and a
+// k-way merge of the per-morsel runs yields exactly SortedSel(keys) — the
+// same permutation at every parallelism, because a strict total order has
+// exactly one sorted sequence regardless of how the input was split.
+
+// sortSel returns in.SortedSel(keys) computed with per-morsel stable sorts
+// plus the same k-way merge TopN uses, when worker slots allow. Unlike
+// topNSel it keeps every row: ORDER BY without LIMIT scales the same way
+// TopN does.
+func sortSel(ctx *Ctx, in *relation.Relation, keys []relation.SortKey) []int {
+	total := in.NumRows()
+	ranges := ctx.morselRanges(total)
+	if len(ranges) <= 1 {
+		return in.SortedSel(keys)
+	}
+	less := func(i, j int) bool {
+		if c := in.CompareRows(keys, i, j); c != 0 {
+			return c < 0
+		}
+		return i < j // stable-sort tie-break: original row order
+	}
+	runs := make([][]int, len(ranges))
+	ctx.runRanges(ranges, func(m, lo, hi int) {
+		runs[m] = in.SortedSelRange(keys, lo, hi)
+	})
+	return mergeRuns(less, runs, total)
+}
 
 // topNSel returns the first n entries of in.SortedSel(keys), computed with
 // per-morsel partial selection plus a k-way merge when worker slots allow.

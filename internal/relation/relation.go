@@ -306,10 +306,19 @@ func (r *Relation) Sorted(keys []SortKey) *Relation {
 // would apply, without materializing the sorted relation. TopN uses it to
 // gather only the rows it keeps instead of copying the whole input twice.
 func (r *Relation) SortedSel(keys []SortKey) []int {
-	n := r.NumRows()
-	sel := make([]int, n)
+	return r.SortedSelRange(keys, 0, r.NumRows())
+}
+
+// SortedSelRange returns the stable-sort permutation of rows [lo, hi)
+// only: the row indexes lo..hi-1 ordered by the given keys, ties keeping
+// ascending row order. Because a stable sort of a contiguous range equals
+// the strict total order "CompareRows, then row index", the engine's
+// parallel merge sort can sort disjoint morsels through this and k-way
+// merge the runs into exactly SortedSel's permutation.
+func (r *Relation) SortedSelRange(keys []SortKey, lo, hi int) []int {
+	sel := make([]int, hi-lo)
 	for i := range sel {
-		sel[i] = i
+		sel[i] = lo + i
 	}
 	sort.SliceStable(sel, func(a, b int) bool {
 		return r.CompareRows(keys, sel[a], sel[b]) < 0

@@ -6,10 +6,12 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"irdb/internal/strategy"
 	"irdb/internal/workload"
 )
 
@@ -117,6 +119,80 @@ func TestBackpressureSemaphore(t *testing.T) {
 	if stats.Admission.QueuedTotal == 0 {
 		t.Error("queued_total = 0 in /stats after observed queueing")
 	}
+}
+
+// TestStrategyInstallGatedByAdmission: POST /strategies shares the
+// admission semaphore with /search — while the only slot is held the
+// install queues (visible as queue depth) instead of executing, and /stats
+// stays exempt so the queue remains observable. The install completes once
+// the slot frees.
+func TestStrategyInstallGatedByAdmission(t *testing.T) {
+	srv, ts := newTestServerParallel(t, 2)
+	srv.SetMaxInFlight(1)
+	body, err := strategyJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv.acquire(context.Background()) // occupy the only slot
+	codes := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/strategies", "application/json", strings.NewReader(body))
+		if err != nil {
+			codes <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.queueDepth.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.queueDepth.Load(); got != 1 {
+		t.Fatalf("queue_depth = %d while slot held, want 1 (install bypassed admission?)", got)
+	}
+	select {
+	case code := <-codes:
+		t.Fatalf("install completed (status %d) while the admission slot was held", code)
+	default:
+	}
+	// /stats must answer while the pool is saturated.
+	var stats struct {
+		Admission struct {
+			QueueDepth int64 `json:"queue_depth"`
+		} `json:"admission"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != 200 {
+		t.Fatalf("stats status = %d under saturation", code)
+	}
+	if stats.Admission.QueueDepth != 1 {
+		t.Errorf("stats queue_depth = %d, want 1", stats.Admission.QueueDepth)
+	}
+
+	srv.release()
+	if code := <-codes; code != http.StatusCreated {
+		t.Fatalf("queued install finished with status %d, want 201", code)
+	}
+	names := srv.StrategyNames()
+	found := false
+	for _, n := range names {
+		if n == strategy.Production().Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("installed strategies = %v, want %q present", names, strategy.Production().Name)
+	}
+}
+
+func strategyJSON() (string, error) {
+	b, err := strategy.Production().ToJSON()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 // TestStatsReportsCacheBytes: byte-weighted cache accounting must surface

@@ -41,10 +41,11 @@ import (
 // concurrent requests reuse each other's on-demand indexes).
 //
 // Admission is gated by a request-level semaphore (default 2× the engine's
-// worker-pool size): excess requests queue instead of oversubscribing the
-// pool, so saturation shows up as predictable queueing latency rather than
-// a throughput collapse. The current queue depth and in-flight count are
-// exported via /stats.
+// worker-pool size) shared by /search and strategy installation: excess
+// requests queue instead of oversubscribing the pool, so saturation shows
+// up as predictable queueing latency rather than a throughput collapse.
+// /stats bypasses admission so the queue stays observable under load. The
+// current queue depth and in-flight count are exported via /stats.
 type Server struct {
 	ctx      *engine.Ctx
 	synonyms text.SynonymDict
@@ -252,6 +253,18 @@ func (s *Server) handleInstallStrategy(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Strategy installation shares the admission semaphore with /search:
+	// installation validates and can pre-compile heavy materializations, so
+	// letting it bypass admission would oversubscribe the worker pool
+	// exactly when the server is saturated. The slot is taken only after
+	// the body is read and parsed — a slow or malformed upload must not
+	// occupy admission while doing no engine work. /stats stays exempt —
+	// it must answer while the pool is busy, that is its job.
+	if !s.acquire(r.Context()) {
+		httpError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+		return
+	}
+	defer s.release()
 	if err := s.Install(st); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
