@@ -14,32 +14,17 @@ import (
 	"irdb/internal/expr"
 	"irdb/internal/invidx"
 	"irdb/internal/ir"
-	"irdb/internal/relation"
 	"irdb/internal/strategy"
 	"irdb/internal/text"
 	"irdb/internal/triple"
-	"irdb/internal/vector"
 	"irdb/internal/workload"
 )
-
-func docsRelation(docs []workload.Doc) *relation.Relation {
-	ids := make([]int64, len(docs))
-	data := make([]string, len(docs))
-	for i, d := range docs {
-		ids[i] = d.ID
-		data[i] = d.Data
-	}
-	return relation.MustFromColumns([]relation.Column{
-		{Name: "docID", Vec: vector.FromInt64s(ids)},
-		{Name: "data", Vec: vector.FromStrings(data)},
-	}, nil)
-}
 
 func newSearcher(b *testing.B, nDocs int) (*ir.Searcher, []string) {
 	b.Helper()
 	docs := workload.GenDocs(nDocs, 80, 30000, 42)
 	cat := catalog.New(0)
-	cat.Put("docs", docsRelation(docs))
+	cat.Put("docs", workload.DocsRelation(docs))
 	ctx := engine.NewCtx(cat)
 	s, err := ir.NewSearcher(ctx, engine.NewScan("docs"), ir.DefaultParams())
 	if err != nil {
@@ -78,7 +63,7 @@ func BenchmarkE1IndexBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		cat := catalog.New(0)
-		cat.Put("docs", docsRelation(docs))
+		cat.Put("docs", workload.DocsRelation(docs))
 		ctx := engine.NewCtx(cat)
 		s, err := ir.NewSearcher(ctx, engine.NewScan("docs"), ir.DefaultParams())
 		if err != nil {
@@ -217,7 +202,7 @@ func BenchmarkE4AuctionStrategyHot(b *testing.B) {
 func BenchmarkE5SharedRebuild(b *testing.B) {
 	docs := workload.GenDocs(2000, 80, 30000, 42)
 	cat := catalog.New(0)
-	cat.Put("docs", docsRelation(docs))
+	cat.Put("docs", workload.DocsRelation(docs))
 	ctx := engine.NewCtx(cat)
 	first, err := ir.NewSearcher(ctx, engine.NewScan("docs"), ir.DefaultParams())
 	if err != nil {

@@ -1,4 +1,4 @@
-// Command benchrun executes the reproduction experiments E1–E8 (see
+// Command benchrun executes the reproduction experiments E1–E9 (see
 // DESIGN.md for the experiment index) and prints their report tables,
 // optionally as the markdown used in EXPERIMENTS.md.
 //
@@ -39,7 +39,7 @@ type jsonReport struct {
 
 func main() {
 	var (
-		list  = flag.String("e", "all", "comma-separated experiment IDs (E1..E7) or 'all'")
+		list  = flag.String("e", "all", "comma-separated experiment IDs (E1..E9) or 'all'")
 		scale = flag.Float64("scale", 1.0, "dataset scale factor")
 		quick = flag.Bool("quick", false, "smoke-test sizes")
 		md    = flag.Bool("md", false, "emit markdown instead of text tables")

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"irdb/internal/triple"
+	"irdb/internal/vector"
 	"irdb/internal/workload"
 )
 
@@ -67,5 +68,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gendata: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "gendata: wrote %d triples (%s scenario)\n", len(triples), *scenario)
+	// Report how well the dataset dictionary-encodes: the loader interns
+	// subjects, properties and string objects into one shared dict, so the
+	// distinct-string count here is exactly the dict the store will build.
+	dict := vector.NewDict(len(triples))
+	var raw, interned int64
+	intern := func(s string) {
+		raw += int64(len(s))
+		before := dict.Len()
+		if dict.Put(s); dict.Len() > before {
+			interned += int64(len(s))
+		}
+	}
+	for _, t := range triples {
+		intern(t.Subject)
+		intern(t.Property)
+		if t.Obj.Kind == vector.String {
+			intern(t.Obj.Str)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "gendata: wrote %d triples (%s scenario); dict: %d distinct strings, %d KiB interned vs %d KiB raw\n",
+		len(triples), *scenario, dict.Len(), interned/1024, raw/1024)
 }

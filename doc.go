@@ -23,6 +23,16 @@
 // experiment E8 (internal/experiments) measures the resulting throughput
 // against worker count.
 //
+// String data is dictionary-encoded end-to-end: loaders intern
+// high-cardinality string columns once into shared frozen dictionaries
+// (vector.DictStrings — int32 codes over a vector.FrozenDict), and every
+// hash, comparison, sort, group-by and join over those columns runs on
+// fixed-width codes (ranks for ordering) instead of re-reading string
+// bytes. Operators meeting columns with different dictionaries fall back
+// to string semantics — decoding or re-encoding one side — so results
+// are bit-identical to plain string execution at every parallelism; the
+// equivalence suite in internal/engine/dict_equiv_test.go enforces this.
+//
 // The root package holds the per-experiment benchmarks (bench_test.go);
 // the implementation lives under internal/ (see DESIGN.md for the system
 // inventory) with runnable entry points under cmd/ and examples/.

@@ -53,6 +53,12 @@ type Cache struct {
 	evictions uint64
 	shared    uint64
 	oversize  uint64
+
+	// weigh overrides how relation entries are sized (set once at
+	// construction, before concurrent use). The catalog installs a
+	// marginal-bytes weigher that charges nothing for dictionaries its
+	// base tables pin; a standalone cache falls back to EstimatedBytes.
+	weigh func(*relation.Relation) int64
 }
 
 // flight is one in-progress computation that concurrent callers share.
@@ -75,6 +81,14 @@ type cacheEntry struct {
 	aux   any                // nil for relation entries
 	isAux bool
 	bytes int64 // EstimatedBytes at insertion, so accounting stays consistent
+}
+
+// sizeOfRel weighs a relation entry through the configured weigher.
+func (c *Cache) sizeOfRel(r *relation.Relation) int64 {
+	if c.weigh != nil {
+		return c.weigh(r)
+	}
+	return r.EstimatedBytes()
 }
 
 // sizeOfAux weighs an auxiliary value: its own estimate when it can report
@@ -136,7 +150,7 @@ func (c *Cache) GetOrCompute(key string, compute func() (*relation.Relation, err
 	if f.err == nil {
 		// Size the result before re-taking the lock: EstimatedBytes walks
 		// every string payload, which must not stall concurrent Gets.
-		b = f.rel.EstimatedBytes()
+		b = c.sizeOfRel(f.rel)
 	}
 
 	c.mu.Lock()
@@ -267,7 +281,7 @@ func (c *Cache) Get(key string) (*relation.Relation, bool) {
 // Put stores a materialized relation under the fingerprint, evicting the
 // least recently used entry if the cache is full.
 func (c *Cache) Put(key string, r *relation.Relation) {
-	b := r.EstimatedBytes() // sized outside the lock; see GetOrCompute
+	b := c.sizeOfRel(r) // sized outside the lock; see GetOrCompute
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.putLocked(key, r, b)

@@ -3,6 +3,9 @@ package catalog
 import (
 	"fmt"
 	"testing"
+
+	"irdb/internal/relation"
+	"irdb/internal/vector"
 )
 
 // TestByteWeightedEviction: many small hot entries must survive the
@@ -212,5 +215,53 @@ func TestSetMaxBytesShrinkEvicts(t *testing.T) {
 	st = c.Stats()
 	if st.Entries != 0 || st.Bytes != 0 {
 		t.Errorf("after shrink below one entry: entries=%d bytes=%d, want 0, 0", st.Entries, st.Bytes)
+	}
+}
+
+// TestCacheWeighsBaseDictsAsMarginal checks that a cached relation
+// sharing a base table's frozen dict is weighed by its marginal bytes
+// (codes, probs), not the dictionary: evicting it would not free the
+// dict, and charging it would make every derived entry look oversize
+// under a byte budget. A dict NOT pinned by any base table (e.g. a
+// per-evaluation tokenizer dict) must still count in full.
+func TestCacheWeighsBaseDictsAsMarginal(t *testing.T) {
+	big := make([]string, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		big = append(big, fmt.Sprintf("subject-with-a-long-name-%06d", i))
+	}
+	base, err := relation.EncodeStringCols(relation.MustFromColumns([]relation.Column{
+		{Name: "s", Vec: vector.FromStrings(big)},
+	}, nil), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := New(0)
+	cat.Put("base", base)
+	dictBytes := base.Col(0).Vec.(*vector.DictStrings).Dict().EstimatedBytes()
+
+	// A tiny slice of the base table: marginal weight ≈ 10 codes + probs.
+	derived := base.Gather([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if _, _, err := cat.Cache().GetOrCompute("tiny", func() (*relation.Relation, error) {
+		return derived, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cat.Cache().Stats().Bytes; got >= dictBytes {
+		t.Fatalf("cached slice weighs %d bytes, should be marginal (dict alone is %d)", got, dictBytes)
+	}
+
+	// An unpinned dict reachable only through the cached entry counts full.
+	fresh := relation.MustFromColumns([]relation.Column{
+		{Name: "s", Vec: vector.EncodeStrings(vector.FromStrings(big[:500]))},
+	}, nil)
+	before := cat.Cache().Stats().Bytes
+	if _, _, err := cat.Cache().GetOrCompute("fresh", func() (*relation.Relation, error) {
+		return fresh, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	freshDict := fresh.Col(0).Vec.(*vector.DictStrings).Dict().EstimatedBytes()
+	if got := cat.Cache().Stats().Bytes - before; got < freshDict {
+		t.Fatalf("unpinned dict weighed %d bytes, want at least its dict (%d)", got, freshDict)
 	}
 }

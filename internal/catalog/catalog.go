@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"irdb/internal/relation"
+	"irdb/internal/vector"
 )
 
 // Catalog is a thread-safe registry of named base tables and the
@@ -22,15 +24,46 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*relation.Relation
 	cache  *Cache
+	// baseDicts snapshots the frozen dictionaries pinned by base tables
+	// (map[*vector.FrozenDict]bool), rebuilt on every table change. The
+	// cache weighs entries through it lock-free: a cached derived relation
+	// is charged only its marginal bytes, never a dictionary the base
+	// data keeps alive anyway.
+	baseDicts atomic.Value
 }
 
 // New returns an empty catalog with a cache of the given capacity
 // (entries). Capacity <= 0 means unbounded.
 func New(cacheCapacity int) *Catalog {
-	return &Catalog{
+	c := &Catalog{
 		tables: make(map[string]*relation.Relation),
 		cache:  NewCache(cacheCapacity),
 	}
+	c.baseDicts.Store(map[*vector.FrozenDict]bool{})
+	c.cache.weigh = c.marginalBytes
+	return c
+}
+
+// marginalBytes weighs a relation for the cache: pinned base-table dicts
+// count zero, everything else (codes, plain columns, probabilities,
+// unpinned dicts) counts in full.
+func (c *Catalog) marginalBytes(r *relation.Relation) int64 {
+	pinned, _ := c.baseDicts.Load().(map[*vector.FrozenDict]bool)
+	return r.EstimatedBytesExcluding(pinned)
+}
+
+// refreshBaseDictsLocked rebuilds the pinned-dict snapshot. Callers hold
+// c.mu.
+func (c *Catalog) refreshBaseDictsLocked() {
+	m := make(map[*vector.FrozenDict]bool)
+	for _, rel := range c.tables {
+		for _, col := range rel.Columns() {
+			if ds, ok := col.Vec.(*vector.DictStrings); ok {
+				m[ds.Dict()] = true
+			}
+		}
+	}
+	c.baseDicts.Store(m)
 }
 
 // Put registers (or replaces) a base table. Replacing a table invalidates
@@ -39,6 +72,7 @@ func (c *Catalog) Put(name string, r *relation.Relation) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tables[name] = r
+	c.refreshBaseDictsLocked()
 	c.cache.Clear()
 }
 
@@ -66,6 +100,7 @@ func (c *Catalog) Drop(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.tables, name)
+	c.refreshBaseDictsLocked()
 	c.cache.Clear()
 }
 
@@ -87,3 +122,42 @@ func (c *Catalog) tableNamesLocked() []string {
 
 // Cache returns the materialization cache.
 func (c *Catalog) Cache() *Cache { return c.cache }
+
+// DictStats summarizes dictionary encoding across the base tables, for
+// /stats: how many shared frozen dictionaries exist, how many distinct
+// strings they intern, the bytes they hold, and the bytes of int32 code
+// columns referencing them. Dictionaries shared by several columns (or
+// several tables) count once, mirroring relation.EstimatedBytes.
+type DictStats struct {
+	Dicts           int   `json:"dicts"`
+	InternedStrings int64 `json:"interned_strings"`
+	DictBytes       int64 `json:"dict_bytes"`
+	CodeBytes       int64 `json:"code_bytes"`
+	EncodedColumns  int   `json:"encoded_columns"`
+}
+
+// DictStats reports dictionary-encoding statistics over all base tables.
+func (c *Catalog) DictStats() DictStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var st DictStats
+	seen := map[*vector.FrozenDict]bool{}
+	for _, rel := range c.tables {
+		for _, col := range rel.Columns() {
+			ds, ok := col.Vec.(*vector.DictStrings)
+			if !ok {
+				continue
+			}
+			st.EncodedColumns++
+			st.CodeBytes += int64(ds.Len()) * 4
+			d := ds.Dict()
+			if !seen[d] {
+				seen[d] = true
+				st.Dicts++
+				st.InternedStrings += int64(d.Len())
+				st.DictBytes += d.EstimatedBytes()
+			}
+		}
+	}
+	return st
+}

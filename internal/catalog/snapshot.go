@@ -23,6 +23,15 @@ type snapshotColumn struct {
 	Floats []float64
 	Strs   []string
 	Bools  []bool
+	// Version 2: a dict-encoded string column stores its codes plus an
+	// index into the file-level Dicts table instead of expanded strings.
+	// Columns sharing one frozen dict share one Dicts entry, so encoding
+	// (and cross-column code comparability) survives a save/load cycle.
+	// Encoded is the explicit marker — Codes may legitimately be empty
+	// (a zero-row partition still shares the store's dict).
+	Encoded bool
+	Codes   []int32
+	DictID  int
 }
 
 type snapshotTable struct {
@@ -35,16 +44,23 @@ type snapshotFile struct {
 	Magic   string
 	Version int
 	Tables  []snapshotTable
+	// Dicts holds each shared dictionary's strings in code order
+	// (version 2; empty in version 1 files).
+	Dicts [][]string
 }
 
 const (
 	snapshotMagic   = "irdb-snapshot"
-	snapshotVersion = 1
+	snapshotVersion = 2
+	// oldest snapshot version LoadSnapshot still reads (version 1 files
+	// simply have no dict-encoded columns).
+	snapshotMinVersion = 1
 )
 
 // Save writes every base table to w. The cache is not included.
 func (c *Catalog) Save(w io.Writer) error {
 	file := snapshotFile{Magic: snapshotMagic, Version: snapshotVersion}
+	dictIDs := map[*vector.FrozenDict]int{}
 	for _, name := range c.TableNames() {
 		rel, err := c.Table(name)
 		if err != nil {
@@ -60,6 +76,16 @@ func (c *Catalog) Save(w io.Writer) error {
 				sc.Floats = v.Values()
 			case *vector.Strings:
 				sc.Strs = v.Values()
+			case *vector.DictStrings:
+				id, ok := dictIDs[v.Dict()]
+				if !ok {
+					id = len(file.Dicts)
+					dictIDs[v.Dict()] = id
+					file.Dicts = append(file.Dicts, v.Dict().Strings())
+				}
+				sc.Encoded = true
+				sc.Codes = v.Codes()
+				sc.DictID = id
 			case *vector.Bools:
 				sc.Bools = v.Values()
 			default:
@@ -83,8 +109,20 @@ func (c *Catalog) LoadSnapshot(r io.Reader) error {
 	if file.Magic != snapshotMagic {
 		return fmt.Errorf("catalog: not a snapshot file (magic %q)", file.Magic)
 	}
-	if file.Version != snapshotVersion {
+	if file.Version < snapshotMinVersion || file.Version > snapshotVersion {
 		return fmt.Errorf("catalog: unsupported snapshot version %d", file.Version)
+	}
+	// Rebuild each shared dictionary once; columns referencing the same
+	// DictID share the same frozen dict, exactly as before the save.
+	dicts := make([]*vector.FrozenDict, len(file.Dicts))
+	for di, strs := range file.Dicts {
+		d := vector.NewDict(len(strs))
+		for i, s := range strs {
+			if int(d.Put(s)) != i {
+				return fmt.Errorf("catalog: snapshot dict %d has duplicate string %q", di, s)
+			}
+		}
+		dicts[di] = d.Freeze()
 	}
 	// Validate everything before mutating the catalog.
 	rels := make(map[string]*relation.Relation, len(file.Tables))
@@ -98,7 +136,22 @@ func (c *Catalog) LoadSnapshot(r io.Reader) error {
 			case vector.Float64:
 				vec = vector.FromFloat64s(sc.Floats)
 			case vector.String:
-				vec = vector.FromStrings(sc.Strs)
+				if sc.Encoded {
+					if sc.DictID < 0 || sc.DictID >= len(dicts) {
+						return fmt.Errorf("catalog: snapshot table %q column %q references unknown dict %d",
+							st.Name, sc.Name, sc.DictID)
+					}
+					d := dicts[sc.DictID]
+					for _, code := range sc.Codes {
+						if code < 0 || int(code) >= d.Len() {
+							return fmt.Errorf("catalog: snapshot table %q column %q has out-of-range code %d",
+								st.Name, sc.Name, code)
+						}
+					}
+					vec = vector.FromCodes(d, sc.Codes)
+				} else {
+					vec = vector.FromStrings(sc.Strs)
+				}
 			case vector.Bool:
 				vec = vector.FromBools(sc.Bools)
 			default:
@@ -118,6 +171,7 @@ func (c *Catalog) LoadSnapshot(r io.Reader) error {
 	for name, rel := range rels {
 		c.tables[name] = rel
 	}
+	c.refreshBaseDictsLocked()
 	c.cache.Clear()
 	c.mu.Unlock()
 	return nil

@@ -92,3 +92,61 @@ func TestLoadSnapshotRejectsGarbage(t *testing.T) {
 		t.Errorf("failed load mutated catalog: %v -> %v", before, after)
 	}
 }
+
+// TestSnapshotDictColumnsRoundTrip checks that dict-encoded columns
+// survive a save/load cycle still encoded, with cross-table dict sharing
+// intact (the triple store's subject/object columns rely on it for
+// code-comparable joins after a restart).
+func TestSnapshotDictColumnsRoundTrip(t *testing.T) {
+	a := relation.NewBuilder([]string{"s", "o"}, []vector.Kind{vector.String, vector.String}).
+		Add("n1", "n2").Add("n2", "n3").AddP(0.25, "n3", "n1").Build()
+	b := relation.NewBuilder([]string{"s"}, []vector.Kind{vector.String}).
+		Add("n2").Add("n9").Build()
+	encoded, err := relation.EncodeStringsShared(
+		[]*relation.Relation{a, b}, [][]string{{"s", "o"}, {"s"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := New(0)
+	src.Put("edges", encoded[0])
+	src.Put("nodes", encoded[1])
+	if st := src.DictStats(); st.Dicts != 1 || st.EncodedColumns != 3 {
+		t.Fatalf("pre-save DictStats = %+v, want 1 dict over 3 columns", st)
+	}
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(0)
+	if err := dst.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	edges, err := dst.Table("edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := dst.Table("nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, ok1 := edges.Col(0).Vec.(*vector.DictStrings)
+	eo, ok2 := edges.Col(1).Vec.(*vector.DictStrings)
+	ns, ok3 := nodes.Col(0).Vec.(*vector.DictStrings)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("columns lost encoding: %T %T %T", edges.Col(0).Vec, edges.Col(1).Vec, nodes.Col(0).Vec)
+	}
+	if es.Dict() != eo.Dict() || es.Dict() != ns.Dict() {
+		t.Fatal("cross-table dict sharing lost in round trip")
+	}
+	if es.At(2) != "n3" || eo.At(2) != "n1" || ns.At(1) != "n9" {
+		t.Fatal("decoded values wrong after round trip")
+	}
+	if p := edges.Prob()[2]; p != 0.25 {
+		t.Fatalf("prob = %v, want 0.25", p)
+	}
+	if st := dst.DictStats(); st.Dicts != 1 || st.EncodedColumns != 3 {
+		t.Fatalf("post-load DictStats = %+v, want 1 dict over 3 columns", st)
+	}
+}

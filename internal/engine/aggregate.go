@@ -219,6 +219,15 @@ func groupRows(ctx *Ctx, in *relation.Relation, gIdx []int) (groupOf []int, firs
 		groupOf = make([]int, n)
 		return groupOf, []int{0}
 	}
+	// Grouping by one dict-encoded column needs no hashing at all: codes
+	// are dense ints, so a code→group array replaces the hash table. The
+	// same morsel/re-rank structure keeps ids in first-appearance order,
+	// so the result is bit-identical to the generic path.
+	if len(gIdx) == 1 {
+		if dv, ok := in.Col(gIdx[0]).Vec.(*vector.DictStrings); ok && dv.Dict().DenseIn(n) {
+			return groupRowsCodes(ctx, dv, n)
+		}
+	}
 	seed := maphash.MakeSeed()
 	hashes := hashRowsParallel(ctx, in, seed, gIdx)
 	groupOf = make([]int, n)
@@ -277,6 +286,72 @@ func groupRows(ctx *Ctx, in *relation.Relation, gIdx []int) (groupOf []int, firs
 	}
 
 	// Phase 3: rewrite local ids to global ids, one morsel per worker.
+	ctx.runRanges(ranges, func(m, lo, hi int) {
+		mr := remap[m]
+		for i := lo; i < hi; i++ {
+			groupOf[i] = mr[groupOf[i]]
+		}
+	})
+	return groupOf, firstRow
+}
+
+// groupRowsCodes groups rows by a single dict-encoded column through
+// dense code→group arrays: no hashing, no map, no string bytes. The
+// three-phase shape mirrors groupRows (per-morsel local dedup, serial
+// re-rank of representatives in morsel order, parallel rewrite), so group
+// ids come out in exactly the same first-appearance order.
+func groupRowsCodes(ctx *Ctx, dv *vector.DictStrings, n int) (groupOf []int, firstRow []int) {
+	codes := dv.Codes()
+	d := dv.Dict().Len()
+	groupOf = make([]int, n)
+	ranges := ctx.morselRanges(n)
+	dedup := func(lo, hi int) []int {
+		table := make([]int32, d)
+		for i := range table {
+			table[i] = -1
+		}
+		var firsts []int
+		for i := lo; i < hi; i++ {
+			c := codes[i]
+			g := table[c]
+			if g < 0 {
+				g = int32(len(firsts))
+				table[c] = g
+				firsts = append(firsts, i)
+			}
+			groupOf[i] = int(g)
+		}
+		return firsts
+	}
+	if len(ranges) <= 1 {
+		if n == 0 {
+			return groupOf, nil
+		}
+		return groupOf, dedup(0, n)
+	}
+	localFirst := make([][]int, len(ranges))
+	ctx.runRanges(ranges, func(m, lo, hi int) {
+		localFirst[m] = dedup(lo, hi)
+	})
+	global := make([]int32, d)
+	for i := range global {
+		global[i] = -1
+	}
+	remap := make([][]int, len(ranges))
+	for m, firsts := range localFirst {
+		mr := make([]int, len(firsts))
+		for lg, row := range firsts {
+			c := codes[row]
+			g := global[c]
+			if g < 0 {
+				g = int32(len(firstRow))
+				global[c] = g
+				firstRow = append(firstRow, row)
+			}
+			mr[lg] = int(g)
+		}
+		remap[m] = mr
+	}
 	ctx.runRanges(ranges, func(m, lo, hi int) {
 		mr := remap[m]
 		for i := lo; i < hi; i++ {

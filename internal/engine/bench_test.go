@@ -361,7 +361,7 @@ func BenchmarkJoinProbeMap(b *testing.B) {
 // win over the map probe independent of core count.
 func BenchmarkJoinProbeOpen(b *testing.B) {
 	build, probe := probeWorkload()
-	idx := buildBuckets(&Ctx{Parallelism: 1}, build)
+	idx, _ := buildBuckets(&Ctx{Parallelism: 1}, build)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
@@ -370,4 +370,88 @@ func BenchmarkJoinProbeOpen(b *testing.B) {
 		}
 		benchProbeSink = n
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary-encoded vs raw string keys: the same operator over the same
+// logical data, once with plain Strings columns and once with DictStrings
+// columns sharing one frozen dict. Parallelism is pinned to 1 so the
+// deltas are purely algorithmic (code hash/compare vs string hash/compare).
+
+// benchCtxEncoded is benchCtx with the string key columns of both tables
+// dictionary-encoded into one shared frozen dict, as a loader would.
+func benchCtxEncoded(n, nKeys int) *Ctx {
+	enc, err := relation.EncodeStringsShared(
+		[]*relation.Relation{benchRelation(n, nKeys), benchRelation(nKeys, nKeys)},
+		[][]string{{"k"}, {"k"}})
+	if err != nil {
+		panic(err)
+	}
+	cat := catalog.New(0)
+	cat.Put("t", enc[0])
+	cat.Put("dict", enc[1])
+	return NewCtx(cat)
+}
+
+func benchPlanLoop(b *testing.B, ctx *Ctx, plan Node) {
+	b.Helper()
+	ctx.Parallelism = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.Exec(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const dictBenchRows = 200000
+
+func stringJoinPlan() Node {
+	return NewHashJoin(NewScan("t"), NewScan("dict"), []string{"k"}, []string{"k"}, JoinLeft)
+}
+
+func BenchmarkJoinStringKeyRaw(b *testing.B) {
+	benchPlanLoop(b, benchCtx(dictBenchRows, 20000), stringJoinPlan())
+}
+
+func BenchmarkJoinStringKeyEncoded(b *testing.B) {
+	benchPlanLoop(b, benchCtxEncoded(dictBenchRows, 20000), stringJoinPlan())
+}
+
+func stringGroupPlan() Node {
+	return NewAggregate(NewScan("t"), []string{"k"},
+		[]AggSpec{{Op: CountAll, As: "n"}}, GroupCertain)
+}
+
+func BenchmarkGroupByStringKeyRaw(b *testing.B) {
+	benchPlanLoop(b, benchCtx(dictBenchRows, 50000), stringGroupPlan())
+}
+
+func BenchmarkGroupByStringKeyEncoded(b *testing.B) {
+	benchPlanLoop(b, benchCtxEncoded(dictBenchRows, 50000), stringGroupPlan())
+}
+
+func stringSortPlan() Node {
+	return NewSort(NewScan("t"), SortSpec{Col: "k"})
+}
+
+func BenchmarkSortStringKeyRaw(b *testing.B) {
+	benchPlanLoop(b, benchCtx(dictBenchRows, 50000), stringSortPlan())
+}
+
+func BenchmarkSortStringKeyEncoded(b *testing.B) {
+	benchPlanLoop(b, benchCtxEncoded(dictBenchRows, 50000), stringSortPlan())
+}
+
+func stringSelectPlan() Node {
+	return NewSelect(NewScan("t"),
+		expr.Cmp{Op: expr.Eq, L: expr.Column("k"), R: expr.Str("k000007")})
+}
+
+func BenchmarkSelectStringEqRaw(b *testing.B) {
+	benchPlanLoop(b, benchCtx(dictBenchRows, 20000), stringSelectPlan())
+}
+
+func BenchmarkSelectStringEqEncoded(b *testing.B) {
+	benchPlanLoop(b, benchCtxEncoded(dictBenchRows, 20000), stringSelectPlan())
 }

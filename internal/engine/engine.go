@@ -26,6 +26,13 @@
 //     denominators and the probability combines) folds per-chunk partial
 //     accumulators merged in a fixed chunk order so float results stay
 //     bit-identical at every parallelism.
+//   - String-keyed stages run over dictionary codes when inputs are
+//     dict-encoded (vector.DictStrings): joins hash and compare int32
+//     codes, a single encoded group column groups through dense
+//     code→group arrays with no hashing at all, and sort comparators
+//     compare precomputed lexicographic ranks. Mixed representations
+//     (plain vs encoded, or different dicts) fall back to string
+//     semantics — see README.md's dictionary-encoding contract.
 //
 // See README.md in this package for the materialization model and the
 // determinism contracts in detail.

@@ -108,7 +108,12 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	lHash := hashRowsParallel(ctx, left, idx.seed, lIdx)
+	// Align the probe keys with the build side's hash domains (decode or
+	// re-encode dict columns as needed; see dictkeys.go), then hash the
+	// aligned vectors with the index's seed.
+	rKeyVecs := colVecs(right, rIdx)
+	lKeyVecs := alignProbeVecs(colVecs(left, lIdx), rKeyVecs)
+	lHash := hashVecsParallel(ctx, lKeyVecs, left.NumRows(), idx.seed)
 
 	// Probe in parallel: each morsel of probe rows collects its matches
 	// into its own pair lists, merged in morsel order below — the same
@@ -123,7 +128,7 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 		rp := make([]int, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			for _, ri := range idx.buckets.lookup(lHash[i]) {
-				if left.RowsEqual(i, lIdx, right, int(ri), rIdx) {
+				if vecsEqual(lKeyVecs, i, rKeyVecs, int(ri)) {
 					lp = append(lp, i)
 					rp = append(rp, int(ri))
 				}
@@ -237,15 +242,23 @@ type joinIndex struct {
 func (ix *joinIndex) EstimatedBytes() int64 { return ix.buckets.EstimatedBytes() }
 
 func (j *HashJoin) buildIndex(ctx *Ctx, right *relation.Relation, rIdx []int) (*joinIndex, error) {
-	build := func() *joinIndex {
+	build := func() (*joinIndex, error) {
 		idx := &joinIndex{seed: maphash.MakeSeed(), rel: right}
-		rHash := hashRowsParallel(ctx, right, idx.seed, rIdx)
-		idx.buckets = buildBuckets(ctx, rHash)
-		return idx
+		// The build side's own key vectors define the hash domain: a
+		// dict-encoded column hashes codes, a plain one hashes strings.
+		// Probes align to it (alignProbeVecs), so the index stays valid
+		// for probes of either representation.
+		rHash := hashVecsParallel(ctx, colVecs(right, rIdx), right.NumRows(), idx.seed)
+		buckets, err := buildBuckets(ctx, rHash)
+		if err != nil {
+			return nil, err
+		}
+		idx.buckets = buckets
+		return idx, nil
 	}
 	cacheable := ctx.UseCache && ctx.Cat != nil && (ctx.CacheAll || isMaterialize(j.R))
 	if !cacheable {
-		return build(), nil
+		return build()
 	}
 	// Single-flight the index build: concurrent joins probing the same
 	// materialized build side wait for one index instead of each building
@@ -253,7 +266,7 @@ func (j *HashJoin) buildIndex(ctx *Ctx, right *relation.Relation, rIdx []int) (*
 	key := "hashidx|" + j.R.Fingerprint() + "|" + j.rKeySpec()
 	for try := 0; try < 2; try++ {
 		v, _, err := ctx.Cat.Cache().GetOrComputeAux(key, func() (any, error) {
-			return build(), nil
+			return build()
 		})
 		if err != nil {
 			return nil, err
@@ -268,7 +281,7 @@ func (j *HashJoin) buildIndex(ctx *Ctx, right *relation.Relation, rIdx []int) (*
 		// fall through to a private, unshared build.
 		ctx.Cat.Cache().DropAux(key)
 	}
-	return build(), nil
+	return build()
 }
 
 func colPositions(r *relation.Relation, names []string) ([]int, error) {

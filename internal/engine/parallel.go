@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"fmt"
 	"hash/maphash"
+	"math"
 	"runtime"
 	"sync"
 
@@ -299,12 +301,26 @@ func newOpenTable(hashes []uint64, lists [][]int32, total int) openTable {
 	return t
 }
 
+// checkBuildRows guards the open-addressing table's int32 row indexes: a
+// build side past 2^31-1 rows would silently wrap and corrupt the index,
+// so it is rejected explicitly. Factored out of buildBuckets so the guard
+// is testable with a faked count (allocating 2^31 hashes is not).
+func checkBuildRows(n int) error {
+	if n > math.MaxInt32 {
+		return fmt.Errorf("hash build side has %d rows, exceeding the index's int32 row-id space (%d); shard the build side", n, math.MaxInt32)
+	}
+	return nil
+}
+
 // buildBuckets builds the hash → rows index over the given per-row hashes.
 // Large inputs build in two parallel phases: each morsel splits its rows by
 // partition, then one worker per partition builds that partition's open
 // table from the morsel lists — in morsel order, so every hash's rows stay
 // ascending. Small inputs build one table serially.
-func buildBuckets(ctx *Ctx, hashes []uint64) *bucketIndex {
+func buildBuckets(ctx *Ctx, hashes []uint64) (*bucketIndex, error) {
+	if err := checkBuildRows(len(hashes)); err != nil {
+		return nil, err
+	}
 	n := len(hashes)
 	ranges := ctx.morselRanges(n)
 	if len(ranges) <= 1 {
@@ -312,7 +328,7 @@ func buildBuckets(ctx *Ctx, hashes []uint64) *bucketIndex {
 		for i := range all {
 			all[i] = int32(i)
 		}
-		return &bucketIndex{mask: 0, parts: []openTable{newOpenTable(hashes, [][]int32{all}, n)}}
+		return &bucketIndex{mask: 0, parts: []openTable{newOpenTable(hashes, [][]int32{all}, n)}}, nil
 	}
 	nParts := 1
 	for nParts < ctx.parallelism() {
@@ -345,5 +361,5 @@ func buildBuckets(ctx *Ctx, hashes []uint64) *bucketIndex {
 		}
 		parts[q] = newOpenTable(hashes, lists, total)
 	})
-	return &bucketIndex{mask: mask, parts: parts}
+	return &bucketIndex{mask: mask, parts: parts}, nil
 }

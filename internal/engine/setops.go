@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"irdb/internal/relation"
+	"irdb/internal/vector"
 )
 
 // Union concatenates two schema-compatible inputs (bag semantics, no
@@ -51,7 +52,20 @@ func concatAll(ctx *Ctx, ins []*relation.Relation) (*relation.Relation, error) {
 	cols := make([]relation.Column, nCols)
 	for ci := 0; ci < nCols; ci++ {
 		fc := first.Col(ci)
-		cols[ci] = relation.Column{Name: fc.Name, Vec: fc.Vec.NewSized(total)}
+		// One output column funnels every input's column: when the inputs
+		// disagree on string representation (plain vs dict-encoded, or
+		// dict-encoded over different dicts), the output falls back to a
+		// plain string column and dict inputs decode as they copy. Only
+		// when every input shares one frozen dict does the output stay
+		// encoded (codes are then memcpy'd).
+		out := fc.Vec.NewSized(total)
+		for _, in := range ins[1:] {
+			if !copyCompatible(fc.Vec, in.Col(ci).Vec) {
+				out = vector.NewSizedOfKind(fc.Vec.Kind(), total)
+				break
+			}
+		}
+		cols[ci] = relation.Column{Name: fc.Name, Vec: out}
 	}
 	prob := make([]float64, total)
 	// Fetch every input's probability column before fanning out: Prob()
@@ -74,6 +88,17 @@ func concatAll(ctx *Ctx, ins []*relation.Relation) (*relation.Relation, error) {
 		in.Col(ci).Vec.CopyRangeAt(cols[ci].Vec, 0, in.NumRows(), offs[k])
 	})
 	return relation.FromColumns(cols, prob)
+}
+
+// copyCompatible reports whether b can CopyRangeAt into an output column
+// allocated from a (same physical representation; for dict-encoded string
+// columns, the same frozen dict).
+func copyCompatible(a, b vector.Vector) bool {
+	if _, ok := a.(*vector.DictStrings); ok {
+		return vector.SameDict(a, b)
+	}
+	_, bDict := b.(*vector.DictStrings)
+	return !bDict
 }
 
 // taskRanges splits nTasks coarse-grained tasks one per morsel.
@@ -212,9 +237,17 @@ func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("subtract right side: %w", err)
 	}
+	// Align the left (probe) columns with the right side's hash domains —
+	// dict-encoded columns hash codes, so mixed representations must be
+	// decoded or re-encoded before hashes are comparable (see dictkeys.go).
+	rKeyVecs := colVecs(right, rIdx)
+	lKeyVecs := alignProbeVecs(colVecs(left, lIdx), rKeyVecs)
 	seed := maphash.MakeSeed()
-	buckets := buildBuckets(ctx, hashRowsParallel(ctx, right, seed, rIdx))
-	lHash := hashRowsParallel(ctx, left, seed, lIdx)
+	buckets, err := buildBuckets(ctx, hashVecsParallel(ctx, rKeyVecs, right.NumRows(), seed))
+	if err != nil {
+		return nil, err
+	}
+	lHash := hashVecsParallel(ctx, lKeyVecs, left.NumRows(), seed)
 	lp, rp := left.Prob(), right.Prob()
 
 	// Anti-probe in parallel morsels, merged in morsel order (same output
@@ -228,7 +261,7 @@ func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
 		for i := lo; i < hi; i++ {
 			match := -1
 			for _, ri := range buckets.lookup(lHash[i]) {
-				if left.RowsEqual(i, lIdx, right, int(ri), rIdx) {
+				if vecsEqual(lKeyVecs, i, rKeyVecs, int(ri)) {
 					match = int(ri)
 					break
 				}

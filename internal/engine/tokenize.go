@@ -45,31 +45,36 @@ func (t *Tokenize) Execute(ctx *Ctx) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, ok := dataCol.Vec.(*vector.Strings)
+	data, ok := vector.AsStringColumn(dataCol.Vec)
 	if !ok {
 		return nil, fmt.Errorf("tokenize: data column %q is %v, want string", t.DataCol, dataCol.Vec.Kind())
 	}
 
+	// Tokens repeat massively (Zipf), so the token column is interned into
+	// a dictionary as it is produced and emitted dict-encoded: every
+	// downstream lcase/stem runs once per distinct token and every hash,
+	// group and join over terms operates on int32 codes.
 	ids := idCol.Vec.New(0)
-	tokens := vector.NewStrings(0)
+	dict := vector.NewDict(1024)
+	var codes []int32
 	positions := vector.NewInt64s(0)
 	var prob []float64
 	inProb := in.Prob()
-	for row, s := range data.Values() {
-		toks := t.Tok.TokensPos(s)
+	for row := 0; row < data.Len(); row++ {
+		toks := t.Tok.TokensPos(data.StringAt(row))
 		if t.WithCompounds {
 			toks = text.CompoundVariants(toks)
 		}
 		for _, tok := range toks {
 			ids.AppendFrom(idCol.Vec, row)
-			tokens.Append(tok.Term)
+			codes = append(codes, int32(dict.Put(tok.Term)))
 			positions.Append(int64(tok.Pos))
 			prob = append(prob, inProb[row])
 		}
 	}
 	cols := []relation.Column{
 		{Name: t.IDCol, Vec: ids},
-		{Name: "token", Vec: tokens},
+		{Name: "token", Vec: vector.FromCodes(dict.Freeze(), codes)},
 		{Name: "pos", Vec: positions},
 	}
 	return relation.FromColumns(cols, prob)

@@ -78,9 +78,9 @@ func TestBuildBucketsMatchesSerial(t *testing.T) {
 		for i := range hashes {
 			hashes[i] = uint64(r.Intn(997)) * 0x9e3779b97f4a7c15 // duplicate-heavy
 		}
-		serial := buildBuckets(&Ctx{Parallelism: 1}, hashes)
+		serial, _ := buildBuckets(&Ctx{Parallelism: 1}, hashes)
 		for _, par := range []int{2, 8} {
-			idx := buildBuckets(&Ctx{Parallelism: par}, hashes)
+			idx, _ := buildBuckets(&Ctx{Parallelism: par}, hashes)
 			for _, h := range hashes {
 				a, b := serial.lookup(h), idx.lookup(h)
 				if len(a) != len(b) {

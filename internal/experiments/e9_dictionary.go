@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"irdb/internal/bench"
+	"irdb/internal/catalog"
+	"irdb/internal/engine"
+	"irdb/internal/expr"
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+// E9 measures the dictionary-encoding win on string-keyed operators: the
+// same logical fact/dim dataset once with plain string columns and once
+// with the key columns dict-encoded into one shared frozen dict (exactly
+// what the loaders produce), run through hash join, group-by, sort and an
+// equality selection at parallelism 1, so the deltas are algorithmic
+// (code hash/compare vs string hash/compare), not core-count effects.
+// This is the benchrun-visible face of the engine microbenchmarks
+// (Join/GroupBy/Sort/Select*StringKey{Raw,Encoded}).
+func E9(cfg Config) (*Result, error) {
+	// Micro deltas below ~1ms drown in noise, so E9 keeps a floor under
+	// the quick-mode shrink: it is one in-memory dataset and a handful of
+	// operator runs, cheap at any scale.
+	n := cfg.size(200000)
+	if n < 100000 {
+		n = 100000
+	}
+	nKeys := n / 10
+	ks := make([]string, n)
+	vs := make([]int64, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("k%07d", i%nKeys)
+		vs[i] = int64(i)
+	}
+	fact := relation.MustFromColumns([]relation.Column{
+		{Name: "k", Vec: vector.FromStrings(ks)},
+		{Name: "v", Vec: vector.FromInt64s(vs)},
+	}, nil)
+	dks := make([]string, nKeys)
+	for i := range dks {
+		dks[i] = fmt.Sprintf("k%07d", i)
+	}
+	dim := relation.MustFromColumns([]relation.Column{
+		{Name: "k", Vec: vector.FromStrings(dks)},
+	}, nil)
+	encoded, err := relation.EncodeStringsShared(
+		[]*relation.Relation{fact, dim}, [][]string{{"k"}, {"k"}})
+	if err != nil {
+		return nil, err
+	}
+
+	plans := []struct {
+		name string
+		plan engine.Node
+	}{
+		{"hash join probe", engine.NewHashJoin(engine.NewScan("fact"), engine.NewScan("dim"),
+			[]string{"k"}, []string{"k"}, engine.JoinLeft)},
+		{"group-by count", engine.NewAggregate(engine.NewScan("fact"), []string{"k"},
+			[]engine.AggSpec{{Op: engine.CountAll, As: "n"}}, engine.GroupCertain)},
+		{"sort", engine.NewSort(engine.NewScan("fact"), engine.SortSpec{Col: "k"})},
+		{"select k=lit", engine.NewSelect(engine.NewScan("fact"),
+			expr.Cmp{Op: expr.Eq, L: expr.Column("k"), R: expr.Str("k0000007")})},
+	}
+	reps := cfg.reps(7)
+
+	run := func(fact, dim *relation.Relation, plan engine.Node) (*bench.Latencies, error) {
+		cat := catalog.New(0)
+		cat.Put("fact", fact)
+		cat.Put("dim", dim)
+		ctx := engine.NewCtx(cat)
+		ctx.Parallelism = 1
+		if _, err := ctx.Exec(plan); err != nil { // warm allocator and caches
+			return nil, err
+		}
+		return bench.Measure(reps, func() error {
+			_, err := ctx.Exec(plan)
+			return err
+		})
+	}
+
+	table := &bench.Table{
+		Title:  fmt.Sprintf("E9: dictionary-encoded vs raw string keys, %d rows, %d distinct, parallelism 1", n, nKeys),
+		Header: []string{"operator", "raw min", "encoded min", "speedup"},
+	}
+	for _, p := range plans {
+		raw, err := run(fact, dim, p.plan)
+		if err != nil {
+			return nil, fmt.Errorf("E9 %s raw: %w", p.name, err)
+		}
+		enc, err := run(encoded[0], encoded[1], p.plan)
+		if err != nil {
+			return nil, fmt.Errorf("E9 %s encoded: %w", p.name, err)
+		}
+		table.AddRow(p.name, raw.Min(), enc.Min(),
+			fmt.Sprintf("%.2fx", float64(raw.Min())/float64(enc.Min())))
+	}
+	table.AddNote("results are bit-identical between representations (dict_equiv_test.go); encoding happens once at load")
+
+	return &Result{
+		ID:   "E9",
+		Name: "dictionary-encoded string columns",
+		PaperClaim: "column-store heritage (section 2.1): string-keyed relational IR competes with " +
+			"specialized engines only when per-row string costs are paid once, not per operator",
+		Finding: "normalize keys once at ingest, compare cheap forever: fixed-width int32 codes " +
+			"through hash, compare, sort, group and join",
+		Tables: []*bench.Table{table},
+	}, nil
+}

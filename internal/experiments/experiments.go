@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction experiments E1–E7
+// Package experiments implements the reproduction experiments E1–E9
 // catalogued in DESIGN.md, one per performance claim or figure of the
 // paper. cmd/benchrun drives them; integration tests run them in Quick
 // mode to keep the pipelines honest.
@@ -11,8 +11,6 @@ import (
 	"irdb/internal/bench"
 	"irdb/internal/catalog"
 	"irdb/internal/engine"
-	"irdb/internal/relation"
-	"irdb/internal/vector"
 	"irdb/internal/workload"
 )
 
@@ -101,6 +99,7 @@ var registry = map[string]runner{
 	"E6": E6,
 	"E7": E7,
 	"E8": E8,
+	"E9": E9,
 }
 
 // IDs returns the registered experiment IDs, sorted.
@@ -122,25 +121,11 @@ func Run(id string, cfg Config) (*Result, error) {
 	return r(cfg)
 }
 
-// docsRelation loads generated docs into a (docID, data) relation.
-func docsRelation(docs []workload.Doc) *relation.Relation {
-	ids := make([]int64, len(docs))
-	data := make([]string, len(docs))
-	for i, d := range docs {
-		ids[i] = d.ID
-		data[i] = d.Data
-	}
-	return relation.MustFromColumns([]relation.Column{
-		{Name: "docID", Vec: vector.FromInt64s(ids)},
-		{Name: "data", Vec: vector.FromStrings(data)},
-	}, nil)
-}
-
 // newDocsCtx registers docs as a base table and returns a context plus the
 // scan plan.
 func newDocsCtx(cfg Config, docs []workload.Doc) (*engine.Ctx, engine.Node) {
 	cat := catalog.New(0)
-	cat.Put("docs", docsRelation(docs))
+	cat.Put("docs", workload.DocsRelation(docs))
 	ctx := engine.NewCtx(cat)
 	ctx.Parallelism = cfg.Parallelism
 	return ctx, engine.NewScan("docs")

@@ -196,6 +196,18 @@ func (c Cmp) Eval(r *relation.Relation) (vector.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Equality of a dict-encoded column against a string literal never
+	// needs the literal materialized as a constant column: one dictionary
+	// lookup, then an integer scan over the codes.
+	if c.Op == Eq || c.Op == Ne {
+		if ld, ok := lv.(*vector.DictStrings); ok {
+			if s, ok := constantString(c.R); ok {
+				out := make([]bool, lv.Len())
+				cmpCodesToLit(c.Op, ld, s, out)
+				return vector.FromBools(out), nil
+			}
+		}
+	}
 	rv, err := c.R.Eval(r)
 	if err != nil {
 		return nil, err
@@ -204,9 +216,8 @@ func (c Cmp) Eval(r *relation.Relation) (vector.Vector, error) {
 	out := make([]bool, n)
 	switch {
 	case lv.Kind() == vector.String && rv.Kind() == vector.String:
-		ls, rs := lv.(*vector.Strings).Values(), rv.(*vector.Strings).Values()
-		for i := 0; i < n; i++ {
-			out[i] = cmpOrdered(c.Op, strings.Compare(ls[i], rs[i]))
+		if err := cmpStrings(c, lv, rv, out); err != nil {
+			return nil, err
 		}
 	case lv.Kind() == vector.Bool && rv.Kind() == vector.Bool:
 		lb, rb := lv.(*vector.Bools).Values(), rv.(*vector.Bools).Values()
@@ -253,6 +264,100 @@ func (c Cmp) Eval(r *relation.Relation) (vector.Vector, error) {
 		}
 	}
 	return vector.FromBools(out), nil
+}
+
+// cmpStrings compares two string columns element-wise, fast paths first:
+//
+//   - both sides dict-encoded over one shared dict: equality compares
+//     codes, ordering compares precomputed lexicographic ranks — pure
+//     integer loops, the "compare cheap forever" payoff of encoding once.
+//   - one side dict-encoded, the other a constant column (a string
+//     literal, the shape of every `property = 'type'` selection): the
+//     literal is looked up in the dict once and Eq/Ne compare each row's
+//     code against that single code (absent literal → constant false/true).
+//   - anything else: byte-wise string comparison through the StringColumn
+//     read interface, which works for both representations.
+func cmpStrings(c Cmp, lv, rv vector.Vector, out []bool) error {
+	n := len(out)
+	ld, lDict := lv.(*vector.DictStrings)
+	rd, rDict := rv.(*vector.DictStrings)
+	if lDict && rDict && ld.Dict() == rd.Dict() {
+		lc, rc := ld.Codes(), rd.Codes()
+		if c.Op == Eq || c.Op == Ne {
+			ne := c.Op == Ne
+			for i := 0; i < n; i++ {
+				out[i] = (lc[i] == rc[i]) != ne
+			}
+			return nil
+		}
+		d := ld.Dict()
+		for i := 0; i < n; i++ {
+			la, ra := d.Rank(lc[i]), d.Rank(rc[i])
+			switch {
+			case la < ra:
+				out[i] = cmpOrdered(c.Op, -1)
+			case la > ra:
+				out[i] = cmpOrdered(c.Op, 1)
+			default:
+				out[i] = cmpOrdered(c.Op, 0)
+			}
+		}
+		return nil
+	}
+	if c.Op == Eq || c.Op == Ne {
+		// Literal-vs-dict fast path. The literal-on-right orientation is
+		// intercepted earlier, in Cmp.Eval, before the literal is even
+		// materialized; only the (rare) literal-on-left shape reaches here.
+		if s, ok := constantString(c.L); ok && rDict {
+			cmpCodesToLit(c.Op, rd, s, out)
+			return nil
+		}
+	}
+	if lp, ok := lv.(*vector.Strings); ok {
+		if rp, ok := rv.(*vector.Strings); ok {
+			lvs, rvs := lp.Values(), rp.Values()
+			for i := 0; i < n; i++ {
+				out[i] = cmpOrdered(c.Op, strings.Compare(lvs[i], rvs[i]))
+			}
+			return nil
+		}
+	}
+	ls, ok1 := vector.AsStringColumn(lv)
+	rs, ok2 := vector.AsStringColumn(rv)
+	if !ok1 || !ok2 {
+		return fmt.Errorf("expr: cannot compare %v to %v", lv.Kind(), rv.Kind())
+	}
+	for i := 0; i < n; i++ {
+		out[i] = cmpOrdered(c.Op, strings.Compare(ls.StringAt(i), rs.StringAt(i)))
+	}
+	return nil
+}
+
+// constantString reports the single string value an expression contributes
+// to every row, when it syntactically is a string literal.
+func constantString(e Expr) (string, bool) {
+	l, ok := e.(Lit)
+	if !ok {
+		return "", false
+	}
+	s, ok := l.Value.(string)
+	return s, ok
+}
+
+// cmpCodesToLit compares every code of a dict-encoded column against one
+// literal: a single dictionary lookup, then an integer loop.
+func cmpCodesToLit(op CmpOp, d *vector.DictStrings, lit string, out []bool) {
+	code, ok := d.Dict().Lookup(lit)
+	ne := op == Ne
+	if !ok {
+		for i := range out {
+			out[i] = ne
+		}
+		return
+	}
+	for i, c := range d.Codes() {
+		out[i] = (c == code) != ne
+	}
 }
 
 func cmpOrdered(op CmpOp, c int) bool {
@@ -524,39 +629,35 @@ func (c Call) String() string {
 }
 
 func init() {
-	RegisterFunc(Func{Name: "lcase", Eval: func(args []vector.Vector, n int) (vector.Vector, error) {
-		if len(args) != 1 {
-			return nil, fmt.Errorf("lcase: want 1 argument, got %d", len(args))
-		}
-		sv, ok := args[0].(*vector.Strings)
-		if !ok {
-			return nil, fmt.Errorf("lcase: want string argument, got %v", args[0].Kind())
-		}
-		in := sv.Values()
-		out := make([]string, len(in))
-		for i, s := range in {
-			out[i] = strings.ToLower(s)
-		}
-		return vector.FromStrings(out), nil
-	}})
-	RegisterFunc(Func{Name: "ucase", Eval: func(args []vector.Vector, n int) (vector.Vector, error) {
-		if len(args) != 1 {
-			return nil, fmt.Errorf("ucase: want 1 argument, got %d", len(args))
-		}
-		sv, ok := args[0].(*vector.Strings)
-		if !ok {
-			return nil, fmt.Errorf("ucase: want string argument, got %v", args[0].Kind())
-		}
-		in := sv.Values()
-		out := make([]string, len(in))
-		for i, s := range in {
-			out[i] = strings.ToUpper(s)
-		}
-		return vector.FromStrings(out), nil
-	}})
+	// lcase/ucase go through vector.MapStrings: a dict-encoded input is
+	// transformed once per distinct value (and stays encoded), a plain one
+	// once per row.
+	RegisterFunc(Func{Name: "lcase", Eval: mapStringFunc("lcase", strings.ToLower)})
+	RegisterFunc(Func{Name: "ucase", Eval: mapStringFunc("ucase", strings.ToUpper)})
 	RegisterFunc(Func{Name: "length", Eval: func(args []vector.Vector, n int) (vector.Vector, error) {
 		if len(args) != 1 {
 			return nil, fmt.Errorf("length: want 1 argument, got %d", len(args))
+		}
+		if dv, ok := args[0].(*vector.DictStrings); ok {
+			out := make([]int64, dv.Len())
+			d := dv.Dict()
+			if d.DenseIn(dv.Len()) {
+				// One length per distinct value, then an int gather per row.
+				lens := make([]int64, d.Len())
+				for c := range lens {
+					lens[c] = int64(len(d.Get(int32(c))))
+				}
+				for i, c := range dv.Codes() {
+					out[i] = lens[c]
+				}
+			} else {
+				// Sparse column over a big shared dict: per-row lookups
+				// beat walking the whole vocabulary.
+				for i, c := range dv.Codes() {
+					out[i] = int64(len(d.Get(c)))
+				}
+			}
+			return vector.FromInt64s(out), nil
 		}
 		sv, ok := args[0].(*vector.Strings)
 		if !ok {
@@ -599,6 +700,21 @@ func init() {
 	}
 	RegisterFunc(Func{Name: "greatest", Eval: binaryFloat("greatest", math.Max)})
 	RegisterFunc(Func{Name: "least", Eval: binaryFloat("least", math.Min)})
+}
+
+// mapStringFunc wraps an element-wise string transform as a vectorized
+// scalar function preserving the input's representation.
+func mapStringFunc(name string, f func(string) string) func(args []vector.Vector, n int) (vector.Vector, error) {
+	return func(args []vector.Vector, n int) (vector.Vector, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("%s: want 1 argument, got %d", name, len(args))
+		}
+		out, ok := vector.MapStrings(args[0], f)
+		if !ok {
+			return nil, fmt.Errorf("%s: want string argument, got %v", name, args[0].Kind())
+		}
+		return out, nil
+	}
 }
 
 func binaryFloat(name string, f func(a, b float64) float64) func(args []vector.Vector, n int) (vector.Vector, error) {

@@ -19,6 +19,7 @@ import (
 	"irdb/internal/ir"
 	"irdb/internal/stem"
 	"irdb/internal/text"
+	"irdb/internal/vector"
 )
 
 // Posting is one (document, term frequency) pair in a posting list.
@@ -29,9 +30,13 @@ type Posting struct {
 
 // Index is an immutable inverted index over a document collection.
 type Index struct {
-	params   ir.Params
-	stemmer  stem.Stemmer
-	termIDs  map[string]int32
+	params  ir.Params
+	stemmer stem.Stemmer
+	// terms is the frozen term dictionary: interned once at build, then
+	// read-only — the same normalize-keys-once scheme the relational
+	// engine's DictStrings columns use, and what makes concurrent Search
+	// calls safe by construction.
+	terms    *vector.FrozenDict
 	postings [][]Posting // by termID
 	docLens  []int32     // by internal doc position
 	docIDs   []int64     // internal position → external ID
@@ -63,8 +68,8 @@ func Build(docs []Doc, p ir.Params) (*Index, error) {
 	idx := &Index{
 		params:  p,
 		stemmer: st,
-		termIDs: make(map[string]int32),
 	}
+	termDict := vector.NewDict(1024)
 	var totalLen int64
 	for pos, d := range docs {
 		toks := p.Tokenizer.TokensPos(d.Data)
@@ -74,10 +79,8 @@ func Build(docs []Doc, p ir.Params) (*Index, error) {
 		counts := map[int32]int32{}
 		for _, tok := range toks {
 			term := st.Stem(tok.Term)
-			tid, ok := idx.termIDs[term]
-			if !ok {
-				tid = int32(len(idx.postings))
-				idx.termIDs[term] = tid
+			tid := int32(termDict.Put(term))
+			if int(tid) == len(idx.postings) {
 				idx.postings = append(idx.postings, nil)
 			}
 			counts[tid]++
@@ -96,6 +99,7 @@ func Build(docs []Doc, p ir.Params) (*Index, error) {
 		idx.docIDs = append(idx.docIDs, d.ID)
 		totalLen += int64(len(toks))
 	}
+	idx.terms = termDict.Freeze()
 	if len(docs) > 0 {
 		idx.avgdl = float64(totalLen) / float64(len(docs))
 	}
@@ -135,7 +139,7 @@ func (x *Index) Search(query string, k int) []ir.Hit {
 	acc := map[int32]float64{}
 	for _, raw := range terms {
 		term := x.stemmer.Stem(raw)
-		tid, ok := x.termIDs[term]
+		tid, ok := x.terms.Lookup(term)
 		if !ok {
 			continue
 		}

@@ -50,7 +50,12 @@ func TestTermDocPlanMirrorsPaper(t *testing.T) {
 		t.Errorf("term_doc rows = %d, want 22", rel.NumRows())
 	}
 	// stemmed: "toys" and "toy" must conflate
-	terms := rel.Col(0).Vec.(*vector.Strings).Values()
+	// the term column is dict-encoded by the tokenize/stem pipeline
+	termCol, ok := vector.AsStrings(rel.Col(0).Vec)
+	if !ok {
+		t.Fatalf("term column is %T, want a string column", rel.Col(0).Vec)
+	}
+	terms := termCol.Values()
 	ids := rel.Col(1).Vec.(*vector.Int64s).Values()
 	sawToy2, sawToy4 := false, false
 	for i, term := range terms {
@@ -92,7 +97,11 @@ func TestDocLenAndDictAndTF(t *testing.T) {
 		t.Fatal(err)
 	}
 	// termIDs must be dense, 1-based, sorted by term
-	terms := dict.Col(0).Vec.(*vector.Strings).Values()
+	termVec, ok := vector.AsStrings(dict.Col(0).Vec)
+	if !ok {
+		t.Fatalf("term column is %T, want a string column", dict.Col(0).Vec)
+	}
+	terms := termVec.Values()
 	tids := dict.Col(1).Vec.(*vector.Int64s).Values()
 	for i := range terms {
 		if tids[i] != int64(i+1) {

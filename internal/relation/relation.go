@@ -212,9 +212,35 @@ func (r *Relation) GatherRangeInto(dst *Relation, sel []int, lo, hi int) {
 // EstimatedBytes reports the approximate heap footprint of the relation's
 // materialized values (columns plus probability column). The catalog cache
 // uses it to weigh entries so eviction is by bytes, not entry count.
+// Dict-encoded columns sharing one frozen dictionary count the dictionary
+// once, not once per column.
 func (r *Relation) EstimatedBytes() int64 {
+	return r.EstimatedBytesExcluding(nil)
+}
+
+// EstimatedBytesExcluding is EstimatedBytes with the given frozen
+// dictionaries charged at zero: the catalog passes the dicts pinned by
+// its base tables, so a cached derived relation is weighed by its
+// MARGINAL footprint (codes, plain columns, probabilities) — evicting it
+// cannot free a dictionary the base data still holds. Dicts not in the
+// exclusion set (e.g. a per-evaluation tokenizer dict reachable only
+// through the cached relation) still count in full, once each.
+func (r *Relation) EstimatedBytesExcluding(pinned map[*vector.FrozenDict]bool) int64 {
 	n := int64(r.NumRows()) * 8 // probability column
+	var seen map[*vector.FrozenDict]bool
 	for _, c := range r.cols {
+		if ds, ok := c.Vec.(*vector.DictStrings); ok {
+			n += int64(ds.Len()) * 4
+			d := ds.Dict()
+			if !pinned[d] && !seen[d] {
+				if seen == nil {
+					seen = make(map[*vector.FrozenDict]bool, 2)
+				}
+				seen[d] = true
+				n += d.EstimatedBytes()
+			}
+			continue
+		}
 		n += c.Vec.EstimatedBytes()
 	}
 	return n

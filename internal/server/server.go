@@ -297,6 +297,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"tables":     s.ctx.Cat.TableNames(),
 		"cache":      cacheStats,
+		"dicts":      s.ctx.Cat.DictStats(),
 		"strategies": perStrategy,
 		"executor": map[string]any{
 			"parallelism": parallelism,

@@ -113,23 +113,23 @@ func init() {
 		if len(args) != 2 {
 			return nil, fmt.Errorf("stem: want 2 arguments (term, stemmer name), got %d", len(args))
 		}
-		terms, ok := args[0].(*vector.Strings)
-		if !ok {
-			return nil, fmt.Errorf("stem: first argument is %v, want string", args[0].Kind())
-		}
-		names, ok := args[1].(*vector.Strings)
+		names, ok := vector.AsStringColumn(args[1])
 		if !ok || names.Len() == 0 {
 			return nil, fmt.Errorf("stem: second argument must be a string stemmer name")
 		}
-		s, err := Get(names.At(0))
+		s, err := Get(names.StringAt(0))
 		if err != nil {
 			return nil, err
 		}
-		in := terms.Values()
-		out := make([]string, len(in))
-		for i, w := range in {
-			out[i] = s.Stem(w)
+		// MapStrings stems a dict-encoded term column once per distinct
+		// token (stems that collide are re-interned so the output dict
+		// stays injective) — O(vocabulary) stemmer calls instead of
+		// O(tokens), and the output stays dict-encoded for the joins and
+		// group-bys downstream.
+		out, ok := vector.MapStrings(args[0], s.Stem)
+		if !ok {
+			return nil, fmt.Errorf("stem: first argument is %v, want string", args[0].Kind())
 		}
-		return vector.FromStrings(out), nil
+		return out, nil
 	}})
 }

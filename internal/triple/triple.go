@@ -122,9 +122,24 @@ func (s *Store) Load(triples []Triple) {
 			flts.AddP(p, t.Subject, t.Property, t.Obj.Flt)
 		}
 	}
-	s.cat.Put(TableStr, str.Build())
-	s.cat.Put(TableInt, ints.Build())
-	s.cat.Put(TableFlt, flts.Build())
+	// Dictionary-encode every string column of the store into ONE shared
+	// frozen dict: subjects, properties and string objects all live in the
+	// same code space, so every self-join of the store — including
+	// traversals that match subjects against objects (graph edges) —
+	// hashes and compares int32 codes instead of re-reading string bytes.
+	encoded, err := relation.EncodeStringsShared(
+		[]*relation.Relation{str.Build(), ints.Build(), flts.Build()},
+		[][]string{
+			{ColSubject, ColProperty, ColObject},
+			{ColSubject, ColProperty},
+			{ColSubject, ColProperty},
+		})
+	if err != nil {
+		panic(err) // static schema: unreachable
+	}
+	s.cat.Put(TableStr, encoded[0])
+	s.cat.Put(TableInt, encoded[1])
+	s.cat.Put(TableFlt, encoded[2])
 }
 
 // Catalog returns the backing catalog.

@@ -5,8 +5,9 @@
 //
 // Vectors are deliberately simple: no null bitmap (the IR workloads in the
 // paper never produce SQL NULLs; absence is represented by absence of the
-// row) and no compression besides dictionary encoding for strings, which is
-// provided separately by Dict.
+// row) and no compression besides dictionary encoding for strings: Dict
+// interns strings at load time and DictStrings is the resulting
+// fixed-width (int32 code) string column the engine operates on.
 package vector
 
 import (
@@ -359,6 +360,9 @@ func (v *Strings) Append(x string) { v.vals = append(v.vals, x) }
 // At returns the value at row i.
 func (v *Strings) At(i int) string { return v.vals[i] }
 
+// StringAt implements StringColumn.
+func (v *Strings) StringAt(i int) string { return v.vals[i] }
+
 // Gather implements Vector.
 func (v *Strings) Gather(sel []int) Vector {
 	out := make([]string, len(sel))
@@ -368,9 +372,10 @@ func (v *Strings) Gather(sel []int) Vector {
 	return &Strings{vals: out}
 }
 
-// AppendFrom implements Vector.
+// AppendFrom implements Vector. The source may be either string
+// representation; dict-encoded values are decoded on append.
 func (v *Strings) AppendFrom(src Vector, i int) {
-	v.vals = append(v.vals, src.(*Strings).vals[i])
+	v.vals = append(v.vals, src.(StringColumn).StringAt(i))
 }
 
 // HashInto implements Vector.
@@ -388,14 +393,24 @@ func (v *Strings) HashRangeInto(seed maphash.Seed, sums []uint64, lo, hi int) {
 // Slice implements Vector.
 func (v *Strings) Slice(lo, hi int) Vector { return &Strings{vals: v.vals[lo:hi:hi]} }
 
-// EqualAt implements Vector.
+// EqualAt implements Vector. The other side may be either string
+// representation; the concrete same-type case stays a direct slice read
+// (this is the join-probe hot path for unencoded columns).
 func (v *Strings) EqualAt(i int, other Vector, j int) bool {
-	return v.vals[i] == other.(*Strings).vals[j]
+	if o, ok := other.(*Strings); ok {
+		return v.vals[i] == o.vals[j]
+	}
+	return v.vals[i] == other.(StringColumn).StringAt(j)
 }
 
-// LessAt implements Vector.
+// LessAt implements Vector. The other side may be either string
+// representation; the concrete same-type case stays a direct slice read
+// (this is the sort-comparator hot path for unencoded columns).
 func (v *Strings) LessAt(i int, other Vector, j int) bool {
-	return v.vals[i] < other.(*Strings).vals[j]
+	if o, ok := other.(*Strings); ok {
+		return v.vals[i] < o.vals[j]
+	}
+	return v.vals[i] < other.(StringColumn).StringAt(j)
 }
 
 // Format implements Vector.
