@@ -1,0 +1,176 @@
+package irdb
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAPISurface pins the package's exported API to the committed
+// api.txt golden: any addition, removal or signature change to the
+// public facade must be deliberate — regenerate with
+//
+//	IRDB_UPDATE_API=1 go test -run TestAPISurface .
+//
+// and commit the diff. CI runs this test, so an accidental API break
+// fails the build.
+func TestAPISurface(t *testing.T) {
+	got := apiSurface(t)
+	if os.Getenv("IRDB_UPDATE_API") != "" {
+		if err := os.WriteFile("api.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("api.txt regenerated")
+		return
+	}
+	want, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatalf("missing api.txt golden (regenerate with IRDB_UPDATE_API=1): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed; if intentional, regenerate api.txt with IRDB_UPDATE_API=1.\n--- api.txt\n+++ current\n%s", diffLines(string(want), got))
+	}
+}
+
+// apiSurface renders every exported declaration of the root package, one
+// line per declaration, sorted.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["irdb"]
+	if !ok {
+		t.Fatalf("no irdb package found (have %v)", pkgs)
+	}
+	var lines []string
+	render := func(n ast.Node) string {
+		var b strings.Builder
+		if err := printer.Fprint(&b, fset, n); err != nil {
+			t.Fatal(err)
+		}
+		// Collapse to one line so the golden diffs cleanly.
+		return strings.Join(strings.Fields(b.String()), " ")
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil && !exportedRecv(d.Recv) {
+					continue
+				}
+				cp := *d
+				cp.Body = nil
+				cp.Doc = nil
+				lines = append(lines, render(&cp))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							cp := *s
+							cp.Doc, cp.Comment = nil, nil
+							stripFieldDocs(&cp)
+							lines = append(lines, "type "+render(&cp))
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() {
+								lines = append(lines, fmt.Sprintf("%s %s", declKind(d.Tok), name.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	tname := recv.List[0].Type
+	for {
+		switch x := tname.(type) {
+		case *ast.StarExpr:
+			tname = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// stripFieldDocs removes doc comments and unexported fields inside
+// struct/interface bodies so the surface line holds only the public
+// names and types.
+func stripFieldDocs(s *ast.TypeSpec) {
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		kept := t.Fields.List[:0:0]
+		for _, f := range t.Fields.List {
+			f.Doc, f.Comment = nil, nil
+			exported := len(f.Names) == 0 // embedded: keep
+			for _, n := range f.Names {
+				exported = exported || n.IsExported()
+			}
+			if exported {
+				kept = append(kept, f)
+			}
+		}
+		t.Fields.List = kept
+	case *ast.InterfaceType:
+		for _, f := range t.Methods.List {
+			f.Doc, f.Comment = nil, nil
+		}
+	}
+}
+
+func diffLines(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	inWant := map[string]bool{}
+	for _, l := range wl {
+		inWant[l] = true
+	}
+	inGot := map[string]bool{}
+	for _, l := range gl {
+		inGot[l] = true
+	}
+	var b strings.Builder
+	for _, l := range wl {
+		if !inGot[l] {
+			fmt.Fprintf(&b, "-%s\n", l)
+		}
+	}
+	for _, l := range gl {
+		if !inWant[l] {
+			fmt.Fprintf(&b, "+%s\n", l)
+		}
+	}
+	return b.String()
+}

@@ -6,6 +6,7 @@
 package irdb
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -30,11 +31,11 @@ func newSearcher(b *testing.B, nDocs int) (*ir.Searcher, []string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := s.BuildIndex(); err != nil {
+	if err := s.BuildIndex(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	queries := workload.Queries(50, 3, 30000, 43)
-	if _, err := s.Search(queries[0], 10); err != nil {
+	if _, err := s.Search(context.Background(), queries[0], 10); err != nil {
 		b.Fatal(err)
 	}
 	return s, queries
@@ -48,7 +49,7 @@ func BenchmarkE1KeywordSearchHot(b *testing.B) {
 			s, queries := newSearcher(b, n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := s.Search(queries[i%len(queries)], 10); err != nil {
+				if _, err := s.Search(context.Background(), queries[i%len(queries)], 10); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -70,7 +71,7 @@ func BenchmarkE1IndexBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		if err := s.BuildIndex(); err != nil {
+		if err := s.BuildIndex(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -96,7 +97,7 @@ func BenchmarkE2SelfJoinScan(b *testing.B) {
 	ctx := wideCtx(b, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Exec(docsViewPlan("prop000003")); err != nil {
+		if _, err := ctx.Exec(context.Background(), docsViewPlan("prop000003")); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -106,12 +107,12 @@ func BenchmarkE2SelfJoinScan(b *testing.B) {
 // tables after first touch.
 func BenchmarkE2OnDemandHot(b *testing.B) {
 	ctx := wideCtx(b, true)
-	if _, err := ctx.Exec(docsViewPlan("prop000003")); err != nil {
+	if _, err := ctx.Exec(context.Background(), docsViewPlan("prop000003")); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Exec(docsViewPlan("prop000003")); err != nil {
+		if _, err := ctx.Exec(context.Background(), docsViewPlan("prop000003")); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -147,12 +148,12 @@ func traversePipeline(mode engine.JoinProb, dedup engine.GroupProb) engine.Node 
 // overhead on the same traverse+dedup pipeline (section 2.3).
 func BenchmarkE3Probabilistic(b *testing.B) {
 	ctx := auctionCtx(b, 5000)
-	if _, err := ctx.Exec(triple.Property("hasAuction")); err != nil {
+	if _, err := ctx.Exec(context.Background(), triple.Property("hasAuction")); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Exec(traversePipeline(engine.JoinIndependent, engine.GroupIndependent)); err != nil {
+		if _, err := ctx.Exec(context.Background(), traversePipeline(engine.JoinIndependent, engine.GroupIndependent)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -160,12 +161,12 @@ func BenchmarkE3Probabilistic(b *testing.B) {
 
 func BenchmarkE3Boolean(b *testing.B) {
 	ctx := auctionCtx(b, 5000)
-	if _, err := ctx.Exec(triple.Property("hasAuction")); err != nil {
+	if _, err := ctx.Exec(context.Background(), triple.Property("hasAuction")); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Exec(traversePipeline(engine.JoinLeft, engine.GroupCertain)); err != nil {
+		if _, err := ctx.Exec(context.Background(), traversePipeline(engine.JoinLeft, engine.GroupCertain)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -182,7 +183,7 @@ func BenchmarkE4AuctionStrategyHot(b *testing.B) {
 		if err != nil {
 			return err
 		}
-		_, err = ctx.Exec(engine.NewTopN(plan, 50,
+		_, err = ctx.Exec(context.Background(), engine.NewTopN(plan, 50,
 			engine.SortSpec{Col: "", Desc: true}, engine.SortSpec{Col: triple.ColSubject}))
 		return err
 	}
@@ -208,7 +209,7 @@ func BenchmarkE5SharedRebuild(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := first.BuildIndex(); err != nil {
+	if err := first.BuildIndex(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
@@ -217,7 +218,7 @@ func BenchmarkE5SharedRebuild(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := s.BuildIndex(); err != nil {
+		if err := s.BuildIndex(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -229,7 +230,7 @@ func BenchmarkE6RelationalHot(b *testing.B) {
 	s, queries := newSearcher(b, 5000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Search(queries[i%len(queries)], 10); err != nil {
+		if _, err := s.Search(context.Background(), queries[i%len(queries)], 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -264,7 +265,7 @@ func BenchmarkE7ProductionStrategyHot(b *testing.B) {
 		if err != nil {
 			return err
 		}
-		_, err = ctx.Exec(plan)
+		_, err = ctx.Exec(context.Background(), plan)
 		return err
 	}
 	if err := run(queries[0]); err != nil {

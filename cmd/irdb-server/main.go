@@ -38,6 +38,7 @@ func main() {
 		par      = flag.Int("parallelism", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		cacheMB  = flag.Int64("cache-mb", 0, "materialization cache byte budget in MiB (0 = unbounded)")
 		maxReq   = flag.Int("max-in-flight", 0, "concurrent search request limit (0 = 2x parallelism)")
+		timeout  = flag.Duration("timeout", 0, "per-request engine deadline, e.g. 2s (0 = none)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -70,6 +71,9 @@ func main() {
 	srv := server.New(ctx, syn)
 	if *maxReq > 0 {
 		srv.SetMaxInFlight(*maxReq)
+	}
+	if *timeout > 0 {
+		srv.SetTimeout(*timeout)
 	}
 	for _, st := range []*strategy.Strategy{
 		strategy.Toy(),

@@ -16,6 +16,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -96,7 +97,7 @@ func main() {
 			fmt.Println(out)
 		default:
 			start := time.Now()
-			rel, err := spinql.Eval(src, env, ctx)
+			rel, err := spinql.Eval(context.Background(), src, env, ctx)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "irdb: %v\n", err)
 				return
@@ -150,7 +151,7 @@ func runStrategy(ctx *engine.Ctx, path, query string, topK int, timing bool) {
 	plan = engine.NewTopN(plan, topK, engine.SortSpec{Col: "", Desc: true},
 		engine.SortSpec{Col: triple.ColSubject})
 	start := time.Now()
-	rel, err := ctx.Exec(plan)
+	rel, err := ctx.Exec(context.Background(), plan)
 	if err != nil {
 		fail(err)
 	}

@@ -5,35 +5,86 @@
 // probabilistic triple data model, the SpinQL algebra language, and a
 // block-based search strategy layer on top.
 //
+// # The public API
+//
+// This package is the stable facade over the engine — the shape a
+// production deployment programs against. Open a database, load data,
+// and query it; every query-running method takes a context.Context whose
+// deadline and cancellation reach into the engine's morsel loops, so an
+// abandoned request stops mid-plan instead of holding resources until
+// completion:
+//
+//	db := irdb.Open(
+//		irdb.WithParallelism(8),
+//		irdb.WithCacheBytes(256<<20),
+//		irdb.WithMaxInFlight(16),
+//	)
+//	defer db.Close()
+//	db.LoadTriples(triples)
+//
+//	stmt, _ := db.Prepare(`SELECT [$2="category" and $3=?cat] (triples);`)
+//	res, err := stmt.Query(ctx, irdb.P("cat", "toy"))
+//
+// Prepared statements parse and compile exactly once; Query binds ?name
+// placeholders to literals with a structural substitution thousands of
+// times cheaper than re-parsing. Sub-plans that do not depend on any
+// parameter are pointer-shared across bindings, so their fingerprints —
+// and materialization cache entries — are reused whatever values are
+// bound. Ad-hoc execution (DB.Query), strategy search (DB.Search over
+// JSON-installed strategies), BM25 document search (DB.LoadDocs /
+// DB.SearchDocs), plan inspection (DB.Explain, DB.ToSQL) and statistics
+// (DB.Stats) round out the surface; see api.txt for the pinned listing.
+// examples/quickstart is the canonical tour.
+//
+// # Migration from the internal call patterns
+//
+// Earlier revisions wired internal packages together by hand. The facade
+// replaces those shapes one for one:
+//
+//	catalog.New + triple.NewStore + engine.NewCtx   -> irdb.Open(opts...)
+//	ctx.Parallelism = n                             -> irdb.WithParallelism(n)
+//	cat.Cache().SetMaxBytes(n)                      -> irdb.WithCacheBytes(n)
+//	server admission semaphore                      -> irdb.WithMaxInFlight(n)
+//	store.Load(triples)                             -> db.LoadTriples / db.LoadTriplesTSV
+//	spinql.Eval(src, env, ctx)                      -> db.Query(ctx, src)
+//	spinql.Parse + Compile per request              -> db.Prepare(src); stmt.Query(ctx, params...)
+//	strategy.FromJSON + Compile + engine.NewTopN    -> db.InstallStrategy(json); db.Search(ctx, name, q, k)
+//	ir.NewSearcher(ctx, docsPlan, params).Search    -> db.LoadDocs(docs); db.SearchDocs(ctx, q, k)
+//	spinql.Explain / pra.ToSQL                      -> db.Explain / db.ToSQL
+//
+// At the engine layer, engine.Ctx.Exec and engine.Node.Execute now take
+// a context.Context first; catalog.Cache.GetOrCompute(Aux) does too, and
+// a waiter whose context is cancelled detaches from a single-flight
+// computation without killing it for everyone else.
+//
+// # Execution model
+//
 // The engine executes every operator stage in parallel — independent
 // subtrees fan out over a worker pool, hot per-row loops split into
 // morsels, and materialization itself is morsel-parallel: output columns
-// are pre-sized and written at offset, TopN merges per-morsel
-// bounded-heap selections and full Sort merge-sorts per-morsel runs
-// instead of running one serial sort, the join build fills partitioned
-// open-addressing tables whose probe reads contiguous row segments,
-// grouping deduplicates per morsel before a re-rank, and aggregation
-// folds per-chunk partial accumulators in a fixed merge order — while
-// guaranteeing results bit-identical to serial execution, and the shared
+// are pre-sized and written at offset, TopN and full Sort k-way-merge
+// bounded per-run selections, the join build fills partitioned
+// open-addressing tables, grouping deduplicates per morsel before a
+// re-rank, and aggregation folds per-chunk partial accumulators in a
+// fixed merge order — while guaranteeing results bit-identical to serial
+// execution. String data is dictionary-encoded end-to-end
+// (vector.DictStrings), so hashes, comparisons, sorts, group-bys and
+// joins over interned columns run on fixed-width codes. The shared
 // materialization cache single-flights concurrent misses so one VM's
 // worth of traffic (the paper's 150k requests/day deployment) rebuilds
-// each on-demand cache table once, not once per concurrent request. The
-// serial-vs-parallel equivalence suite in internal/engine and the -race
-// traffic tests in internal/server hold both properties in place;
-// experiment E8 (internal/experiments) measures the resulting throughput
-// against worker count.
+// each on-demand cache table once, not once per concurrent request.
 //
-// String data is dictionary-encoded end-to-end: loaders intern
-// high-cardinality string columns once into shared frozen dictionaries
-// (vector.DictStrings — int32 codes over a vector.FrozenDict), and every
-// hash, comparison, sort, group-by and join over those columns runs on
-// fixed-width codes (ranks for ordering) instead of re-reading string
-// bytes. Operators meeting columns with different dictionaries fall back
-// to string semantics — decoding or re-encoding one side — so results
-// are bit-identical to plain string execution at every parallelism; the
-// equivalence suite in internal/engine/dict_equiv_test.go enforces this.
+// Cancellation is part of the execution contract: morsel loops and the
+// k-way merges check the context at chunk boundaries, the join probe and
+// grouping loops every few thousand rows, and a cancelled query returns
+// context.Canceled promptly with nothing partial returned or cached. The
+// cancellation suite in internal/engine and internal/catalog holds this
+// in place; the serial-vs-parallel and prepared-vs-adhoc equivalence
+// suites pin the bit-identity guarantees.
 //
-// The root package holds the per-experiment benchmarks (bench_test.go);
-// the implementation lives under internal/ (see DESIGN.md for the system
-// inventory) with runnable entry points under cmd/ and examples/.
+// The root package also holds the per-experiment benchmarks
+// (bench_test.go) and the BenchmarkPreparedQuery / BenchmarkAdhocQuery
+// pair demonstrating the eliminated re-parse/re-compile cost; the
+// implementation lives under internal/ with runnable entry points under
+// cmd/ and examples/.
 package irdb

@@ -2,30 +2,32 @@
 // auction site where users search lots via the website's search bar. The
 // Figure 3 strategy ranks lots by their own description mixed with the
 // description of their containing auction; the production variant adds
-// five parallel keyword-search branches plus query expansion.
+// five parallel keyword-search branches plus query expansion. Everything
+// runs through the public irdb facade, the way the deployed service
+// would: strategies installed by name, searches bounded by a deadline.
 //
 // Run with: go run ./examples/auction [-lots 8000] [-query "..."]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"strings"
 	"time"
 
-	"irdb/internal/catalog"
-	"irdb/internal/engine"
-	"irdb/internal/strategy"
-	"irdb/internal/text"
+	"irdb"
 	"irdb/internal/triple"
+	"irdb/internal/vector"
 	"irdb/internal/workload"
 )
 
 func main() {
 	var (
-		lots  = flag.Int("lots", 8000, "number of lots (paper: 8 million)")
-		query = flag.String("query", "", "keyword query (default: sampled from the vocabulary)")
+		lots    = flag.Int("lots", 8000, "number of lots (paper: 8 million)")
+		query   = flag.String("query", "", "keyword query (default: sampled from the vocabulary)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-search deadline")
 	)
 	flag.Parse()
 
@@ -40,10 +42,15 @@ func main() {
 	fmt.Printf("generating auction graph: %d lots, %d auctions, %d sellers…\n",
 		cfg.Lots, cfg.Auctions, cfg.Sellers)
 	graph := workload.AuctionGraph(cfg)
-	cat := catalog.New(0)
-	triple.NewStore(cat).Load(graph)
-	ctx := engine.NewCtx(cat)
+	db := irdb.Open(
+		irdb.WithSynonyms(workload.Synonyms(cfg.VocabSize, 200, 2, cfg.Seed)),
+	)
+	defer db.Close()
+	if err := db.LoadTriples(publicTriples(graph)); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("loaded %d triples\n\n", len(graph))
+	db.InstallBuiltinStrategies()
 
 	q := *query
 	if q == "" {
@@ -53,29 +60,18 @@ func main() {
 	fmt.Printf("query: %q\n\n", q)
 
 	// --- Figure 3: two branches mixed 0.7 / 0.3.
-	strat := strategy.Auction(0.7, 0.3)
-	fmt.Printf("Figure 3 strategy (%d blocks): lots by own description (0.7) + auction description (0.3)\n",
-		strat.NumBlocks())
-	top := run(ctx, strat, &strategy.Compiler{Query: q})
-	fmt.Println(top)
+	fmt.Println("Figure 3 strategy: lots by own description (0.7) + auction description (0.3)")
+	fmt.Println(run(db, "auction-lots", q, *timeout))
 
 	// --- The production variant: 5 branches + synonym/compound expansion.
-	synonyms := text.SynonymDict(workload.Synonyms(cfg.VocabSize, 200, 2, cfg.Seed))
-	prod := strategy.Production()
-	fmt.Printf("production strategy (%d blocks): + titles, sellers, expansion\n", prod.NumBlocks())
-	topProd := run(ctx, prod, &strategy.Compiler{Query: q, Synonyms: synonyms})
-	fmt.Println(topProd)
+	fmt.Println("production strategy: + titles, sellers, expansion")
+	fmt.Println(run(db, "auction-lots-production", q, *timeout))
 
 	// --- The paper's deployment regime: repeated hot requests.
 	const reqs = 10
 	start := time.Now()
 	for i := 0; i < reqs; i++ {
-		plan, err := strat.Compile(&strategy.Compiler{Query: q})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if _, err := ctx.Exec(engine.NewTopN(plan, 10,
-			engine.SortSpec{Col: "", Desc: true}, engine.SortSpec{Col: triple.ColSubject})); err != nil {
+		if _, err := db.Search(context.Background(), "auction-lots", q, 10); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -84,14 +80,11 @@ func main() {
 	fmt.Println(`paper: "about 150ms per request (hot database)" at 8M lots on one VM`)
 }
 
-func run(ctx *engine.Ctx, s *strategy.Strategy, c *strategy.Compiler) string {
-	plan, err := s.Compile(c)
-	if err != nil {
-		log.Fatal(err)
-	}
+func run(db *irdb.DB, strategy, q string, timeout time.Duration) string {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
 	start := time.Now()
-	rel, err := ctx.Exec(engine.NewTopN(plan, 5,
-		engine.SortSpec{Col: "", Desc: true}, engine.SortSpec{Col: triple.ColSubject}))
+	hits, err := db.Search(ctx, strategy, q, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,8 +92,27 @@ func run(ctx *engine.Ctx, s *strategy.Strategy, c *strategy.Compiler) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "top lots (first request, includes on-demand indexing, %s):\n",
 		elapsed.Round(time.Millisecond))
-	for i := 0; i < rel.NumRows(); i++ {
-		fmt.Fprintf(&b, "  %d. %-10s p=%.4f\n", i+1, rel.Col(0).Vec.Format(i), rel.Prob()[i])
+	for i, h := range hits {
+		fmt.Fprintf(&b, "  %d. %-10s p=%.4f\n", i+1, h.ID, h.Score)
 	}
 	return b.String()
+}
+
+// publicTriples converts the generated (internal) triples to the facade's
+// triple type.
+func publicTriples(ts []triple.Triple) []irdb.Triple {
+	out := make([]irdb.Triple, len(ts))
+	for i, t := range ts {
+		var obj any
+		switch t.Obj.Kind {
+		case vector.String:
+			obj = t.Obj.Str
+		case vector.Int64:
+			obj = t.Obj.Int
+		default:
+			obj = t.Obj.Flt
+		}
+		out[i] = irdb.Triple{Subject: t.Subject, Property: t.Property, Object: obj, P: t.P}
+	}
+	return out
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,14 +57,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rel, err := ctx.Exec(plan)
+		rel, err := ctx.Exec(context.Background(), plan)
 		if err != nil {
 			log.Fatal(err)
 		}
 		// The traversal yields one row per (matched report, author);
 		// collapse to experts, combining evidence from independent
 		// reports by noisy-or.
-		experts, err := ctx.Exec(engine.NewSort(
+		experts, err := ctx.Exec(context.Background(), engine.NewSort(
 			engine.NewDistinct(engine.NewValues("experts:"+query, rel), engine.GroupIndependent),
 			engine.SortSpec{Col: "", Desc: true}, engine.SortSpec{Col: triple.ColSubject}))
 		if err != nil {
@@ -76,7 +77,7 @@ func main() {
 }
 
 func printExperts(ctx *engine.Ctx, experts *relation.Relation) {
-	names, err := ctx.Exec(triple.Property("name"))
+	names, err := ctx.Exec(context.Background(), triple.Property("name"))
 	if err != nil {
 		log.Fatal(err)
 	}

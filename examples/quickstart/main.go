@@ -1,56 +1,62 @@
 // Quickstart walks through the paper's sections in order on the toy
-// product scenario: keyword search in the relational engine (2.1), the
-// flexible triple data model (2.2), score propagation through SpinQL
-// (2.3), and the block-based strategy abstraction (2.4).
+// product scenario, entirely through the public irdb facade: the flexible
+// triple data model (2.2), score propagation through SpinQL with a
+// prepared, parameterized query (2.3), keyword search in the relational
+// engine (2.1), and the block-based strategy abstraction (2.4).
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sort"
+	"time"
 
-	"irdb/internal/catalog"
-	"irdb/internal/engine"
-	"irdb/internal/ir"
-	"irdb/internal/relation"
-	"irdb/internal/spinql"
-	"irdb/internal/strategy"
-	"irdb/internal/triple"
+	"irdb"
 )
 
 func main() {
 	// --- Section 2.2: a flexible data model. Everything is triples; no
 	// application-specific schema. Note the confidence-scored category of
 	// p4 — uncertainty "originating from the data".
-	cat := catalog.New(0)
-	store := triple.NewStore(cat)
-	store.Load([]triple.Triple{
-		{Subject: "p1", Property: "category", Obj: triple.String("toy")},
-		{Subject: "p1", Property: "description", Obj: triple.String("wooden train set for young engineers")},
-		{Subject: "p2", Property: "category", Obj: triple.String("toy")},
-		{Subject: "p2", Property: "description", Obj: triple.String("racing cars with wooden track")},
-		{Subject: "p3", Property: "category", Obj: triple.String("book")},
-		{Subject: "p3", Property: "description", Obj: triple.String("a history of wooden toys")},
-		{Subject: "p4", Property: "category", Obj: triple.String("toy"), P: 0.7},
-		{Subject: "p4", Property: "description", Obj: triple.String("train station play set")},
-		{Subject: "p1", Property: "price", Obj: triple.Int(25)},
-		{Subject: "p2", Property: "price", Obj: triple.Int(40)},
+	db := irdb.Open(irdb.WithCacheBytes(64 << 20))
+	defer db.Close()
+	err := db.LoadTriples([]irdb.Triple{
+		{Subject: "p1", Property: "category", Object: "toy"},
+		{Subject: "p1", Property: "description", Object: "wooden train set for young engineers"},
+		{Subject: "p2", Property: "category", Object: "toy"},
+		{Subject: "p2", Property: "description", Object: "racing cars with wooden track"},
+		{Subject: "p3", Property: "category", Object: "book"},
+		{Subject: "p3", Property: "description", Object: "a history of wooden toys"},
+		{Subject: "p4", Property: "category", Object: "toy", P: 0.7},
+		{Subject: "p4", Property: "description", Object: "train station play set"},
+		{Subject: "p1", Property: "price", Object: 25},
+		{Subject: "p2", Property: "price", Object: 40},
 	})
-	ctx := engine.NewCtx(cat)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// --- Section 2.3: the paper's SpinQL program, verbatim, and its SQL
-	// translation.
-	env := spinql.TriplesEnv()
+	// Every query-running call takes a context; a deadline or cancellation
+	// reaches into the engine's morsel loops, so slow queries can be
+	// abandoned mid-plan.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// --- Section 2.3: the paper's SpinQL program with the category as a
+	// ?parameter, prepared once and executed per binding. Parse and
+	// compilation happen exactly once, in Prepare.
 	program := `
 docs = PROJECT [$1,$6] (
   JOIN INDEPENDENT [$1=$1] (
-    SELECT [$2="category" and $3="toy"] (triples),
+    SELECT [$2="category" and $3=?cat] (triples),
     SELECT [$2="description"] (triples) ) );
 `
-	fmt.Println("SpinQL program (paper, section 2.3):")
+	fmt.Println("SpinQL program (paper, section 2.3; ?cat is a parameter):")
 	fmt.Println(program)
-	sql, err := spinql.ToSQL(program, spinql.TriplesEnv())
+	sql, err := db.ToSQL(program)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,62 +64,54 @@ docs = PROJECT [$1,$6] (
 	fmt.Println(sql)
 	fmt.Println()
 
-	docs, err := spinql.Eval(program, env, ctx)
+	stmt, err := db.Prepare(program)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("docs view (note p4 carries p=0.7 from its category triple):")
-	fmt.Println(docs.Format(-1))
+	for _, cat := range []string{"toy", "book"} {
+		docs, err := stmt.Query(ctx, irdb.P("cat", cat))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("docs view for ?cat=%q (note p4 carries p=0.7 from its category triple):\n", cat)
+		fmt.Println(docs.Format(-1))
+	}
 
-	// --- Section 2.1: BM25 keyword search over the on-the-fly
-	// sub-collection. The index is built on demand; no configuration
-	// happened at load time.
-	searcher, err := ir.NewSearcher(ctx,
-		triple.DocsOf(
-			subjectsWithCategory(), "description"),
-		ir.DefaultParams())
+	// --- Section 2.1: BM25 keyword search over a document collection. The
+	// inverted view is built on demand by the first search; nothing was
+	// configured at load time.
+	err = db.LoadDocs([]irdb.Doc{
+		{ID: "p1", Text: "wooden train set for young engineers"},
+		{ID: "p2", Text: "racing cars with wooden track"},
+		{ID: "p4", Text: "train station play set"},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	hits, err := searcher.Search("wooden train", 10)
+	hits, err := db.SearchDocs(ctx, "wooden train", 10)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("BM25 ranking for query 'wooden train' over toy descriptions:")
 	for rank, h := range hits {
-		fmt.Printf("  %d. %-4s score=%.4f\n", rank+1, h.DocID, h.Score)
+		fmt.Printf("  %d. %-4s score=%.4f\n", rank+1, h.ID, h.Score)
 	}
 	fmt.Println()
 
-	// --- Section 2.4: the same search expressed as the Figure 2 strategy
-	// — three connected blocks, no query plans in sight.
-	strat := strategy.Toy()
-	fmt.Printf("Figure 2 strategy %q (%d blocks):\n", strat.Name, strat.NumBlocks())
-	js, _ := strat.ToJSON()
-	fmt.Println(string(js))
-	plan, err := strat.Compile(&strategy.Compiler{Query: "wooden train"})
+	// --- Section 2.4: the same search as a block strategy — three
+	// connected blocks, no query plans in sight.
+	db.InstallBuiltinStrategies()
+	results, err := db.Search(ctx, "toy-products", "wooden train", 5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	result, err := ctx.Exec(plan)
-	if err != nil {
-		log.Fatal(err)
+	fmt.Println("strategy result (scores max-normalized to probabilities):")
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
+	for rank, h := range results {
+		fmt.Printf("  %d. %-4s p=%.4f\n", rank+1, h.ID, h.Score)
 	}
-	fmt.Println("\nstrategy result (scores max-normalized to probabilities):")
-	ranked := result.Sorted([]relation.SortKey{{Col: relation.ProbCol, Desc: true}})
-	fmt.Println(ranked.Format(-1))
-}
 
-func subjectsWithCategory() engine.Node {
-	s := &strategy.Strategy{
-		Name: "toys",
-		Blocks: []strategy.Block{{ID: "t", Type: "filter-property",
-			Params: map[string]any{"property": "category", "value": "toy"}}},
-		Output: "t",
-	}
-	plan, err := s.Compile(&strategy.Compiler{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return plan
+	st := db.Stats()
+	fmt.Printf("\nstats: %d parses, %d compiles, %d queries, cache %d entries\n",
+		st.Statements.Parses, st.Statements.Compiles, st.Statements.Queries, st.Cache.Entries)
 }

@@ -3,12 +3,13 @@
 // collaborative filtering and text retrieval"): recommend items to a user
 // from the likes graph, treating co-preference as probabilistic evidence.
 //
-// The whole recommender is four relational operators over the triple
-// store — no dedicated recommendation engine:
+// The whole recommender is one declarative SpinQL program over the triple
+// store — no dedicated recommendation engine — prepared ONCE with the
+// target user as a ?parameter and executed per user:
 //
-//  1. users who like what the target user likes   (traverse "likes" back)
-//  2. what those users like                       (traverse "likes" fwd)
-//  3. combine evidence across neighbours          (noisy-or dedup)
+//  1. items the target user likes                 (select + project)
+//  2. users who like those items                  (join back over "likes")
+//  3. what those users like, evidence combined    (join + noisy-or dedup)
 //  4. drop items the user already knows           (probabilistic SUBTRACT)
 //
 // Confidence-scored likes (e.g. inferred from clicks rather than explicit
@@ -18,80 +19,83 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sort"
 
-	"irdb/internal/catalog"
-	"irdb/internal/engine"
-	"irdb/internal/expr"
-	"irdb/internal/triple"
+	"irdb"
 )
 
-func main() {
-	cat := catalog.New(0)
-	store := triple.NewStore(cat)
-	store.Load(likesGraph())
-	ctx := engine.NewCtx(cat)
+// recommender is the four-step program above. ?user is bound per
+// execution; everything not depending on ?user (the likes view) keeps its
+// plan fingerprint across bindings, so its materialization is shared.
+const recommender = `
+likes = SELECT [$2 = "likes"] (triples);
+mine  = PROJECT [$3] (SELECT [$1 = ?user] (likes));
+cousers = PROJECT INDEPENDENT [$2] (
+  SELECT [not ($2 = ?user)] (
+    JOIN INDEPENDENT [$1=$3] (mine, likes) ) );
+theirs = PROJECT INDEPENDENT [$4] (
+  JOIN INDEPENDENT [$1=$1] (cousers, likes) );
+SUBTRACT [] (theirs, mine);
+`
 
+func main() {
+	db := irdb.Open()
+	defer db.Close()
+	if err := db.LoadTriples(likesGraph()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Parse and compile once; bind ?user per execution.
+	stmt, err := db.Prepare(recommender)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prepared recommender (parameters: %v)\n\n", stmt.Params())
+
+	ctx := context.Background()
 	for _, user := range []string{"ann", "bob"} {
-		recs, err := ctx.Exec(recommendPlan(user, 3))
+		recs, err := stmt.Query(ctx, irdb.P("user", user))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("recommendations for %s:\n", user)
-		for i := 0; i < recs.NumRows(); i++ {
-			fmt.Printf("  %d. %-10s evidence=%.4f\n",
-				i+1, recs.Col(0).Vec.Format(i), recs.Prob()[i])
+		for i, row := range topRows(recs, 3) {
+			fmt.Printf("  %d. %-10s evidence=%.4f\n", i+1, recs.Value(row, 0), recs.Prob(row))
 		}
 		fmt.Println()
 	}
 }
 
-// recommendPlan builds the four-operator recommender for one user.
-func recommendPlan(user string, k int) engine.Node {
-	likes := triple.Property("likes") // (subject=user, object=item), materialized once
-
-	// items the target user likes, with their confidence
-	mine := engine.NewProject(
-		engine.NewSelect(likes,
-			expr.Cmp{Op: expr.Eq, L: expr.Column(triple.ColSubject), R: expr.Str(user)}),
-		engine.ProjCol{Name: "item", E: expr.Column(triple.ColObject)},
-	)
-
-	// neighbours: users who like those items (excluding the user)
-	coLikes := engine.NewHashJoin(mine, likes,
-		[]string{"item"}, []string{triple.ColObject}, engine.JoinIndependent)
-	neighbours := engine.NewSelect(
-		engine.NewProject(coLikes,
-			engine.ProjCol{Name: "user", E: expr.Column(triple.ColSubject)}),
-		expr.Not{E: expr.Cmp{Op: expr.Eq, L: expr.Column("user"), R: expr.Str(user)}},
-	)
-	// one row per neighbour, evidence combined across shared items
-	distinctNeighbours := engine.NewDistinct(neighbours, engine.GroupIndependent)
-
-	// what the neighbours like, evidence propagating through both hops
-	theirLikes := engine.NewHashJoin(distinctNeighbours, likes,
-		[]string{"user"}, []string{triple.ColSubject}, engine.JoinIndependent)
-	candidates := engine.NewDistinct(
-		engine.NewProject(theirLikes,
-			engine.ProjCol{Name: "item", E: expr.Column(triple.ColObject)}),
-		engine.GroupIndependent)
-
-	// subtract what the user already likes (probabilistic difference:
-	// a strongly-liked item disappears, a tentative one is discounted)
-	fresh := engine.NewSubtract(candidates, mine, false)
-
-	return engine.NewTopN(fresh, k,
-		engine.SortSpec{Col: "", Desc: true}, engine.SortSpec{Col: "item"})
+// topRows returns the indexes of the k highest-evidence rows, best first
+// (ties broken by item for stable output).
+func topRows(r *irdb.Result, k int) []int {
+	rows := make([]int, r.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		pa, pb := r.Prob(rows[a]), r.Prob(rows[b])
+		if pa != pb {
+			return pa > pb
+		}
+		return r.Value(rows[a], 0) < r.Value(rows[b], 0)
+	})
+	if k < len(rows) {
+		rows = rows[:k]
+	}
+	return rows
 }
 
 // likesGraph is a small preference graph. Note the 0.6-confidence like:
 // ann's interest in "jazz-records" was inferred, not stated.
-func likesGraph() []triple.Triple {
-	like := func(user, item string, p float64) triple.Triple {
-		return triple.Triple{Subject: user, Property: "likes", Obj: triple.String(item), P: p}
+func likesGraph() []irdb.Triple {
+	like := func(user, item string, p float64) irdb.Triple {
+		return irdb.Triple{Subject: user, Property: "likes", Object: item, P: p}
 	}
-	return []triple.Triple{
+	return []irdb.Triple{
 		like("ann", "vinyl-player", 1),
 		like("ann", "jazz-records", 0.6),
 		like("bob", "vinyl-player", 1),

@@ -2,6 +2,8 @@ package catalog
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 
 	"irdb/internal/relation"
@@ -121,23 +123,44 @@ func NewCache(capacity int) *Cache {
 // The second return value reports whether the caller was served without
 // running compute itself.
 //
+// A waiter whose ctx is cancelled detaches and returns ctx's error
+// immediately; the in-flight computation keeps running on the goroutine
+// that started it and its result is cached as usual, so one impatient
+// client never destroys work other clients are waiting for. The converse
+// holds too: when the flight's leader is the one cancelled (compute
+// fails with a context error), waiters whose own context is still live
+// do not inherit the leader's cancellation — they retry the key with a
+// fresh flight instead.
+//
 // compute runs without the cache lock held, so it may use the cache for
 // other keys — but it must not call GetOrCompute for its own key, which
 // would deadlock on the in-flight entry.
-func (c *Cache) GetOrCompute(key string, compute func() (*relation.Relation, error)) (*relation.Relation, bool, error) {
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (*relation.Relation, error)) (*relation.Relation, bool, error) {
 	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.hits++
-		c.order.MoveToFront(el)
-		rel := el.Value.(*cacheEntry).rel
-		c.mu.Unlock()
-		return rel, true, nil
-	}
-	if f, ok := c.flights[key]; ok {
+	for {
+		if el, ok := c.entries[key]; ok {
+			c.hits++
+			c.order.MoveToFront(el)
+			rel := el.Value.(*cacheEntry).rel
+			c.mu.Unlock()
+			return rel, true, nil
+		}
+		f, ok := c.flights[key]
+		if !ok {
+			break
+		}
 		c.shared++
 		c.mu.Unlock()
-		<-f.done
-		return f.rel, f.err == nil, f.err
+		select {
+		case <-f.done:
+			if leaderCancelled(f.err, ctx) {
+				c.mu.Lock()
+				continue
+			}
+			return f.rel, f.err == nil, f.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 	}
 	c.misses++
 	f := &flight{done: make(chan struct{})}
@@ -165,22 +188,44 @@ func (c *Cache) GetOrCompute(key string, compute func() (*relation.Relation, err
 	return f.rel, false, f.err
 }
 
+// leaderCancelled reports whether a completed flight failed only because
+// its leader's context was cancelled while the waiter's own context is
+// still live — the one case where adopting the flight's error would let
+// one impatient client fail everyone else's query.
+func leaderCancelled(flightErr error, ctx context.Context) bool {
+	return flightErr != nil && ctx.Err() == nil &&
+		(errors.Is(flightErr, context.Canceled) || errors.Is(flightErr, context.DeadlineExceeded))
+}
+
 // GetOrComputeAux is GetOrCompute for auxiliary structures (join indexes):
 // one flight per key, result weighed into the shared LRU like any other
-// entry.
-func (c *Cache) GetOrComputeAux(key string, compute func() (any, error)) (any, bool, error) {
+// entry. Waiters detach on ctx cancellation, and survive a cancelled
+// leader by retrying, exactly like GetOrCompute.
+func (c *Cache) GetOrComputeAux(ctx context.Context, key string, compute func() (any, error)) (any, bool, error) {
 	c.mu.Lock()
-	if el, ok := c.aux[key]; ok {
-		c.order.MoveToFront(el)
-		v := el.Value.(*cacheEntry).aux
-		c.mu.Unlock()
-		return v, true, nil
-	}
-	if f, ok := c.auxFlights[key]; ok {
+	for {
+		if el, ok := c.aux[key]; ok {
+			c.order.MoveToFront(el)
+			v := el.Value.(*cacheEntry).aux
+			c.mu.Unlock()
+			return v, true, nil
+		}
+		f, ok := c.auxFlights[key]
+		if !ok {
+			break
+		}
 		c.shared++
 		c.mu.Unlock()
-		<-f.done
-		return f.aux, f.err == nil, f.err
+		select {
+		case <-f.done:
+			if leaderCancelled(f.err, ctx) {
+				c.mu.Lock()
+				continue
+			}
+			return f.aux, f.err == nil, f.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	gen := c.gen

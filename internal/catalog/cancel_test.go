@@ -1,0 +1,179 @@
+package catalog
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"irdb/internal/relation"
+	"irdb/internal/vector"
+)
+
+func flightRel(n int) *relation.Relation {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	return relation.MustFromColumns(
+		[]relation.Column{{Name: "x", Vec: vector.FromInt64s(vals)}}, nil)
+}
+
+// TestCancelDuringSingleFlightWait: a waiter joining another caller's
+// in-flight computation detaches as soon as its own context is cancelled,
+// while the computation keeps running, completes, and is cached for
+// everyone else.
+func TestCancelDuringSingleFlightWait(t *testing.T) {
+	cache := NewCache(0)
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	want := flightRel(64)
+
+	computerDone := make(chan error, 1)
+	go func() {
+		_, _, err := cache.GetOrCompute(context.Background(), "k", func() (*relation.Relation, error) {
+			close(started)
+			<-unblock
+			return want, nil
+		})
+		computerDone <- err
+	}()
+	<-started
+
+	// The waiter joins the in-flight computation, then gives up.
+	c, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := cache.GetOrCompute(c, "k", func() (*relation.Relation, error) {
+			t.Error("waiter must join the flight, not start its own computation")
+			return nil, nil
+		})
+		waiterDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter block on the flight
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if err != context.Canceled {
+			t.Fatalf("waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not detach from the in-flight computation")
+	}
+
+	// The computation was not killed by the waiter's departure.
+	close(unblock)
+	if err := <-computerDone; err != nil {
+		t.Fatalf("computer failed: %v", err)
+	}
+	got, hit := cache.Get("k")
+	if !hit || got != want {
+		t.Fatalf("flight result not cached after waiter cancellation (hit=%v)", hit)
+	}
+	st := cache.Stats()
+	if st.Shared != 1 {
+		t.Errorf("Shared = %d, want 1 (the cancelled waiter joined the flight)", st.Shared)
+	}
+}
+
+// TestWaiterSurvivesCancelledLeader: when the goroutine that started a
+// flight is cancelled (its compute fails with context.Canceled), a
+// waiter whose own context is live must not inherit that error — it
+// retries the key with a fresh flight and computes the result itself.
+func TestWaiterSurvivesCancelledLeader(t *testing.T) {
+	cache := NewCache(0)
+	want := flightRel(8)
+	leaderStarted := make(chan struct{})
+	leaderAbort := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := cache.GetOrCompute(context.Background(), "k", func() (*relation.Relation, error) {
+			close(leaderStarted)
+			<-leaderAbort
+			return nil, context.Canceled // the engine surfaces the leader's ctx error
+		})
+		leaderDone <- err
+	}()
+	<-leaderStarted
+
+	waiterDone := make(chan error, 1)
+	var got *relation.Relation
+	go func() {
+		rel, _, err := cache.GetOrCompute(context.Background(), "k", func() (*relation.Relation, error) {
+			return want, nil // the waiter's retry computes for real
+		})
+		got = rel
+		waiterDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter join the flight
+	close(leaderAbort)
+
+	if err := <-leaderDone; err != context.Canceled {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-waiterDone:
+		if err != nil {
+			t.Fatalf("healthy waiter inherited the leader's cancellation: %v", err)
+		}
+		if got != want {
+			t.Fatalf("waiter rel = %v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never completed after the leader's cancellation")
+	}
+	if rel, hit := cache.Get("k"); !hit || rel != want {
+		t.Fatalf("retried result not cached (hit=%v)", hit)
+	}
+}
+
+// TestCancelDuringAuxSingleFlightWait mirrors the relation test for
+// auxiliary (join index) flights.
+func TestCancelDuringAuxSingleFlightWait(t *testing.T) {
+	cache := NewCache(0)
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+
+	go func() {
+		_, _, _ = cache.GetOrComputeAux(context.Background(), "a", func() (any, error) {
+			close(started)
+			<-unblock
+			return "index", nil
+		})
+	}()
+	<-started
+
+	c, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := cache.GetOrComputeAux(c, "a", func() (any, error) {
+			t.Error("waiter must join the aux flight")
+			return nil, nil
+		})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("aux waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled aux waiter did not detach")
+	}
+	close(unblock)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, ok := cache.GetAux("a"); ok {
+			if v != "index" {
+				t.Fatalf("aux value = %v", v)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("aux flight result never cached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
 	"strings"
@@ -114,12 +115,12 @@ func NewAggregate(child Node, groupBy []string, aggs []AggSpec, pmode GroupProb)
 }
 
 // Execute implements Node.
-func (a *Aggregate) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(a.Child)
+func (a *Aggregate) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, a.Child)
 	if err != nil {
 		return nil, err
 	}
-	return aggregateRel(ctx, in, a.GroupBy, a.Aggs, a.PMode)
+	return aggregateRel(c, ctx, in, a.GroupBy, a.Aggs, a.PMode)
 }
 
 // aggregateRel is the operator core, shared with Distinct and Unite. Row
@@ -127,12 +128,17 @@ func (a *Aggregate) Execute(ctx *Ctx) (*relation.Relation, error) {
 // the aggregate columns and the probability combine — folds per-chunk
 // partials merged in fixed chunk order (foldGroups), so the whole operator
 // scales with workers while staying bit-identical at every parallelism.
-func aggregateRel(ctx *Ctx, in *relation.Relation, groupBy []string, aggSpecs []AggSpec, pmode GroupProb) (*relation.Relation, error) {
+func aggregateRel(c context.Context, ctx *Ctx, in *relation.Relation, groupBy []string, aggSpecs []AggSpec, pmode GroupProb) (*relation.Relation, error) {
 	gIdx, err := colPositions(in, groupBy)
 	if err != nil {
 		return nil, err
 	}
-	groupOf, firstRow := groupRows(ctx, in, gIdx)
+	groupOf, firstRow := groupRows(c, ctx, in, gIdx)
+	if err := c.Err(); err != nil {
+		// A cancelled grouping leaves groupOf/firstRow inconsistent; the
+		// accumulators below would index past them.
+		return nil, err
+	}
 
 	nGroups := len(firstRow)
 	cols := make([]relation.Column, 0, len(gIdx)+len(aggSpecs))
@@ -145,7 +151,7 @@ func aggregateRel(ctx *Ctx, in *relation.Relation, groupBy []string, aggSpecs []
 
 	prob := in.Prob()
 	for _, spec := range aggSpecs {
-		v, err := evalAgg(ctx, in, spec, groupOf, nGroups)
+		v, err := evalAgg(c, ctx, in, spec, groupOf, nGroups)
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +166,7 @@ func aggregateRel(ctx *Ctx, in *relation.Relation, groupBy []string, aggSpecs []
 			outProb[g] = 1.0
 		}
 	case GroupDisjoint, GroupSumRaw:
-		outProb = sumProbGroups(ctx, prob, groupOf, nGroups)
+		outProb = sumProbGroups(c, ctx, prob, groupOf, nGroups)
 		if pmode == GroupDisjoint {
 			for g, s := range outProb {
 				if s > 1 {
@@ -169,7 +175,7 @@ func aggregateRel(ctx *Ctx, in *relation.Relation, groupBy []string, aggSpecs []
 			}
 		}
 	case GroupIndependent:
-		q := foldGroups(ctx, len(groupOf), nGroups,
+		q := foldGroups(c, ctx, len(groupOf), nGroups,
 			func() []float64 {
 				acc := make([]float64, nGroups)
 				for g := range acc {
@@ -192,7 +198,7 @@ func aggregateRel(ctx *Ctx, in *relation.Relation, groupBy []string, aggSpecs []
 			outProb[g] = 1 - q[g]
 		}
 	case GroupMax:
-		outProb = maxProbGroups(ctx, prob, groupOf, nGroups)
+		outProb = maxProbGroups(c, ctx, prob, groupOf, nGroups)
 	}
 
 	if len(cols) == 0 {
@@ -213,7 +219,7 @@ func aggregateRel(ctx *Ctx, in *relation.Relation, groupBy []string, aggSpecs []
 // ids come out in exactly the first-appearance order the serial loop
 // assigns — and a final parallel sweep rewrites local ids to global ones.
 // The serial stage therefore costs O(distinct groups), not O(rows).
-func groupRows(ctx *Ctx, in *relation.Relation, gIdx []int) (groupOf []int, firstRow []int) {
+func groupRows(c context.Context, ctx *Ctx, in *relation.Relation, gIdx []int) (groupOf []int, firstRow []int) {
 	n := in.NumRows()
 	if len(gIdx) == 0 {
 		groupOf = make([]int, n)
@@ -225,23 +231,23 @@ func groupRows(ctx *Ctx, in *relation.Relation, gIdx []int) (groupOf []int, firs
 	// so the result is bit-identical to the generic path.
 	if len(gIdx) == 1 {
 		if dv, ok := in.Col(gIdx[0]).Vec.(*vector.DictStrings); ok && dv.Dict().DenseIn(n) {
-			return groupRowsCodes(ctx, dv, n)
+			return groupRowsCodes(c, ctx, dv, n)
 		}
 	}
 	seed := maphash.MakeSeed()
-	hashes := hashRowsParallel(ctx, in, seed, gIdx)
+	hashes := hashRowsParallel(c, ctx, in, seed, gIdx)
 	groupOf = make([]int, n)
 	ranges := ctx.morselRanges(n)
 	if len(ranges) <= 1 {
-		return groupOf, dedupRange(in, gIdx, hashes, 0, n, groupOf)
+		return groupOf, dedupRange(c, in, gIdx, hashes, 0, n, groupOf)
 	}
 
 	// Phase 1: per-morsel local dedup. groupOf temporarily holds ids local
 	// to the row's morsel; localFirst[m] lists each local group's first row
 	// in local first-appearance order.
 	localFirst := make([][]int, len(ranges))
-	ctx.runRanges(ranges, func(m, lo, hi int) {
-		localFirst[m] = dedupRange(in, gIdx, hashes, lo, hi, groupOf)
+	ctx.runRanges(c, ranges, func(m, lo, hi int) {
+		localFirst[m] = dedupRange(c, in, gIdx, hashes, lo, hi, groupOf)
 	})
 
 	// Phase 2: re-rank. Morsels are visited in order and their local groups
@@ -252,6 +258,11 @@ func groupRows(ctx *Ctx, in *relation.Relation, gIdx []int) (groupOf []int, firs
 	gFirst := make(map[uint64]int, 1024)
 	var gSpill map[uint64][]int
 	for m, firsts := range localFirst {
+		if c.Err() != nil {
+			// The re-rank is serial and O(distinct groups); bail between
+			// morsels so a cancelled high-cardinality group-by stops here.
+			return groupOf, firstRow
+		}
 		mr := make([]int, len(firsts))
 		for lg, row := range firsts {
 			h := hashes[row]
@@ -286,7 +297,7 @@ func groupRows(ctx *Ctx, in *relation.Relation, gIdx []int) (groupOf []int, firs
 	}
 
 	// Phase 3: rewrite local ids to global ids, one morsel per worker.
-	ctx.runRanges(ranges, func(m, lo, hi int) {
+	ctx.runRanges(c, ranges, func(m, lo, hi int) {
 		mr := remap[m]
 		for i := lo; i < hi; i++ {
 			groupOf[i] = mr[groupOf[i]]
@@ -300,7 +311,7 @@ func groupRows(ctx *Ctx, in *relation.Relation, gIdx []int) (groupOf []int, firs
 // three-phase shape mirrors groupRows (per-morsel local dedup, serial
 // re-rank of representatives in morsel order, parallel rewrite), so group
 // ids come out in exactly the same first-appearance order.
-func groupRowsCodes(ctx *Ctx, dv *vector.DictStrings, n int) (groupOf []int, firstRow []int) {
+func groupRowsCodes(c context.Context, ctx *Ctx, dv *vector.DictStrings, n int) (groupOf []int, firstRow []int) {
 	codes := dv.Codes()
 	d := dv.Dict().Len()
 	groupOf = make([]int, n)
@@ -330,7 +341,7 @@ func groupRowsCodes(ctx *Ctx, dv *vector.DictStrings, n int) (groupOf []int, fir
 		return groupOf, dedup(0, n)
 	}
 	localFirst := make([][]int, len(ranges))
-	ctx.runRanges(ranges, func(m, lo, hi int) {
+	ctx.runRanges(c, ranges, func(m, lo, hi int) {
 		localFirst[m] = dedup(lo, hi)
 	})
 	global := make([]int32, d)
@@ -352,7 +363,7 @@ func groupRowsCodes(ctx *Ctx, dv *vector.DictStrings, n int) (groupOf []int, fir
 		}
 		remap[m] = mr
 	}
-	ctx.runRanges(ranges, func(m, lo, hi int) {
+	ctx.runRanges(c, ranges, func(m, lo, hi int) {
 		mr := remap[m]
 		for i := lo; i < hi; i++ {
 			groupOf[i] = mr[groupOf[i]]
@@ -367,11 +378,15 @@ func groupRowsCodes(ctx *Ctx, dv *vector.DictStrings, n int) (groupOf []int, fir
 // The single map insert per distinct group (plus a rare spill map for
 // 64-bit hash collisions between distinct keys) keeps high-cardinality
 // group-bys — the tf view has one group per (term, document) pair —
-// allocation-light.
-func dedupRange(in *relation.Relation, gIdx []int, hashes []uint64, lo, hi int, groupOf []int) (firsts []int) {
+// allocation-light. Cancellation is checked every few thousand rows; a
+// cut-short range leaves partial state the caller discards.
+func dedupRange(c context.Context, in *relation.Relation, gIdx []int, hashes []uint64, lo, hi int, groupOf []int) (firsts []int) {
 	first := make(map[uint64]int, 1024)
 	var spill map[uint64][]int
 	for i := lo; i < hi; i++ {
+		if i&0x1fff == 0x1fff && c.Err() != nil {
+			return firsts
+		}
 		h := hashes[i]
 		gid := -1
 		if g, ok := first[h]; ok {
@@ -448,7 +463,7 @@ func aggRanges(n, nGroups int) [][2]int {
 // the determinism contract float aggregates rely on (see aggRanges).
 // Chunks run on available workers; a single chunk folds inline, which is
 // byte-for-byte the serial loop.
-func foldGroups[T any](ctx *Ctx, n, nGroups int, newAcc func() []T, fold func(acc []T, lo, hi int), merge func(dst, src []T)) []T {
+func foldGroups[T any](c context.Context, ctx *Ctx, n, nGroups int, newAcc func() []T, fold func(acc []T, lo, hi int), merge func(dst, src []T)) []T {
 	ranges := aggRanges(n, nGroups)
 	if len(ranges) <= 1 {
 		acc := newAcc()
@@ -456,7 +471,7 @@ func foldGroups[T any](ctx *Ctx, n, nGroups int, newAcc func() []T, fold func(ac
 		return acc
 	}
 	parts := make([][]T, len(ranges))
-	ctx.runRanges(ranges, func(m, lo, hi int) {
+	ctx.runRanges(c, ranges, func(m, lo, hi int) {
 		acc := newAcc()
 		fold(acc, lo, hi)
 		parts[m] = acc
@@ -489,8 +504,8 @@ func addInts(dst, src []int64) {
 }
 
 // countGroups is the shared accumulator of CountAll and Count.
-func countGroups(ctx *Ctx, groupOf []int, nGroups int) []int64 {
-	return foldGroups(ctx, len(groupOf), nGroups,
+func countGroups(c context.Context, ctx *Ctx, groupOf []int, nGroups int) []int64 {
+	return foldGroups(c, ctx, len(groupOf), nGroups,
 		func() []int64 { return make([]int64, nGroups) },
 		func(acc []int64, lo, hi int) {
 			for _, g := range groupOf[lo:hi] {
@@ -503,8 +518,8 @@ func countGroups(ctx *Ctx, groupOf []int, nGroups int) []int64 {
 // sumProbGroups sums the probability column per group — the shared
 // accumulator of the SumProb aggregate and the disjoint/sum-raw
 // probability combines, so the two can never drift apart.
-func sumProbGroups(ctx *Ctx, prob []float64, groupOf []int, nGroups int) []float64 {
-	return foldGroups(ctx, len(groupOf), nGroups,
+func sumProbGroups(c context.Context, ctx *Ctx, prob []float64, groupOf []int, nGroups int) []float64 {
+	return foldGroups(c, ctx, len(groupOf), nGroups,
 		func() []float64 { return make([]float64, nGroups) },
 		func(acc []float64, lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -516,8 +531,8 @@ func sumProbGroups(ctx *Ctx, prob []float64, groupOf []int, nGroups int) []float
 
 // maxProbGroups takes the probability maximum per group — shared by the
 // MaxProb aggregate and the max probability combine.
-func maxProbGroups(ctx *Ctx, prob []float64, groupOf []int, nGroups int) []float64 {
-	return foldGroups(ctx, len(groupOf), nGroups,
+func maxProbGroups(c context.Context, ctx *Ctx, prob []float64, groupOf []int, nGroups int) []float64 {
+	return foldGroups(c, ctx, len(groupOf), nGroups,
 		func() []float64 { return make([]float64, nGroups) },
 		func(acc []float64, lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -540,16 +555,16 @@ type sumCount struct {
 // through foldGroups; every merge is either exact (counts, min/max,
 // integer-valued sums) or ordered by chunk index (float sums), so the
 // result is identical at every parallelism.
-func evalAgg(ctx *Ctx, in *relation.Relation, spec AggSpec, groupOf []int, nGroups int) (vector.Vector, error) {
+func evalAgg(c context.Context, ctx *Ctx, in *relation.Relation, spec AggSpec, groupOf []int, nGroups int) (vector.Vector, error) {
 	prob := in.Prob()
 	n := len(groupOf)
 	switch spec.Op {
 	case CountAll:
-		return vector.FromInt64s(countGroups(ctx, groupOf, nGroups)), nil
+		return vector.FromInt64s(countGroups(c, ctx, groupOf, nGroups)), nil
 	case SumProb:
-		return vector.FromFloat64s(sumProbGroups(ctx, prob, groupOf, nGroups)), nil
+		return vector.FromFloat64s(sumProbGroups(c, ctx, prob, groupOf, nGroups)), nil
 	case MaxProb:
-		return vector.FromFloat64s(maxProbGroups(ctx, prob, groupOf, nGroups)), nil
+		return vector.FromFloat64s(maxProbGroups(c, ctx, prob, groupOf, nGroups)), nil
 	}
 
 	col, err := in.ColByName(spec.Col)
@@ -558,7 +573,7 @@ func evalAgg(ctx *Ctx, in *relation.Relation, spec AggSpec, groupOf []int, nGrou
 	}
 	switch spec.Op {
 	case Count:
-		return vector.FromInt64s(countGroups(ctx, groupOf, nGroups)), nil
+		return vector.FromInt64s(countGroups(c, ctx, groupOf, nGroups)), nil
 	case Min, Max:
 		// Partials track the best row per group; merging compares the
 		// earlier chunk's best against the later one's with the same strict
@@ -571,7 +586,7 @@ func evalAgg(ctx *Ctx, in *relation.Relation, spec AggSpec, groupOf []int, nGrou
 			}
 			return col.Vec.LessAt(b, col.Vec, a)
 		}
-		best := foldGroups(ctx, n, nGroups,
+		best := foldGroups(c, ctx, n, nGroups,
 			func() []int {
 				acc := make([]int, nGroups)
 				for g := range acc {
@@ -623,7 +638,7 @@ func evalAgg(ctx *Ctx, in *relation.Relation, spec AggSpec, groupOf []int, nGrou
 		default:
 			return nil, fmt.Errorf("%s over non-numeric column %q", spec.Op, spec.Col)
 		}
-		sums := foldGroups(ctx, n, nGroups,
+		sums := foldGroups(c, ctx, n, nGroups,
 			func() []sumCount { return make([]sumCount, nGroups) },
 			fold,
 			func(dst, src []sumCount) {
@@ -703,12 +718,12 @@ func NewDistinct(child Node, pmode GroupProb) *Distinct {
 }
 
 // Execute implements Node.
-func (d *Distinct) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(d.Child)
+func (d *Distinct) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, d.Child)
 	if err != nil {
 		return nil, err
 	}
-	return aggregateRel(ctx, in, in.ColumnNames(), nil, d.PMode)
+	return aggregateRel(c, ctx, in, in.ColumnNames(), nil, d.PMode)
 }
 
 // Fingerprint implements Node.

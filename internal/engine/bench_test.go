@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
 	"math/rand"
@@ -40,7 +41,7 @@ func BenchmarkSelect(b *testing.B) {
 		expr.Cmp{Op: expr.Eq, L: expr.Column("k"), R: expr.Str("k000007")})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Exec(plan); err != nil {
+		if _, err := ctx.Exec(context.Background(), plan); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -52,7 +53,7 @@ func BenchmarkHashJoinManyToOne(b *testing.B) {
 		[]string{"k"}, []string{"k"}, JoinLeft)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Exec(plan); err != nil {
+		if _, err := ctx.Exec(context.Background(), plan); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -62,12 +63,12 @@ func BenchmarkHashJoinCachedIndex(b *testing.B) {
 	ctx := benchCtx(100000, 1000)
 	plan := NewHashJoin(NewScan("t"), NewMaterialize(NewScan("dict")),
 		[]string{"k"}, []string{"k"}, JoinLeft)
-	if _, err := ctx.Exec(plan); err != nil {
+	if _, err := ctx.Exec(context.Background(), plan); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Exec(plan); err != nil {
+		if _, err := ctx.Exec(context.Background(), plan); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -79,7 +80,7 @@ func BenchmarkAggregateHighCardinality(b *testing.B) {
 		[]AggSpec{{Op: CountAll, As: "n"}, {Op: Sum, Col: "v", As: "s"}}, GroupCertain)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Exec(plan); err != nil {
+		if _, err := ctx.Exec(context.Background(), plan); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -91,7 +92,7 @@ func BenchmarkAggregateLowCardinality(b *testing.B) {
 		[]AggSpec{{Op: CountAll, As: "n"}}, GroupIndependent)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Exec(plan); err != nil {
+		if _, err := ctx.Exec(context.Background(), plan); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -102,7 +103,7 @@ func BenchmarkTopN(b *testing.B) {
 	plan := NewTopN(NewScan("t"), 10, SortSpec{Col: "v", Desc: true})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Exec(plan); err != nil {
+		if _, err := ctx.Exec(context.Background(), plan); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -158,7 +159,7 @@ func BenchmarkGatherParallel8(b *testing.B) {
 	ctx := &Ctx{Parallelism: 8}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		gatherParallel(ctx, rel, sel)
+		gatherParallel(context.Background(), ctx, rel, sel)
 	}
 }
 
@@ -181,7 +182,7 @@ func BenchmarkTopNSerialFallback(b *testing.B) {
 	ctx := &Ctx{Parallelism: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		topNSel(ctx, rel, topNKeys, 50)
+		topNSel(context.Background(), ctx, rel, topNKeys, 50)
 	}
 }
 
@@ -190,17 +191,17 @@ func BenchmarkTopNMerge8(b *testing.B) {
 	ctx := &Ctx{Parallelism: 8}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		topNSel(ctx, rel, topNKeys, 50)
+		topNSel(context.Background(), ctx, rel, topNKeys, 50)
 	}
 }
 
 func benchJoinBuild(b *testing.B, par int) {
 	rel := matRel(matRows, 20000)
 	ctx := &Ctx{Parallelism: par}
-	hashes := hashRowsParallel(ctx, rel, maphash.MakeSeed(), []int{0})
+	hashes := hashRowsParallel(context.Background(), ctx, rel, maphash.MakeSeed(), []int{0})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		buildBuckets(ctx, hashes)
+		buildBuckets(context.Background(), ctx, hashes)
 	}
 }
 
@@ -212,7 +213,7 @@ func benchGroupRows(b *testing.B, par int) {
 	ctx := &Ctx{Parallelism: par}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		groupRows(ctx, rel, []int{0})
+		groupRows(context.Background(), ctx, rel, []int{0})
 	}
 }
 
@@ -227,7 +228,7 @@ func benchConcat(b *testing.B, par int) {
 	ctx := &Ctx{Parallelism: par}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := concatAll(ctx, parts); err != nil {
+		if _, err := concatAll(context.Background(), ctx, parts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -241,7 +242,7 @@ func BenchmarkNormalizeGrouped(b *testing.B) {
 	plan := NewNormalize(NewScan("t"), []int{0}, NormSum)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Exec(plan); err != nil {
+		if _, err := ctx.Exec(context.Background(), plan); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -270,17 +271,19 @@ func benchSortMerge(b *testing.B, par int) {
 	ctx := &Ctx{Parallelism: par}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = sortSel(ctx, rel, sortKeys)
+		_ = sortSel(context.Background(), ctx, rel, sortKeys)
 	}
 }
 
-// BenchmarkSortMergeSerialFallback is sortSel at parallelism 1: the
-// single-morsel fallback, which is exactly BenchmarkSortFullSliceStable.
+// BenchmarkSortMergeSerialFallback is sortSel at parallelism 1: bounded
+// runs (sortRunRows each) sorted inline plus the k-way merge — already
+// ahead of BenchmarkSortFullSliceStable, since sorting k runs of n/k
+// rows costs fewer comparisons than one run of n.
 func BenchmarkSortMergeSerialFallback(b *testing.B) { benchSortMerge(b, 1) }
 
-// BenchmarkSortMerge2 / 8: per-morsel stable sorts + k-way merge. The
-// per-morsel sorts run concurrently; with w workers each sorts n/w rows,
-// so the critical path drops to O((n/w)·log(n/w) + n·log w).
+// BenchmarkSortMerge2 / 8: the same bounded runs with per-run sorts
+// spread over w workers, so the critical path drops toward
+// O((n/w)·log(run) + n·log k).
 func BenchmarkSortMerge2(b *testing.B) { benchSortMerge(b, 2) }
 func BenchmarkSortMerge8(b *testing.B) { benchSortMerge(b, 8) }
 
@@ -297,7 +300,7 @@ func benchAggMorsel(b *testing.B, par, nKeys int) {
 	}, GroupDisjoint)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Exec(plan); err != nil {
+		if _, err := ctx.Exec(context.Background(), plan); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -361,7 +364,7 @@ func BenchmarkJoinProbeMap(b *testing.B) {
 // win over the map probe independent of core count.
 func BenchmarkJoinProbeOpen(b *testing.B) {
 	build, probe := probeWorkload()
-	idx, _ := buildBuckets(&Ctx{Parallelism: 1}, build)
+	idx, _ := buildBuckets(context.Background(), &Ctx{Parallelism: 1}, build)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
@@ -398,7 +401,7 @@ func benchPlanLoop(b *testing.B, ctx *Ctx, plan Node) {
 	ctx.Parallelism = 1
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ctx.Exec(plan); err != nil {
+		if _, err := ctx.Exec(context.Background(), plan); err != nil {
 			b.Fatal(err)
 		}
 	}

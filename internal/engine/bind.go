@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"fmt"
+
+	"irdb/internal/expr"
+)
+
+// Plan parameter binding for prepared statements.
+//
+// A prepared SpinQL statement compiles once into a plan that may contain
+// expr.Param placeholders (?name). Bind produces an executable plan from
+// it by substituting literals for the placeholders — a structural copy of
+// only the param-dependent spine of the tree. Subtrees without parameters
+// are returned as-is (pointer-shared with the prepared plan), so their
+// fingerprints — and therefore their materialization cache entries — are
+// shared across every binding. Binding does no parsing, no compilation
+// and no schema checking; it is the "bind literals per execution" step,
+// typically thousands of times cheaper than re-parsing the statement.
+
+// Params returns the names of every parameter placeholder in the plan, in
+// first-appearance order (pre-order over the tree, expressions before
+// children).
+func Params(n Node) []string {
+	return collectParams(n, nil)
+}
+
+func collectParams(n Node, names []string) []string {
+	for _, e := range nodeExprs(n) {
+		names = expr.Params(e, names)
+	}
+	for _, ch := range n.Children() {
+		names = collectParams(ch, names)
+	}
+	return names
+}
+
+// nodeExprs returns the scalar expressions held directly by a node.
+func nodeExprs(n Node) []expr.Expr {
+	switch x := n.(type) {
+	case *Select:
+		return []expr.Expr{x.Pred}
+	case *Project:
+		out := make([]expr.Expr, len(x.Cols))
+		for i, pc := range x.Cols {
+			out[i] = pc.E
+		}
+		return out
+	case *Extend:
+		return []expr.Expr{x.E}
+	}
+	return nil
+}
+
+// Bind returns plan with every expr.Param replaced by its binding.
+// Unbound parameters are an error, as is a plan containing an operator
+// type Bind does not know how to rebuild (none of the operators SpinQL
+// compiles to).
+func Bind(plan Node, lookup func(name string) (expr.Lit, bool)) (Node, error) {
+	n, _, err := bindNode(plan, lookup)
+	return n, err
+}
+
+// bindNode rebuilds the subtree under n with parameters substituted,
+// returning n itself (and changed=false) when the subtree holds none.
+func bindNode(n Node, lookup func(name string) (expr.Lit, bool)) (Node, bool, error) {
+	switch x := n.(type) {
+	case *Scan, *Values:
+		return n, false, nil
+	case *Select:
+		pred, pc, err := expr.Bind(x.Pred, lookup)
+		if err != nil {
+			return nil, false, err
+		}
+		child, cc, err := bindNode(x.Child, lookup)
+		if err != nil {
+			return nil, false, err
+		}
+		if !pc && !cc {
+			return n, false, nil
+		}
+		return &Select{Child: child, Pred: pred}, true, nil
+	case *Project:
+		cols := make([]ProjCol, len(x.Cols))
+		changed := false
+		for i, pc := range x.Cols {
+			e, ec, err := expr.Bind(pc.E, lookup)
+			if err != nil {
+				return nil, false, err
+			}
+			cols[i] = ProjCol{Name: pc.Name, E: e}
+			changed = changed || ec
+		}
+		child, cc, err := bindNode(x.Child, lookup)
+		if err != nil {
+			return nil, false, err
+		}
+		if !changed && !cc {
+			return n, false, nil
+		}
+		return &Project{Child: child, Cols: cols}, true, nil
+	case *Extend:
+		e, ec, err := expr.Bind(x.E, lookup)
+		if err != nil {
+			return nil, false, err
+		}
+		child, cc, err := bindNode(x.Child, lookup)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ec && !cc {
+			return n, false, nil
+		}
+		return &Extend{Child: child, Name: x.Name, E: e}, true, nil
+	case *HashJoin:
+		l, lc, err := bindNode(x.L, lookup)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rc, err := bindNode(x.R, lookup)
+		if err != nil {
+			return nil, false, err
+		}
+		if !lc && !rc {
+			return n, false, nil
+		}
+		cp := *x
+		cp.L, cp.R = l, r
+		return &cp, true, nil
+	case *Union:
+		l, lc, err := bindNode(x.L, lookup)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rc, err := bindNode(x.R, lookup)
+		if err != nil {
+			return nil, false, err
+		}
+		if !lc && !rc {
+			return n, false, nil
+		}
+		return &Union{L: l, R: r}, true, nil
+	case *Unite:
+		l, lc, err := bindNode(x.L, lookup)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rc, err := bindNode(x.R, lookup)
+		if err != nil {
+			return nil, false, err
+		}
+		if !lc && !rc {
+			return n, false, nil
+		}
+		return &Unite{L: l, R: r, PMode: x.PMode}, true, nil
+	case *Subtract:
+		l, lc, err := bindNode(x.L, lookup)
+		if err != nil {
+			return nil, false, err
+		}
+		r, rc, err := bindNode(x.R, lookup)
+		if err != nil {
+			return nil, false, err
+		}
+		if !lc && !rc {
+			return n, false, nil
+		}
+		return &Subtract{L: l, R: r, Boolean: x.Boolean}, true, nil
+	case *Concat:
+		inputs := make([]Node, len(x.Inputs))
+		changed := false
+		for i, in := range x.Inputs {
+			b, bc, err := bindNode(in, lookup)
+			if err != nil {
+				return nil, false, err
+			}
+			inputs[i] = b
+			changed = changed || bc
+		}
+		if !changed {
+			return n, false, nil
+		}
+		return &Concat{Inputs: inputs}, true, nil
+	case *Aggregate:
+		return bindSingleChild(n, x.Child, lookup, func(ch Node) Node {
+			cp := *x
+			cp.Child = ch
+			return &cp
+		})
+	case *Distinct:
+		return bindSingleChild(n, x.Child, lookup, func(ch Node) Node {
+			return &Distinct{Child: ch, PMode: x.PMode}
+		})
+	case *Sort:
+		return bindSingleChild(n, x.Child, lookup, func(ch Node) Node {
+			return &Sort{Child: ch, Keys: x.Keys}
+		})
+	case *TopN:
+		return bindSingleChild(n, x.Child, lookup, func(ch Node) Node {
+			return &TopN{Child: ch, Keys: x.Keys, N: x.N}
+		})
+	case *Limit:
+		return bindSingleChild(n, x.Child, lookup, func(ch Node) Node {
+			return &Limit{Child: ch, N: x.N}
+		})
+	case *Rename:
+		return bindSingleChild(n, x.Child, lookup, func(ch Node) Node {
+			return &Rename{Child: ch, Names: x.Names}
+		})
+	case *Materialize:
+		return bindSingleChild(n, x.Child, lookup, func(ch Node) Node {
+			return &Materialize{Child: ch}
+		})
+	case *Normalize:
+		return bindSingleChild(n, x.Child, lookup, func(ch Node) Node {
+			return &Normalize{Child: ch, KeyPos: x.KeyPos, Mode: x.Mode}
+		})
+	case *ScaleProb:
+		return bindSingleChild(n, x.Child, lookup, func(ch Node) Node {
+			return &ScaleProb{Child: ch, Factor: x.Factor}
+		})
+	case *ProbFromCol:
+		return bindSingleChild(n, x.Child, lookup, func(ch Node) Node {
+			cp := *x
+			cp.Child = ch
+			return &cp
+		})
+	case *ProbToCol:
+		return bindSingleChild(n, x.Child, lookup, func(ch Node) Node {
+			return &ProbToCol{Child: ch, Name: x.Name}
+		})
+	case *RowNumber:
+		return bindSingleChild(n, x.Child, lookup, func(ch Node) Node {
+			return &RowNumber{Child: ch, Name: x.Name}
+		})
+	case *Tokenize:
+		return bindSingleChild(n, x.Child, lookup, func(ch Node) Node {
+			cp := *x
+			cp.Child = ch
+			return &cp
+		})
+	}
+	// Unknown operator (a custom Node implementation): safe to keep only
+	// if nothing below it needs substitution.
+	if len(collectParams(n, nil)) > 0 {
+		return nil, false, fmt.Errorf("engine: cannot bind parameters under operator %T", n)
+	}
+	return n, false, nil
+}
+
+// bindSingleChild handles the common single-child, no-expression node
+// shape: rebuild via mk only when the child changed.
+func bindSingleChild(n, child Node, lookup func(string) (expr.Lit, bool), mk func(Node) Node) (Node, bool, error) {
+	b, changed, err := bindNode(child, lookup)
+	if err != nil {
+		return nil, false, err
+	}
+	if !changed {
+		return n, false, nil
+	}
+	return mk(b), true, nil
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -148,7 +149,7 @@ func TestDictEncodingEquivalence(t *testing.T) {
 	refCtx := &Ctx{Cat: refCat, Parallelism: 1}
 	refs := map[string]*relation.Relation{}
 	for name, plan := range plans {
-		r, err := refCtx.Exec(plan)
+		r, err := refCtx.Exec(context.Background(), plan)
 		if err != nil {
 			t.Fatalf("ref %s: %v", name, err)
 		}
@@ -162,7 +163,7 @@ func TestDictEncodingEquivalence(t *testing.T) {
 			cat.Put("dim", ds.dim)
 			ctx := &Ctx{Cat: cat, Parallelism: par}
 			for name, plan := range plans {
-				got, err := ctx.Exec(plan)
+				got, err := ctx.Exec(context.Background(), plan)
 				if err != nil {
 					t.Fatalf("%s/%s/par=%d: %v", ds.name, name, par, err)
 				}
@@ -185,7 +186,7 @@ func TestDictEncodedOutputsStayEncoded(t *testing.T) {
 	ctx := &Ctx{Cat: cat, Parallelism: 2}
 	for _, name := range []string{"join-left", "group-by", "sort", "topn", "select-eq", "unite"} {
 		plan := equivPlans()[name]
-		out, err := ctx.Exec(plan)
+		out, err := ctx.Exec(context.Background(), plan)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -205,7 +206,7 @@ func TestDictEncodedOutputsStayEncoded(t *testing.T) {
 	mixedCat.Put("fact", mixed.fact)
 	mixedCat.Put("dim", mixed.dim)
 	mixedCtx := &Ctx{Cat: mixedCat, Parallelism: 2}
-	out, err := mixedCtx.Exec(equivPlans()["union-mixed-reps"])
+	out, err := mixedCtx.Exec(context.Background(), equivPlans()["union-mixed-reps"])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestCheckBuildRowsGuard(t *testing.T) {
 	// buildBuckets must propagate the guard (faked via a huge len is not
 	// possible; assert the wiring compiles to the same helper by checking
 	// a normal build still succeeds).
-	idx, err := buildBuckets(&Ctx{Parallelism: 1}, []uint64{1, 2, 3})
+	idx, err := buildBuckets(context.Background(), &Ctx{Parallelism: 1}, []uint64{1, 2, 3})
 	if err != nil || idx == nil {
 		t.Fatalf("small build failed: %v", err)
 	}

@@ -54,20 +54,25 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"irdb/internal/catalog"
 	"irdb/internal/relation"
+	"irdb/internal/vector"
 )
 
 // Node is one operator of a query plan.
 type Node interface {
 	// Execute evaluates the subtree rooted at this node. Implementations
-	// must evaluate children through Ctx.Exec so that materialization and
-	// statistics work.
-	Execute(ctx *Ctx) (*relation.Relation, error)
+	// must evaluate children through Ctx.Exec so that materialization,
+	// statistics and cancellation work. c carries the caller's deadline
+	// and cancellation; operators check it at chunk boundaries and between
+	// phases, so a cancelled query stops without waiting for plan
+	// completion.
+	Execute(c context.Context, ctx *Ctx) (*relation.Relation, error)
 	// Fingerprint returns a canonical structural identity for the subtree,
 	// used as the materialization cache key.
 	Fingerprint() string
@@ -100,6 +105,12 @@ type Ctx struct {
 
 	nodeExecs atomic.Int64
 	cacheHits atomic.Int64
+
+	// encMemo caches probe-side dictionary re-encodings per (probe vector,
+	// build dict) pair, bounded by entries and bytes; see dictkeys.go.
+	encMu    sync.Mutex
+	encMemo  map[encodeMemoKey]*vector.DictStrings
+	encBytes int64
 }
 
 // NewCtx returns an execution context over the given catalog with
@@ -125,11 +136,21 @@ func (ctx *Ctx) ResetStats() {
 // Exec evaluates a plan node, consulting the materialization cache when
 // enabled. This is the only correct way to evaluate a plan or child plan.
 //
+// c carries the query's deadline and cancellation. When c is cancelled,
+// Exec returns c's error promptly: operators stop at their next chunk or
+// phase boundary and their partial output is discarded here, never
+// returned and never cached. Results of queries that were not cancelled
+// are bit-identical to execution with a background context.
+//
 // Cacheable nodes are single-flighted through catalog.Cache: when several
 // goroutines miss on the same fingerprint at once, one executes the
 // subtree and the others block on its result instead of stampeding the
-// computation.
-func (ctx *Ctx) Exec(n Node) (*relation.Relation, error) {
+// computation. A waiter whose own context is cancelled detaches without
+// affecting the in-flight computation.
+func (ctx *Ctx) Exec(c context.Context, n Node) (*relation.Relation, error) {
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
 	cacheable := ctx.UseCache && ctx.Cat != nil && (ctx.CacheAll || isMaterialize(n))
 	// Unwrap Materialize before executing: it shares its child's
 	// fingerprint, so executing through it would re-enter the same
@@ -141,22 +162,29 @@ func (ctx *Ctx) Exec(n Node) (*relation.Relation, error) {
 		}
 		break
 	}
-	if !cacheable {
+	execute := func() (*relation.Relation, error) {
 		ctx.nodeExecs.Add(1)
-		r, err := n.Execute(ctx)
+		r, err := n.Execute(c, ctx)
 		if err != nil {
+			if c.Err() != nil {
+				// Cancellation surfaced through an operator; report it
+				// undecorated so callers match on context.Canceled /
+				// DeadlineExceeded directly.
+				return nil, c.Err()
+			}
 			return nil, fmt.Errorf("%s: %w", n.Label(), err)
+		}
+		// A cancelled morsel loop leaves the operator's output partial;
+		// discard it rather than hand it to the caller (or the cache).
+		if err := c.Err(); err != nil {
+			return nil, err
 		}
 		return r, nil
 	}
-	r, hit, err := ctx.Cat.Cache().GetOrCompute(n.Fingerprint(), func() (*relation.Relation, error) {
-		ctx.nodeExecs.Add(1)
-		r, err := n.Execute(ctx)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", n.Label(), err)
-		}
-		return r, nil
-	})
+	if !cacheable {
+		return execute()
+	}
+	r, hit, err := ctx.Cat.Cache().GetOrCompute(c, n.Fingerprint(), execute)
 	if hit {
 		ctx.cacheHits.Add(1)
 	}
@@ -178,7 +206,7 @@ type Scan struct{ Table string }
 func NewScan(table string) *Scan { return &Scan{Table: table} }
 
 // Execute implements Node.
-func (s *Scan) Execute(ctx *Ctx) (*relation.Relation, error) {
+func (s *Scan) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
 	if ctx.Cat == nil {
 		return nil, fmt.Errorf("no catalog in context")
 	}
@@ -210,7 +238,7 @@ type Values struct {
 func NewValues(id string, rel *relation.Relation) *Values { return &Values{ID: id, Rel: rel} }
 
 // Execute implements Node.
-func (v *Values) Execute(ctx *Ctx) (*relation.Relation, error) { return v.Rel, nil }
+func (v *Values) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) { return v.Rel, nil }
 
 // Fingerprint implements Node.
 func (v *Values) Fingerprint() string { return "values(" + v.ID + ")" }
@@ -237,7 +265,9 @@ type Materialize struct{ Child Node }
 func NewMaterialize(child Node) *Materialize { return &Materialize{Child: child} }
 
 // Execute implements Node.
-func (m *Materialize) Execute(ctx *Ctx) (*relation.Relation, error) { return ctx.Exec(m.Child) }
+func (m *Materialize) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	return ctx.Exec(c, m.Child)
+}
 
 // Fingerprint implements Node.
 func (m *Materialize) Fingerprint() string { return m.Child.Fingerprint() }
@@ -261,8 +291,8 @@ type Limit struct {
 func NewLimit(child Node, n int) *Limit { return &Limit{Child: child, N: n} }
 
 // Execute implements Node.
-func (l *Limit) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(l.Child)
+func (l *Limit) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, l.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -274,7 +304,7 @@ func (l *Limit) Execute(ctx *Ctx) (*relation.Relation, error) {
 	for i := range sel {
 		sel[i] = i
 	}
-	return gatherParallel(ctx, in, sel), nil
+	return gatherParallel(c, ctx, in, sel), nil
 }
 
 // Fingerprint implements Node.
@@ -298,8 +328,8 @@ type Rename struct {
 func NewRename(child Node, names ...string) *Rename { return &Rename{Child: child, Names: names} }
 
 // Execute implements Node.
-func (r *Rename) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(r.Child)
+func (r *Rename) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, r.Child)
 	if err != nil {
 		return nil, err
 	}

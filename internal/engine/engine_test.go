@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -34,7 +35,7 @@ func newTestCtx() *Ctx {
 
 func mustExec(t *testing.T, ctx *Ctx, n Node) *relation.Relation {
 	t.Helper()
-	r, err := ctx.Exec(n)
+	r, err := ctx.Exec(context.Background(), n)
 	if err != nil {
 		t.Fatalf("exec %s: %v", n.Label(), err)
 	}
@@ -47,7 +48,7 @@ func TestScan(t *testing.T) {
 	if r.NumRows() != 8 {
 		t.Errorf("rows = %d, want 8", r.NumRows())
 	}
-	if _, err := ctx.Exec(NewScan("missing")); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewScan("missing")); err == nil {
 		t.Error("scan of missing table should fail")
 	}
 }
@@ -70,7 +71,7 @@ func TestSelectEquality(t *testing.T) {
 
 func TestSelectTypeError(t *testing.T) {
 	ctx := newTestCtx()
-	if _, err := ctx.Exec(NewSelect(NewScan("triples"), expr.Column("subject"))); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewSelect(NewScan("triples"), expr.Column("subject"))); err == nil {
 		t.Error("non-boolean predicate should fail")
 	}
 }
@@ -135,15 +136,15 @@ func TestHashJoinErrors(t *testing.T) {
 	cat.Put("a", relation.NewBuilder([]string{"k"}, []vector.Kind{vector.Int64}).Add(1).Build())
 	cat.Put("b", relation.NewBuilder([]string{"k"}, []vector.Kind{vector.String}).Add("1").Build())
 	ctx2 := NewCtx(cat)
-	if _, err := ctx2.Exec(NewHashJoin(NewScan("a"), NewScan("b"), []string{"k"}, []string{"k"}, JoinIndependent)); err == nil {
+	if _, err := ctx2.Exec(context.Background(), NewHashJoin(NewScan("a"), NewScan("b"), []string{"k"}, []string{"k"}, JoinIndependent)); err == nil {
 		t.Error("kind mismatch join should fail")
 	}
 	// missing key column
-	if _, err := ctx.Exec(NewHashJoin(NewScan("triples"), NewScan("triples"), []string{"nope"}, []string{"subject"}, JoinIndependent)); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewHashJoin(NewScan("triples"), NewScan("triples"), []string{"nope"}, []string{"subject"}, JoinIndependent)); err == nil {
 		t.Error("missing key should fail")
 	}
 	// empty keys
-	if _, err := ctx.Exec(NewHashJoin(NewScan("triples"), NewScan("triples"), nil, nil, JoinIndependent)); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewHashJoin(NewScan("triples"), NewScan("triples"), nil, nil, JoinIndependent)); err == nil {
 		t.Error("empty key join should fail")
 	}
 }
@@ -297,7 +298,7 @@ func TestUnionAndUnite(t *testing.T) {
 	}
 	// arity mismatch
 	cat.Put("w", relation.NewBuilder([]string{"x", "y"}, []vector.Kind{vector.String, vector.String}).Build())
-	if _, err := ctx.Exec(NewUnion(NewScan("l"), NewScan("w"))); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewUnion(NewScan("l"), NewScan("w"))); err == nil {
 		t.Error("arity mismatch union should fail")
 	}
 }
@@ -345,7 +346,7 @@ func TestSortTopNLimit(t *testing.T) {
 	if lim2.NumRows() != 3 {
 		t.Errorf("limit beyond size rows = %d", lim2.NumRows())
 	}
-	if _, err := ctx.Exec(NewSort(NewScan("t"), SortSpec{Col: "nope"})); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewSort(NewScan("t"), SortSpec{Col: "nope"})); err == nil {
 		t.Error("sort on missing column should fail")
 	}
 }
@@ -356,7 +357,7 @@ func TestRename(t *testing.T) {
 	if strings.Join(r.ColumnNames(), ",") != "s,p,o" {
 		t.Errorf("renamed = %v", r.ColumnNames())
 	}
-	if _, err := ctx.Exec(NewRename(NewScan("triples"), "only-one")); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewRename(NewScan("triples"), "only-one")); err == nil {
 		t.Error("bad arity rename should fail")
 	}
 }
@@ -374,7 +375,7 @@ func TestScaleProbAndProbCols(t *testing.T) {
 	if base.Prob()[0] != 0.5 {
 		t.Errorf("base table mutated: p = %g", base.Prob()[0])
 	}
-	if _, err := ctx.Exec(NewScaleProb(NewScan("t"), -1)); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewScaleProb(NewScan("t"), -1)); err == nil {
 		t.Error("negative weight should fail")
 	}
 
@@ -421,7 +422,7 @@ func TestTokenizeNode(t *testing.T) {
 		}
 	}
 	// wrong column kind
-	if _, err := ctx.Exec(NewTokenize(NewScan("docs"), "data", "docID", text.Default())); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewTokenize(NewScan("docs"), "data", "docID", text.Default())); err == nil {
 		t.Error("tokenize on int column should fail")
 	}
 }

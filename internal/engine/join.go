@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
 	"strings"
@@ -67,7 +68,7 @@ func NewHashJoinPos(l, r Node, lpos, rpos []int, mode JoinProb) *HashJoin {
 func (j *HashJoin) positional() bool { return len(j.LPos) > 0 }
 
 // Execute implements Node.
-func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
+func (j *HashJoin) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
 	if j.positional() {
 		if len(j.LPos) != len(j.RPos) {
 			return nil, fmt.Errorf("join wants matching positional key lists, got %v and %v", j.LPos, j.RPos)
@@ -75,7 +76,7 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 	} else if len(j.LKeys) == 0 || len(j.LKeys) != len(j.RKeys) {
 		return nil, fmt.Errorf("join wants matching non-empty key lists, got %v and %v", j.LKeys, j.RKeys)
 	}
-	left, right, err := ctx.execPair(j.L, j.R)
+	left, right, err := ctx.execPair(c, j.L, j.R)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +105,7 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 		}
 	}
 
-	idx, err := j.buildIndex(ctx, right, rIdx)
+	idx, err := j.buildIndex(c, ctx, right, rIdx)
 	if err != nil {
 		return nil, err
 	}
@@ -112,8 +113,8 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 	// re-encode dict columns as needed; see dictkeys.go), then hash the
 	// aligned vectors with the index's seed.
 	rKeyVecs := colVecs(right, rIdx)
-	lKeyVecs := alignProbeVecs(colVecs(left, lIdx), rKeyVecs)
-	lHash := hashVecsParallel(ctx, lKeyVecs, left.NumRows(), idx.seed)
+	lKeyVecs := alignProbeVecs(ctx, colVecs(left, lIdx), rKeyVecs)
+	lHash := hashVecsParallel(c, ctx, lKeyVecs, left.NumRows(), idx.seed)
 
 	// Probe in parallel: each morsel of probe rows collects its matches
 	// into its own pair lists, merged in morsel order below — the same
@@ -123,10 +124,16 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 	ranges := ctx.morselRanges(len(lHash))
 	lParts := make([][]int, len(ranges))
 	rParts := make([][]int, len(ranges))
-	ctx.runRanges(ranges, func(m, lo, hi int) {
+	ctx.runRanges(c, ranges, func(m, lo, hi int) {
 		lp := make([]int, 0, hi-lo)
 		rp := make([]int, 0, hi-lo)
 		for i := lo; i < hi; i++ {
+			// The probe is the join's longest loop; check cancellation
+			// every few thousand rows so even a single-morsel (serial)
+			// probe stops promptly. Partial parts are discarded below.
+			if i&0x1fff == 0x1fff && c.Err() != nil {
+				break
+			}
 			for _, ri := range idx.buckets.lookup(lHash[i]) {
 				if vecsEqual(lKeyVecs, i, rKeyVecs, int(ri)) {
 					lp = append(lp, i)
@@ -136,6 +143,9 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 		}
 		lParts[m], rParts[m] = lp, rp
 	})
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, p := range lParts {
 		total += len(p)
@@ -147,8 +157,8 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 		rSel = append(rSel, rParts[m]...)
 	}
 
-	lOut := gatherParallel(ctx, left, lSel)
-	rOut := gatherParallel(ctx, right, rSel)
+	lOut := gatherParallel(c, ctx, left, lSel)
+	rOut := gatherParallel(c, ctx, right, rSel)
 	names := make(map[string]bool, lOut.NumCols()+rOut.NumCols())
 	cols := make([]relation.Column, 0, lOut.NumCols()+rOut.NumCols())
 	for _, c := range lOut.Columns() {
@@ -167,7 +177,7 @@ func (j *HashJoin) Execute(ctx *Ctx) (*relation.Relation, error) {
 	// row writes only its own slot.
 	lp, rp := lOut.Prob(), rOut.Prob()
 	prob := make([]float64, len(lSel))
-	ctx.parallelRanges(len(prob), func(lo, hi int) {
+	ctx.parallelRanges(c, len(prob), func(lo, hi int) {
 		switch j.PMode {
 		case JoinIndependent:
 			for i := lo; i < hi; i++ {
@@ -241,16 +251,22 @@ type joinIndex struct {
 // relation is not counted — it is cached, and weighed, separately.
 func (ix *joinIndex) EstimatedBytes() int64 { return ix.buckets.EstimatedBytes() }
 
-func (j *HashJoin) buildIndex(ctx *Ctx, right *relation.Relation, rIdx []int) (*joinIndex, error) {
+func (j *HashJoin) buildIndex(c context.Context, ctx *Ctx, right *relation.Relation, rIdx []int) (*joinIndex, error) {
 	build := func() (*joinIndex, error) {
 		idx := &joinIndex{seed: maphash.MakeSeed(), rel: right}
 		// The build side's own key vectors define the hash domain: a
 		// dict-encoded column hashes codes, a plain one hashes strings.
 		// Probes align to it (alignProbeVecs), so the index stays valid
 		// for probes of either representation.
-		rHash := hashVecsParallel(ctx, colVecs(right, rIdx), right.NumRows(), idx.seed)
-		buckets, err := buildBuckets(ctx, rHash)
+		rHash := hashVecsParallel(c, ctx, colVecs(right, rIdx), right.NumRows(), idx.seed)
+		buckets, err := buildBuckets(c, ctx, rHash)
 		if err != nil {
+			return nil, err
+		}
+		if err := c.Err(); err != nil {
+			// Belt and braces: an index assembled under a cancelled
+			// context (partial hashes or partitions) must never reach the
+			// aux cache, where it would poison every later query.
 			return nil, err
 		}
 		idx.buckets = buckets
@@ -265,7 +281,7 @@ func (j *HashJoin) buildIndex(ctx *Ctx, right *relation.Relation, rIdx []int) (*
 	// their own (the on-demand index tables of section 2.1).
 	key := "hashidx|" + j.R.Fingerprint() + "|" + j.rKeySpec()
 	for try := 0; try < 2; try++ {
-		v, _, err := ctx.Cat.Cache().GetOrComputeAux(key, func() (any, error) {
+		v, _, err := ctx.Cat.Cache().GetOrComputeAux(c, key, func() (any, error) {
 			return build()
 		})
 		if err != nil {

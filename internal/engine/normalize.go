@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"irdb/internal/relation"
@@ -44,8 +45,8 @@ func NewNormalize(child Node, keyPos []int, mode NormMode) *Normalize {
 }
 
 // Execute implements Node.
-func (n *Normalize) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(n.Child)
+func (n *Normalize) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, n.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -61,10 +62,15 @@ func (n *Normalize) Execute(ctx *Ctx) (*relation.Relation, error) {
 	nGroups := 1
 	if len(n.KeyPos) > 0 {
 		var firstRow []int
-		groupOf, firstRow = groupRows(ctx, in, n.KeyPos)
+		groupOf, firstRow = groupRows(c, ctx, in, n.KeyPos)
+		if err := c.Err(); err != nil {
+			// A cancelled grouping leaves groupOf holding per-morsel local
+			// ids; the fold below would index past the accumulators.
+			return nil, err
+		}
 		nGroups = len(firstRow)
 	}
-	aggs := foldGroups(ctx, in.NumRows(), nGroups,
+	aggs := foldGroups(c, ctx, in.NumRows(), nGroups,
 		func() []float64 { return make([]float64, nGroups) },
 		func(acc []float64, lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -90,7 +96,7 @@ func (n *Normalize) Execute(ctx *Ctx) (*relation.Relation, error) {
 	// with the input (treated as immutable), only the probability column
 	// is rebuilt.
 	p := make([]float64, in.NumRows())
-	ctx.parallelRanges(len(p), func(lo, hi int) {
+	ctx.parallelRanges(c, len(p), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			g := 0
 			if groupOf != nil {

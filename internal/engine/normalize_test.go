@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -22,7 +23,7 @@ func normCtx(probs []float64, keys []string) *Ctx {
 
 func TestNormalizeGlobalSum(t *testing.T) {
 	ctx := normCtx([]float64{0.2, 0.6, 0.2}, []string{"a", "b", "c"})
-	r, err := ctx.Exec(NewNormalize(NewScan("t"), nil, NormSum))
+	r, err := ctx.Exec(context.Background(), NewNormalize(NewScan("t"), nil, NormSum))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestNormalizeGlobalSum(t *testing.T) {
 
 func TestNormalizeGlobalMax(t *testing.T) {
 	ctx := normCtx([]float64{0.2, 0.5}, []string{"a", "b"})
-	r, err := ctx.Exec(NewNormalize(NewScan("t"), nil, NormMax))
+	r, err := ctx.Exec(context.Background(), NewNormalize(NewScan("t"), nil, NormMax))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestNormalizeGlobalMax(t *testing.T) {
 
 func TestNormalizeGrouped(t *testing.T) {
 	ctx := normCtx([]float64{0.1, 0.3, 0.5}, []string{"g1", "g1", "g2"})
-	r, err := ctx.Exec(NewNormalize(NewScan("t"), []int{0}, NormSum))
+	r, err := ctx.Exec(context.Background(), NewNormalize(NewScan("t"), []int{0}, NormSum))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestNormalizeGrouped(t *testing.T) {
 
 func TestNormalizeZeroDenominator(t *testing.T) {
 	ctx := normCtx([]float64{0, 0}, []string{"a", "b"})
-	r, err := ctx.Exec(NewNormalize(NewScan("t"), nil, NormSum))
+	r, err := ctx.Exec(context.Background(), NewNormalize(NewScan("t"), nil, NormSum))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,14 +77,14 @@ func TestNormalizeZeroDenominator(t *testing.T) {
 
 func TestNormalizeBadPosition(t *testing.T) {
 	ctx := normCtx([]float64{1}, []string{"a"})
-	if _, err := ctx.Exec(NewNormalize(NewScan("t"), []int{7}, NormSum)); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewNormalize(NewScan("t"), []int{7}, NormSum)); err == nil {
 		t.Error("out-of-range key position should fail")
 	}
 }
 
 func TestNormalizeDoesNotMutateInput(t *testing.T) {
 	ctx := normCtx([]float64{0.2, 0.4}, []string{"a", "b"})
-	if _, err := ctx.Exec(NewNormalize(NewScan("t"), nil, NormSum)); err != nil {
+	if _, err := ctx.Exec(context.Background(), NewNormalize(NewScan("t"), nil, NormSum)); err != nil {
 		t.Fatal(err)
 	}
 	base, _ := ctx.Cat.Table("t")
@@ -110,7 +111,7 @@ func TestNormalizeProperties(t *testing.T) {
 			keys[i] = "k"
 		}
 		ctx := normCtx(probs, keys)
-		r, err := ctx.Exec(NewNormalize(NewScan("t"), []int{0}, NormSum))
+		r, err := ctx.Exec(context.Background(), NewNormalize(NewScan("t"), []int{0}, NormSum))
 		if err != nil {
 			return false
 		}
@@ -136,7 +137,7 @@ func TestRowNumber(t *testing.T) {
 	cat.Put("t", relation.NewBuilder([]string{"x"}, []vector.Kind{vector.String}).
 		Add("a").Add("b").Add("c").Build())
 	ctx := NewCtx(cat)
-	r, err := ctx.Exec(NewRowNumber(NewScan("t"), "id"))
+	r, err := ctx.Exec(context.Background(), NewRowNumber(NewScan("t"), "id"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestHashJoinPositional(t *testing.T) {
 		Add("x").Build())
 	ctx := NewCtx(cat)
 	j := NewHashJoinPos(NewScan("l"), NewScan("r"), []int{0}, []int{0}, JoinIndependent)
-	rel, err := ctx.Exec(j)
+	rel, err := ctx.Exec(context.Background(), j)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,12 +169,12 @@ func TestHashJoinPositional(t *testing.T) {
 	}
 	// out of range position
 	bad := NewHashJoinPos(NewScan("l"), NewScan("r"), []int{5}, []int{0}, JoinIndependent)
-	if _, err := ctx.Exec(bad); err == nil {
+	if _, err := ctx.Exec(context.Background(), bad); err == nil {
 		t.Error("out-of-range position should fail")
 	}
 	// mismatched lists
 	bad2 := NewHashJoinPos(NewScan("l"), NewScan("r"), []int{0, 1}, []int{0}, JoinIndependent)
-	if _, err := ctx.Exec(bad2); err == nil {
+	if _, err := ctx.Exec(context.Background(), bad2); err == nil {
 		t.Error("mismatched positional key lists should fail")
 	}
 }
@@ -184,7 +185,7 @@ func TestJoinIndexReuse(t *testing.T) {
 	probe := NewValues("probe", relation.NewBuilder(
 		[]string{"s"}, []vector.Kind{vector.String}).Add("p1").Build())
 	j := NewHashJoin(probe, right, []string{"s"}, []string{"subject"}, JoinLeft)
-	if _, err := ctx.Exec(j); err != nil {
+	if _, err := ctx.Exec(context.Background(), j); err != nil {
 		t.Fatal(err)
 	}
 	// The aux cache must now hold a hash index for the build side.
@@ -194,7 +195,7 @@ func TestJoinIndexReuse(t *testing.T) {
 	}
 	// And a second evaluation reuses it (no way to observe directly other
 	// than it does not error and stays consistent).
-	rel, err := ctx.Exec(j)
+	rel, err := ctx.Exec(context.Background(), j)
 	if err != nil {
 		t.Fatal(err)
 	}

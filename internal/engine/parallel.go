@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
 	"math"
@@ -48,13 +49,13 @@ func (ctx *Ctx) release() { <-ctx.sem }
 // is free. The left subtree runs on the calling goroutine; the right is
 // shipped to a worker. Used by the binary operators (join, set ops) whose
 // inputs are independent.
-func (ctx *Ctx) execPair(l, r Node) (*relation.Relation, *relation.Relation, error) {
+func (ctx *Ctx) execPair(c context.Context, l, r Node) (*relation.Relation, *relation.Relation, error) {
 	if !ctx.acquire() {
-		left, err := ctx.Exec(l)
+		left, err := ctx.Exec(c, l)
 		if err != nil {
 			return nil, nil, err
 		}
-		right, err := ctx.Exec(r)
+		right, err := ctx.Exec(c, r)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -68,9 +69,9 @@ func (ctx *Ctx) execPair(l, r Node) (*relation.Relation, *relation.Relation, err
 	go func() {
 		defer close(done)
 		defer ctx.release()
-		right, rErr = ctx.Exec(r)
+		right, rErr = ctx.Exec(c, r)
 	}()
-	left, lErr := ctx.Exec(l)
+	left, lErr := ctx.Exec(c, l)
 	<-done
 	if lErr != nil {
 		return nil, nil, lErr
@@ -84,7 +85,7 @@ func (ctx *Ctx) execPair(l, r Node) (*relation.Relation, *relation.Relation, err
 // execAll evaluates n independent subtrees, spreading them over available
 // worker slots; results keep input order. Used by Concat and by any caller
 // fanning out over a list of branches.
-func (ctx *Ctx) execAll(nodes []Node) ([]*relation.Relation, error) {
+func (ctx *Ctx) execAll(c context.Context, nodes []Node) ([]*relation.Relation, error) {
 	out := make([]*relation.Relation, len(nodes))
 	errs := make([]error, len(nodes))
 	var wg sync.WaitGroup
@@ -94,10 +95,10 @@ func (ctx *Ctx) execAll(nodes []Node) ([]*relation.Relation, error) {
 			go func(i int, n Node) {
 				defer wg.Done()
 				defer ctx.release()
-				out[i], errs[i] = ctx.Exec(n)
+				out[i], errs[i] = ctx.Exec(c, n)
 			}(i, n)
 		} else {
-			out[i], errs[i] = ctx.Exec(n)
+			out[i], errs[i] = ctx.Exec(c, n)
 		}
 	}
 	wg.Wait()
@@ -114,8 +115,8 @@ func (ctx *Ctx) execAll(nodes []Node) ([]*relation.Relation, error) {
 // fn may write to per-row output slots without synchronization; callers
 // that accumulate per-morsel results must merge them in morsel order to
 // stay bit-identical to the serial loop.
-func (ctx *Ctx) parallelRanges(n int, fn func(lo, hi int)) {
-	ctx.runRanges(ctx.morselRanges(n), func(_, lo, hi int) { fn(lo, hi) })
+func (ctx *Ctx) parallelRanges(c context.Context, n int, fn func(lo, hi int)) {
+	ctx.runRanges(c, ctx.morselRanges(n), func(_, lo, hi int) { fn(lo, hi) })
 }
 
 // morselRanges returns the [lo, hi) boundaries parallelRanges would use,
@@ -147,9 +148,18 @@ func (ctx *Ctx) morselRanges(n int) [][2]int {
 // runRanges executes fn for each pre-computed morsel, concurrently when
 // slots are free. fn receives the morsel index so callers can fill
 // per-morsel buckets and merge them in order afterwards.
-func (ctx *Ctx) runRanges(ranges [][2]int, fn func(m, lo, hi int)) {
+//
+// Morsel boundaries are the engine's cancellation points: once c is
+// cancelled no further morsel starts, so long loops stop within one
+// morsel's worth of work. Skipped morsels leave their output slots
+// untouched — the caller's result is partial, which is fine because
+// Ctx.Exec discards any result produced under a cancelled context.
+func (ctx *Ctx) runRanges(c context.Context, ranges [][2]int, fn func(m, lo, hi int)) {
 	var wg sync.WaitGroup
 	for m, r := range ranges {
+		if c.Err() != nil {
+			break
+		}
 		if m < len(ranges)-1 && ctx.acquire() {
 			wg.Add(1)
 			go func(m, lo, hi int) {
@@ -169,18 +179,18 @@ func (ctx *Ctx) runRanges(ranges [][2]int, fn func(m, lo, hi int)) {
 // each worker writes its [lo, hi) slice of sel through the write-at-offset
 // vector API. Disjoint ranges touch disjoint output rows, so the result is
 // bit-identical to the serial Gather at any parallelism.
-func gatherParallel(ctx *Ctx, r *relation.Relation, sel []int) *relation.Relation {
+func gatherParallel(c context.Context, ctx *Ctx, r *relation.Relation, sel []int) *relation.Relation {
 	out := r.NewSizedLike(len(sel))
-	ctx.parallelRanges(len(sel), func(lo, hi int) {
+	ctx.parallelRanges(c, len(sel), func(lo, hi int) {
 		r.GatherRangeInto(out, sel, lo, hi)
 	})
 	return out
 }
 
 // hashRowsParallel is relation.HashRows with the rows split over morsels.
-func hashRowsParallel(ctx *Ctx, r *relation.Relation, seed maphash.Seed, colIdx []int) []uint64 {
+func hashRowsParallel(c context.Context, ctx *Ctx, r *relation.Relation, seed maphash.Seed, colIdx []int) []uint64 {
 	sums := make([]uint64, r.NumRows())
-	ctx.parallelRanges(r.NumRows(), func(lo, hi int) {
+	ctx.parallelRanges(c, r.NumRows(), func(lo, hi int) {
 		r.HashRowsRange(seed, colIdx, sums, lo, hi)
 	})
 	return sums
@@ -317,8 +327,11 @@ func checkBuildRows(n int) error {
 // partition, then one worker per partition builds that partition's open
 // table from the morsel lists — in morsel order, so every hash's rows stay
 // ascending. Small inputs build one table serially.
-func buildBuckets(ctx *Ctx, hashes []uint64) (*bucketIndex, error) {
+func buildBuckets(c context.Context, ctx *Ctx, hashes []uint64) (*bucketIndex, error) {
 	if err := checkBuildRows(len(hashes)); err != nil {
+		return nil, err
+	}
+	if err := c.Err(); err != nil {
 		return nil, err
 	}
 	n := len(hashes)
@@ -339,7 +352,7 @@ func buildBuckets(ctx *Ctx, hashes []uint64) (*bucketIndex, error) {
 	}
 	mask := uint64(nParts - 1)
 	byMorsel := make([][][]int32, len(ranges))
-	ctx.runRanges(ranges, func(m, lo, hi int) {
+	ctx.runRanges(c, ranges, func(m, lo, hi int) {
 		parts := make([][]int32, nParts)
 		est := (hi-lo)/nParts + 1
 		for i := lo; i < hi; i++ {
@@ -351,8 +364,13 @@ func buildBuckets(ctx *Ctx, hashes []uint64) (*bucketIndex, error) {
 		}
 		byMorsel[m] = parts
 	})
+	if err := c.Err(); err != nil {
+		// Partition lists are partial; building tables over them would read
+		// inconsistent state for nothing.
+		return nil, err
+	}
 	parts := make([]openTable, nParts)
-	ctx.runRanges(taskRanges(nParts), func(_, q, _ int) {
+	ctx.runRanges(c, taskRanges(nParts), func(_, q, _ int) {
 		lists := make([][]int32, 0, len(byMorsel))
 		total := 0
 		for _, mp := range byMorsel {
@@ -361,5 +379,11 @@ func buildBuckets(ctx *Ctx, hashes []uint64) (*bucketIndex, error) {
 		}
 		parts[q] = newOpenTable(hashes, lists, total)
 	})
+	if err := c.Err(); err != nil {
+		// Cancellation mid-build leaves zero-valued partitions whose
+		// lookup would panic; the index must never escape (the join would
+		// otherwise cache it as a valid aux entry).
+		return nil, err
+	}
 	return &bucketIndex{mask: mask, parts: parts}, nil
 }

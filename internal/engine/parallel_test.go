@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -49,7 +50,7 @@ func subsetWithNoise(r *rand.Rand, src *relation.Relation, keep, noise int) *rel
 		p[i] = r.Float64()
 	}
 	out.SetProb(p)
-	joined, err := concatAll(NewCtx(nil), []*relation.Relation{out, randRel(r, noise, 64)})
+	joined, err := concatAll(context.Background(), NewCtx(nil), []*relation.Relation{out, randRel(r, noise, 64)})
 	if err != nil {
 		panic(err)
 	}
@@ -183,7 +184,7 @@ func TestSerialParallelEquivalence(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			var want *relation.Relation
 			for _, par := range []int{1, 2, 8} {
-				got, err := ctxAt(par, tables).Exec(tc.plan)
+				got, err := ctxAt(par, tables).Exec(context.Background(), tc.plan)
 				if err != nil {
 					t.Fatalf("parallelism %d: %v", par, err)
 				}
@@ -245,7 +246,7 @@ func TestAggregationChunkedEquivalence(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			var want *relation.Relation
 			for _, par := range []int{1, 2, 8} {
-				got, err := ctxAt(par, tables).Exec(tc.plan)
+				got, err := ctxAt(par, tables).Exec(context.Background(), tc.plan)
 				if err != nil {
 					t.Fatalf("parallelism %d: %v", par, err)
 				}
@@ -278,11 +279,11 @@ func TestEquivalenceUnderCacheAll(t *testing.T) {
 	for _, par := range []int{1, 2, 8} {
 		ctx := ctxAt(par, tables)
 		ctx.CacheAll = true
-		cold, err := ctx.Exec(plan)
+		cold, err := ctx.Exec(context.Background(), plan)
 		if err != nil {
 			t.Fatalf("parallelism %d cold: %v", par, err)
 		}
-		hot, err := ctx.Exec(plan)
+		hot, err := ctx.Exec(context.Background(), plan)
 		if err != nil {
 			t.Fatalf("parallelism %d hot: %v", par, err)
 		}
@@ -303,9 +304,9 @@ type slowNode struct {
 	Delay time.Duration
 }
 
-func (s *slowNode) Execute(ctx *Ctx) (*relation.Relation, error) {
+func (s *slowNode) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
 	time.Sleep(s.Delay)
-	return ctx.Exec(s.Child)
+	return ctx.Exec(context.Background(), s.Child)
 }
 func (s *slowNode) Fingerprint() string { return "slow(" + s.ID + ")(" + s.Child.Fingerprint() + ")" }
 func (s *slowNode) Children() []Node    { return []Node{s.Child} }
@@ -332,7 +333,7 @@ func TestSingleFlightNodeExecs(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			rels[g], errs[g] = ctx.Exec(plan)
+			rels[g], errs[g] = ctx.Exec(context.Background(), plan)
 		}(g)
 	}
 	wg.Wait()
@@ -368,7 +369,7 @@ func TestSingleFlightErrorNotCached(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			_, errs[g] = ctx.Exec(bad)
+			_, errs[g] = ctx.Exec(context.Background(), bad)
 		}(g)
 	}
 	wg.Wait()
@@ -383,7 +384,7 @@ func TestSingleFlightErrorNotCached(t *testing.T) {
 	// The table appearing later must make the plan succeed (no poisoning).
 	ctx.Cat.Put("missing", relation.MustFromColumns(
 		[]relation.Column{{Name: "v", Vec: vector.FromInt64s([]int64{1})}}, nil))
-	if _, err := ctx.Exec(bad); err != nil {
+	if _, err := ctx.Exec(context.Background(), bad); err != nil {
 		t.Fatalf("after table appears: %v", err)
 	}
 }
@@ -400,7 +401,7 @@ func TestNestedMaterializeNoDeadlock(t *testing.T) {
 		expr.Cmp{Op: expr.Lt, L: expr.Column("a"), R: expr.Int(5)})))
 	done := make(chan error, 1)
 	go func() {
-		_, err := ctx.Exec(plan)
+		_, err := ctx.Exec(context.Background(), plan)
 		done <- err
 	}()
 	select {
@@ -422,16 +423,16 @@ func TestConcatErrors(t *testing.T) {
 			{Name: "only", Vec: vector.FromInt64s([]int64{1, 2})}}, nil),
 	}
 	ctx := ctxAt(4, tables)
-	if _, err := ctx.Exec(NewConcat()); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewConcat()); err == nil {
 		t.Error("empty concat should fail")
 	}
-	if _, err := ctx.Exec(NewConcat(NewScan("L"), NewScan("N"))); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewConcat(NewScan("L"), NewScan("N"))); err == nil {
 		t.Error("arity mismatch should fail")
 	}
-	if _, err := ctx.Exec(NewConcat(NewScan("L"), NewScan("nope"), NewScan("L"))); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewConcat(NewScan("L"), NewScan("nope"), NewScan("L"))); err == nil {
 		t.Error("failing child should fail the concat")
 	}
-	one, err := ctx.Exec(NewConcat(NewScan("L")))
+	one, err := ctx.Exec(context.Background(), NewConcat(NewScan("L")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,7 +448,7 @@ func TestParallelRangesCoverage(t *testing.T) {
 			ctx := &Ctx{Parallelism: par}
 			var mu sync.Mutex
 			seen := make([]bool, n)
-			ctx.parallelRanges(n, func(lo, hi int) {
+			ctx.parallelRanges(context.Background(), n, func(lo, hi int) {
 				mu.Lock()
 				defer mu.Unlock()
 				for i := lo; i < hi; i++ {

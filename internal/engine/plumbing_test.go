@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -101,53 +102,53 @@ func TestErrorPaths(t *testing.T) {
 	ctx := NewCtx(cat)
 
 	// Extend with failing expression
-	if _, err := ctx.Exec(NewExtend(NewScan("t"), "y", expr.Column("missing"))); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewExtend(NewScan("t"), "y", expr.Column("missing"))); err == nil {
 		t.Error("Extend over missing column should fail")
 	}
 	// Project with failing expression
-	if _, err := ctx.Exec(NewProject(NewScan("t"), ProjCol{Name: "y", E: expr.NewCall("log", expr.Column("x"))})); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewProject(NewScan("t"), ProjCol{Name: "y", E: expr.NewCall("log", expr.Column("x"))})); err == nil {
 		t.Error("Project log(string) should fail")
 	}
 	// Aggregate over missing group column
-	if _, err := ctx.Exec(NewAggregate(NewScan("t"), []string{"nope"}, nil, GroupCertain)); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewAggregate(NewScan("t"), []string{"nope"}, nil, GroupCertain)); err == nil {
 		t.Error("Aggregate over missing column should fail")
 	}
 	// Aggregate sum over string column
-	if _, err := ctx.Exec(NewAggregate(NewScan("t"), nil,
+	if _, err := ctx.Exec(context.Background(), NewAggregate(NewScan("t"), nil,
 		[]AggSpec{{Op: Sum, Col: "x", As: "s"}}, GroupCertain)); err == nil {
 		t.Error("Sum over string should fail")
 	}
 	// Aggregate with neither groups nor aggregates
-	if _, err := ctx.Exec(NewAggregate(NewScan("t"), nil, nil, GroupCertain)); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewAggregate(NewScan("t"), nil, nil, GroupCertain)); err == nil {
 		t.Error("degenerate aggregate should fail")
 	}
 	// ProbFromCol over string column
-	if _, err := ctx.Exec(NewProbFromCol(NewScan("t"), "x", false, false)); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewProbFromCol(NewScan("t"), "x", false, false)); err == nil {
 		t.Error("ProbFromCol over string should fail")
 	}
 	// ProbFromCol over missing column
-	if _, err := ctx.Exec(NewProbFromCol(NewScan("t"), "nope", false, false)); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewProbFromCol(NewScan("t"), "nope", false, false)); err == nil {
 		t.Error("ProbFromCol over missing column should fail")
 	}
 	// Subtract with right side missing the left's columns
 	cat.Put("u", relation.NewBuilder([]string{"y"}, []vector.Kind{vector.String}).Build())
-	if _, err := ctx.Exec(NewSubtract(NewScan("t"), NewScan("u"), false)); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewSubtract(NewScan("t"), NewScan("u"), false)); err == nil {
 		t.Error("Subtract with mismatched schema should fail")
 	}
 	// Exec without catalog
 	bare := &Ctx{}
-	if _, err := bare.Exec(NewScan("t")); err == nil {
+	if _, err := bare.Exec(context.Background(), NewScan("t")); err == nil {
 		t.Error("Scan without catalog should fail")
 	}
 	// Tokenize with missing columns
-	if _, err := ctx.Exec(NewTokenize(NewScan("t"), "nope", "x", text.Default())); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewTokenize(NewScan("t"), "nope", "x", text.Default())); err == nil {
 		t.Error("Tokenize missing id column should fail")
 	}
-	if _, err := ctx.Exec(NewTokenize(NewScan("t"), "x", "nope", text.Default())); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewTokenize(NewScan("t"), "x", "nope", text.Default())); err == nil {
 		t.Error("Tokenize missing data column should fail")
 	}
 	// TopN with bad sort column
-	if _, err := ctx.Exec(NewTopN(NewScan("t"), 1, SortSpec{Col: "nope"})); err == nil {
+	if _, err := ctx.Exec(context.Background(), NewTopN(NewScan("t"), 1, SortSpec{Col: "nope"})); err == nil {
 		t.Error("TopN on missing column should fail")
 	}
 }
@@ -157,7 +158,7 @@ func TestAggregateMinMaxAndCountCol(t *testing.T) {
 	cat.Put("t", relation.NewBuilder([]string{"k", "v"}, []vector.Kind{vector.String, vector.Float64}).
 		Add("a", 2.5).Add("a", 1.5).Add("b", 9.0).Build())
 	ctx := NewCtx(cat)
-	r, err := ctx.Exec(NewAggregate(NewScan("t"), []string{"k"}, []AggSpec{
+	r, err := ctx.Exec(context.Background(), NewAggregate(NewScan("t"), []string{"k"}, []AggSpec{
 		{Op: Count, Col: "v", As: "n"},
 		{Op: Min, Col: "v", As: "lo"},
 		{Op: Max, Col: "v", As: "hi"},
@@ -183,7 +184,7 @@ func TestUniteBagModeAndJoinRight(t *testing.T) {
 	cat.Put("l", relation.NewBuilder([]string{"x"}, []vector.Kind{vector.String}).AddP(0.3, "a").Build())
 	cat.Put("r", relation.NewBuilder([]string{"x"}, []vector.Kind{vector.String}).AddP(0.9, "a").Build())
 	ctx := NewCtx(cat)
-	j, err := ctx.Exec(NewHashJoin(NewScan("l"), NewScan("r"), []string{"x"}, []string{"x"}, JoinRight))
+	j, err := ctx.Exec(context.Background(), NewHashJoin(NewScan("l"), NewScan("r"), []string{"x"}, []string{"x"}, JoinRight))
 	if err != nil {
 		t.Fatal(err)
 	}

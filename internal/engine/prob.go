@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"irdb/internal/relation"
@@ -22,11 +23,11 @@ func NewScaleProb(child Node, factor float64) *ScaleProb {
 }
 
 // Execute implements Node.
-func (s *ScaleProb) Execute(ctx *Ctx) (*relation.Relation, error) {
+func (s *ScaleProb) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
 	if s.Factor < 0 {
 		return nil, fmt.Errorf("negative probability weight %g", s.Factor)
 	}
-	in, err := ctx.Exec(s.Child)
+	in, err := ctx.Exec(c, s.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -35,7 +36,7 @@ func (s *ScaleProb) Execute(ctx *Ctx) (*relation.Relation, error) {
 	// written by exactly one worker.
 	src := in.Prob()
 	p := make([]float64, len(src))
-	ctx.parallelRanges(len(p), func(lo, hi int) {
+	ctx.parallelRanges(c, len(p), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			p[i] = src[i] * s.Factor
 		}
@@ -76,8 +77,8 @@ func NewProbFromCol(child Node, col string, clamp, drop bool) *ProbFromCol {
 }
 
 // Execute implements Node.
-func (n *ProbFromCol) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(n.Child)
+func (n *ProbFromCol) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, n.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +100,7 @@ func (n *ProbFromCol) Execute(ctx *Ctx) (*relation.Relation, error) {
 		return nil, fmt.Errorf("probability source column %q is %v, want numeric", n.Col, col.Vec.Kind())
 	}
 	prob := make([]float64, len(vals))
-	ctx.parallelRanges(len(vals), func(lo, hi int) {
+	ctx.parallelRanges(c, len(vals), func(lo, hi int) {
 		copy(prob[lo:hi], vals[lo:hi])
 		if n.Clamp {
 			for i := lo; i < hi; i++ {
@@ -149,8 +150,8 @@ func NewProbToCol(child Node, name string) *ProbToCol {
 }
 
 // Execute implements Node.
-func (n *ProbToCol) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(n.Child)
+func (n *ProbToCol) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, n.Child)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"irdb/internal/relation"
@@ -21,8 +22,8 @@ func NewRowNumber(child Node, name string) *RowNumber {
 }
 
 // Execute implements Node.
-func (r *RowNumber) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(r.Child)
+func (r *RowNumber) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, r.Child)
 	if err != nil {
 		return nil, err
 	}

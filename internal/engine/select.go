@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"irdb/internal/expr"
@@ -27,8 +28,8 @@ func NewSelect(child Node, pred expr.Expr) *Select { return &Select{Child: child
 // output rows are exactly those of a serial scan. This relies on the
 // expr contract that all expressions — including registered scalar
 // functions (see expr.Func) — are element-wise.
-func (s *Select) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(s.Child)
+func (s *Select) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, s.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -40,7 +41,7 @@ func (s *Select) Execute(ctx *Ctx) (*relation.Relation, error) {
 	}
 	selParts := make([][]int, len(ranges))
 	errParts := make([]error, len(ranges))
-	ctx.runRanges(ranges, func(m, lo, hi int) {
+	ctx.runRanges(c, ranges, func(m, lo, hi int) {
 		view := in
 		if len(ranges) > 1 {
 			view = in.Slice(lo, hi)
@@ -50,7 +51,7 @@ func (s *Select) Execute(ctx *Ctx) (*relation.Relation, error) {
 			errParts[m] = err
 			return
 		}
-		bv, ok := pv.(*vector.Bools)
+		bv, ok := vector.MaterializeConst(pv).(*vector.Bools)
 		if !ok {
 			errParts[m] = fmt.Errorf("predicate %s is %v, want boolean", s.Pred.String(), pv.Kind())
 			return
@@ -68,6 +69,9 @@ func (s *Select) Execute(ctx *Ctx) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
 	}
 	total := 0
 	for _, p := range selParts {
@@ -122,8 +126,8 @@ func ByName(names ...string) []ProjCol {
 }
 
 // Execute implements Node.
-func (p *Project) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(p.Child)
+func (p *Project) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, p.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +137,9 @@ func (p *Project) Execute(ctx *Ctx) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		cols[i] = relation.Column{Name: pc.Name, Vec: v}
+		// A literal projection column evaluates to a vector.Const; expand
+		// it here — relations hold only dense vectors.
+		cols[i] = relation.Column{Name: pc.Name, Vec: vector.MaterializeConst(v)}
 	}
 	prob := make([]float64, in.NumRows())
 	copy(prob, in.Prob())
@@ -184,8 +190,8 @@ func NewExtend(child Node, name string, e expr.Expr) *Extend {
 }
 
 // Execute implements Node.
-func (x *Extend) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(x.Child)
+func (x *Extend) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, x.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +201,7 @@ func (x *Extend) Execute(ctx *Ctx) (*relation.Relation, error) {
 	}
 	cols := make([]relation.Column, 0, in.NumCols()+1)
 	cols = append(cols, in.Columns()...)
-	cols = append(cols, relation.Column{Name: x.Name, Vec: v})
+	cols = append(cols, relation.Column{Name: x.Name, Vec: vector.MaterializeConst(v)})
 	prob := make([]float64, in.NumRows())
 	copy(prob, in.Prob())
 	return relation.FromColumns(cols, prob)

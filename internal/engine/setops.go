@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
 	"strings"
@@ -18,12 +19,12 @@ type Union struct{ L, R Node }
 func NewUnion(l, r Node) *Union { return &Union{L: l, R: r} }
 
 // Execute implements Node.
-func (u *Union) Execute(ctx *Ctx) (*relation.Relation, error) {
-	left, right, err := ctx.execPair(u.L, u.R)
+func (u *Union) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	left, right, err := ctx.execPair(c, u.L, u.R)
 	if err != nil {
 		return nil, err
 	}
-	return concatAll(ctx, []*relation.Relation{left, right})
+	return concatAll(c, ctx, []*relation.Relation{left, right})
 }
 
 // concatAll appends the rows of every input in order. Every output column
@@ -31,7 +32,7 @@ func (u *Union) Execute(ctx *Ctx) (*relation.Relation, error) {
 // that writes the input's column at its precomputed row offset, so workers
 // fill disjoint output ranges in place and the result is identical to a
 // serial append.
-func concatAll(ctx *Ctx, ins []*relation.Relation) (*relation.Relation, error) {
+func concatAll(c context.Context, ctx *Ctx, ins []*relation.Relation) (*relation.Relation, error) {
 	first := ins[0]
 	total := 0
 	offs := make([]int, len(ins))
@@ -78,7 +79,7 @@ func concatAll(ctx *Ctx, ins []*relation.Relation) (*relation.Relation, error) {
 	// One task per (input, column) pair plus one per input for the
 	// probability column; tasks write disjoint ranges of the pre-sized
 	// output columns.
-	ctx.runRanges(taskRanges(len(ins)*(nCols+1)), func(_, lo, _ int) {
+	ctx.runRanges(c, taskRanges(len(ins)*(nCols+1)), func(_, lo, _ int) {
 		k, ci := lo/(nCols+1), lo%(nCols+1)
 		in := ins[k]
 		if ci == nCols {
@@ -135,18 +136,18 @@ type Concat struct{ Inputs []Node }
 func NewConcat(inputs ...Node) *Concat { return &Concat{Inputs: inputs} }
 
 // Execute implements Node.
-func (c *Concat) Execute(ctx *Ctx) (*relation.Relation, error) {
-	if len(c.Inputs) == 0 {
+func (cc *Concat) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	if len(cc.Inputs) == 0 {
 		return nil, fmt.Errorf("concat of zero inputs")
 	}
-	rels, err := ctx.execAll(c.Inputs)
+	rels, err := ctx.execAll(c, cc.Inputs)
 	if err != nil {
 		return nil, err
 	}
 	if len(rels) == 1 {
 		return rels[0], nil
 	}
-	return concatAll(ctx, rels)
+	return concatAll(c, ctx, rels)
 }
 
 // Fingerprint implements Node.
@@ -179,16 +180,16 @@ type Unite struct {
 func NewUnite(l, r Node, pmode GroupProb) *Unite { return &Unite{L: l, R: r, PMode: pmode} }
 
 // Execute implements Node.
-func (u *Unite) Execute(ctx *Ctx) (*relation.Relation, error) {
-	left, right, err := ctx.execPair(u.L, u.R)
+func (u *Unite) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	left, right, err := ctx.execPair(c, u.L, u.R)
 	if err != nil {
 		return nil, err
 	}
-	all, err := concatAll(ctx, []*relation.Relation{left, right})
+	all, err := concatAll(c, ctx, []*relation.Relation{left, right})
 	if err != nil {
 		return nil, err
 	}
-	return aggregateRel(ctx, all, all.ColumnNames(), nil, u.PMode)
+	return aggregateRel(c, ctx, all, all.ColumnNames(), nil, u.PMode)
 }
 
 // Fingerprint implements Node.
@@ -223,8 +224,8 @@ func NewSubtract(l, r Node, boolean bool) *Subtract {
 }
 
 // Execute implements Node.
-func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
-	left, right, err := ctx.execPair(s.L, s.R)
+func (s *Subtract) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	left, right, err := ctx.execPair(c, s.L, s.R)
 	if err != nil {
 		return nil, err
 	}
@@ -241,13 +242,13 @@ func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
 	// dict-encoded columns hash codes, so mixed representations must be
 	// decoded or re-encoded before hashes are comparable (see dictkeys.go).
 	rKeyVecs := colVecs(right, rIdx)
-	lKeyVecs := alignProbeVecs(colVecs(left, lIdx), rKeyVecs)
+	lKeyVecs := alignProbeVecs(ctx, colVecs(left, lIdx), rKeyVecs)
 	seed := maphash.MakeSeed()
-	buckets, err := buildBuckets(ctx, hashVecsParallel(ctx, rKeyVecs, right.NumRows(), seed))
+	buckets, err := buildBuckets(c, ctx, hashVecsParallel(c, ctx, rKeyVecs, right.NumRows(), seed))
 	if err != nil {
 		return nil, err
 	}
-	lHash := hashVecsParallel(ctx, lKeyVecs, left.NumRows(), seed)
+	lHash := hashVecsParallel(c, ctx, lKeyVecs, left.NumRows(), seed)
 	lp, rp := left.Prob(), right.Prob()
 
 	// Anti-probe in parallel morsels, merged in morsel order (same output
@@ -255,10 +256,13 @@ func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
 	ranges := ctx.morselRanges(left.NumRows())
 	selParts := make([][]int, len(ranges))
 	probParts := make([][]float64, len(ranges))
-	ctx.runRanges(ranges, func(m, lo, hi int) {
+	ctx.runRanges(c, ranges, func(m, lo, hi int) {
 		sel := make([]int, 0, hi-lo)
 		prob := make([]float64, 0, hi-lo)
 		for i := lo; i < hi; i++ {
+			if i&0x1fff == 0x1fff && c.Err() != nil {
+				break // partial parts are discarded by the check below
+			}
 			match := -1
 			for _, ri := range buckets.lookup(lHash[i]) {
 				if vecsEqual(lKeyVecs, i, rKeyVecs, int(ri)) {
@@ -282,6 +286,9 @@ func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
 		}
 		selParts[m], probParts[m] = sel, prob
 	})
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, p := range selParts {
 		total += len(p)
@@ -292,7 +299,7 @@ func (s *Subtract) Execute(ctx *Ctx) (*relation.Relation, error) {
 		sel = append(sel, selParts[m]...)
 		prob = append(prob, probParts[m]...)
 	}
-	out := gatherParallel(ctx, left, sel)
+	out := gatherParallel(c, ctx, left, sel)
 	out.SetProb(prob)
 	return out, nil
 }

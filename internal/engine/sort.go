@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -52,12 +53,13 @@ func NewSort(child Node, keys ...SortSpec) *Sort { return &Sort{Child: child, Ke
 
 // Execute implements Node.
 //
-// The sort permutation is computed as a parallel merge sort: each morsel
-// stable-sorts its own rows and a k-way merge (with original-row-index
-// tie-break) reassembles exactly the serial stable sort's permutation, so
-// ORDER BY without LIMIT scales like TopN does.
-func (s *Sort) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(s.Child)
+// The sort permutation is computed as a parallel merge sort: bounded-size
+// runs (sortRunRows) stable-sort independently and a k-way merge (with
+// original-row-index tie-break) reassembles exactly the serial stable
+// sort's permutation, so ORDER BY without LIMIT scales like TopN does —
+// and a cancelled context stops the sort between runs.
+func (s *Sort) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, s.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +67,11 @@ func (s *Sort) Execute(ctx *Ctx) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return gatherParallel(ctx, in, sortSel(ctx, in, keys)), nil
+	sel := sortSel(c, ctx, in, keys)
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	return gatherParallel(c, ctx, in, sel), nil
 }
 
 // Fingerprint implements Node.
@@ -106,8 +112,8 @@ func NewTopN(child Node, n int, keys ...SortSpec) *TopN {
 // rows via a bounded heap and a k-way merge (with original-row-index
 // tie-break) reproduces exactly the first N entries of the serial stable
 // sort's permutation. Only those N rows are materialized.
-func (t *TopN) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(t.Child)
+func (t *TopN) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, t.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +121,11 @@ func (t *TopN) Execute(ctx *Ctx) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return gatherParallel(ctx, in, topNSel(ctx, in, keys, t.N)), nil
+	sel := topNSel(c, ctx, in, keys, t.N)
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	return gatherParallel(c, ctx, in, sel), nil
 }
 
 // Fingerprint implements Node.

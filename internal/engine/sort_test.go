@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -93,7 +94,7 @@ func TestSortSelMatchesSliceStable(t *testing.T) {
 			for ki, keys := range in.keys {
 				want := rel.SortedSel(keys)
 				for _, par := range []int{1, 2, 8} {
-					got := sortSel(&Ctx{Parallelism: par}, rel, keys)
+					got := sortSel(context.Background(), &Ctx{Parallelism: par}, rel, keys)
 					if len(got) != len(want) {
 						t.Fatalf("%s rows=%d keys=%d par=%d: len = %d, want %d",
 							in.name, rows, ki, par, len(got), len(want))
@@ -120,7 +121,7 @@ func TestSortNodeEquivalenceEmptyStrings(t *testing.T) {
 	plan := NewSort(NewScan("N"), SortSpec{Col: "a"}, SortSpec{Col: "x", Desc: true}, SortSpec{Col: "", Desc: true})
 	var want *relation.Relation
 	for _, par := range []int{1, 2, 8} {
-		got, err := ctxAt(par, tables).Exec(plan)
+		got, err := ctxAt(par, tables).Exec(context.Background(), plan)
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", par, err)
 		}

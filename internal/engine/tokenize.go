@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"irdb/internal/relation"
@@ -32,8 +33,8 @@ func NewTokenize(child Node, idCol, dataCol string, tok text.Tokenizer) *Tokeniz
 }
 
 // Execute implements Node.
-func (t *Tokenize) Execute(ctx *Ctx) (*relation.Relation, error) {
-	in, err := ctx.Exec(t.Child)
+func (t *Tokenize) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) {
+	in, err := ctx.Exec(c, t.Child)
 	if err != nil {
 		return nil, err
 	}

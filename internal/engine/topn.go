@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sort"
 
 	"irdb/internal/relation"
@@ -17,13 +18,52 @@ import (
 // same permutation at every parallelism, because a strict total order has
 // exactly one sorted sequence regardless of how the input was split.
 
-// sortSel returns in.SortedSel(keys) computed with per-morsel stable sorts
-// plus the same k-way merge TopN uses, when worker slots allow. Unlike
-// topNSel it keeps every row: ORDER BY without LIMIT scales the same way
-// TopN does.
-func sortSel(ctx *Ctx, in *relation.Relation, keys []relation.SortKey) []int {
+// sortRunRows caps one sort run. Bounding runs (instead of splitting
+// only per worker) serves two ends: sorting k runs of n/k rows plus a
+// k-way merge beats one big stable sort even serially (each run's
+// comparisons are cheaper), and runs beyond the worker count execute
+// inline between cancellation checks, so a cancelled ORDER BY stops
+// within one run's worth of work instead of finishing every morsel
+// already dispatched. The merged permutation is identical for every
+// decomposition (the tie-broken order is strict), so results stay
+// bit-identical regardless.
+const sortRunRows = 64 * 1024
+
+// sortRanges splits [0, n) into sort runs: one per worker when that
+// keeps runs small (so mid-size TopN/Sort still uses the whole pool),
+// capped at sortRunRows for cancellation granularity, floored at
+// minMorsel so tiny inputs stay serial.
+func (ctx *Ctx) sortRanges(n int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	size := (n + ctx.parallelism() - 1) / ctx.parallelism()
+	if size > sortRunRows {
+		size = sortRunRows
+	}
+	if size < minMorsel {
+		size = minMorsel
+	}
+	if n <= size {
+		return [][2]int{{0, n}}
+	}
+	out := make([][2]int, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// sortSel returns in.SortedSel(keys) computed with per-run stable sorts
+// plus the same k-way merge TopN uses. Unlike topNSel it keeps every row:
+// ORDER BY without LIMIT scales the same way TopN does.
+func sortSel(c context.Context, ctx *Ctx, in *relation.Relation, keys []relation.SortKey) []int {
 	total := in.NumRows()
-	ranges := ctx.morselRanges(total)
+	ranges := ctx.sortRanges(total)
 	if len(ranges) <= 1 {
 		return in.SortedSel(keys)
 	}
@@ -34,16 +74,16 @@ func sortSel(ctx *Ctx, in *relation.Relation, keys []relation.SortKey) []int {
 		return i < j // stable-sort tie-break: original row order
 	}
 	runs := make([][]int, len(ranges))
-	ctx.runRanges(ranges, func(m, lo, hi int) {
+	ctx.runRanges(c, ranges, func(m, lo, hi int) {
 		runs[m] = in.SortedSelRange(keys, lo, hi)
 	})
-	return mergeRuns(less, runs, total)
+	return mergeRuns(c, less, runs, total)
 }
 
 // topNSel returns the first n entries of in.SortedSel(keys), computed with
 // per-morsel partial selection plus a k-way merge when worker slots allow.
 // The returned permutation prefix is bit-identical at every parallelism.
-func topNSel(ctx *Ctx, in *relation.Relation, keys []relation.SortKey, n int) []int {
+func topNSel(c context.Context, ctx *Ctx, in *relation.Relation, keys []relation.SortKey, n int) []int {
 	total := in.NumRows()
 	if n > total {
 		n = total
@@ -57,15 +97,15 @@ func topNSel(ctx *Ctx, in *relation.Relation, keys []relation.SortKey, n int) []
 		}
 		return i < j // stable-sort tie-break: original row order
 	}
-	ranges := ctx.morselRanges(total)
+	ranges := ctx.sortRanges(total)
 	if len(ranges) <= 1 {
 		return in.SortedSel(keys)[:n:n]
 	}
 	runs := make([][]int, len(ranges))
-	ctx.runRanges(ranges, func(m, lo, hi int) {
+	ctx.runRanges(c, ranges, func(m, lo, hi int) {
 		runs[m] = topOfRange(less, lo, hi, n)
 	})
-	return mergeRuns(less, runs, n)
+	return mergeRuns(c, less, runs, n)
 }
 
 // topOfRange returns the min(n, hi-lo) smallest rows of [lo, hi) under
@@ -116,8 +156,11 @@ func topOfRange(less func(i, j int) bool, lo, hi, n int) []int {
 }
 
 // mergeRuns k-way merges ascending runs under less and returns the first n
-// merged values. Run heads are kept in a min-heap keyed by less.
-func mergeRuns(less func(i, j int) bool, runs [][]int, n int) []int {
+// merged values. Run heads are kept in a min-heap keyed by less. The merge
+// checks cancellation every few thousand pops — a merge over millions of
+// rows is itself a long serial loop — and returns its partial output,
+// which the caller discards once it sees the cancelled context.
+func mergeRuns(c context.Context, less func(i, j int) bool, runs [][]int, n int) []int {
 	type head struct {
 		run, pos int
 	}
@@ -140,6 +183,9 @@ func mergeRuns(less func(i, j int) bool, runs [][]int, n int) []int {
 	}
 	out := make([]int, 0, n)
 	for len(h) > 0 && len(out) < n {
+		if len(out)&0x1fff == 0x1fff && c.Err() != nil {
+			return out
+		}
 		top := h[0]
 		out = append(out, runs[top.run][top.pos])
 		if top.pos+1 < len(runs[top.run]) {

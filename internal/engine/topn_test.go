@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -51,7 +52,7 @@ func TestTopNSelDeterminism(t *testing.T) {
 				}
 				for _, par := range []int{1, 2, 8} {
 					ctx := &Ctx{Parallelism: par}
-					got := topNSel(ctx, in, keys, n)
+					got := topNSel(context.Background(), ctx, in, keys, n)
 					if len(got) != capped {
 						t.Fatalf("rows=%d keys=%d n=%d par=%d: len = %d, want %d",
 							rows, ki, n, par, len(got), capped)
@@ -78,9 +79,9 @@ func TestBuildBucketsMatchesSerial(t *testing.T) {
 		for i := range hashes {
 			hashes[i] = uint64(r.Intn(997)) * 0x9e3779b97f4a7c15 // duplicate-heavy
 		}
-		serial, _ := buildBuckets(&Ctx{Parallelism: 1}, hashes)
+		serial, _ := buildBuckets(context.Background(), &Ctx{Parallelism: 1}, hashes)
 		for _, par := range []int{2, 8} {
-			idx, _ := buildBuckets(&Ctx{Parallelism: par}, hashes)
+			idx, _ := buildBuckets(context.Background(), &Ctx{Parallelism: par}, hashes)
 			for _, h := range hashes {
 				a, b := serial.lookup(h), idx.lookup(h)
 				if len(a) != len(b) {
@@ -104,9 +105,9 @@ func TestGroupRowsParallelMatchesSerial(t *testing.T) {
 	for _, n := range []int{0, 50, 2*minMorsel + 11, 25000} {
 		in := dupRel(r, n)
 		for _, gIdx := range [][]int{{0}, {0, 1}, {}} {
-			wantOf, wantFirst := groupRows(&Ctx{Parallelism: 1}, in, gIdx)
+			wantOf, wantFirst := groupRows(context.Background(), &Ctx{Parallelism: 1}, in, gIdx)
 			for _, par := range []int{2, 8} {
-				gotOf, gotFirst := groupRows(&Ctx{Parallelism: par}, in, gIdx)
+				gotOf, gotFirst := groupRows(context.Background(), &Ctx{Parallelism: par}, in, gIdx)
 				if len(gotFirst) != len(wantFirst) {
 					t.Fatalf("n=%d gIdx=%v par=%d: %d groups, want %d",
 						n, gIdx, par, len(gotFirst), len(wantFirst))
@@ -139,7 +140,7 @@ func TestGatherParallelMatchesSerial(t *testing.T) {
 	}
 	want := in.Gather(sel)
 	for _, par := range []int{1, 2, 8} {
-		got := gatherParallel(&Ctx{Parallelism: par}, in, sel)
+		got := gatherParallel(context.Background(), &Ctx{Parallelism: par}, in, sel)
 		mustEqualRel(t, want, got, fmt.Sprintf("gatherParallel par=%d", par))
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"irdb/internal/bench"
@@ -31,21 +32,21 @@ func E1(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		build, err := bench.Measure(1, s.BuildIndex)
+		build, err := bench.Measure(1, func() error { return s.BuildIndex(context.Background()) })
 		if err != nil {
 			return nil, err
 		}
-		st, err := s.Stats()
+		st, err := s.Stats(context.Background())
 		if err != nil {
 			return nil, err
 		}
 		// warm the per-query path once
-		if _, err := s.Search(queries[0], 10); err != nil {
+		if _, err := s.Search(context.Background(), queries[0], 10); err != nil {
 			return nil, err
 		}
 		qi := 0
 		hot, err := bench.Measure(len(queries), func() error {
-			_, err := s.Search(queries[qi%len(queries)], 10)
+			_, err := s.Search(context.Background(), queries[qi%len(queries)], 10)
 			qi++
 			return err
 		})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -49,7 +50,7 @@ func E2(cfg Config) (*Result, error) {
 		ctxA.UseCache = false
 		qi := 0
 		selfJoin, err := bench.Measure(queriesPerRun, func() error {
-			_, err := ctxA.Exec(docsPlan(props[qi%len(props)]))
+			_, err := ctxA.Exec(context.Background(), docsPlan(props[qi%len(props)]))
 			qi++
 			return err
 		})
@@ -65,11 +66,11 @@ func E2(cfg Config) (*Result, error) {
 		ctxB.Parallelism = cfg.Parallelism
 		prep, err := bench.Measure(1, func() error {
 			for i := 1; i <= nProps; i++ {
-				if _, err := ctxB.Exec(triple.Property(fmt.Sprintf("prop%06d", i))); err != nil {
+				if _, err := ctxB.Exec(context.Background(), triple.Property(fmt.Sprintf("prop%06d", i))); err != nil {
 					return err
 				}
 			}
-			_, err := ctxB.Exec(triple.SubjectsOfType("node"))
+			_, err := ctxB.Exec(context.Background(), triple.SubjectsOfType("node"))
 			return err
 		})
 		if err != nil {
@@ -77,7 +78,7 @@ func E2(cfg Config) (*Result, error) {
 		}
 		qi = 0
 		staticHot, err := bench.Measure(queriesPerRun, func() error {
-			_, err := ctxB.Exec(docsPlan(props[qi%len(props)]))
+			_, err := ctxB.Exec(context.Background(), docsPlan(props[qi%len(props)]))
 			qi++
 			return err
 		})
@@ -94,7 +95,7 @@ func E2(cfg Config) (*Result, error) {
 		first := &bench.Latencies{}
 		for _, prop := range props {
 			l, err := bench.Measure(1, func() error {
-				_, err := ctxC.Exec(docsPlan(prop))
+				_, err := ctxC.Exec(context.Background(), docsPlan(prop))
 				return err
 			})
 			if err != nil {
@@ -104,7 +105,7 @@ func E2(cfg Config) (*Result, error) {
 		}
 		qi = 0
 		onDemandHot, err := bench.Measure(queriesPerRun, func() error {
-			_, err := ctxC.Exec(docsPlan(props[qi%len(props)]))
+			_, err := ctxC.Exec(context.Background(), docsPlan(props[qi%len(props)]))
 			qi++
 			return err
 		})

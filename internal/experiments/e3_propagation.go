@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"irdb/internal/bench"
@@ -30,10 +31,10 @@ func E3(cfg Config) (*Result, error) {
 	ctx.Parallelism = cfg.Parallelism
 	// Pre-materialize the shared property tables so both variants measure
 	// pure operator cost, not first-touch materialization.
-	if _, err := ctx.Exec(triple.Property("hasAuction")); err != nil {
+	if _, err := ctx.Exec(context.Background(), triple.Property("hasAuction")); err != nil {
 		return nil, err
 	}
-	if _, err := ctx.Exec(triple.SubjectsOfType("lot")); err != nil {
+	if _, err := ctx.Exec(context.Background(), triple.SubjectsOfType("lot")); err != nil {
 		return nil, err
 	}
 
@@ -52,10 +53,10 @@ func E3(cfg Config) (*Result, error) {
 
 	// Warm both variants once (join-index construction), then interleave
 	// the measured runs so allocator and GC drift hits both equally.
-	if _, err := ctx.Exec(pipeline(engine.JoinIndependent, engine.GroupIndependent)); err != nil {
+	if _, err := ctx.Exec(context.Background(), pipeline(engine.JoinIndependent, engine.GroupIndependent)); err != nil {
 		return nil, err
 	}
-	if _, err := ctx.Exec(pipeline(engine.JoinLeft, engine.GroupCertain)); err != nil {
+	if _, err := ctx.Exec(context.Background(), pipeline(engine.JoinLeft, engine.GroupCertain)); err != nil {
 		return nil, err
 	}
 	reps := cfg.reps(15)
@@ -63,7 +64,7 @@ func E3(cfg Config) (*Result, error) {
 	boolean := &bench.Latencies{}
 	for i := 0; i < reps; i++ {
 		b, err := bench.Measure(1, func() error {
-			_, err := ctx.Exec(pipeline(engine.JoinLeft, engine.GroupCertain))
+			_, err := ctx.Exec(context.Background(), pipeline(engine.JoinLeft, engine.GroupCertain))
 			return err
 		})
 		if err != nil {
@@ -71,7 +72,7 @@ func E3(cfg Config) (*Result, error) {
 		}
 		boolean.Add(b.Mean())
 		p, err := bench.Measure(1, func() error {
-			_, err := ctx.Exec(pipeline(engine.JoinIndependent, engine.GroupIndependent))
+			_, err := ctx.Exec(context.Background(), pipeline(engine.JoinIndependent, engine.GroupIndependent))
 			return err
 		})
 		if err != nil {

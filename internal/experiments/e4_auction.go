@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -47,7 +48,7 @@ func E4(cfg Config) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		_, err = ctx.Exec(engine.NewTopN(plan, 50, engine.SortSpec{Col: "", Desc: true},
+		_, err = ctx.Exec(context.Background(), engine.NewTopN(plan, 50, engine.SortSpec{Col: "", Desc: true},
 			engine.SortSpec{Col: triple.ColSubject}))
 		return err
 	}
@@ -101,12 +102,12 @@ func E4(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := searcher.Search(queries[0], 10); err != nil {
+	if _, err := searcher.Search(context.Background(), queries[0], 10); err != nil {
 		return nil, err
 	}
 	qi = 0
 	simple, err := bench.Measure(len(queries), func() error {
-		_, err := searcher.Search(queries[qi%len(queries)], 10)
+		_, err := searcher.Search(context.Background(), queries[qi%len(queries)], 10)
 		qi++
 		return err
 	})

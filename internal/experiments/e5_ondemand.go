@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"irdb/internal/bench"
@@ -30,16 +31,16 @@ func E5(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cold, err := bench.Measure(1, s1.BuildIndex)
+	cold, err := bench.Measure(1, func() error { return s1.BuildIndex(context.Background()) })
 	if err != nil {
 		return nil, err
 	}
-	if _, err := s1.Search(queries[0], 10); err != nil {
+	if _, err := s1.Search(context.Background(), queries[0], 10); err != nil {
 		return nil, err
 	}
 	qi := 0
 	hot, err := bench.Measure(len(queries), func() error {
-		_, err := s1.Search(queries[qi%len(queries)], 10)
+		_, err := s1.Search(context.Background(), queries[qi%len(queries)], 10)
 		qi++
 		return err
 	})
@@ -52,7 +53,7 @@ func E5(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	shared, err := bench.Measure(1, s2.BuildIndex)
+	shared, err := bench.Measure(1, func() error { return s2.BuildIndex(context.Background()) })
 	if err != nil {
 		return nil, err
 	}
@@ -64,7 +65,7 @@ func E5(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rebuild, err := bench.Measure(1, s3.BuildIndex)
+	rebuild, err := bench.Measure(1, func() error { return s3.BuildIndex(context.Background()) })
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"irdb/internal/bench"
@@ -28,16 +29,16 @@ func E6(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	relBuild, err := bench.Measure(1, rel.BuildIndex)
+	relBuild, err := bench.Measure(1, func() error { return rel.BuildIndex(context.Background()) })
 	if err != nil {
 		return nil, err
 	}
-	if _, err := rel.Search(queries[0], 10); err != nil {
+	if _, err := rel.Search(context.Background(), queries[0], 10); err != nil {
 		return nil, err
 	}
 	qi := 0
 	relHot, err := bench.Measure(len(queries), func() error {
-		_, err := rel.Search(queries[qi%len(queries)], 10)
+		_, err := rel.Search(context.Background(), queries[qi%len(queries)], 10)
 		qi++
 		return err
 	})
@@ -72,7 +73,7 @@ func E6(cfg Config) (*Result, error) {
 	// Ranking agreement on top-10 (correctness guard inside the bench).
 	agree := 0
 	for _, q := range queries {
-		a, err := rel.Search(q, 10)
+		a, err := rel.Search(context.Background(), q, 10)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"irdb/internal/bench"
@@ -45,7 +46,7 @@ func E7(cfg Config) (*Result, error) {
 			if err != nil {
 				return err
 			}
-			_, err = ctx.Exec(engine.NewTopN(plan, 50, engine.SortSpec{Col: "", Desc: true},
+			_, err = ctx.Exec(context.Background(), engine.NewTopN(plan, 50, engine.SortSpec{Col: "", Desc: true},
 				engine.SortSpec{Col: triple.ColSubject}))
 			return err
 		}

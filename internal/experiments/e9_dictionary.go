@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"irdb/internal/bench"
@@ -71,11 +72,11 @@ func E9(cfg Config) (*Result, error) {
 		cat.Put("dim", dim)
 		ctx := engine.NewCtx(cat)
 		ctx.Parallelism = 1
-		if _, err := ctx.Exec(plan); err != nil { // warm allocator and caches
+		if _, err := ctx.Exec(context.Background(), plan); err != nil { // warm allocator and caches
 			return nil, err
 		}
 		return bench.Measure(reps, func() error {
-			_, err := ctx.Exec(plan)
+			_, err := ctx.Exec(context.Background(), plan)
 			return err
 		})
 	}

@@ -100,34 +100,23 @@ func Str(s string) Lit { return Lit{Value: s} }
 // BoolLit returns a boolean literal.
 func BoolLit(b bool) Lit { return Lit{Value: b} }
 
-// Eval implements Expr.
+// Eval implements Expr. The result is a vector.Const — a scalar plus a
+// length, never a materialized column — so evaluating a literal costs a
+// few words however many rows the input has. Consumers inside this
+// package read the scalar directly; results escaping the evaluator are
+// materialized at the boundary (see Call.Eval and the engine's
+// projection operators).
 func (l Lit) Eval(r *relation.Relation) (vector.Vector, error) {
 	n := r.NumRows()
 	switch x := l.Value.(type) {
 	case int64:
-		vals := make([]int64, n)
-		for i := range vals {
-			vals[i] = x
-		}
-		return vector.FromInt64s(vals), nil
+		return vector.ConstInt64(x, n), nil
 	case float64:
-		vals := make([]float64, n)
-		for i := range vals {
-			vals[i] = x
-		}
-		return vector.FromFloat64s(vals), nil
+		return vector.ConstFloat64(x, n), nil
 	case string:
-		vals := make([]string, n)
-		for i := range vals {
-			vals[i] = x
-		}
-		return vector.FromStrings(vals), nil
+		return vector.ConstString(x, n), nil
 	case bool:
-		vals := make([]bool, n)
-		for i := range vals {
-			vals[i] = x
-		}
-		return vector.FromBools(vals), nil
+		return vector.ConstBool(x, n), nil
 	default:
 		return nil, fmt.Errorf("expr: unsupported literal type %T", l.Value)
 	}
@@ -214,6 +203,17 @@ func (c Cmp) Eval(r *relation.Relation) (vector.Vector, error) {
 	}
 	n := lv.Len()
 	out := make([]bool, n)
+	// Scalar fast paths: one side is a constant (vector.Const), so the
+	// comparison reads the scalar directly instead of materializing a
+	// constant column — the numeric analogue of the dict-literal path
+	// above. These also keep Const away from the dense-type assertions
+	// below.
+	if done, err := cmpConst(c.Op, lv, rv, out); done {
+		if err != nil {
+			return nil, err
+		}
+		return vector.FromBools(out), nil
+	}
 	switch {
 	case lv.Kind() == vector.String && rv.Kind() == vector.String:
 		if err := cmpStrings(c, lv, rv, out); err != nil {
@@ -266,6 +266,158 @@ func (c Cmp) Eval(r *relation.Relation) (vector.Vector, error) {
 	return vector.FromBools(out), nil
 }
 
+// flipCmp mirrors a comparison operator so `const op x` can run as
+// `x flip(op) const`.
+func flipCmp(op CmpOp) CmpOp {
+	switch op {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	}
+	return op // Eq, Ne are symmetric
+}
+
+// cmpConst handles every comparison in which at least one operand is a
+// vector.Const, reading the scalar directly. It reports whether it
+// handled the comparison; when it did, out holds the result (unless an
+// error is returned). Results are identical to materializing the constant
+// column and running the generic loops.
+func cmpConst(op CmpOp, lv, rv vector.Vector, out []bool) (bool, error) {
+	lc, lok := lv.(*vector.Const)
+	rc, rok := rv.(*vector.Const)
+	switch {
+	case lok && rok:
+		// Both constant: one scalar comparison fills every row.
+		res, err := cmpConstConst(op, lc, rc)
+		if err != nil {
+			return true, err
+		}
+		for i := range out {
+			out[i] = res
+		}
+		return true, nil
+	case rok:
+		return true, cmpVecConst(op, lv, rc, out)
+	case lok:
+		return true, cmpVecConst(flipCmp(op), rv, lc, out)
+	}
+	return false, nil
+}
+
+// cmpConstConst compares two scalars under the same coercion rules the
+// column loops use (int/int stays integral, mixed numerics widen to
+// float).
+func cmpConstConst(op CmpOp, l, r *vector.Const) (bool, error) {
+	switch {
+	case l.Kind() == vector.Int64 && r.Kind() == vector.Int64:
+		a, b := l.Int64Value(), r.Int64Value()
+		return cmpOrdered(op, compareOrdered(a, b)), nil
+	case isNumericKind(l.Kind()) && isNumericKind(r.Kind()):
+		return cmpOrdered(op, compareOrdered(l.Float64Value(), r.Float64Value())), nil
+	case l.Kind() == vector.String && r.Kind() == vector.String:
+		return cmpOrdered(op, strings.Compare(l.StringValue(), r.StringValue())), nil
+	case l.Kind() == vector.Bool && r.Kind() == vector.Bool:
+		if op != Eq && op != Ne {
+			return false, fmt.Errorf("expr: %v not defined on booleans", op)
+		}
+		return cmpOrdered(op, boolCmp(l.BoolValue(), r.BoolValue())), nil
+	}
+	return false, fmt.Errorf("expr: cannot compare %v to %v", l.Kind(), r.Kind())
+}
+
+// cmpVecConst compares a column against a scalar constant, element-wise.
+func cmpVecConst(op CmpOp, lv vector.Vector, rc *vector.Const, out []bool) error {
+	switch x := lv.(type) {
+	case *vector.Int64s:
+		if rc.Kind() == vector.Int64 {
+			k := rc.Int64Value()
+			for i, v := range x.Values() {
+				out[i] = cmpOrdered(op, compareOrdered(v, k))
+			}
+			return nil
+		}
+		if !isNumericKind(rc.Kind()) {
+			return fmt.Errorf("expr: cannot compare %v to %v", lv.Kind(), rc.Kind())
+		}
+		k := rc.Float64Value()
+		for i, v := range x.Values() {
+			out[i] = cmpOrdered(op, compareOrdered(float64(v), k))
+		}
+		return nil
+	case *vector.Float64s:
+		if !isNumericKind(rc.Kind()) {
+			return fmt.Errorf("expr: cannot compare %v to %v", lv.Kind(), rc.Kind())
+		}
+		k := rc.Float64Value()
+		for i, v := range x.Values() {
+			out[i] = cmpOrdered(op, compareOrdered(v, k))
+		}
+		return nil
+	case *vector.DictStrings:
+		if rc.Kind() != vector.String {
+			return fmt.Errorf("expr: cannot compare %v to %v", lv.Kind(), rc.Kind())
+		}
+		if op == Eq || op == Ne {
+			cmpCodesToLit(op, x, rc.StringValue(), out)
+			return nil
+		}
+		k := rc.StringValue()
+		for i := 0; i < x.Len(); i++ {
+			out[i] = cmpOrdered(op, strings.Compare(x.StringAt(i), k))
+		}
+		return nil
+	case *vector.Strings:
+		if rc.Kind() != vector.String {
+			return fmt.Errorf("expr: cannot compare %v to %v", lv.Kind(), rc.Kind())
+		}
+		k := rc.StringValue()
+		for i, v := range x.Values() {
+			out[i] = cmpOrdered(op, strings.Compare(v, k))
+		}
+		return nil
+	case *vector.Bools:
+		if rc.Kind() != vector.Bool {
+			return fmt.Errorf("expr: cannot compare %v to %v", lv.Kind(), rc.Kind())
+		}
+		if op != Eq && op != Ne {
+			return fmt.Errorf("expr: %v not defined on booleans", op)
+		}
+		k := rc.BoolValue()
+		for i, v := range x.Values() {
+			out[i] = cmpOrdered(op, boolCmp(v, k))
+		}
+		return nil
+	}
+	return fmt.Errorf("expr: cannot compare %v to %v", lv.Kind(), rc.Kind())
+}
+
+func isNumericKind(k vector.Kind) bool { return k == vector.Int64 || k == vector.Float64 }
+
+// compareOrdered returns -1/0/1 like strings.Compare for ordered scalars.
+func compareOrdered[T int64 | float64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// boolCmp returns 0 when equal, non-zero otherwise (ordering of booleans
+// is rejected before this is used).
+func boolCmp(a, b bool) int {
+	if a == b {
+		return 0
+	}
+	return 1
+}
+
 // cmpStrings compares two string columns element-wise, fast paths first:
 //
 //   - both sides dict-encoded over one shared dict: equality compares
@@ -303,15 +455,6 @@ func cmpStrings(c Cmp, lv, rv vector.Vector, out []bool) error {
 			}
 		}
 		return nil
-	}
-	if c.Op == Eq || c.Op == Ne {
-		// Literal-vs-dict fast path. The literal-on-right orientation is
-		// intercepted earlier, in Cmp.Eval, before the literal is even
-		// materialized; only the (rare) literal-on-left shape reaches here.
-		if s, ok := constantString(c.L); ok && rDict {
-			cmpCodesToLit(c.Op, rd, s, out)
-			return nil
-		}
 	}
 	if lp, ok := lv.(*vector.Strings); ok {
 		if rp, ok := rv.(*vector.Strings); ok {
@@ -417,7 +560,7 @@ func (n Not) Eval(r *relation.Relation) (vector.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	bv, ok := v.(*vector.Bools)
+	bv, ok := vector.MaterializeConst(v).(*vector.Bools)
 	if !ok {
 		return nil, fmt.Errorf("expr: not applied to %v", v.Kind())
 	}
@@ -441,8 +584,8 @@ func evalBoolPair(le, re Expr, r *relation.Relation, f func(a, b bool) bool) (ve
 	if err != nil {
 		return nil, err
 	}
-	lb, ok1 := lv.(*vector.Bools)
-	rb, ok2 := rv.(*vector.Bools)
+	lb, ok1 := vector.MaterializeConst(lv).(*vector.Bools)
+	rb, ok2 := vector.MaterializeConst(rv).(*vector.Bools)
 	if !ok1 || !ok2 {
 		return nil, fmt.Errorf("expr: boolean connective over %v and %v", lv.Kind(), rv.Kind())
 	}
@@ -499,6 +642,19 @@ func (a Arith) Eval(r *relation.Relation) (vector.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Constant folding: arithmetic over two literals yields another
+	// constant (so `2*3` in a predicate stays scalar all the way into the
+	// comparison); one constant operand is applied as a scalar below via
+	// the generic loops after a cheap materialize of just that operand.
+	if lc, ok := lv.(*vector.Const); ok {
+		if rc, ok := rv.(*vector.Const); ok {
+			return arithConstConst(a.Op, lc, rc)
+		}
+		lv = lc.Materialize()
+	}
+	if rc, ok := rv.(*vector.Const); ok {
+		rv = rc.Materialize()
+	}
 	if lv.Kind() == vector.Int64 && rv.Kind() == vector.Int64 && a.Op != Div {
 		li, ri := lv.(*vector.Int64s).Values(), rv.(*vector.Int64s).Values()
 		out := make([]int64, len(li))
@@ -543,6 +699,38 @@ func (a Arith) String() string {
 	return fmt.Sprintf("(%s %s %s)", a.L.String(), a.Op.String(), a.R.String())
 }
 
+// arithConstConst folds arithmetic over two constants into a new constant
+// under the same typing rules as the column loops (int/int stays integral
+// except division, everything else widens to float).
+func arithConstConst(op ArithOp, l, r *vector.Const) (vector.Vector, error) {
+	if !isNumericKind(l.Kind()) || !isNumericKind(r.Kind()) {
+		return nil, fmt.Errorf("expr: %v is not numeric", l.Kind())
+	}
+	n := l.Len()
+	if l.Kind() == vector.Int64 && r.Kind() == vector.Int64 && op != Div {
+		a, b := l.Int64Value(), r.Int64Value()
+		switch op {
+		case Add:
+			return vector.ConstInt64(a+b, n), nil
+		case Sub:
+			return vector.ConstInt64(a-b, n), nil
+		case Mul:
+			return vector.ConstInt64(a*b, n), nil
+		}
+	}
+	a, b := l.Float64Value(), r.Float64Value()
+	switch op {
+	case Add:
+		return vector.ConstFloat64(a+b, n), nil
+	case Sub:
+		return vector.ConstFloat64(a-b, n), nil
+	case Mul:
+		return vector.ConstFloat64(a*b, n), nil
+	default:
+		return vector.ConstFloat64(a/b, n), nil
+	}
+}
+
 func toFloats(v vector.Vector) ([]float64, error) {
 	switch x := v.(type) {
 	case *vector.Float64s:
@@ -554,6 +742,11 @@ func toFloats(v vector.Vector) ([]float64, error) {
 			out[i] = float64(n)
 		}
 		return out, nil
+	case *vector.Const:
+		if !isNumericKind(x.Kind()) {
+			return nil, fmt.Errorf("expr: %v is not numeric", v.Kind())
+		}
+		return toFloats(x.Materialize())
 	default:
 		return nil, fmt.Errorf("expr: %v is not numeric", v.Kind())
 	}
@@ -614,7 +807,9 @@ func (c Call) Eval(r *relation.Relation) (vector.Vector, error) {
 		if err != nil {
 			return nil, err
 		}
-		args[i] = v
+		// Registered functions type-switch on the dense vector types;
+		// materialize constants at this boundary so they never see a Const.
+		args[i] = vector.MaterializeConst(v)
 	}
 	return f.Eval(args, r.NumRows())
 }

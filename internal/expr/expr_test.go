@@ -63,17 +63,20 @@ func TestProbExpr(t *testing.T) {
 }
 
 func TestLiterals(t *testing.T) {
+	// Literals evaluate to vector.Const — a scalar plus a length — and
+	// materialize to the dense column they used to produce directly.
 	r := testRel()
-	if v := evalOK(t, Int(7), r).(*vector.Int64s); v.Len() != 3 || v.At(1) != 7 {
+	cv := evalOK(t, Int(7), r).(*vector.Const)
+	if v := cv.Materialize().(*vector.Int64s); cv.Len() != 3 || v.At(1) != 7 {
 		t.Error("Int literal wrong")
 	}
-	if v := evalOK(t, Float(0.5), r).(*vector.Float64s); v.At(0) != 0.5 {
+	if v := evalOK(t, Float(0.5), r).(*vector.Const).Materialize().(*vector.Float64s); v.At(0) != 0.5 {
 		t.Error("Float literal wrong")
 	}
-	if v := evalOK(t, Str("x"), r).(*vector.Strings); v.At(2) != "x" {
+	if v := evalOK(t, Str("x"), r).(*vector.Const).Materialize().(*vector.Strings); v.At(2) != "x" {
 		t.Error("Str literal wrong")
 	}
-	if v := evalOK(t, BoolLit(true), r).(*vector.Bools); !v.At(0) {
+	if v := evalOK(t, BoolLit(true), r).(*vector.Const).Materialize().(*vector.Bools); !v.At(0) {
 		t.Error("Bool literal wrong")
 	}
 	if Str(`a"b`).String() != `"a\"b"` {

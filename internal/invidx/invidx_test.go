@@ -1,6 +1,7 @@
 package invidx
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -93,7 +94,7 @@ func TestMatchesRelationalPipeline(t *testing.T) {
 	}
 
 	for _, q := range workload.Queries(10, 3, 2000, 22) {
-		want, err := searcher.Search(q, 0)
+		want, err := searcher.Search(context.Background(), q, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -41,7 +42,7 @@ func newIRCtx(t *testing.T) (*engine.Ctx, engine.Node) {
 func TestTermDocPlanMirrorsPaper(t *testing.T) {
 	ctx, docs := newIRCtx(t)
 	p := DefaultParams()
-	rel, err := ctx.Exec(TermDocPlan(docs, p))
+	rel, err := ctx.Exec(context.Background(), TermDocPlan(docs, p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestDocLenAndDictAndTF(t *testing.T) {
 	ctx, docs := newIRCtx(t)
 	p := DefaultParams()
 
-	dl, err := ctx.Exec(DocLenPlan(docs, p))
+	dl, err := ctx.Exec(context.Background(), DocLenPlan(docs, p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestDocLenAndDictAndTF(t *testing.T) {
 		t.Errorf("doc lengths = %v", lens)
 	}
 
-	dict, err := ctx.Exec(TermDictPlan(docs, p))
+	dict, err := ctx.Exec(context.Background(), TermDictPlan(docs, p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestDocLenAndDictAndTF(t *testing.T) {
 		}
 	}
 
-	tf, err := ctx.Exec(TFPlan(docs, p))
+	tf, err := ctx.Exec(context.Background(), TFPlan(docs, p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestBM25MatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, query := range []string{"history book", "toy train", "wooden", "venice history toys"} {
-		hits, err := s.Search(query, 0)
+		hits, err := s.Search(context.Background(), query, 0)
 		if err != nil {
 			t.Fatalf("search %q: %v", query, err)
 		}
@@ -265,7 +266,7 @@ func TestBM25RawIDFMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	query := "venice history toys"
-	hits, err := s.Search(query, 0)
+	hits, err := s.Search(context.Background(), query, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestBM25RawIDFMatchesReference(t *testing.T) {
 	}
 	// and the two variants must differ (different cache entries too)
 	s2, _ := NewSearcher(ctx, docs, DefaultParams())
-	hits2, err := s2.Search(query, 0)
+	hits2, err := s2.Search(context.Background(), query, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,14 +294,14 @@ func TestBM25RawIDFMatchesReference(t *testing.T) {
 func TestSearchUnknownTermsDropOut(t *testing.T) {
 	ctx, docs := newIRCtx(t)
 	s, _ := NewSearcher(ctx, docs, DefaultParams())
-	hits, err := s.Search("zzzquux history", 0)
+	hits, err := s.Search(context.Background(), "zzzquux history", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(hits) != 2 {
 		t.Errorf("hits = %v, want only the 2 history docs", hits)
 	}
-	none, err := s.Search("completely absent", 0)
+	none, err := s.Search(context.Background(), "completely absent", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestSearchUnknownTermsDropOut(t *testing.T) {
 func TestSearchTopK(t *testing.T) {
 	ctx, docs := newIRCtx(t)
 	s, _ := NewSearcher(ctx, docs, DefaultParams())
-	hits, err := s.Search("book history train toy", 2)
+	hits, err := s.Search(context.Background(), "book history train toy", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,16 +325,16 @@ func TestSearchTopK(t *testing.T) {
 func TestHotSearchUsesCache(t *testing.T) {
 	ctx, docs := newIRCtx(t)
 	s, _ := NewSearcher(ctx, docs, DefaultParams())
-	if err := s.BuildIndex(); err != nil {
+	if err := s.BuildIndex(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	ctx.ResetStats()
 	ctx.Cat.Cache().ResetStats()
-	if _, err := s.Search("history book", 10); err != nil {
+	if _, err := s.Search(context.Background(), "history book", 10); err != nil {
 		t.Fatal(err)
 	}
 	cold := ctx.NodeExecs()
-	if _, err := s.Search("toy train", 10); err != nil {
+	if _, err := s.Search(context.Background(), "toy train", 10); err != nil {
 		t.Fatal(err)
 	}
 	hot := ctx.NodeExecs() - cold
@@ -357,7 +358,7 @@ func TestAllModelsRankRelevantFirst(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
-		hits, err := s.Search("wooden train", 0)
+		hits, err := s.Search(context.Background(), "wooden train", 0)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -370,7 +371,7 @@ func TestAllModelsRankRelevantFirst(t *testing.T) {
 func TestStatsAndValidate(t *testing.T) {
 	ctx, docs := newIRCtx(t)
 	s, _ := NewSearcher(ctx, docs, DefaultParams())
-	st, err := s.Stats()
+	st, err := s.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,7 +427,7 @@ func TestCompoundIndexing(t *testing.T) {
 	p.WithCompounds = true
 	p.Stemmer = "none" // keep compounds verbatim
 	s, _ := NewSearcher(ctx, docs, p)
-	hits, err := s.Search("wooden_train", 0)
+	hits, err := s.Search(context.Background(), "wooden_train", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +441,7 @@ func TestStopwordTokenizerChangesScores(t *testing.T) {
 	p := DefaultParams()
 	p.Tokenizer = text.Tokenizer{Lower: true, DropStopwords: true}
 	s, _ := NewSearcher(ctx, docs, p)
-	st, err := s.Stats()
+	st, err := s.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

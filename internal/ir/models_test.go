@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"testing"
@@ -81,7 +82,7 @@ func TestLMModelsMatchReference(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, query := range []string{"history book", "toy train set", "venice"} {
-			hits, err := s.Search(query, 0)
+			hits, err := s.Search(context.Background(), query, 0)
 			if err != nil {
 				t.Fatalf("%v %q: %v", model, query, err)
 			}
@@ -133,7 +134,7 @@ func TestBM25ParameterSemantics(t *testing.T) {
 
 	scores := func(p Params, query string) map[string]float64 {
 		s := build(p)
-		hits, err := s.Search(query, 0)
+		hits, err := s.Search(context.Background(), query, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

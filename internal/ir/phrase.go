@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -79,7 +80,7 @@ func PhrasePlan(docs engine.Node, p Params, phrase string) (engine.Node, error) 
 // SearchPhrase returns the documents containing the exact phrase, with
 // the number of occurrences as the certain hit count (probability 1 per
 // doc; phrase matching is boolean structured search).
-func (s *Searcher) SearchPhrase(phrase string) ([]Hit, error) {
+func (s *Searcher) SearchPhrase(c context.Context, phrase string) ([]Hit, error) {
 	plan, err := PhrasePlan(s.docs, s.p, phrase)
 	if err != nil {
 		return nil, err
@@ -88,7 +89,7 @@ func (s *Searcher) SearchPhrase(phrase string) ([]Hit, error) {
 		[]engine.AggSpec{{Op: engine.CountAll, As: "occurrences"}}, engine.GroupCertain)
 	sorted := engine.NewSort(counted,
 		engine.SortSpec{Col: "occurrences", Desc: true}, engine.SortSpec{Col: ColDocID})
-	rel, err := s.ctx.Exec(sorted)
+	rel, err := s.ctx.Exec(c, sorted)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"context"
 	"testing"
 )
 
@@ -9,7 +10,7 @@ func TestPhraseSearchExactAdjacency(t *testing.T) {
 	s, _ := NewSearcher(ctx, docs, DefaultParams())
 	// "wooden train" appears as a phrase only in doc 1; doc 4 has "train"
 	// but not preceded by "wooden".
-	hits, err := s.SearchPhrase("wooden train")
+	hits, err := s.SearchPhrase(context.Background(), "wooden train")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -17,7 +18,7 @@ func TestPhraseSearchExactAdjacency(t *testing.T) {
 		t.Errorf("phrase hits = %v, want doc 1 only", hits)
 	}
 	// reversed order must not match
-	rev, err := s.SearchPhrase("train wooden")
+	rev, err := s.SearchPhrase(context.Background(), "train wooden")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestPhraseSearchCountsOccurrences(t *testing.T) {
 	s, _ := NewSearcher(ctx, docs, DefaultParams())
 	// doc 5: "a book about books and a book" → "a book" occurs twice
 	// (stemming folds books→book but "about books" is not "a book").
-	hits, err := s.SearchPhrase("a book")
+	hits, err := s.SearchPhrase(context.Background(), "a book")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestPhraseSearchStemsTerms(t *testing.T) {
 	s, _ := NewSearcher(ctx, docs, DefaultParams())
 	// "about toys" in doc 2; querying "about toy" must match after
 	// stemming both sides.
-	hits, err := s.SearchPhrase("about toy")
+	hits, err := s.SearchPhrase(context.Background(), "about toy")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,14 +61,14 @@ func TestPhraseSearchStemsTerms(t *testing.T) {
 func TestPhraseSingleTermAndErrors(t *testing.T) {
 	ctx, docs := newIRCtx(t)
 	s, _ := NewSearcher(ctx, docs, DefaultParams())
-	hits, err := s.SearchPhrase("history")
+	hits, err := s.SearchPhrase(context.Background(), "history")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(hits) != 2 {
 		t.Errorf("single-term phrase = %v, want docs 2 and 3", hits)
 	}
-	if _, err := s.SearchPhrase("  ...  "); err == nil {
+	if _, err := s.SearchPhrase(context.Background(), "  ...  "); err == nil {
 		t.Error("empty phrase should fail")
 	}
 }
@@ -75,7 +76,7 @@ func TestPhraseSingleTermAndErrors(t *testing.T) {
 func TestPhraseUnknownTerm(t *testing.T) {
 	ctx, docs := newIRCtx(t)
 	s, _ := NewSearcher(ctx, docs, DefaultParams())
-	hits, err := s.SearchPhrase("wooden zebra")
+	hits, err := s.SearchPhrase(context.Background(), "wooden zebra")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -42,22 +43,23 @@ func (s *Searcher) Docs() engine.Node { return s.docs }
 
 // BuildIndex forces materialization of every query-independent view (the
 // "cold" cost measured by experiment E5). It is optional: the first
-// Search triggers the same work.
-func (s *Searcher) BuildIndex() error {
+// Search triggers the same work. c bounds the index build: a cancelled
+// build stops and caches nothing partial.
+func (s *Searcher) BuildIndex(c context.Context) error {
 	w, err := WeightsPlan(s.docs, s.p)
 	if err != nil {
 		return err
 	}
-	if _, err := s.ctx.Exec(w); err != nil {
+	if _, err := s.ctx.Exec(c, w); err != nil {
 		return err
 	}
 	// Dirichlet scoring additionally touches doc_len at query time.
 	if s.p.Model == LMDirichlet {
-		if _, err := s.ctx.Exec(DocLenPlan(s.docs, s.p)); err != nil {
+		if _, err := s.ctx.Exec(c, DocLenPlan(s.docs, s.p)); err != nil {
 			return err
 		}
 	}
-	_, err = s.ctx.Exec(TermDictPlan(s.docs, s.p))
+	_, err = s.ctx.Exec(c, TermDictPlan(s.docs, s.p))
 	return err
 }
 
@@ -117,8 +119,9 @@ type Hit struct {
 }
 
 // Search ranks the collection against query and returns the top k hits
-// (k <= 0 returns all matches).
-func (s *Searcher) Search(query string, k int) ([]Hit, error) {
+// (k <= 0 returns all matches). c carries the request's deadline and
+// cancellation through the whole scoring plan.
+func (s *Searcher) Search(c context.Context, query string, k int) ([]Hit, error) {
 	plan, err := s.ScorePlan(query)
 	if err != nil {
 		return nil, err
@@ -126,7 +129,7 @@ func (s *Searcher) Search(query string, k int) ([]Hit, error) {
 	if k > 0 {
 		plan = engine.NewLimit(plan, k)
 	}
-	rel, err := s.ctx.Exec(plan)
+	rel, err := s.ctx.Exec(c, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -158,19 +161,19 @@ type IndexStats struct {
 }
 
 // Stats materializes (if needed) and summarizes the index views.
-func (s *Searcher) Stats() (IndexStats, error) {
+func (s *Searcher) Stats(c context.Context) (IndexStats, error) {
 	var st IndexStats
-	dict, err := s.ctx.Exec(TermDictPlan(s.docs, s.p))
+	dict, err := s.ctx.Exec(c, TermDictPlan(s.docs, s.p))
 	if err != nil {
 		return st, err
 	}
 	st.Terms = int64(dict.NumRows())
-	tf, err := s.ctx.Exec(TFPlan(s.docs, s.p))
+	tf, err := s.ctx.Exec(c, TFPlan(s.docs, s.p))
 	if err != nil {
 		return st, err
 	}
 	st.Postings = int64(tf.NumRows())
-	dl, err := s.ctx.Exec(DocLenPlan(s.docs, s.p))
+	dl, err := s.ctx.Exec(c, DocLenPlan(s.docs, s.p))
 	if err != nil {
 		return st, err
 	}

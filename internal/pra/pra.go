@@ -165,6 +165,10 @@ func checkPositions(e expr.Expr, arity int) error {
 		return checkPositions(x.R, arity)
 	case expr.Not:
 		return checkPositions(x.E, arity)
+	case expr.Param:
+		// Parameter placeholders reference no columns; they are bound to
+		// literals before execution.
+		return nil
 	case expr.Arith:
 		if err := checkPositions(x.L, arity); err != nil {
 			return err

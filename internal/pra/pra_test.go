@@ -1,6 +1,7 @@
 package pra
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -34,7 +35,7 @@ func compileAndRun(t *testing.T, ctx *engine.Ctx, n Node) *relation.Relation {
 	if err != nil {
 		t.Fatalf("compile %s: %v", n.String(), err)
 	}
-	rel, err := ctx.Exec(plan)
+	rel, err := ctx.Exec(context.Background(), plan)
 	if err != nil {
 		t.Fatalf("exec %s: %v", n.String(), err)
 	}
@@ -327,7 +328,7 @@ func TestProbabilityRangeProperty(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			rel, err := ctx.Exec(en)
+			rel, err := ctx.Exec(context.Background(), en)
 			if err != nil {
 				return false
 			}

@@ -348,6 +348,9 @@ func sqlExpr(e expr.Expr, cols []string) (string, error) {
 			return "", err
 		}
 		return fmt.Sprintf("NOT (%s)", c), nil
+	case expr.Param:
+		// Parameter placeholders render as the SQL named-parameter form.
+		return ":" + x.Name, nil
 	case expr.Arith:
 		l, err := sqlExpr(x.L, cols)
 		if err != nil {

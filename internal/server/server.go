@@ -20,6 +20,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -58,6 +59,13 @@ type Server struct {
 	inFlight    chan struct{} // request-level admission semaphore
 	queueDepth  atomic.Int64  // requests currently waiting for a slot
 	queuedTotal atomic.Int64  // requests that ever had to wait
+
+	// timeout bounds each admitted request's engine work (0 = none). The
+	// deadline starts when the request is admitted, not while it queues.
+	timeout time.Duration
+
+	cancelled atomic.Int64 // requests aborted by client disconnect
+	timedOut  atomic.Int64 // requests aborted by the server deadline
 }
 
 type counter struct {
@@ -89,6 +97,12 @@ func (s *Server) SetMaxInFlight(n int) {
 	}
 	s.inFlight = make(chan struct{}, n)
 }
+
+// SetTimeout sets the per-request engine deadline (0 disables). Must be
+// called before the server starts handling requests. A request exceeding
+// it aborts mid-plan — the engine checks the context at chunk boundaries
+// — and answers 504.
+func (s *Server) SetTimeout(d time.Duration) { s.timeout = d }
 
 // acquire admits a request, blocking (and counting the wait as queue
 // depth) while the semaphore is full. It reports false — without
@@ -198,16 +212,35 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	rel, err := s.ctx.Exec(engine.NewTopN(plan, k,
+	// Execute under the request's context: when the client disconnects the
+	// engine aborts the plan at its next chunk boundary and the admission
+	// slot frees immediately, instead of a dead request holding it until
+	// plan completion. The optional server deadline stacks on top.
+	c := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		c, cancel = context.WithTimeout(c, s.timeout)
+		defer cancel()
+	}
+	rel, err := s.ctx.Exec(c, engine.NewTopN(plan, k,
 		engine.SortSpec{Col: "", Desc: true}, engine.SortSpec{Col: triple.ColSubject}))
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timedOut.Add(1)
+			httpError(w, http.StatusGatewayTimeout, fmt.Sprintf("query exceeded the %s server deadline", s.timeout))
+		case errors.Is(err, context.Canceled):
+			s.cancelled.Add(1)
+			httpError(w, http.StatusServiceUnavailable, "request cancelled")
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
 		return
 	}
 	elapsed := time.Since(start)
 
-	c, _ := s.requests.LoadOrStore(name, &counter{})
-	cc := c.(*counter)
+	cv, _ := s.requests.LoadOrStore(name, &counter{})
+	cc := cv.(*counter)
 	cc.mu.Lock()
 	cc.n++
 	cc.totalNS += elapsed.Nanoseconds()
@@ -309,6 +342,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"in_flight":     len(s.inFlight),
 			"queue_depth":   s.queueDepth.Load(),
 			"queued_total":  s.queuedTotal.Load(),
+			"timeout_ms":    s.timeout.Milliseconds(),
+			"cancelled":     s.cancelled.Load(),
+			"timed_out":     s.timedOut.Load(),
 		},
 	})
 }

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+)
+
+// TestServerTimeout: a request exceeding the per-request engine deadline
+// answers 504 and increments the timed_out counter; the deadline starts
+// at admission, and the engine aborts the plan rather than running it to
+// completion.
+func TestServerTimeout(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.SetTimeout(time.Nanosecond) // everything times out
+	status := getJSON(t, ts.URL+"/search?strategy=auction-lots&q="+url.QueryEscape("wooden train"), nil)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", status)
+	}
+	if n := srv.timedOut.Load(); n != 1 {
+		t.Fatalf("timed_out = %d, want 1", n)
+	}
+
+	// With a sane deadline the same request succeeds.
+	srv.SetTimeout(30 * time.Second)
+	status = getJSON(t, ts.URL+"/search?strategy=auction-lots&q="+url.QueryEscape("wooden train"), nil)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+}
+
+// TestServerClientDisconnect: a client that goes away mid-request causes
+// the engine to abort; the admission slot frees and later requests are
+// unaffected.
+func TestServerClientDisconnect(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.SetMaxInFlight(1)
+
+	c, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(c, "GET",
+		ts.URL+"/search?strategy=auction-lots&q="+url.QueryEscape("wooden train"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(time.Millisecond)
+		cancel()
+	}()
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+
+	// The single admission slot must be free again: a normal request
+	// completes promptly.
+	done := make(chan int, 1)
+	go func() {
+		done <- getJSON(t, ts.URL+"/search?strategy=auction-lots&q="+url.QueryEscape("wooden train"), nil)
+	}()
+	select {
+	case status := <-done:
+		if status != http.StatusOK {
+			t.Fatalf("follow-up status = %d, want 200", status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("follow-up request never completed — the cancelled request kept its admission slot")
+	}
+}

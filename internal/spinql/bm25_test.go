@@ -1,6 +1,7 @@
 package spinql
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -91,12 +92,12 @@ func TestBM25ExpressedInSpinQL(t *testing.T) {
 		env.Define("docs", pra.NewBase("docs", engine.NewScan("docs"), "docID", "data"))
 		env.Define("query", pra.NewBase("query", engine.NewScan("query"), "qID", "q"))
 
-		rel, err := Eval(bm25Program, env, ctx)
+		rel, err := Eval(context.Background(), bm25Program, env, ctx)
 		if err != nil {
 			t.Fatalf("query %q: %v", query, err)
 		}
 
-		want, err := searcher.Search(query, 0)
+		want, err := searcher.Search(context.Background(), query, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func TestMapGroupTokenizeBasics(t *testing.T) {
 	env.Define("docs", pra.NewBase("docs", engine.NewScan("docs"), "docID", "data"))
 
 	// TOKENIZE output shape
-	toks, err := Eval(`TOKENIZE [$1,$2] (docs);`, env, ctx)
+	toks, err := Eval(context.Background(), `TOKENIZE [$1,$2] (docs);`, env, ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestMapGroupTokenizeBasics(t *testing.T) {
 	}
 
 	// MAP with arithmetic and function calls
-	m, err := Eval(`MAP [$1 * 2 + 1 as x, ucase($2) as u] (docs);`, env, ctx)
+	m, err := Eval(context.Background(), `MAP [$1 * 2 + 1 as x, ucase($2) as u] (docs);`, env, ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestMapGroupTokenizeBasics(t *testing.T) {
 	}
 
 	// GROUP with stemming conflation: toys+toys+and → 2 distinct stems
-	g, err := Eval(`GROUP [$1 ; count() as n]
+	g, err := Eval(context.Background(), `GROUP [$1 ; count() as n]
 		(MAP [stem(lcase($2),"sb-english") as term] (TOKENIZE [$1,$2] (docs)));`, env, ctx)
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +169,7 @@ func TestMapGroupTokenizeBasics(t *testing.T) {
 	pb.AddP(0.5, "a").AddP(0.5, "a")
 	cat.Put("ev", pb.Build())
 	env.Define("ev", pra.NewBase("ev", engine.NewScan("ev"), "k"))
-	pg, err := Eval(`GROUP DISJOINT [$1 ; sump() as total, maxp() as best] (ev);`, env, ctx)
+	pg, err := Eval(context.Background(), `GROUP DISJOINT [$1 ; sump() as total, maxp() as best] (ev);`, env, ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func ExampleEval() {
 	ctx := engine.NewCtx(cat)
 	env := NewEnv()
 	env.Define("docs", pra.NewBase("docs", engine.NewScan("docs"), "docID", "data"))
-	rel, _ := Eval(`GROUP [$1 ; count() as len] (TOKENIZE [$1,$2] (docs));`, env, ctx)
+	rel, _ := Eval(context.Background(), `GROUP [$1 ; count() as len] (TOKENIZE [$1,$2] (docs));`, env, ctx)
 	fmt.Println(rel.NumRows(), rel.Col(1).Vec.Format(0))
 	// Output: 1 2
 }

@@ -32,6 +32,7 @@ const (
 	tokEOF tokenKind = iota
 	tokIdent
 	tokColRef // $n
+	tokParam  // ?name — a prepared-statement parameter placeholder
 	tokString
 	tokNumber
 	tokSymbol // one of = != < <= > >= ( ) [ ] , ;
@@ -80,6 +81,19 @@ func lex(src string) ([]token, error) {
 				return nil, fmt.Errorf("spinql: line %d: '$' must be followed by a column number", l.line)
 			}
 			l.emit(tokColRef, l.src[start:l.pos], start)
+		case c == '?':
+			// ?name: a prepared-statement parameter. The token text is the
+			// bare name.
+			start := l.pos
+			l.pos++
+			nameStart := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			if l.pos == nameStart || !isIdentStart(rune(l.src[nameStart])) {
+				return nil, fmt.Errorf("spinql: line %d: '?' must be followed by a parameter name", l.line)
+			}
+			l.emit(tokParam, l.src[nameStart:l.pos], start)
 		case c == '"' || c == '\'':
 			quote := c
 			start := l.pos

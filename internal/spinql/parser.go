@@ -697,6 +697,8 @@ func (p *parser) parseOperand() (expr.Expr, error) {
 			return nil, p.errf("bad column reference")
 		}
 		return expr.ColumnAt(n), nil
+	case p.at(tokParam):
+		return expr.Param{Name: p.advance().text}, nil
 	case p.at(tokString):
 		return expr.Str(p.advance().text), nil
 	case p.at(tokNumber):
@@ -714,6 +716,6 @@ func (p *parser) parseOperand() (expr.Expr, error) {
 		}
 		return expr.Int(i), nil
 	default:
-		return nil, p.errf("expected $n, string or number, got %q", p.cur().text)
+		return nil, p.errf("expected $n, ?param, string or number, got %q", p.cur().text)
 	}
 }

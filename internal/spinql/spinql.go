@@ -1,6 +1,8 @@
 package spinql
 
 import (
+	"context"
+
 	"irdb/internal/engine"
 	"irdb/internal/pra"
 	"irdb/internal/relation"
@@ -26,8 +28,11 @@ func TriplesEnv() *Env {
 	return env
 }
 
-// Eval parses src against env and executes the last statement's plan.
-func Eval(src string, env *Env, ctx *engine.Ctx) (*relation.Relation, error) {
+// Eval parses src against env and executes the last statement's plan
+// under c's deadline and cancellation. Programs evaluated repeatedly
+// should be prepared once instead (see the root irdb package), which
+// skips the per-call parse and compile.
+func Eval(c context.Context, src string, env *Env, ctx *engine.Ctx) (*relation.Relation, error) {
 	prog, err := Parse(src, env)
 	if err != nil {
 		return nil, err
@@ -36,7 +41,7 @@ func Eval(src string, env *Env, ctx *engine.Ctx) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ctx.Exec(plan)
+	return ctx.Exec(c, plan)
 }
 
 // Explain parses src and renders the compiled engine plan of its result.

@@ -1,6 +1,7 @@
 package spinql
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -40,7 +41,7 @@ func newStoreCtx(t *testing.T) (*Env, *engine.Ctx) {
 
 func TestPaperProgramEndToEnd(t *testing.T) {
 	env, ctx := newStoreCtx(t)
-	rel, err := Eval(paperProgram, env, ctx)
+	rel, err := Eval(context.Background(), paperProgram, env, ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestNamedStatementsComposable(t *testing.T) {
 ranked = WEIGHT [0.5] (docs);
 ranked;
 `
-	rel, err := Eval(src, env, ctx)
+	rel, err := Eval(context.Background(), src, env, ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ ranked;
 
 func TestIntPartitionQuery(t *testing.T) {
 	env, ctx := newStoreCtx(t)
-	rel, err := Eval(`SELECT [$2="price" and $3 >= 10] (triples_int);`, env, ctx)
+	rel, err := Eval(context.Background(), `SELECT [$2="price" and $3 >= 10] (triples_int);`, env, ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestUniteSubtractBayes(t *testing.T) {
 	toys := `toys = PROJECT INDEPENDENT [$1] (SELECT [$2="category" and $3="toy"] (triples));`
 	books := `books = PROJECT INDEPENDENT [$1] (SELECT [$2="category" and $3="book"] (triples));`
 
-	both, err := Eval(toys+books+`UNITE DISJOINT [] (toys, books);`, env, ctx)
+	both, err := Eval(context.Background(), toys+books+`UNITE DISJOINT [] (toys, books);`, env, ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestUniteSubtractBayes(t *testing.T) {
 		t.Errorf("unite rows = %d, want 3", both.NumRows())
 	}
 
-	onlyToys, err := Eval(`SUBTRACT [] (toys, books);`, env, ctx)
+	onlyToys, err := Eval(context.Background(), `SUBTRACT [] (toys, books);`, env, ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestUniteSubtractBayes(t *testing.T) {
 		t.Errorf("subtract rows = %d, want 2", onlyToys.NumRows())
 	}
 
-	norm, err := Eval(`BAYES DISJOINT [] (toys);`, env, ctx)
+	norm, err := Eval(context.Background(), `BAYES DISJOINT [] (toys);`, env, ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestConditionOperatorsAndLiterals(t *testing.T) {
 		{`SELECT [$3 > 4.5] (triples_int);`, 2},
 	}
 	for _, c := range cases {
-		rel, err := Eval(c.src, env, ctx)
+		rel, err := Eval(context.Background(), c.src, env, ctx)
 		if err != nil {
 			t.Errorf("%s: %v", c.src, err)
 			continue
@@ -179,10 +180,10 @@ func TestParseErrors(t *testing.T) {
 func TestCompileErrorsSurface(t *testing.T) {
 	env, ctx := newStoreCtx(t)
 	// parses fine, fails at compile: $9 out of range
-	if _, err := Eval(`PROJECT [$9] (triples);`, env, ctx); err == nil {
+	if _, err := Eval(context.Background(), `PROJECT [$9] (triples);`, env, ctx); err == nil {
 		t.Error("PROJECT $9 should fail at compile")
 	}
-	if _, err := Eval(`WEIGHT [1.5] (triples);`, env, ctx); err == nil {
+	if _, err := Eval(context.Background(), `WEIGHT [1.5] (triples);`, env, ctx); err == nil {
 		t.Error("WEIGHT 1.5 should fail at compile")
 	}
 }
@@ -214,7 +215,7 @@ func TestCommentsAndWhitespace(t *testing.T) {
 -- select all toy products
 # hash comments work too
 SELECT [$2="category" and $3="toy"] (triples);`
-	rel, err := Eval(src, env, ctx)
+	rel, err := Eval(context.Background(), src, env, ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ SELECT [$2="category" and $3="toy"] (triples);`
 
 func TestCaseInsensitiveKeywords(t *testing.T) {
 	env, ctx := newStoreCtx(t)
-	rel, err := Eval(`select [$2="category" AND $3="toy"] (TRIPLES);`, env, ctx)
+	rel, err := Eval(context.Background(), `select [$2="category" AND $3="toy"] (TRIPLES);`, env, ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func evalPlan(ctx *engine.Ctx, n pra.Node) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ctx.Exec(plan)
+	return ctx.Exec(context.Background(), plan)
 }
 
 // NewEnvFrom clones the base definitions of env (test helper).
@@ -297,11 +298,36 @@ func TestEnvIsolation(t *testing.T) {
 	env := NewEnv()
 	env.Define("mine", pra.NewBase("mine", engine.NewScan("mine"), "a", "b"))
 	ctx := engine.NewCtx(cat)
-	rel, err := Eval(`PROJECT [$2] (mine);`, env, ctx)
+	rel, err := Eval(context.Background(), `PROJECT [$2] (mine);`, env, ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rel.NumRows() != 1 || rel.Col(0).Vec.Format(0) != "y" {
 		t.Errorf("custom base = %s", rel.Format(-1))
+	}
+}
+
+func TestParamPlaceholders(t *testing.T) {
+	env := TriplesEnv()
+	prog, err := Parse(`SELECT [$2 = ?prop and $3 > ?min] (triples_int);`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := prog.Result().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.Params(plan); len(got) != 2 || got[0] != "prop" || got[1] != "min" {
+		t.Fatalf("Params = %v", got)
+	}
+	// Placeholders render canonically in the fingerprint.
+	if fp := plan.Fingerprint(); !strings.Contains(fp, "?prop") || !strings.Contains(fp, "?min") {
+		t.Fatalf("fingerprint = %s", fp)
+	}
+	// A bare '?' or '?1' is a lex error.
+	for _, bad := range []string{`SELECT [$2 = ?] (triples);`, `SELECT [$2 = ?1] (triples);`} {
+		if _, err := Parse(bad, TriplesEnv()); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", bad)
+		}
 	}
 }

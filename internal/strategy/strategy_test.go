@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -39,7 +40,7 @@ func runStrategy(t *testing.T, ctx *engine.Ctx, s *Strategy, c *Compiler) *relat
 	if err != nil {
 		t.Fatalf("compile %s: %v", s.Name, err)
 	}
-	rel, err := ctx.Exec(plan)
+	rel, err := ctx.Exec(context.Background(), plan)
 	if err != nil {
 		t.Fatalf("exec %s: %v", s.Name, err)
 	}
@@ -90,7 +91,7 @@ func TestFigure2MatchesHandWrittenPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits, err := s.Search("wooden train", 0)
+	hits, err := s.Search(context.Background(), "wooden train", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestFigure3ScorePropagation(t *testing.T) {
 	}
 	// Lots in the same auction share the same score (they all inherit the
 	// auction's ranking, scaled by certain edges).
-	hasAuction, err := ctx.Exec(triple.Property("hasAuction"))
+	hasAuction, err := ctx.Exec(context.Background(), triple.Property("hasAuction"))
 	if err != nil {
 		t.Fatal(err)
 	}

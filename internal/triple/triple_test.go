@@ -1,6 +1,7 @@
 package triple
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -50,7 +51,7 @@ func TestLoadPartitionsByType(t *testing.T) {
 func TestPropertyPlanAndCache(t *testing.T) {
 	_, ctx := newStore(t)
 	plan := Property("description")
-	rel, err := ctx.Exec(plan)
+	rel, err := ctx.Exec(context.Background(), plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestPropertyPlanAndCache(t *testing.T) {
 	}
 	// second evaluation must be a cache hit (on-demand vertical partition)
 	ctx.ResetStats()
-	if _, err := ctx.Exec(Property("description")); err != nil {
+	if _, err := ctx.Exec(context.Background(), Property("description")); err != nil {
 		t.Fatal(err)
 	}
 	if ctx.NodeExecs() != 0 {
@@ -72,7 +73,7 @@ func TestPropertyPlanAndCache(t *testing.T) {
 
 func TestPropertyInt(t *testing.T) {
 	_, ctx := newStore(t)
-	rel, err := ctx.Exec(PropertyInt("price"))
+	rel, err := ctx.Exec(context.Background(), PropertyInt("price"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestPropertyInt(t *testing.T) {
 
 func TestSubjectsOfType(t *testing.T) {
 	_, ctx := newStore(t)
-	rel, err := ctx.Exec(SubjectsOfType("product"))
+	rel, err := ctx.Exec(context.Background(), SubjectsOfType("product"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestDocsOfMirrorsPaperView(t *testing.T) {
 	})
 	toySubjects := engine.NewProject(toys,
 		engine.ProjCol{Name: ColSubject, E: expr.Column(ColSubject)})
-	docs, err := ctx.Exec(DocsOf(toySubjects, "description"))
+	docs, err := ctx.Exec(context.Background(), DocsOf(toySubjects, "description"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestTraverseForwardBackward(t *testing.T) {
 	})
 	ctx := engine.NewCtx(cat)
 
-	fwd, err := ctx.Exec(TraverseForward(SubjectsOfType("lot"), "hasAuction"))
+	fwd, err := ctx.Exec(context.Background(), TraverseForward(SubjectsOfType("lot"), "hasAuction"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestTraverseForwardBackward(t *testing.T) {
 	// 0.5 edge (the paper: "the last traverse operation finds lots with
 	// probabilities that depend on those of their ranked auctions").
 	aucs := engine.NewValues("aucs", fwd)
-	back, err := ctx.Exec(TraverseBackward(aucs, "hasAuction"))
+	back, err := ctx.Exec(context.Background(), TraverseBackward(aucs, "hasAuction"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -232,8 +232,12 @@ type StringColumn interface {
 }
 
 // AsStringColumn returns v as a StringColumn when it is a string column of
-// either representation.
+// any representation (plain, dict-encoded, or constant). The Kind check
+// matters for Const, which carries the read interface for all kinds.
 func AsStringColumn(v Vector) (StringColumn, bool) {
+	if v.Kind() != String {
+		return nil, false
+	}
 	sc, ok := v.(StringColumn)
 	return sc, ok
 }
@@ -246,6 +250,11 @@ func AsStrings(v Vector) (*Strings, bool) {
 		return x, true
 	case *DictStrings:
 		return x.Decode(), true
+	case *Const:
+		if x.Kind() == String {
+			return x.Materialize().(*Strings), true
+		}
+		return nil, false
 	default:
 		return nil, false
 	}

@@ -1,0 +1,485 @@
+package irdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"irdb/internal/catalog"
+	"irdb/internal/engine"
+	"irdb/internal/ir"
+	"irdb/internal/relation"
+	"irdb/internal/spinql"
+	"irdb/internal/strategy"
+	"irdb/internal/text"
+	"irdb/internal/triple"
+	"irdb/internal/vector"
+)
+
+// ErrClosed is returned by every operation on a closed DB.
+var ErrClosed = errors.New("irdb: database is closed")
+
+// DB is the public face of the engine: a probabilistic triple store, a
+// document collection, the SpinQL query language with prepared
+// statements, and block-based search strategies — all sharing one
+// materialization cache and one worker pool. A DB is safe for concurrent
+// use; every query-running method takes a context.Context whose deadline
+// and cancellation reach all the way into the engine's morsel loops, so a
+// cancelled call returns promptly without waiting for plan completion.
+type DB struct {
+	cat      *catalog.Catalog
+	store    *triple.Store
+	eng      *engine.Ctx
+	synonyms text.SynonymDict
+
+	mu         sync.RWMutex
+	strategies map[string]*strategy.Strategy
+
+	// inFlight is the admission semaphore (nil = unbounded): queries past
+	// the limit queue context-aware, so a caller that gives up while
+	// queued never occupies a slot.
+	inFlight chan struct{}
+
+	parses   atomic.Int64
+	compiles atomic.Int64
+	queries  atomic.Int64
+	closed   atomic.Bool
+}
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	parallelism  int
+	cacheBytes   int64
+	cacheEntries int
+	maxInFlight  int
+	synonyms     map[string][]string
+}
+
+// WithParallelism bounds the engine worker pool shared by all concurrent
+// queries on the DB. 0 (the default) means GOMAXPROCS; 1 forces serial
+// execution. Results are bit-identical at every setting.
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithCacheBytes sets the byte budget of the materialization cache
+// (relations plus auxiliary join indexes). <= 0 means unbounded.
+func WithCacheBytes(n int64) Option { return func(c *config) { c.cacheBytes = n } }
+
+// WithCacheEntries bounds the number of cached relation entries.
+// <= 0 means unbounded.
+func WithCacheEntries(n int) Option { return func(c *config) { c.cacheEntries = n } }
+
+// WithMaxInFlight bounds concurrently executing queries; excess callers
+// queue (respecting their context) instead of oversubscribing the worker
+// pool. <= 0 (the default) means unbounded.
+func WithMaxInFlight(n int) Option { return func(c *config) { c.maxInFlight = n } }
+
+// WithSynonyms supplies the synonym dictionary used by strategies with
+// query expansion enabled.
+func WithSynonyms(syn map[string][]string) Option { return func(c *config) { c.synonyms = syn } }
+
+// Open creates an empty database. Load data with LoadTriples /
+// LoadTriplesTSV / LoadDocs, then query it.
+func Open(opts ...Option) *DB {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cat := catalog.New(cfg.cacheEntries)
+	if cfg.cacheBytes > 0 {
+		cat.Cache().SetMaxBytes(cfg.cacheBytes)
+	}
+	eng := engine.NewCtx(cat)
+	eng.Parallelism = cfg.parallelism
+	db := &DB{
+		cat:        cat,
+		store:      triple.NewStore(cat),
+		eng:        eng,
+		synonyms:   text.SynonymDict(cfg.synonyms),
+		strategies: make(map[string]*strategy.Strategy),
+	}
+	if cfg.maxInFlight > 0 {
+		db.inFlight = make(chan struct{}, cfg.maxInFlight)
+	}
+	return db
+}
+
+// Close marks the database closed and drops its cache. Outstanding
+// queries finish; new operations return ErrClosed.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return ErrClosed
+	}
+	db.cat.Cache().Clear()
+	return nil
+}
+
+func (db *DB) check() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// acquire admits one query, queueing context-aware when the in-flight
+// limit is reached. The returned release func is a no-op when admission
+// is unbounded.
+func (db *DB) acquire(ctx context.Context) (release func(), err error) {
+	if db.inFlight == nil {
+		return func() {}, nil
+	}
+	select {
+	case db.inFlight <- struct{}{}:
+	default:
+		select {
+		case db.inFlight <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return func() { <-db.inFlight }, nil
+}
+
+// ---------------------------------------------------------------------------
+// Loading
+
+// Triple is one probabilistic statement. Object must be a string, int,
+// int64 or float64 (objects are partitioned by physical type, as in the
+// paper). P is the tuple probability; 0 means certain (1.0).
+type Triple struct {
+	Subject  string
+	Property string
+	Object   any
+	P        float64
+}
+
+// LoadTriples replaces the triple store's contents. The materialization
+// cache is invalidated (cached sub-queries may depend on the old data).
+func (db *DB) LoadTriples(triples []Triple) error {
+	if err := db.check(); err != nil {
+		return err
+	}
+	converted := make([]triple.Triple, len(triples))
+	for i, t := range triples {
+		var obj triple.Object
+		switch x := t.Object.(type) {
+		case string:
+			obj = triple.String(x)
+		case int:
+			obj = triple.Int(int64(x))
+		case int64:
+			obj = triple.Int(x)
+		case float64:
+			obj = triple.Float(x)
+		default:
+			return fmt.Errorf("irdb: triple %d: unsupported object type %T", i, t.Object)
+		}
+		converted[i] = triple.Triple{Subject: t.Subject, Property: t.Property, Obj: obj, P: t.P}
+	}
+	db.store.Load(converted)
+	return nil
+}
+
+// LoadTriplesTSV loads triples from tab-separated lines
+// (subject, property, object, optional probability), replacing the store
+// contents. It returns the number of triples loaded.
+func (db *DB) LoadTriplesTSV(r io.Reader) (int, error) {
+	if err := db.check(); err != nil {
+		return 0, err
+	}
+	triples, err := triple.ReadTSV(r)
+	if err != nil {
+		return 0, err
+	}
+	db.store.Load(triples)
+	return len(triples), nil
+}
+
+// Doc is one document of the keyword-search collection. P is the document
+// probability; 0 means certain.
+type Doc struct {
+	ID   string
+	Text string
+	P    float64
+}
+
+// DocsTable is the base table LoadDocs fills and SearchDocs queries.
+const DocsTable = "docs"
+
+// LoadDocs replaces the document collection backing SearchDocs. Document
+// text is indexed on demand: the first search pays the inverted-view
+// materialization, later searches run hot from the cache.
+func (db *DB) LoadDocs(docs []Doc) error {
+	if err := db.check(); err != nil {
+		return err
+	}
+	b := relation.NewBuilder(
+		[]string{"docID", "data"},
+		[]vector.Kind{vector.String, vector.String})
+	for _, d := range docs {
+		p := d.P
+		if p == 0 {
+			p = 1.0
+		}
+		b.AddP(p, d.ID, d.Text)
+	}
+	db.cat.Put(DocsTable, b.Build())
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+// Query parses, compiles and executes a SpinQL program, returning the
+// last statement's result. Each call re-parses and re-compiles src; for
+// repeated execution use Prepare, which does both exactly once.
+// Statements with ?name parameters must go through Prepare.
+func (db *DB) Query(ctx context.Context, src string) (*Result, error) {
+	if err := db.check(); err != nil {
+		return nil, err
+	}
+	plan, err := db.compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if params := engine.Params(plan); len(params) > 0 {
+		return nil, fmt.Errorf("irdb: statement has parameters %v; use Prepare and bind them", params)
+	}
+	release, err := db.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	db.queries.Add(1)
+	rel, err := db.eng.Exec(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{rel: rel}, nil
+}
+
+// compile parses src against a fresh triples environment and lowers the
+// result onto the engine, bumping the parse/compile counters Stats
+// reports (prepared statements pay them once, ad-hoc queries per call).
+func (db *DB) compile(src string) (engine.Node, error) {
+	db.parses.Add(1)
+	prog, err := spinql.Parse(src, spinql.TriplesEnv())
+	if err != nil {
+		return nil, err
+	}
+	db.compiles.Add(1)
+	return prog.Result().Compile()
+}
+
+// Explain parses and compiles src and renders the engine plan.
+func (db *DB) Explain(src string) (string, error) {
+	if err := db.check(); err != nil {
+		return "", err
+	}
+	return spinql.Explain(src, spinql.TriplesEnv())
+}
+
+// ToSQL parses src and renders its SQL translation — the SpinQL-to-SQL
+// step of section 2.3 of the paper.
+func (db *DB) ToSQL(src string) (string, error) {
+	if err := db.check(); err != nil {
+		return "", err
+	}
+	return spinql.ToSQL(src, spinql.TriplesEnv())
+}
+
+// ---------------------------------------------------------------------------
+// Strategies and search
+
+// InstallStrategy validates and installs a strategy from its JSON
+// serialization, returning its name. Installing over an existing name
+// replaces it.
+func (db *DB) InstallStrategy(spec []byte) (string, error) {
+	if err := db.check(); err != nil {
+		return "", err
+	}
+	st, err := strategy.FromJSON(spec)
+	if err != nil {
+		return "", err
+	}
+	db.mu.Lock()
+	db.strategies[st.Name] = st
+	db.mu.Unlock()
+	return st.Name, nil
+}
+
+// InstallBuiltinStrategies installs the strategies shipped with the
+// reproduction — the Figure 2 toy strategy, the Figure 3 auction strategy
+// and its production variant — and returns their names.
+func (db *DB) InstallBuiltinStrategies() []string {
+	names := make([]string, 0, 3)
+	for _, st := range []*strategy.Strategy{
+		strategy.Toy(),
+		strategy.Auction(0.7, 0.3),
+		strategy.Production(),
+	} {
+		db.mu.Lock()
+		db.strategies[st.Name] = st
+		db.mu.Unlock()
+		names = append(names, st.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StrategyNames returns the installed strategy names, sorted.
+func (db *DB) StrategyNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.strategies))
+	for n := range db.strategies {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	ID    string
+	Score float64
+}
+
+// Search runs an installed strategy against a keyword query and returns
+// the top k subjects. ctx's deadline and cancellation abort the plan
+// mid-execution.
+func (db *DB) Search(ctx context.Context, strategyName, query string, k int) ([]Hit, error) {
+	if err := db.check(); err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	st, ok := db.strategies[strategyName]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("irdb: no strategy %q (installed: %v)", strategyName, db.StrategyNames())
+	}
+	plan, err := st.Compile(&strategy.Compiler{Query: query, Synonyms: db.synonyms})
+	if err != nil {
+		return nil, err
+	}
+	ranked := engine.NewTopN(plan, k,
+		engine.SortSpec{Col: "", Desc: true}, engine.SortSpec{Col: triple.ColSubject})
+	release, err := db.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	db.queries.Add(1)
+	rel, err := db.eng.Exec(ctx, ranked)
+	if err != nil {
+		return nil, err
+	}
+	prob := rel.Prob()
+	hits := make([]Hit, rel.NumRows())
+	for i := range hits {
+		hits[i] = Hit{ID: rel.Col(0).Vec.Format(i), Score: prob[i]}
+	}
+	return hits, nil
+}
+
+// SearchDocs ranks the LoadDocs collection against a keyword query with
+// the default retrieval model (BM25) and returns the top k documents.
+func (db *DB) SearchDocs(ctx context.Context, query string, k int) ([]Hit, error) {
+	if err := db.check(); err != nil {
+		return nil, err
+	}
+	s, err := ir.NewSearcher(db.eng, engine.NewScan(DocsTable), ir.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	release, err := db.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	db.queries.Add(1)
+	irHits, err := s.Search(ctx, query, k)
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]Hit, len(irHits))
+	for i, h := range irHits {
+		hits[i] = Hit{ID: h.DocID, Score: h.Score}
+	}
+	return hits, nil
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+
+// CacheStats describes the materialization cache.
+type CacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Shared     uint64
+	Oversize   uint64
+	Entries    int
+	AuxEntries int
+	Bytes      int64
+	AuxBytes   int64
+	MaxBytes   int64
+}
+
+// ExecutorStats describes the engine.
+type ExecutorStats struct {
+	Parallelism int
+	NodeExecs   int64
+	CacheHits   int64
+}
+
+// StatementStats counts the query-processing front end: how many parses
+// and plan compilations ran (prepared statements pay one each, ad-hoc
+// queries one per call) and how many queries executed.
+type StatementStats struct {
+	Parses   int64
+	Compiles int64
+	Queries  int64
+}
+
+// Stats is a point-in-time snapshot of the database.
+type Stats struct {
+	Tables     []string
+	Cache      CacheStats
+	Executor   ExecutorStats
+	Statements StatementStats
+}
+
+// Stats returns a snapshot of catalog, cache and executor statistics.
+func (db *DB) Stats() Stats {
+	cs := db.cat.Cache().Stats()
+	par := db.eng.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	return Stats{
+		Tables: db.cat.TableNames(),
+		Cache: CacheStats{
+			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
+			Shared: cs.Shared, Oversize: cs.Oversize,
+			Entries: cs.Entries, AuxEntries: cs.AuxEntries,
+			Bytes: cs.Bytes, AuxBytes: cs.AuxBytes, MaxBytes: cs.MaxBytes,
+		},
+		Executor: ExecutorStats{
+			Parallelism: par,
+			NodeExecs:   db.eng.NodeExecs(),
+			CacheHits:   db.eng.CacheHits(),
+		},
+		Statements: StatementStats{
+			Parses:   db.parses.Load(),
+			Compiles: db.compiles.Load(),
+			Queries:  db.queries.Load(),
+		},
+	}
+}

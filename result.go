@@ -1,0 +1,27 @@
+package irdb
+
+import (
+	"irdb/internal/relation"
+)
+
+// Result is one query result: a relation of typed columns plus the tuple
+// probability column carrying scores. Results are immutable.
+type Result struct {
+	rel *relation.Relation
+}
+
+// NumRows reports the number of result rows.
+func (r *Result) NumRows() int { return r.rel.NumRows() }
+
+// Columns returns the result's column names, in order.
+func (r *Result) Columns() []string { return r.rel.ColumnNames() }
+
+// Value renders the value at (row, col) as text.
+func (r *Result) Value(row, col int) string { return r.rel.Col(col).Vec.Format(row) }
+
+// Prob returns the tuple probability (or retrieval score) of a row.
+func (r *Result) Prob(row int) float64 { return r.rel.Prob()[row] }
+
+// Format renders up to maxRows rows as an aligned text table (maxRows < 0
+// renders everything).
+func (r *Result) Format(maxRows int) string { return r.rel.Format(maxRows) }
