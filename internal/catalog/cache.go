@@ -64,11 +64,20 @@ type Cache struct {
 }
 
 // flight is one in-progress computation that concurrent callers share.
+// The computation runs on its own goroutine under a flight-owned context,
+// detached from every caller: the leader starting the flight can be
+// cancelled and leave without killing work other callers are waiting for.
+// waiters counts the callers (leader included) still interested in the
+// result; when the last one detaches, cancel stops the now-orphaned
+// computation.
 type flight struct {
 	done chan struct{}
 	rel  *relation.Relation
 	aux  any
 	err  error
+
+	cancel  context.CancelFunc // cancels the flight's own context
+	waiters int                // guarded by Cache.mu
 }
 
 // Sized is implemented by auxiliary cache values (join indexes) that can
@@ -118,24 +127,24 @@ func NewCache(capacity int) *Cache {
 
 // GetOrCompute returns the cached relation for key, computing and caching
 // it on a miss. Concurrent callers missing on the same key share one
-// computation: exactly one runs compute, the rest block until it finishes
-// and receive the same result (or the same error; errors are not cached).
-// The second return value reports whether the caller was served without
-// running compute itself.
+// computation: exactly one flight runs compute, every caller blocks until
+// it finishes and receives the same result (or the same error; errors are
+// not cached). The second return value reports whether the caller was
+// served without starting the computation itself.
 //
-// A waiter whose ctx is cancelled detaches and returns ctx's error
-// immediately; the in-flight computation keeps running on the goroutine
-// that started it and its result is cached as usual, so one impatient
-// client never destroys work other clients are waiting for. The converse
-// holds too: when the flight's leader is the one cancelled (compute
-// fails with a context error), waiters whose own context is still live
-// do not inherit the leader's cancellation — they retry the key with a
-// fresh flight instead.
+// The computation is detached from every caller: it runs on its own
+// goroutine under a flight-owned context, and compute receives that
+// context (not any caller's). A caller whose ctx is cancelled — leader
+// and waiter alike — detaches and returns its ctx's error immediately
+// while the flight keeps computing and caches for everyone else, so one
+// impatient client never destroys work other clients are waiting for.
+// Only when the last interested caller detaches is the flight's context
+// cancelled, stopping the computation nobody wants anymore.
 //
 // compute runs without the cache lock held, so it may use the cache for
 // other keys — but it must not call GetOrCompute for its own key, which
 // would deadlock on the in-flight entry.
-func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (*relation.Relation, error)) (*relation.Relation, bool, error) {
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(context.Context) (*relation.Relation, error)) (*relation.Relation, bool, error) {
 	c.mu.Lock()
 	for {
 		if el, ok := c.entries[key]; ok {
@@ -150,58 +159,106 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (*r
 			break
 		}
 		c.shared++
+		f.waiters++
 		c.mu.Unlock()
 		select {
 		case <-f.done:
-			if leaderCancelled(f.err, ctx) {
+			if abandonedFlight(f.err, ctx) {
 				c.mu.Lock()
 				continue
 			}
 			return f.rel, f.err == nil, f.err
 		case <-ctx.Done():
+			c.detach(false, key, f)
 			return nil, false, ctx.Err()
 		}
 	}
 	c.misses++
-	f := &flight{done: make(chan struct{})}
 	gen := c.gen
-	c.flights[key] = f
-	c.mu.Unlock()
+	f, fctx := c.startFlight(false, key, ctx)
 
-	f.rel, f.err = compute()
-	var b int64
-	if f.err == nil {
-		// Size the result before re-taking the lock: EstimatedBytes walks
-		// every string payload, which must not stall concurrent Gets.
-		b = c.sizeOfRel(f.rel)
-	}
+	go func() {
+		f.rel, f.err = compute(fctx)
+		var b int64
+		if f.err == nil {
+			// Size the result before taking the lock: EstimatedBytes walks
+			// every string payload, which must not stall concurrent Gets.
+			b = c.sizeOfRel(f.rel)
+		}
+		c.mu.Lock()
+		if c.flights[key] == f {
+			delete(c.flights, key)
+		}
+		if f.err == nil && c.gen == gen {
+			c.putLocked(key, f.rel, b)
+		}
+		c.mu.Unlock()
+		f.cancel() // release the flight context's resources
+		close(f.done)
+	}()
 
-	c.mu.Lock()
-	if c.flights[key] == f {
-		delete(c.flights, key)
+	select {
+	case <-f.done:
+		return f.rel, false, f.err
+	case <-ctx.Done():
+		c.detach(false, key, f)
+		return nil, false, ctx.Err()
 	}
-	if f.err == nil && c.gen == gen {
-		c.putLocked(key, f.rel, b)
-	}
-	c.mu.Unlock()
-	close(f.done)
-	return f.rel, false, f.err
 }
 
-// leaderCancelled reports whether a completed flight failed only because
-// its leader's context was cancelled while the waiter's own context is
-// still live — the one case where adopting the flight's error would let
-// one impatient client fail everyone else's query.
-func leaderCancelled(flightErr error, ctx context.Context) bool {
+// flightMapLocked selects the relation or auxiliary flight map. The field
+// must be read under c.mu: Clear replaces both maps wholesale.
+func (c *Cache) flightMapLocked(aux bool) map[string]*flight {
+	if aux {
+		return c.auxFlights
+	}
+	return c.flights
+}
+
+// startFlight registers a new flight for key and returns it with its
+// detached context: cancellation and deadline of the starting caller's
+// ctx are stripped (its values are kept), so the computation outlives any
+// individual caller. Callers must hold c.mu; startFlight releases it.
+func (c *Cache) startFlight(aux bool, key string, ctx context.Context) (*flight, context.Context) {
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	c.flightMapLocked(aux)[key] = f
+	c.mu.Unlock()
+	return f, fctx
+}
+
+// detach unregisters one caller from a flight. The last caller to detach
+// cancels the flight's context — the computation has no audience left —
+// and removes it from the flight map so later arrivals start fresh
+// instead of joining a dying flight.
+func (c *Cache) detach(aux bool, key string, f *flight) {
+	c.mu.Lock()
+	f.waiters--
+	if f.waiters == 0 {
+		f.cancel()
+		if m := c.flightMapLocked(aux); m[key] == f {
+			delete(m, key)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// abandonedFlight reports whether a completed flight failed only because
+// every caller detached and its context was cancelled, while this
+// caller's own context is still live. The only way to observe this is the
+// narrow race of joining a flight between its last waiter leaving and the
+// cancelled computation finishing; adopting the error would fail a
+// perfectly healthy query, so the caller retries the key instead.
+func abandonedFlight(flightErr error, ctx context.Context) bool {
 	return flightErr != nil && ctx.Err() == nil &&
 		(errors.Is(flightErr, context.Canceled) || errors.Is(flightErr, context.DeadlineExceeded))
 }
 
 // GetOrComputeAux is GetOrCompute for auxiliary structures (join indexes):
-// one flight per key, result weighed into the shared LRU like any other
-// entry. Waiters detach on ctx cancellation, and survive a cancelled
-// leader by retrying, exactly like GetOrCompute.
-func (c *Cache) GetOrComputeAux(ctx context.Context, key string, compute func() (any, error)) (any, bool, error) {
+// one detached flight per key, result weighed into the shared LRU like any
+// other entry. Callers detach on their own ctx's cancellation without
+// killing the flight, exactly like GetOrCompute.
+func (c *Cache) GetOrComputeAux(ctx context.Context, key string, compute func(context.Context) (any, error)) (any, bool, error) {
 	c.mu.Lock()
 	for {
 		if el, ok := c.aux[key]; ok {
@@ -215,39 +272,48 @@ func (c *Cache) GetOrComputeAux(ctx context.Context, key string, compute func() 
 			break
 		}
 		c.shared++
+		f.waiters++
 		c.mu.Unlock()
 		select {
 		case <-f.done:
-			if leaderCancelled(f.err, ctx) {
+			if abandonedFlight(f.err, ctx) {
 				c.mu.Lock()
 				continue
 			}
 			return f.aux, f.err == nil, f.err
 		case <-ctx.Done():
+			c.detach(true, key, f)
 			return nil, false, ctx.Err()
 		}
 	}
-	f := &flight{done: make(chan struct{})}
 	gen := c.gen
-	c.auxFlights[key] = f
-	c.mu.Unlock()
+	f, fctx := c.startFlight(true, key, ctx)
 
-	f.aux, f.err = compute()
-	var b int64
-	if f.err == nil {
-		b = sizeOfAux(f.aux) // sized before re-taking the lock, like GetOrCompute
-	}
+	go func() {
+		f.aux, f.err = compute(fctx)
+		var b int64
+		if f.err == nil {
+			b = sizeOfAux(f.aux) // sized before taking the lock, like GetOrCompute
+		}
+		c.mu.Lock()
+		if c.auxFlights[key] == f {
+			delete(c.auxFlights, key)
+		}
+		if f.err == nil && c.gen == gen {
+			c.putAuxLocked(key, f.aux, b)
+		}
+		c.mu.Unlock()
+		f.cancel()
+		close(f.done)
+	}()
 
-	c.mu.Lock()
-	if c.auxFlights[key] == f {
-		delete(c.auxFlights, key)
+	select {
+	case <-f.done:
+		return f.aux, false, f.err
+	case <-ctx.Done():
+		c.detach(true, key, f)
+		return nil, false, ctx.Err()
 	}
-	if f.err == nil && c.gen == gen {
-		c.putAuxLocked(key, f.aux, b)
-	}
-	c.mu.Unlock()
-	close(f.done)
-	return f.aux, false, f.err
 }
 
 // GetAux returns an auxiliary cached structure (e.g. a hash index built

@@ -242,7 +242,7 @@ func TestCacheWeighsBaseDictsAsMarginal(t *testing.T) {
 
 	// A tiny slice of the base table: marginal weight ≈ 10 codes + probs.
 	derived := base.Gather([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
-	if _, _, err := cat.Cache().GetOrCompute(context.Background(), "tiny", func() (*relation.Relation, error) {
+	if _, _, err := cat.Cache().GetOrCompute(context.Background(), "tiny", func(context.Context) (*relation.Relation, error) {
 		return derived, nil
 	}); err != nil {
 		t.Fatal(err)
@@ -256,7 +256,7 @@ func TestCacheWeighsBaseDictsAsMarginal(t *testing.T) {
 		{Name: "s", Vec: vector.EncodeStrings(vector.FromStrings(big[:500]))},
 	}, nil)
 	before := cat.Cache().Stats().Bytes
-	if _, _, err := cat.Cache().GetOrCompute(context.Background(), "fresh", func() (*relation.Relation, error) {
+	if _, _, err := cat.Cache().GetOrCompute(context.Background(), "fresh", func(context.Context) (*relation.Relation, error) {
 		return fresh, nil
 	}); err != nil {
 		t.Fatal(err)

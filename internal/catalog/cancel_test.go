@@ -30,7 +30,7 @@ func TestCancelDuringSingleFlightWait(t *testing.T) {
 
 	computerDone := make(chan error, 1)
 	go func() {
-		_, _, err := cache.GetOrCompute(context.Background(), "k", func() (*relation.Relation, error) {
+		_, _, err := cache.GetOrCompute(context.Background(), "k", func(context.Context) (*relation.Relation, error) {
 			close(started)
 			<-unblock
 			return want, nil
@@ -43,7 +43,7 @@ func TestCancelDuringSingleFlightWait(t *testing.T) {
 	c, cancel := context.WithCancel(context.Background())
 	waiterDone := make(chan error, 1)
 	go func() {
-		_, _, err := cache.GetOrCompute(c, "k", func() (*relation.Relation, error) {
+		_, _, err := cache.GetOrCompute(c, "k", func(context.Context) (*relation.Relation, error) {
 			t.Error("waiter must join the flight, not start its own computation")
 			return nil, nil
 		})
@@ -75,10 +75,11 @@ func TestCancelDuringSingleFlightWait(t *testing.T) {
 	}
 }
 
-// TestWaiterSurvivesCancelledLeader: when the goroutine that started a
-// flight is cancelled (its compute fails with context.Canceled), a
-// waiter whose own context is live must not inherit that error — it
-// retries the key with a fresh flight and computes the result itself.
+// TestWaiterSurvivesCancelledLeader: when a flight fails with a context
+// error (the abandoned-flight race: compute was cancelled after every
+// caller left, or, historically, the leader's cancellation leaked into
+// it), a waiter whose own context is live must not inherit that error —
+// it retries the key with a fresh flight and computes the result itself.
 func TestWaiterSurvivesCancelledLeader(t *testing.T) {
 	cache := NewCache(0)
 	want := flightRel(8)
@@ -87,7 +88,7 @@ func TestWaiterSurvivesCancelledLeader(t *testing.T) {
 
 	leaderDone := make(chan error, 1)
 	go func() {
-		_, _, err := cache.GetOrCompute(context.Background(), "k", func() (*relation.Relation, error) {
+		_, _, err := cache.GetOrCompute(context.Background(), "k", func(context.Context) (*relation.Relation, error) {
 			close(leaderStarted)
 			<-leaderAbort
 			return nil, context.Canceled // the engine surfaces the leader's ctx error
@@ -99,7 +100,7 @@ func TestWaiterSurvivesCancelledLeader(t *testing.T) {
 	waiterDone := make(chan error, 1)
 	var got *relation.Relation
 	go func() {
-		rel, _, err := cache.GetOrCompute(context.Background(), "k", func() (*relation.Relation, error) {
+		rel, _, err := cache.GetOrCompute(context.Background(), "k", func(context.Context) (*relation.Relation, error) {
 			return want, nil // the waiter's retry computes for real
 		})
 		got = rel
@@ -135,7 +136,7 @@ func TestCancelDuringAuxSingleFlightWait(t *testing.T) {
 	unblock := make(chan struct{})
 
 	go func() {
-		_, _, _ = cache.GetOrComputeAux(context.Background(), "a", func() (any, error) {
+		_, _, _ = cache.GetOrComputeAux(context.Background(), "a", func(context.Context) (any, error) {
 			close(started)
 			<-unblock
 			return "index", nil
@@ -146,7 +147,7 @@ func TestCancelDuringAuxSingleFlightWait(t *testing.T) {
 	c, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := cache.GetOrComputeAux(c, "a", func() (any, error) {
+		_, _, err := cache.GetOrComputeAux(c, "a", func(context.Context) (any, error) {
 			t.Error("waiter must join the aux flight")
 			return nil, nil
 		})
@@ -175,5 +176,119 @@ func TestCancelDuringAuxSingleFlightWait(t *testing.T) {
 			t.Fatal("aux flight result never cached")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFlightSurvivesLeaderCancellation: the computation is detached from
+// the caller that started it. Cancelling the leader returns the leader's
+// context error promptly while the flight keeps running under its own
+// (uncancelled) context and delivers to the remaining waiter, and the
+// result is cached.
+func TestFlightSurvivesLeaderCancellation(t *testing.T) {
+	cache := NewCache(0)
+	want := flightRel(16)
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	flightCtxErr := make(chan error, 1)
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := cache.GetOrCompute(leaderCtx, "k", func(fc context.Context) (*relation.Relation, error) {
+			close(started)
+			<-unblock
+			flightCtxErr <- fc.Err()
+			return want, nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	// A waiter with a live context joins the same flight.
+	waiterDone := make(chan error, 1)
+	var got *relation.Relation
+	go func() {
+		rel, shared, err := cache.GetOrCompute(context.Background(), "k", func(context.Context) (*relation.Relation, error) {
+			t.Error("waiter must join the flight, not start a new one")
+			return nil, nil
+		})
+		if err == nil && !shared {
+			t.Error("waiter should report being served by the shared flight")
+		}
+		got = rel
+		waiterDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter block on the flight
+
+	cancelLeader()
+	select {
+	case err := <-leaderDone:
+		if err != context.Canceled {
+			t.Fatalf("cancelled leader returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled leader did not detach from its own flight")
+	}
+
+	close(unblock)
+	select {
+	case err := <-waiterDone:
+		if err != nil {
+			t.Fatalf("waiter inherited the leader's cancellation: %v", err)
+		}
+		if got != want {
+			t.Fatalf("waiter rel = %v, want the flight's result", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never received the detached flight's result")
+	}
+	if err := <-flightCtxErr; err != nil {
+		t.Fatalf("flight context was cancelled while a waiter remained: %v", err)
+	}
+	if rel, hit := cache.Get("k"); !hit || rel != want {
+		t.Fatalf("detached flight's result not cached (hit=%v)", hit)
+	}
+}
+
+// TestAbandonedFlightIsCancelled: when every caller detaches, the flight's
+// context is cancelled so the computation nobody wants stops, and its
+// (error) result is not cached.
+func TestAbandonedFlightIsCancelled(t *testing.T) {
+	cache := NewCache(0)
+	started := make(chan struct{})
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	computeDone := make(chan error, 1)
+	go func() {
+		_, _, err := cache.GetOrCompute(leaderCtx, "k", func(fc context.Context) (*relation.Relation, error) {
+			close(started)
+			<-fc.Done() // simulate an operator noticing cancellation
+			computeDone <- fc.Err()
+			return nil, fc.Err()
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	cancelLeader() // the only caller leaves
+	select {
+	case err := <-leaderDone:
+		if err != context.Canceled {
+			t.Fatalf("leader returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("leader did not return after cancellation")
+	}
+	select {
+	case err := <-computeDone:
+		if err != context.Canceled {
+			t.Fatalf("flight context err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abandoned flight's context was never cancelled")
+	}
+	if _, hit := cache.Get("k"); hit {
+		t.Fatal("abandoned flight's error result must not be cached")
 	}
 }

@@ -32,7 +32,7 @@ func TestGetOrComputeSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			rel, _, err := c.GetOrCompute(context.Background(), "k", func() (*relation.Relation, error) {
+			rel, _, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (*relation.Relation, error) {
 				computes.Add(1)
 				<-gate // hold the flight open until every caller has piled in
 				return oneRowRel(42), nil
@@ -73,7 +73,7 @@ func TestGetOrComputeSingleFlight(t *testing.T) {
 		t.Errorf("Entries = %d, want 1", st.Entries)
 	}
 	// Later callers hit the completed entry without computing.
-	if _, hit, _ := c.GetOrCompute(context.Background(), "k", func() (*relation.Relation, error) {
+	if _, hit, _ := c.GetOrCompute(context.Background(), "k", func(context.Context) (*relation.Relation, error) {
 		t.Fatal("compute must not run on a warm key")
 		return nil, nil
 	}); !hit {
@@ -91,7 +91,7 @@ func TestGetOrComputeError(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, hit, err := c.GetOrCompute(context.Background(), "k", func() (*relation.Relation, error) {
+			_, hit, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (*relation.Relation, error) {
 				computes.Add(1)
 				return nil, boom
 			})
@@ -108,7 +108,7 @@ func TestGetOrComputeError(t *testing.T) {
 		t.Errorf("cache holds %d entries after failures, want 0", c.Len())
 	}
 	// The key is not poisoned: a succeeding compute works.
-	rel, _, err := c.GetOrCompute(context.Background(), "k", func() (*relation.Relation, error) {
+	rel, _, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (*relation.Relation, error) {
 		return oneRowRel(1), nil
 	})
 	if err != nil || rel == nil {
@@ -124,7 +124,7 @@ func TestClearDuringFlight(t *testing.T) {
 	gate := make(chan struct{})
 	done := make(chan *relation.Relation, 1)
 	go func() {
-		rel, _, _ := c.GetOrCompute(context.Background(), "k", func() (*relation.Relation, error) {
+		rel, _, _ := c.GetOrCompute(context.Background(), "k", func(context.Context) (*relation.Relation, error) {
 			close(entered)
 			<-gate
 			return oneRowRel(7), nil
@@ -156,7 +156,7 @@ func TestGetOrComputeAuxSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			v, _, err := c.GetOrComputeAux(context.Background(), "idx", func() (any, error) {
+			v, _, err := c.GetOrComputeAux(context.Background(), "idx", func(context.Context) (any, error) {
 				computes.Add(1)
 				return &struct{ x int }{x: 9}, nil
 			})
@@ -203,7 +203,7 @@ func TestCacheConcurrentHammer(t *testing.T) {
 				case 1:
 					c.Get(key)
 				case 2:
-					c.GetOrCompute(context.Background(), key, func() (*relation.Relation, error) {
+					c.GetOrCompute(context.Background(), key, func(context.Context) (*relation.Relation, error) {
 						return oneRowRel(int64(g)), nil
 					})
 				case 3:
@@ -214,7 +214,7 @@ func TestCacheConcurrentHammer(t *testing.T) {
 					if i%63 == 5 {
 						c.Clear()
 					} else {
-						c.GetOrComputeAux(context.Background(), key, func() (any, error) { return g, nil })
+						c.GetOrComputeAux(context.Background(), key, func(context.Context) (any, error) { return g, nil })
 					}
 				case 6:
 					c.Stats()

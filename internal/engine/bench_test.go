@@ -458,3 +458,23 @@ func BenchmarkSelectStringEqRaw(b *testing.B) {
 func BenchmarkSelectStringEqEncoded(b *testing.B) {
 	benchPlanLoop(b, benchCtxEncoded(dictBenchRows, 20000), stringSelectPlan())
 }
+
+// selectBelowJoinPlan is the optimizer's poster child: a selective
+// predicate written above a join. Naive execution joins everything and
+// then filters; the optimizer pushes the selection below the join so the
+// probe side shrinks before any hashing happens.
+func selectBelowJoinPlan() Node {
+	return NewSelect(
+		NewHashJoin(NewScan("t"), NewScan("dict"), []string{"k"}, []string{"k"}, JoinLeft),
+		expr.Cmp{Op: expr.Eq, L: expr.Column("k"), R: expr.Str("k000007")})
+}
+
+func BenchmarkSelectBelowJoinNaive(b *testing.B) {
+	benchPlanLoop(b, benchCtxEncoded(dictBenchRows, 20000), selectBelowJoinPlan())
+}
+
+func BenchmarkSelectBelowJoinOptimized(b *testing.B) {
+	ctx := benchCtxEncoded(dictBenchRows, 20000)
+	plan := ctx.Optimize(selectBelowJoinPlan())
+	benchPlanLoop(b, ctx, plan)
+}

@@ -1,56 +1,3 @@
-// Package engine implements a column-at-a-time relational query engine in
-// the style of the column store the paper builds on (MonetDB): operators
-// consume and produce fully materialized relations.
-//
-// Execution is parallel along two axes, following MonetDB's
-// column-at-a-time-with-parallel-fragments lineage, while keeping results
-// bit-identical to serial evaluation:
-//
-//   - Independent subtrees run concurrently: both inputs of a HashJoin,
-//     both branches of the set operators, and every child of a Concat are
-//     evaluated on separate workers when slots are free.
-//   - Hot per-row loops — hash-join probe, row hashing, selection
-//     predicate evaluation, probability recombination — split their rows
-//     into contiguous morsels processed by concurrent workers, and merge
-//     per-worker outputs in morsel order so row order is deterministic.
-//   - Materialization writes at offset instead of appending serially:
-//     output columns are allocated once at full size and concurrent
-//     morsels fill disjoint row ranges in place (gather, concat), TopN
-//     selects per-morsel survivors with a bounded heap and k-way-merges
-//     them (stable-sort-equivalent, the input is never fully sorted),
-//     full Sort merge-sorts per-morsel stable runs through the same
-//     merge, the hash-join build partitions flat open-addressing tables
-//     by hash bits, grouping deduplicates morsels locally before a
-//     serial re-rank over group representatives restores
-//     first-appearance ids, and aggregation (including Normalize's
-//     denominators and the probability combines) folds per-chunk partial
-//     accumulators merged in a fixed chunk order so float results stay
-//     bit-identical at every parallelism.
-//   - String-keyed stages run over dictionary codes when inputs are
-//     dict-encoded (vector.DictStrings): joins hash and compare int32
-//     codes, a single encoded group column groups through dense
-//     code→group arrays with no hashing at all, and sort comparators
-//     compare precomputed lexicographic ranks. Mixed representations
-//     (plain vs encoded, or different dicts) fall back to string
-//     semantics — see README.md's dictionary-encoding contract.
-//
-// See README.md in this package for the materialization model and the
-// determinism contracts in detail.
-//
-// The worker pool lives on Ctx (Parallelism; default GOMAXPROCS) and is
-// shared by all concurrent queries on the context. Workers are acquired
-// without blocking — saturated plans simply fall back to inline, serial
-// evaluation — so arbitrarily nested parallel operators cannot deadlock.
-//
-// Plans are immutable trees of Node values. Every node has a canonical
-// Fingerprint; together with catalog.Cache this gives the paper's
-// on-demand materialization — wrap any sub-plan in Materialize and its
-// result becomes an adaptive "cache table" reused across queries
-// (sections 2.1 and 2.2). Concurrent queries that miss on the same
-// fingerprint share one single-flight computation instead of stampeding.
-//
-// Relations flowing between operators are treated as immutable; operators
-// may share column vectors of their inputs but never modify them.
 package engine
 
 import (
@@ -106,6 +53,9 @@ type Ctx struct {
 	nodeExecs atomic.Int64
 	cacheHits atomic.Int64
 
+	// optCounters accumulates per-plan optimizer work; see optimize.go.
+	optCounters
+
 	// encMemo caches probe-side dictionary re-encodings per (probe vector,
 	// build dict) pair, bounded by entries and bytes; see dictkeys.go.
 	encMu    sync.Mutex
@@ -143,10 +93,11 @@ func (ctx *Ctx) ResetStats() {
 // are bit-identical to execution with a background context.
 //
 // Cacheable nodes are single-flighted through catalog.Cache: when several
-// goroutines miss on the same fingerprint at once, one executes the
+// goroutines miss on the same fingerprint at once, one flight executes the
 // subtree and the others block on its result instead of stampeding the
-// computation. A waiter whose own context is cancelled detaches without
-// affecting the in-flight computation.
+// computation. The flight runs under a cache-owned context detached from
+// every caller, so any caller — the one that started it included — can be
+// cancelled and leave without killing work others are waiting for.
 func (ctx *Ctx) Exec(c context.Context, n Node) (*relation.Relation, error) {
 	if err := c.Err(); err != nil {
 		return nil, err
@@ -162,27 +113,27 @@ func (ctx *Ctx) Exec(c context.Context, n Node) (*relation.Relation, error) {
 		}
 		break
 	}
-	execute := func() (*relation.Relation, error) {
+	execute := func(ec context.Context) (*relation.Relation, error) {
 		ctx.nodeExecs.Add(1)
-		r, err := n.Execute(c, ctx)
+		r, err := n.Execute(ec, ctx)
 		if err != nil {
-			if c.Err() != nil {
+			if ec.Err() != nil {
 				// Cancellation surfaced through an operator; report it
 				// undecorated so callers match on context.Canceled /
 				// DeadlineExceeded directly.
-				return nil, c.Err()
+				return nil, ec.Err()
 			}
 			return nil, fmt.Errorf("%s: %w", n.Label(), err)
 		}
 		// A cancelled morsel loop leaves the operator's output partial;
 		// discard it rather than hand it to the caller (or the cache).
-		if err := c.Err(); err != nil {
+		if err := ec.Err(); err != nil {
 			return nil, err
 		}
 		return r, nil
 	}
 	if !cacheable {
-		return execute()
+		return execute(c)
 	}
 	r, hit, err := ctx.Cat.Cache().GetOrCompute(c, n.Fingerprint(), execute)
 	if hit {

@@ -21,6 +21,22 @@ func explain(b *strings.Builder, n Node, depth int) {
 	}
 }
 
+// ExplainChange renders the optimizer's before/after view: the naive plan
+// as compiled, then the optimized plan actually executed. When the
+// optimizer left the plan alone, the single tree is shown with a note
+// saying so.
+func ExplainChange(before, after Node) string {
+	b, a := Explain(before), Explain(after)
+	// Compare rendered trees, not fingerprints: a build-side swap changes
+	// the physical plan (and its Label) but deliberately not the
+	// fingerprint.
+	if b == a {
+		return "plan (optimizer made no changes):\n" + b
+	}
+	return "plan before optimization:\n" + b +
+		"plan after optimization:\n" + a
+}
+
 // CountNodes reports the number of operators in a plan, a rough complexity
 // measure used by strategy statistics ("a basic search engine would easily
 // require tens of queries with hundreds of lines of code", section 2.4).

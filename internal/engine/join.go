@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"irdb/internal/relation"
+	"irdb/internal/vector"
 )
 
 // JoinProb selects how an equi-join combines the probabilities of matching
@@ -52,6 +53,13 @@ type HashJoin struct {
 	LPos  []int
 	RPos  []int
 	PMode JoinProb
+	// BuildLeft, set by the optimizer when the left input is estimated
+	// smaller, builds the hash table on the left side and probes with the
+	// right, then restores the canonical left-major output order with a
+	// counting sort. Results are bit-identical to the default build-right
+	// execution, so the fingerprint — and every cache entry keyed by it —
+	// is shared between the two physical forms.
+	BuildLeft bool
 }
 
 // NewHashJoin joins l and r on pairwise equality of the named key columns.
@@ -105,56 +113,14 @@ func (j *HashJoin) Execute(c context.Context, ctx *Ctx) (*relation.Relation, err
 		}
 	}
 
-	idx, err := j.buildIndex(c, ctx, right, rIdx)
+	var lSel, rSel []int
+	if j.BuildLeft {
+		lSel, rSel, err = j.matchBuildLeft(c, ctx, left, right, lIdx, rIdx)
+	} else {
+		lSel, rSel, err = j.matchBuildRight(c, ctx, left, right, lIdx, rIdx)
+	}
 	if err != nil {
 		return nil, err
-	}
-	// Align the probe keys with the build side's hash domains (decode or
-	// re-encode dict columns as needed; see dictkeys.go), then hash the
-	// aligned vectors with the index's seed.
-	rKeyVecs := colVecs(right, rIdx)
-	lKeyVecs := alignProbeVecs(ctx, colVecs(left, lIdx), rKeyVecs)
-	lHash := hashVecsParallel(c, ctx, lKeyVecs, left.NumRows(), idx.seed)
-
-	// Probe in parallel: each morsel of probe rows collects its matches
-	// into its own pair lists, merged in morsel order below — the same
-	// output order the serial loop produces. Many-to-one joins (foreign
-	// key → dictionary) are the common case; start with one output row per
-	// probe row.
-	ranges := ctx.morselRanges(len(lHash))
-	lParts := make([][]int, len(ranges))
-	rParts := make([][]int, len(ranges))
-	ctx.runRanges(c, ranges, func(m, lo, hi int) {
-		lp := make([]int, 0, hi-lo)
-		rp := make([]int, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			// The probe is the join's longest loop; check cancellation
-			// every few thousand rows so even a single-morsel (serial)
-			// probe stops promptly. Partial parts are discarded below.
-			if i&0x1fff == 0x1fff && c.Err() != nil {
-				break
-			}
-			for _, ri := range idx.buckets.lookup(lHash[i]) {
-				if vecsEqual(lKeyVecs, i, rKeyVecs, int(ri)) {
-					lp = append(lp, i)
-					rp = append(rp, int(ri))
-				}
-			}
-		}
-		lParts[m], rParts[m] = lp, rp
-	})
-	if err := c.Err(); err != nil {
-		return nil, err
-	}
-	total := 0
-	for _, p := range lParts {
-		total += len(p)
-	}
-	lSel := make([]int, 0, total)
-	rSel := make([]int, 0, total)
-	for m := range lParts {
-		lSel = append(lSel, lParts[m]...)
-		rSel = append(rSel, rParts[m]...)
 	}
 
 	lOut := gatherParallel(c, ctx, left, lSel)
@@ -195,6 +161,116 @@ func (j *HashJoin) Execute(c context.Context, ctx *Ctx) (*relation.Relation, err
 	return relation.FromColumns(cols, prob)
 }
 
+// matchBuildRight is the default physical form: hash table over the right
+// input, probed with left rows. Pairs come out in the canonical order —
+// ascending left row, ties in ascending right row (bucket segments store
+// build rows ascending).
+func (j *HashJoin) matchBuildRight(c context.Context, ctx *Ctx, left, right *relation.Relation, lIdx, rIdx []int) ([]int, []int, error) {
+	idx, err := j.buildIndex(c, ctx, right, rIdx, j.R, j.rKeySpec())
+	if err != nil {
+		return nil, nil, err
+	}
+	// Align the probe keys with the build side's hash domains (decode or
+	// re-encode dict columns as needed; see dictkeys.go), then hash the
+	// aligned vectors with the index's seed.
+	rKeyVecs := colVecs(right, rIdx)
+	lKeyVecs := alignProbeVecs(ctx, colVecs(left, lIdx), rKeyVecs)
+	return probePairs(c, ctx, idx, lKeyVecs, rKeyVecs, left.NumRows())
+}
+
+// matchBuildLeft is the swapped physical form chosen by the optimizer when
+// the left input is estimated smaller: hash table over the left input,
+// probed with right rows. The probe emits pairs in right-major order; a
+// stable counting sort by left row restores the canonical left-major
+// order, so downstream output is bit-identical to matchBuildRight.
+func (j *HashJoin) matchBuildLeft(c context.Context, ctx *Ctx, left, right *relation.Relation, lIdx, rIdx []int) ([]int, []int, error) {
+	idx, err := j.buildIndex(c, ctx, left, lIdx, j.L, j.lKeySpec())
+	if err != nil {
+		return nil, nil, err
+	}
+	lKeyVecs := colVecs(left, lIdx)
+	rKeyVecs := alignProbeVecs(ctx, colVecs(right, rIdx), lKeyVecs)
+	rSel, lSel, err := probePairs(c, ctx, idx, rKeyVecs, lKeyVecs, right.NumRows())
+	if err != nil {
+		return nil, nil, err
+	}
+	lSel, rSel = restoreJoinOrder(lSel, rSel, left.NumRows())
+	return lSel, rSel, nil
+}
+
+// probePairs probes the index with probeVecs and returns matching
+// (probe, build) row pairs, ordered by ascending probe row with build rows
+// ascending within each probe row.
+func probePairs(c context.Context, ctx *Ctx, idx *joinIndex, probeVecs, buildVecs []vector.Vector, probeRows int) ([]int, []int, error) {
+	pHash := hashVecsParallel(c, ctx, probeVecs, probeRows, idx.seed)
+
+	// Probe in parallel: each morsel of probe rows collects its matches
+	// into its own pair lists, merged in morsel order below — the same
+	// output order the serial loop produces. Many-to-one joins (foreign
+	// key → dictionary) are the common case; start with one output row per
+	// probe row.
+	ranges := ctx.morselRanges(len(pHash))
+	pParts := make([][]int, len(ranges))
+	bParts := make([][]int, len(ranges))
+	ctx.runRanges(c, ranges, func(m, lo, hi int) {
+		pp := make([]int, 0, hi-lo)
+		bp := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			// The probe is the join's longest loop; check cancellation
+			// every few thousand rows so even a single-morsel (serial)
+			// probe stops promptly. Partial parts are discarded below.
+			if i&0x1fff == 0x1fff && c.Err() != nil {
+				break
+			}
+			for _, bi := range idx.buckets.lookup(pHash[i]) {
+				if vecsEqual(probeVecs, i, buildVecs, int(bi)) {
+					pp = append(pp, i)
+					bp = append(bp, int(bi))
+				}
+			}
+		}
+		pParts[m], bParts[m] = pp, bp
+	})
+	if err := c.Err(); err != nil {
+		return nil, nil, err
+	}
+	total := 0
+	for _, p := range pParts {
+		total += len(p)
+	}
+	pSel := make([]int, 0, total)
+	bSel := make([]int, 0, total)
+	for m := range pParts {
+		pSel = append(pSel, pParts[m]...)
+		bSel = append(bSel, bParts[m]...)
+	}
+	return pSel, bSel, nil
+}
+
+// restoreJoinOrder stably reorders match pairs by ascending left row via a
+// counting sort — O(pairs + leftRows). The input arrives in right-major
+// order (right rows ascending, and within each right row ascending left
+// rows); stability therefore leaves right rows ascending within each left
+// row, which is exactly the canonical build-right output order.
+func restoreJoinOrder(lSel, rSel []int, leftRows int) ([]int, []int) {
+	counts := make([]int, leftRows+1)
+	for _, li := range lSel {
+		counts[li+1]++
+	}
+	for i := 1; i <= leftRows; i++ {
+		counts[i] += counts[i-1]
+	}
+	outL := make([]int, len(lSel))
+	outR := make([]int, len(rSel))
+	for k, li := range lSel {
+		pos := counts[li]
+		counts[li]++
+		outL[pos] = li
+		outR[pos] = rSel[k]
+	}
+	return outL, outR
+}
+
 // Fingerprint implements Node.
 func (j *HashJoin) Fingerprint() string {
 	return fmt.Sprintf("join[%s](%s=%s)(%s,%s)",
@@ -221,7 +297,11 @@ func (j *HashJoin) Children() []Node { return []Node{j.L, j.R} }
 
 // Label implements Node.
 func (j *HashJoin) Label() string {
-	return fmt.Sprintf("HashJoin[%s] %s=%s", j.PMode, j.lKeySpec(), j.rKeySpec())
+	build := ""
+	if j.BuildLeft {
+		build = " build=left"
+	}
+	return fmt.Sprintf("HashJoin[%s] %s=%s%s", j.PMode, j.lKeySpec(), j.rKeySpec(), build)
 }
 
 func checkPositions(r *relation.Relation, pos []int) ([]int, error) {
@@ -251,19 +331,19 @@ type joinIndex struct {
 // relation is not counted — it is cached, and weighed, separately.
 func (ix *joinIndex) EstimatedBytes() int64 { return ix.buckets.EstimatedBytes() }
 
-func (j *HashJoin) buildIndex(c context.Context, ctx *Ctx, right *relation.Relation, rIdx []int) (*joinIndex, error) {
-	build := func() (*joinIndex, error) {
-		idx := &joinIndex{seed: maphash.MakeSeed(), rel: right}
+func (j *HashJoin) buildIndex(c context.Context, ctx *Ctx, side *relation.Relation, keyIdx []int, sideNode Node, keySpec string) (*joinIndex, error) {
+	build := func(bc context.Context) (*joinIndex, error) {
+		idx := &joinIndex{seed: maphash.MakeSeed(), rel: side}
 		// The build side's own key vectors define the hash domain: a
 		// dict-encoded column hashes codes, a plain one hashes strings.
 		// Probes align to it (alignProbeVecs), so the index stays valid
 		// for probes of either representation.
-		rHash := hashVecsParallel(c, ctx, colVecs(right, rIdx), right.NumRows(), idx.seed)
-		buckets, err := buildBuckets(c, ctx, rHash)
+		sHash := hashVecsParallel(bc, ctx, colVecs(side, keyIdx), side.NumRows(), idx.seed)
+		buckets, err := buildBuckets(bc, ctx, sHash)
 		if err != nil {
 			return nil, err
 		}
-		if err := c.Err(); err != nil {
+		if err := bc.Err(); err != nil {
 			// Belt and braces: an index assembled under a cancelled
 			// context (partial hashes or partitions) must never reach the
 			// aux cache, where it would poison every later query.
@@ -272,23 +352,23 @@ func (j *HashJoin) buildIndex(c context.Context, ctx *Ctx, right *relation.Relat
 		idx.buckets = buckets
 		return idx, nil
 	}
-	cacheable := ctx.UseCache && ctx.Cat != nil && (ctx.CacheAll || isMaterialize(j.R))
+	cacheable := ctx.UseCache && ctx.Cat != nil && (ctx.CacheAll || isMaterialize(sideNode))
 	if !cacheable {
-		return build()
+		return build(c)
 	}
 	// Single-flight the index build: concurrent joins probing the same
 	// materialized build side wait for one index instead of each building
 	// their own (the on-demand index tables of section 2.1).
-	key := "hashidx|" + j.R.Fingerprint() + "|" + j.rKeySpec()
+	key := "hashidx|" + sideNode.Fingerprint() + "|" + keySpec
 	for try := 0; try < 2; try++ {
-		v, _, err := ctx.Cat.Cache().GetOrComputeAux(c, key, func() (any, error) {
-			return build()
+		v, _, err := ctx.Cat.Cache().GetOrComputeAux(c, key, func(bc context.Context) (any, error) {
+			return build(bc)
 		})
 		if err != nil {
 			return nil, err
 		}
 		idx, ok := v.(*joinIndex)
-		if ok && idx.rel == right {
+		if ok && idx.rel == side {
 			return idx, nil
 		}
 		// The cached index belongs to a stale relation (base data was
@@ -297,7 +377,7 @@ func (j *HashJoin) buildIndex(c context.Context, ctx *Ctx, right *relation.Relat
 		// fall through to a private, unshared build.
 		ctx.Cat.Cache().DropAux(key)
 	}
-	return build()
+	return build(c)
 }
 
 func colPositions(r *relation.Relation, names []string) ([]int, error) {

@@ -1,0 +1,374 @@
+package engine
+
+import (
+	"fmt"
+
+	"irdb/internal/catalog"
+	"irdb/internal/expr"
+)
+
+// The memo groups logically-equivalent sub-plans by fingerprint and costs
+// the physical alternatives of each group instead of rewriting greedily.
+// Today a group has at most two alternatives — a hash join building on its
+// right input (the syntactic default) or on its left (HashJoin.BuildLeft,
+// order-restored, bit-identical) — but the structure is the general one:
+// shared sub-plans land in one group and are costed once, estimates flow
+// bottom-up through the groups, and extraction picks every group's
+// cheapest alternative while sharing the spine of unchanged nodes.
+//
+// Cardinalities come from catalog.TableStats: base-table row counts and
+// per-column distinct bounds (dictionary lengths). Estimates are "known"
+// only when every input estimate is; a join's build side is swapped only
+// when both sides are known and the swap is strictly cheaper, so missing
+// statistics can never flip a plan on a guess.
+
+// memoPass runs the memo over the plan and extracts the cheapest
+// physical form.
+func memoPass(cat *catalog.Catalog, n Node, info *OptInfo) Node {
+	m := &memo{cat: cat, groups: map[string]*memoGroup{}}
+	g := m.group(n)
+	info.GroupsCosted += len(m.groups)
+	return m.extract(g, info)
+}
+
+type memo struct {
+	cat    *catalog.Catalog
+	groups map[string]*memoGroup
+}
+
+// memoGroup is one equivalence class of sub-plans: the original
+// expression, its estimated output cardinality, and the cost of the
+// cheapest physical alternative.
+type memoGroup struct {
+	node Node // original (canonical) expression
+	est  cardEst
+	cost float64 // cheapest alternative's cumulative cost
+
+	// swapJoin is set when the cheapest alternative of a join group
+	// builds on the left input.
+	swapJoin bool
+
+	extracted Node // memoized extraction result
+}
+
+// cardEst is an output-row estimate; known reports whether it is grounded
+// in catalog statistics (unknown estimates never justify a rewrite).
+type cardEst struct {
+	rows  float64
+	known bool
+}
+
+// Per-row cost weights: building a hash table costs about twice a probe
+// (hash + partition + insert vs hash + bucket scan), and the build-left
+// form pays an extra pass over the output pairs plus a counting array
+// over the build side for the order restore.
+const (
+	costProbe   = 1.0
+	costBuild   = 2.0
+	costRestore = 1.0
+)
+
+// memoKey names n's equivalence group. Materialize intentionally shares
+// its child's fingerprint (they cache identically), so the fingerprint
+// alone cannot tell them apart; prefixing one type tag per Materialize
+// wrapper keeps a barrier — and a stack of barriers — in a different
+// group from the plan it wraps.
+func memoKey(n Node) string {
+	if mat, ok := n.(*Materialize); ok {
+		return "*|" + memoKey(mat.Child)
+	}
+	return fmt.Sprintf("%T|%s", n, n.Fingerprint())
+}
+
+// group memoizes n's equivalence group: structurally identical sub-plans
+// (shared or not) resolve to the same group and are estimated and costed
+// once.
+func (m *memo) group(n Node) *memoGroup {
+	key := memoKey(n)
+	if g, ok := m.groups[key]; ok {
+		return g
+	}
+	g := &memoGroup{node: n}
+	m.groups[key] = g
+
+	// Child groups first: estimates and costs flow bottom-up.
+	var childCost float64
+	for _, c := range n.Children() {
+		childCost += m.group(c).cost
+	}
+	g.est = m.estimate(n)
+
+	if j, ok := n.(*HashJoin); ok && !j.BuildLeft {
+		l, r := m.group(j.L), m.group(j.R)
+		right := joinCost(l.est, r.est, g.est, false)
+		left := joinCost(l.est, r.est, g.est, true)
+		if l.est.known && r.est.known && left < right {
+			g.swapJoin = true
+			g.cost = childCost + left
+			return g
+		}
+		g.cost = childCost + right
+		return g
+	}
+	// Non-join groups have a single alternative; local cost is the output
+	// cardinality when known (a proxy for materialization work).
+	local := 0.0
+	if g.est.known {
+		local = g.est.rows
+	}
+	g.cost = childCost + local
+	return g
+}
+
+// joinCost is the local cost of one hash-join alternative; out is the
+// join's estimated output (identical for both alternatives, so it enters
+// the comparison only through the build-left restore pass).
+func joinCost(l, r, out cardEst, buildLeft bool) float64 {
+	if !l.known || !r.known {
+		return 0
+	}
+	build, probe := r.rows, l.rows
+	extra := 0.0
+	if buildLeft {
+		build, probe = l.rows, r.rows
+		// The counting-sort restore touches every output pair and a
+		// counter per left row.
+		extra = costRestore * (out.rows + l.rows)
+	}
+	return costBuild*build + costProbe*probe + extra
+}
+
+// estimate derives n's output cardinality from child estimates and
+// catalog statistics.
+func (m *memo) estimate(n Node) cardEst {
+	child := func(c Node) cardEst { return m.group(c).est }
+	switch x := n.(type) {
+	case *Scan:
+		if m.cat == nil {
+			return cardEst{}
+		}
+		st, ok := m.cat.TableStats(x.Table)
+		if !ok {
+			return cardEst{}
+		}
+		return cardEst{rows: float64(st.Rows), known: true}
+	case *Values:
+		if x.Rel == nil {
+			return cardEst{}
+		}
+		return cardEst{rows: float64(x.Rel.NumRows()), known: true}
+	case *Materialize:
+		return child(x.Child)
+	case *Limit:
+		return capEst(child(x.Child), x.N)
+	case *TopN:
+		return capEst(child(x.Child), x.N)
+	case *Select:
+		return selectEst(m.cat, x, child(x.Child))
+	case *Rename:
+		return child(x.Child)
+	case *Project:
+		return child(x.Child)
+	case *Extend:
+		return child(x.Child)
+	case *Sort:
+		return child(x.Child)
+	case *Normalize:
+		return child(x.Child)
+	case *ScaleProb:
+		return child(x.Child)
+	case *ProbFromCol:
+		return child(x.Child)
+	case *ProbToCol:
+		return child(x.Child)
+	case *RowNumber:
+		return child(x.Child)
+	case *Distinct:
+		return child(x.Child) // upper bound
+	case *Aggregate:
+		return child(x.Child) // upper bound
+	case *HashJoin:
+		return m.joinEst(x)
+	case *Union:
+		return sumEst(child(x.L), child(x.R))
+	case *Unite:
+		return sumEst(child(x.L), child(x.R)) // upper bound
+	case *Subtract:
+		return child(x.L) // upper bound (probabilistic difference keeps rows)
+	case *Concat:
+		est := cardEst{known: true}
+		for _, in := range x.Inputs {
+			est = sumEst(est, child(in))
+		}
+		return est
+	}
+	return cardEst{}
+}
+
+// joinEst estimates the join's output rows. When the distinct-value
+// count of a join key is known (a dictionary length over a base-table
+// scan), the classic equi-join estimate |L|·|R| / max(d_L, d_R) applies —
+// this is what lets a selective probe side produce a small output, which
+// in turn is what makes building on the smaller side ever pay for its
+// order-restoring pass. Without usable key statistics the estimate falls
+// back to the foreign-key/dictionary shape that dominates the paper's
+// strategies (every probe row matches about one build row): the larger
+// input.
+func (m *memo) joinEst(j *HashJoin) cardEst {
+	l, r := m.group(j.L).est, m.group(j.R).est
+	if !l.known || !r.known {
+		return cardEst{}
+	}
+	// Per-side distinct bounds, clamped by that side's row estimate (a
+	// selection cannot leave more distinct values than rows).
+	dl := min(float64(m.keyDistinct(j.L, j.LKeys, j.LPos)), l.rows)
+	dr := min(float64(m.keyDistinct(j.R, j.RKeys, j.RPos)), r.rows)
+	if d := max(dl, dr); d >= 1 {
+		rows := l.rows * r.rows / d
+		if rows < 1 {
+			rows = 1
+		}
+		return cardEst{rows: rows, known: true}
+	}
+	return cardEst{rows: max(l.rows, r.rows), known: true}
+}
+
+// keyDistinct bounds the distinct join-key values on one side: the
+// dictionary length of a single named or positional key column, resolved
+// through schema-preserving wrappers to a base-table scan; 0 when
+// unknown. Multi-key joins report unknown — one dictionary does not
+// bound a composite key's cardinality.
+func (m *memo) keyDistinct(side Node, keys []string, pos []int) int {
+	var name string
+	switch {
+	case len(keys) == 1 && len(pos) == 0:
+		name = keys[0]
+	case len(pos) == 1:
+		sch, ok := staticSchema(m.cat, side)
+		if !ok || pos[0] < 0 || pos[0] >= len(sch) {
+			return 0
+		}
+		name = sch[pos[0]]
+	default:
+		return 0
+	}
+	scan := baseScan(side)
+	if scan == nil || m.cat == nil {
+		return 0
+	}
+	st, ok := m.cat.TableStats(scan.Table)
+	if !ok {
+		return 0
+	}
+	return st.Distinct[name]
+}
+
+func capEst(e cardEst, n int) cardEst {
+	if !e.known {
+		return cardEst{rows: float64(n), known: n >= 0}
+	}
+	return cardEst{rows: min(e.rows, float64(n)), known: true}
+}
+
+func sumEst(a, b cardEst) cardEst {
+	if !a.known || !b.known {
+		return cardEst{}
+	}
+	return cardEst{rows: a.rows + b.rows, known: true}
+}
+
+// defaultSelectivity is the guess for predicates without usable
+// statistics; equality against a dict-encoded column refines it to
+// 1/distinct.
+const defaultSelectivity = 1.0 / 3
+
+// selectEst scales the child estimate by per-conjunct selectivities.
+// Equality of a base-table dictionary column against a literal uses the
+// dictionary length as a distinct-value bound.
+func selectEst(cat *catalog.Catalog, s *Select, in cardEst) cardEst {
+	if !in.known {
+		return cardEst{}
+	}
+	rows := in.rows
+	for _, cj := range splitConjuncts(s.Pred) {
+		sel := defaultSelectivity
+		if d := eqDistinct(cat, s.Child, cj); d > 1 {
+			sel = 1 / float64(d)
+		}
+		rows *= sel
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return cardEst{rows: rows, known: true}
+}
+
+// eqDistinct returns the distinct-value bound for an equality conjunct
+// `col = literal` (either order) evaluated directly over a base-table
+// scan, or 0 when no bound applies.
+func eqDistinct(cat *catalog.Catalog, child Node, cj expr.Expr) int {
+	cmp, ok := cj.(expr.Cmp)
+	if !ok || cmp.Op != expr.Eq {
+		return 0
+	}
+	var col expr.Col
+	switch {
+	case isLit(cmp.R):
+		col, ok = cmp.L.(expr.Col)
+	case isLit(cmp.L):
+		col, ok = cmp.R.(expr.Col)
+	default:
+		return 0
+	}
+	if !ok {
+		return 0
+	}
+	scan := baseScan(child)
+	if scan == nil || cat == nil {
+		return 0
+	}
+	st, found := cat.TableStats(scan.Table)
+	if !found {
+		return 0
+	}
+	return st.Distinct[col.Name]
+}
+
+func isLit(e expr.Expr) bool {
+	_, ok := e.(expr.Lit)
+	return ok
+}
+
+// baseScan peels schema-preserving wrappers to find the base-table scan a
+// selection reads, if any.
+func baseScan(n Node) *Scan {
+	switch x := n.(type) {
+	case *Scan:
+		return x
+	case *Materialize:
+		return baseScan(x.Child)
+	case *Select:
+		return baseScan(x.Child)
+	}
+	return nil
+}
+
+// extract materializes a group's cheapest alternative, recursively
+// extracting child groups and sharing every unchanged node with the
+// original plan.
+func (m *memo) extract(g *memoGroup, info *OptInfo) Node {
+	if g.extracted != nil {
+		return g.extracted
+	}
+	n := rewriteChildren(g.node, func(c Node) Node {
+		return m.extract(m.group(c), info)
+	})
+	if g.swapJoin {
+		j := *(n.(*HashJoin))
+		j.BuildLeft = true
+		info.JoinsSwapped++
+		n = &j
+	}
+	g.extracted = n
+	return n
+}

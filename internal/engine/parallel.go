@@ -16,6 +16,16 @@ import (
 // loops over fewer than 2*minMorsel rows run inline.
 const minMorsel = 2048
 
+// morselUnitRows caps one morsel of the chunked row loops (gather, row
+// hashing, predicate eval, hash-build partitioning), the same bounded-unit
+// trick sortRunRows applies to sort runs: morsels beyond the worker count
+// execute inline between runRanges' cancellation checks, so a cancelled
+// scan-heavy loop stops within one unit's worth of work instead of
+// finishing a full 1/parallelism share. Every caller merges per-morsel
+// results in morsel order (or writes disjoint rows), so the decomposition
+// never shows in results.
+const morselUnitRows = 64 * 1024
+
 // parallelism reports the effective worker count: Ctx.Parallelism, or
 // GOMAXPROCS when unset.
 func (ctx *Ctx) parallelism() int {
@@ -120,21 +130,29 @@ func (ctx *Ctx) parallelRanges(c context.Context, n int, fn func(lo, hi int)) {
 }
 
 // morselRanges returns the [lo, hi) boundaries parallelRanges would use,
-// for callers that need to pre-size one output bucket per morsel.
+// for callers that need to pre-size one output bucket per morsel. One
+// morsel per worker when that keeps morsels small, capped at
+// morselUnitRows for cancellation granularity, floored at minMorsel so
+// tiny inputs stay serial — the same shape as sortRanges.
 func (ctx *Ctx) morselRanges(n int) [][2]int {
-	p := ctx.parallelism()
-	if p <= 1 || n < 2*minMorsel {
-		if n == 0 {
-			return nil
-		}
+	if n == 0 {
+		return nil
+	}
+	if n < 2*minMorsel {
 		return [][2]int{{0, n}}
 	}
-	chunks := (n + minMorsel - 1) / minMorsel
-	if chunks > p {
-		chunks = p
+	p := ctx.parallelism()
+	size := (n + p - 1) / p
+	if size > morselUnitRows {
+		size = morselUnitRows
 	}
-	size := (n + chunks - 1) / chunks
-	out := make([][2]int, 0, chunks)
+	if size < minMorsel {
+		size = minMorsel
+	}
+	if n <= size {
+		return [][2]int{{0, n}}
+	}
+	out := make([][2]int, 0, (n+size-1)/size)
 	for lo := 0; lo < n; lo += size {
 		hi := lo + size
 		if hi > n {

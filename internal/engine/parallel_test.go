@@ -477,3 +477,53 @@ func TestParallelRangesCoverage(t *testing.T) {
 		}
 	}
 }
+
+// TestMorselRangesBoundedUnits: chunked loops decompose into units capped
+// at morselUnitRows regardless of parallelism — the sortRunRows trick
+// generalized to gather/hash loops — floored at minMorsel, with tiny
+// inputs staying serial.
+func TestMorselRangesBoundedUnits(t *testing.T) {
+	cases := []struct {
+		par, n    int
+		wantCount int
+	}{
+		{1, 10 * morselUnitRows, 10}, // serial, still 10 cancellation units
+		{8, 8 * morselUnitRows, 8},   // one unit per worker
+		{8, 16 * morselUnitRows, 16}, // per-worker share above cap: capped
+		{2, 2*minMorsel - 1, 1},      // tiny input stays serial
+		{8, 4 * minMorsel, 4},        // floored at minMorsel
+		{1, morselUnitRows, 1},       // exactly one unit
+	}
+	for _, tc := range cases {
+		ctx := &Ctx{Parallelism: tc.par}
+		ranges := ctx.morselRanges(tc.n)
+		if len(ranges) != tc.wantCount {
+			t.Errorf("par=%d n=%d: %d ranges, want %d", tc.par, tc.n, len(ranges), tc.wantCount)
+		}
+		for _, r := range ranges {
+			if sz := r[1] - r[0]; sz > morselUnitRows {
+				t.Errorf("par=%d n=%d: unit of %d rows exceeds morselUnitRows", tc.par, tc.n, sz)
+			}
+		}
+	}
+}
+
+// TestChunkedLoopCancelsBetweenUnits: at parallelism 1 a chunked loop over
+// many units stops at the first unit boundary after cancellation instead
+// of finishing the whole input inline.
+func TestChunkedLoopCancelsBetweenUnits(t *testing.T) {
+	ctx := &Ctx{Parallelism: 1}
+	n := 10 * morselUnitRows
+	if got := len(ctx.morselRanges(n)); got < 2 {
+		t.Fatalf("want multiple units at parallelism 1, got %d", got)
+	}
+	c, cancel := context.WithCancel(context.Background())
+	units := 0
+	ctx.parallelRanges(c, n, func(lo, hi int) {
+		units++
+		cancel() // cancelled mid-first-unit; no further unit may start
+	})
+	if units != 1 {
+		t.Errorf("ran %d units after cancellation, want 1", units)
+	}
+}

@@ -1,0 +1,146 @@
+package engine
+
+// rewriteChildren applies f to every direct child of n and, when any child
+// changed, returns a shallow copy of n pointing at the new children.
+// Unchanged nodes are returned as-is, so rewrite passes share the
+// untouched spine of a plan with its original — the same sharing contract
+// Bind uses, which keeps fingerprints (and cache entries) of unmodified
+// sub-plans stable. Unknown node types are returned unchanged: a pass can
+// never corrupt an operator it does not understand.
+func rewriteChildren(n Node, f func(Node) Node) Node {
+	switch x := n.(type) {
+	case *Scan, *Values:
+		return n
+	case *Materialize:
+		if c := f(x.Child); c != x.Child {
+			return &Materialize{Child: c}
+		}
+	case *Limit:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *Rename:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *Select:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *Project:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *Extend:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *HashJoin:
+		l, r := f(x.L), f(x.R)
+		if l != x.L || r != x.R {
+			cp := *x
+			cp.L, cp.R = l, r
+			return &cp
+		}
+	case *Union:
+		l, r := f(x.L), f(x.R)
+		if l != x.L || r != x.R {
+			return &Union{L: l, R: r}
+		}
+	case *Concat:
+		changed := false
+		inputs := make([]Node, len(x.Inputs))
+		for i, in := range x.Inputs {
+			inputs[i] = f(in)
+			changed = changed || inputs[i] != in
+		}
+		if changed {
+			return &Concat{Inputs: inputs}
+		}
+	case *Unite:
+		l, r := f(x.L), f(x.R)
+		if l != x.L || r != x.R {
+			cp := *x
+			cp.L, cp.R = l, r
+			return &cp
+		}
+	case *Subtract:
+		l, r := f(x.L), f(x.R)
+		if l != x.L || r != x.R {
+			cp := *x
+			cp.L, cp.R = l, r
+			return &cp
+		}
+	case *Aggregate:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *Distinct:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *Sort:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *TopN:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *Normalize:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *ScaleProb:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *ProbFromCol:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *ProbToCol:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *RowNumber:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	case *Tokenize:
+		if c := f(x.Child); c != x.Child {
+			cp := *x
+			cp.Child = c
+			return &cp
+		}
+	}
+	return n
+}

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"strconv"
+
+	"irdb/internal/catalog"
+)
+
+// Static schema resolution for the optimizer (optimize.go). The engine has
+// no compile-time type system — operators discover their input schemas at
+// execution — so the optimizer derives output column names per operator
+// shape, resolving Scan leaves through the catalog. Resolution is
+// best-effort: any node whose schema cannot be derived (an unknown
+// operator type, a missing table, an arity mismatch) reports !ok and every
+// rewrite that would have needed it is skipped. Derived schemas describe
+// column NAMES only; representation (plain vs dict-encoded) and kinds stay
+// a runtime property.
+//
+// Prepared plans are optimized once; the derived schemas assume base-table
+// column names are stable across data reloads, which the public loaders
+// (LoadTriples, LoadDocs) guarantee. Replacing a table with differently
+// named columns invalidates prepared statements in the unoptimized engine
+// too (by-name lookups fail at run time), so optimization does not widen
+// that contract.
+
+// staticSchema returns the output column names of the subtree rooted at n,
+// or !ok when they cannot be derived.
+func staticSchema(cat *catalog.Catalog, n Node) ([]string, bool) {
+	switch x := n.(type) {
+	case *Scan:
+		if cat == nil {
+			return nil, false
+		}
+		rel, err := cat.Table(x.Table)
+		if err != nil {
+			return nil, false
+		}
+		return rel.ColumnNames(), true
+	case *Values:
+		if x.Rel == nil {
+			return nil, false
+		}
+		return x.Rel.ColumnNames(), true
+	case *Materialize:
+		return staticSchema(cat, x.Child)
+	case *Select:
+		return staticSchema(cat, x.Child)
+	case *Limit:
+		return staticSchema(cat, x.Child)
+	case *Sort:
+		return staticSchema(cat, x.Child)
+	case *TopN:
+		return staticSchema(cat, x.Child)
+	case *Distinct:
+		return staticSchema(cat, x.Child)
+	case *Normalize:
+		return staticSchema(cat, x.Child)
+	case *ScaleProb:
+		return staticSchema(cat, x.Child)
+	case *Rename:
+		child, ok := staticSchema(cat, x.Child)
+		if !ok || len(child) != len(x.Names) {
+			return nil, false
+		}
+		return append([]string(nil), x.Names...), true
+	case *Project:
+		out := make([]string, len(x.Cols))
+		for i, pc := range x.Cols {
+			out[i] = pc.Name
+		}
+		return out, true
+	case *Extend:
+		child, ok := staticSchema(cat, x.Child)
+		if !ok {
+			return nil, false
+		}
+		return append(append([]string(nil), child...), x.Name), true
+	case *RowNumber:
+		child, ok := staticSchema(cat, x.Child)
+		if !ok {
+			return nil, false
+		}
+		return append(append([]string(nil), child...), x.Name), true
+	case *ProbToCol:
+		child, ok := staticSchema(cat, x.Child)
+		if !ok {
+			return nil, false
+		}
+		return append(append([]string(nil), child...), x.Name), true
+	case *ProbFromCol:
+		child, ok := staticSchema(cat, x.Child)
+		if !ok {
+			return nil, false
+		}
+		if !x.Drop {
+			return child, true
+		}
+		out := make([]string, 0, len(child))
+		dropped := false
+		for _, c := range child {
+			if !dropped && c == x.Col {
+				dropped = true
+				continue
+			}
+			out = append(out, c)
+		}
+		return out, true
+	case *Tokenize:
+		return []string{x.IDCol, "token", "pos"}, true
+	case *HashJoin:
+		l, lok := staticSchema(cat, x.L)
+		r, rok := staticSchema(cat, x.R)
+		if !lok || !rok {
+			return nil, false
+		}
+		return joinOutputNames(l, r), true
+	case *Union:
+		return staticSchema(cat, x.L)
+	case *Unite:
+		return staticSchema(cat, x.L)
+	case *Subtract:
+		return staticSchema(cat, x.L)
+	case *Concat:
+		if len(x.Inputs) == 0 {
+			return nil, false
+		}
+		return staticSchema(cat, x.Inputs[0])
+	case *Aggregate:
+		out := make([]string, 0, len(x.GroupBy)+len(x.Aggs))
+		out = append(out, x.GroupBy...)
+		for _, a := range x.Aggs {
+			out = append(out, a.As)
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// joinOutputNames mirrors HashJoin.Execute's output naming: all left
+// columns, then all right columns with clashing names deduplicated by a
+// numeric suffix.
+func joinOutputNames(l, r []string) []string {
+	names := make(map[string]bool, len(l)+len(r))
+	out := make([]string, 0, len(l)+len(r))
+	for _, n := range l {
+		names[n] = true
+		out = append(out, n)
+	}
+	for _, n := range r {
+		name := n
+		for i := 2; names[name]; i++ {
+			name = joinDedupName(n, i)
+		}
+		names[name] = true
+		out = append(out, name)
+	}
+	return out
+}
+
+// joinDedupName renders the numeric clash suffix exactly as
+// HashJoin.Execute's fmt.Sprintf("%s_%d", base, i) does.
+func joinDedupName(base string, i int) string {
+	return base + "_" + strconv.Itoa(i)
+}
+
+// uniqueNames reports whether a schema has no duplicate column names —
+// rewrites that look columns up by name require it.
+func uniqueNames(schema []string) bool {
+	seen := make(map[string]bool, len(schema))
+	for _, n := range schema {
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+	}
+	return true
+}

@@ -44,7 +44,7 @@ func E4(cfg Config) (*Result, error) {
 	strat := strategy.Auction(0.7, 0.3)
 
 	runQuery := func(q string) error {
-		plan, err := strat.Compile(&strategy.Compiler{Query: q})
+		plan, err := strat.CompileOptimized(&strategy.Compiler{Query: q}, ctx)
 		if err != nil {
 			return err
 		}

@@ -42,7 +42,7 @@ func E7(cfg Config) (*Result, error) {
 	measure := func(s *strategy.Strategy, c *strategy.Compiler) (*bench.Latencies, error) {
 		run := func(q string) error {
 			c.Query = q
-			plan, err := s.Compile(c)
+			plan, err := s.CompileOptimized(c, ctx)
 			if err != nil {
 				return err
 			}

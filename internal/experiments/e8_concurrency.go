@@ -41,7 +41,7 @@ func E8(cfg Config) (*Result, error) {
 	}
 
 	searchOnce := func(ctx *engine.Ctx, q string) error {
-		plan, err := st.Compile(&strategy.Compiler{Query: q})
+		plan, err := st.CompileOptimized(&strategy.Compiler{Query: q}, ctx)
 		if err != nil {
 			return err
 		}

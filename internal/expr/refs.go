@@ -1,0 +1,213 @@
+package expr
+
+import (
+	"fmt"
+
+	"irdb/internal/vector"
+)
+
+// Static analysis helpers for the plan optimizer: what an expression reads
+// from its input relation, structural column renaming, and constant
+// boolean folding. All three are conservative — anything they do not
+// recognize is reported in a way that blocks rewrites rather than enabling
+// them.
+
+// Refs describes everything an expression reads from the relation it is
+// evaluated against.
+type Refs struct {
+	// Cols lists named column references in first-appearance order,
+	// without duplicates.
+	Cols []string
+	// Positions lists $n positional references (1-based, as in ColIdx) in
+	// first-appearance order, without duplicates.
+	Positions []int
+	// Positional is true when a positional reference appears — including
+	// the unknown-expression case where Positions stays empty; plans
+	// containing positional references must not be reordered column-wise.
+	Positional bool
+	// Prob is true when PROB() appears: the expression depends on tuple
+	// probabilities, which operators like joins recombine.
+	Prob bool
+	// Param is true when a ?name placeholder appears.
+	Param bool
+}
+
+// RefsOf analyses e.
+func RefsOf(e Expr) Refs {
+	var r Refs
+	collectRefs(e, &r)
+	return r
+}
+
+func collectRefs(e Expr, r *Refs) {
+	switch x := e.(type) {
+	case Col:
+		for _, c := range r.Cols {
+			if c == x.Name {
+				return
+			}
+		}
+		r.Cols = append(r.Cols, x.Name)
+	case ColIdx:
+		r.Positional = true
+		for _, p := range r.Positions {
+			if p == x.Idx {
+				return
+			}
+		}
+		r.Positions = append(r.Positions, x.Idx)
+	case Prob:
+		r.Prob = true
+	case Param:
+		r.Param = true
+	case Cmp:
+		collectRefs(x.L, r)
+		collectRefs(x.R, r)
+	case And:
+		collectRefs(x.L, r)
+		collectRefs(x.R, r)
+	case Or:
+		collectRefs(x.L, r)
+		collectRefs(x.R, r)
+	case Not:
+		collectRefs(x.E, r)
+	case Arith:
+		collectRefs(x.L, r)
+		collectRefs(x.R, r)
+	case Call:
+		for _, a := range x.Args {
+			collectRefs(a, r)
+		}
+	case Lit:
+		// no references
+	default:
+		// Unknown expression type: assume the worst on every axis so no
+		// rewrite fires around it.
+		r.Positional = true
+		r.Prob = true
+		r.Param = true
+	}
+}
+
+// RenameCols returns e with every named column reference renamed through
+// m; names absent from m are kept. Positional and probability references
+// are unaffected (callers decide separately whether those are legal).
+func RenameCols(e Expr, m map[string]string) Expr {
+	switch x := e.(type) {
+	case Col:
+		if to, ok := m[x.Name]; ok {
+			return Col{Name: to}
+		}
+		return x
+	case Cmp:
+		return Cmp{Op: x.Op, L: RenameCols(x.L, m), R: RenameCols(x.R, m)}
+	case And:
+		return And{L: RenameCols(x.L, m), R: RenameCols(x.R, m)}
+	case Or:
+		return Or{L: RenameCols(x.L, m), R: RenameCols(x.R, m)}
+	case Not:
+		return Not{E: RenameCols(x.E, m)}
+	case Arith:
+		return Arith{Op: x.Op, L: RenameCols(x.L, m), R: RenameCols(x.R, m)}
+	case Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = RenameCols(a, m)
+		}
+		return Call{Name: x.Name, Args: args}
+	default:
+		return e
+	}
+}
+
+// ShiftPositions returns e with every $n positional reference shifted by
+// delta. Named and probability references are unaffected. Used when a
+// predicate moves across an operator that offsets column positions, such
+// as from a join's output into its right input.
+func ShiftPositions(e Expr, delta int) Expr {
+	if delta == 0 {
+		return e
+	}
+	switch x := e.(type) {
+	case ColIdx:
+		return ColIdx{Idx: x.Idx + delta}
+	case Cmp:
+		return Cmp{Op: x.Op, L: ShiftPositions(x.L, delta), R: ShiftPositions(x.R, delta)}
+	case And:
+		return And{L: ShiftPositions(x.L, delta), R: ShiftPositions(x.R, delta)}
+	case Or:
+		return Or{L: ShiftPositions(x.L, delta), R: ShiftPositions(x.R, delta)}
+	case Not:
+		return Not{E: ShiftPositions(x.E, delta)}
+	case Arith:
+		return Arith{Op: x.Op, L: ShiftPositions(x.L, delta), R: ShiftPositions(x.R, delta)}
+	case Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ShiftPositions(a, delta)
+		}
+		return Call{Name: x.Name, Args: args}
+	default:
+		return e
+	}
+}
+
+// ConstBool folds e to a constant boolean when that is statically sound:
+// boolean literals, not/and/or over foldable operands, and comparisons of
+// two literals. And/or fold only when both sides fold — evaluation is
+// strict (no short-circuit), so dropping an unfoldable side could hide a
+// type error the unoptimized plan would report.
+func ConstBool(e Expr) (val, ok bool) {
+	switch x := e.(type) {
+	case Lit:
+		b, isBool := x.Value.(bool)
+		return b, isBool
+	case Not:
+		v, ok := ConstBool(x.E)
+		return !v, ok
+	case And:
+		l, lok := ConstBool(x.L)
+		r, rok := ConstBool(x.R)
+		return l && r, lok && rok
+	case Or:
+		l, lok := ConstBool(x.L)
+		r, rok := ConstBool(x.R)
+		return l || r, lok && rok
+	case Cmp:
+		ll, lok := x.L.(Lit)
+		rl, rok := x.R.(Lit)
+		if !lok || !rok {
+			return false, false
+		}
+		lv, err := litConst(ll)
+		if err != nil {
+			return false, false
+		}
+		rv, err := litConst(rl)
+		if err != nil {
+			return false, false
+		}
+		v, err := cmpConstConst(x.Op, lv, rv)
+		if err != nil {
+			return false, false
+		}
+		return v, true
+	}
+	return false, false
+}
+
+// litConst converts a literal to a length-1 constant vector for folding.
+func litConst(l Lit) (*vector.Const, error) {
+	switch x := l.Value.(type) {
+	case int64:
+		return vector.ConstInt64(x, 1), nil
+	case float64:
+		return vector.ConstFloat64(x, 1), nil
+	case string:
+		return vector.ConstString(x, 1), nil
+	case bool:
+		return vector.ConstBool(x, 1), nil
+	default:
+		return nil, fmt.Errorf("expr: unsupported literal type %T", l.Value)
+	}
+}

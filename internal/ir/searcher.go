@@ -50,16 +50,19 @@ func (s *Searcher) BuildIndex(c context.Context) error {
 	if err != nil {
 		return err
 	}
-	if _, err := s.ctx.Exec(c, w); err != nil {
+	// Optimize exactly as Search does: the optimizer is deterministic and
+	// treats materialized sub-plans context-independently, so the views
+	// built here carry the fingerprints query-time plans will look up.
+	if _, err := s.ctx.Exec(c, s.ctx.Optimize(w)); err != nil {
 		return err
 	}
 	// Dirichlet scoring additionally touches doc_len at query time.
 	if s.p.Model == LMDirichlet {
-		if _, err := s.ctx.Exec(c, DocLenPlan(s.docs, s.p)); err != nil {
+		if _, err := s.ctx.Exec(c, s.ctx.Optimize(DocLenPlan(s.docs, s.p))); err != nil {
 			return err
 		}
 	}
-	_, err = s.ctx.Exec(c, TermDictPlan(s.docs, s.p))
+	_, err = s.ctx.Exec(c, s.ctx.Optimize(TermDictPlan(s.docs, s.p)))
 	return err
 }
 
@@ -129,7 +132,7 @@ func (s *Searcher) Search(c context.Context, query string, k int) ([]Hit, error)
 	if k > 0 {
 		plan = engine.NewLimit(plan, k)
 	}
-	rel, err := s.ctx.Exec(c, plan)
+	rel, err := s.ctx.Exec(c, s.ctx.Optimize(plan))
 	if err != nil {
 		return nil, err
 	}

@@ -207,7 +207,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	plan, err := st.Compile(&strategy.Compiler{Query: query, Synonyms: s.synonyms})
+	plan, err := st.CompileOptimized(&strategy.Compiler{Query: query, Synonyms: s.synonyms}, s.ctx)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -337,6 +337,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"node_execs":  s.ctx.NodeExecs(),
 			"cache_hits":  s.ctx.CacheHits(),
 		},
+		"optimizer": s.ctx.OptimizerStats(),
 		"admission": map[string]any{
 			"max_in_flight": cap(s.inFlight),
 			"in_flight":     len(s.inFlight),

@@ -41,7 +41,7 @@ func Eval(c context.Context, src string, env *Env, ctx *engine.Ctx) (*relation.R
 	if err != nil {
 		return nil, err
 	}
-	return ctx.Exec(c, plan)
+	return ctx.Exec(c, ctx.Optimize(plan))
 }
 
 // Explain parses src and renders the compiled engine plan of its result.

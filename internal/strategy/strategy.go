@@ -134,6 +134,19 @@ func (s *Strategy) Validate() error {
 	return nil
 }
 
+// CompileOptimized lowers the strategy and runs the plan through ctx's
+// optimizer — the form executors should prefer: machine-generated
+// strategies compile to naive plan shapes (selections above joins,
+// full-width scans) that the optimizer is built to clean up. Results are
+// bit-identical to executing the Compile output directly.
+func (s *Strategy) CompileOptimized(c *Compiler, ctx *engine.Ctx) (engine.Node, error) {
+	plan, err := s.Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.Optimize(plan), nil
+}
+
 // Compile lowers the strategy into one engine plan producing a ranked
 // (subject) relation with scores as tuple probabilities.
 func (s *Strategy) Compile(c *Compiler) (engine.Node, error) {

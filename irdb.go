@@ -49,6 +49,12 @@ type DB struct {
 	compiles atomic.Int64
 	queries  atomic.Int64
 	closed   atomic.Bool
+
+	// searcher caches the SearchDocs searcher (its construction walks the
+	// collection for BM25 statistics); LoadDocs invalidates it. A racing
+	// construction may store twice — both searchers are valid over the
+	// same docs table, last one wins.
+	searcher atomic.Pointer[ir.Searcher]
 }
 
 // Option configures Open.
@@ -230,6 +236,7 @@ func (db *DB) LoadDocs(docs []Doc) error {
 		b.AddP(p, d.ID, d.Text)
 	}
 	db.cat.Put(DocsTable, b.Build())
+	db.searcher.Store(nil)
 	return nil
 }
 
@@ -244,11 +251,11 @@ func (db *DB) Query(ctx context.Context, src string) (*Result, error) {
 	if err := db.check(); err != nil {
 		return nil, err
 	}
-	plan, err := db.compile(src)
+	naive, plan, err := db.compile(src)
 	if err != nil {
 		return nil, err
 	}
-	if params := engine.Params(plan); len(params) > 0 {
+	if params := engine.Params(naive); len(params) > 0 {
 		return nil, fmt.Errorf("irdb: statement has parameters %v; use Prepare and bind them", params)
 	}
 	release, err := db.acquire(ctx)
@@ -264,25 +271,38 @@ func (db *DB) Query(ctx context.Context, src string) (*Result, error) {
 	return &Result{rel: rel}, nil
 }
 
-// compile parses src against a fresh triples environment and lowers the
-// result onto the engine, bumping the parse/compile counters Stats
-// reports (prepared statements pay them once, ad-hoc queries per call).
-func (db *DB) compile(src string) (engine.Node, error) {
+// compile parses src against a fresh triples environment, lowers the
+// result onto the engine, and optimizes the plan, bumping the
+// parse/compile counters Stats reports (prepared statements pay them
+// once, ad-hoc queries per call). Both the naive plan as compiled and the
+// optimized plan actually executed are returned; the two produce
+// bit-identical results.
+func (db *DB) compile(src string) (naive, optimized engine.Node, err error) {
 	db.parses.Add(1)
 	prog, err := spinql.Parse(src, spinql.TriplesEnv())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	db.compiles.Add(1)
-	return prog.Result().Compile()
+	naive, err = prog.Result().Compile()
+	if err != nil {
+		return nil, nil, err
+	}
+	return naive, db.eng.Optimize(naive), nil
 }
 
-// Explain parses and compiles src and renders the engine plan.
+// Explain parses and compiles src and renders the engine plan — both the
+// naive plan as compiled and, when the optimizer changed it, the
+// optimized plan that Query would execute.
 func (db *DB) Explain(src string) (string, error) {
 	if err := db.check(); err != nil {
 		return "", err
 	}
-	return spinql.Explain(src, spinql.TriplesEnv())
+	naive, optimized, err := db.compile(src)
+	if err != nil {
+		return "", err
+	}
+	return engine.ExplainChange(naive, optimized), nil
 }
 
 // ToSQL parses src and renders its SQL translation — the SpinQL-to-SQL
@@ -368,8 +388,8 @@ func (db *DB) Search(ctx context.Context, strategyName, query string, k int) ([]
 	if err != nil {
 		return nil, err
 	}
-	ranked := engine.NewTopN(plan, k,
-		engine.SortSpec{Col: "", Desc: true}, engine.SortSpec{Col: triple.ColSubject})
+	ranked := db.eng.Optimize(engine.NewTopN(plan, k,
+		engine.SortSpec{Col: "", Desc: true}, engine.SortSpec{Col: triple.ColSubject}))
 	release, err := db.acquire(ctx)
 	if err != nil {
 		return nil, err
@@ -389,14 +409,20 @@ func (db *DB) Search(ctx context.Context, strategyName, query string, k int) ([]
 }
 
 // SearchDocs ranks the LoadDocs collection against a keyword query with
-// the default retrieval model (BM25) and returns the top k documents.
+// the default retrieval model (BM25) and returns the top k documents. The
+// searcher is constructed once and cached until the next LoadDocs.
 func (db *DB) SearchDocs(ctx context.Context, query string, k int) ([]Hit, error) {
 	if err := db.check(); err != nil {
 		return nil, err
 	}
-	s, err := ir.NewSearcher(db.eng, engine.NewScan(DocsTable), ir.DefaultParams())
-	if err != nil {
-		return nil, err
+	s := db.searcher.Load()
+	if s == nil {
+		var err error
+		s, err = ir.NewSearcher(db.eng, engine.NewScan(DocsTable), ir.DefaultParams())
+		if err != nil {
+			return nil, err
+		}
+		db.searcher.Store(s)
 	}
 	release, err := db.acquire(ctx)
 	if err != nil {
@@ -439,6 +465,19 @@ type ExecutorStats struct {
 	CacheHits   int64
 }
 
+// OptimizerStats counts plan-optimizer work across all queries: plans
+// seen, plans changed, and per-rewrite totals.
+type OptimizerStats struct {
+	Plans         int64
+	PlansChanged  int64
+	SelectsMerged int64
+	SelectsPushed int64
+	EmptyRewrites int64
+	ColumnsPruned int64
+	JoinsSwapped  int64
+	GroupsCosted  int64
+}
+
 // StatementStats counts the query-processing front end: how many parses
 // and plan compilations ran (prepared statements pay one each, ad-hoc
 // queries one per call) and how many queries executed.
@@ -453,12 +492,14 @@ type Stats struct {
 	Tables     []string
 	Cache      CacheStats
 	Executor   ExecutorStats
+	Optimizer  OptimizerStats
 	Statements StatementStats
 }
 
 // Stats returns a snapshot of catalog, cache and executor statistics.
 func (db *DB) Stats() Stats {
 	cs := db.cat.Cache().Stats()
+	os := db.eng.OptimizerStats()
 	par := db.eng.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -475,6 +516,16 @@ func (db *DB) Stats() Stats {
 			Parallelism: par,
 			NodeExecs:   db.eng.NodeExecs(),
 			CacheHits:   db.eng.CacheHits(),
+		},
+		Optimizer: OptimizerStats{
+			Plans:         os.Plans,
+			PlansChanged:  os.PlansChanged,
+			SelectsMerged: os.SelectsMerged,
+			SelectsPushed: os.SelectsPushed,
+			EmptyRewrites: os.EmptyRewrites,
+			ColumnsPruned: os.ColumnsPruned,
+			JoinsSwapped:  os.JoinsSwapped,
+			GroupsCosted:  os.GroupsCosted,
 		},
 		Statements: StatementStats{
 			Parses:   db.parses.Load(),

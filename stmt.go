@@ -36,11 +36,13 @@ func (db *DB) Prepare(src string) (*Stmt, error) {
 	if err := db.check(); err != nil {
 		return nil, err
 	}
-	plan, err := db.compile(src)
+	naive, plan, err := db.compile(src)
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, src: src, plan: plan, params: engine.Params(plan)}, nil
+	// Parameter names report in the naive plan's (source) order; the
+	// optimizer may move parameterized predicates around.
+	return &Stmt{db: db, src: src, plan: plan, params: engine.Params(naive)}, nil
 }
 
 // Source returns the statement's SpinQL text.
