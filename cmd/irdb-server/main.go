@@ -15,11 +15,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"irdb/internal/catalog"
 	"irdb/internal/engine"
@@ -39,6 +44,8 @@ func main() {
 		cacheMB  = flag.Int64("cache-mb", 0, "materialization cache byte budget in MiB (0 = unbounded)")
 		maxReq   = flag.Int("max-in-flight", 0, "concurrent search request limit (0 = 2x parallelism)")
 		timeout  = flag.Duration("timeout", 0, "per-request engine deadline, e.g. 2s (0 = none)")
+		admWait  = flag.Duration("admission-wait", 0, "max time a request may queue for admission before a fast 503 + Retry-After (0 = queue without bound)")
+		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -75,6 +82,9 @@ func main() {
 	if *timeout > 0 {
 		srv.SetTimeout(*timeout)
 	}
+	if *admWait > 0 {
+		srv.SetAdmissionWait(*admWait)
+	}
 	for _, st := range []*strategy.Strategy{
 		strategy.Toy(),
 		strategy.Auction(0.7, 0.3),
@@ -86,5 +96,29 @@ func main() {
 	}
 	log.Printf("installed strategies: %v", srv.StrategyNames())
 	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop admitting new queries,
+	// drain the in-flight ones (bounded by -drain-timeout), then close the
+	// listener. Requests arriving mid-drain get a fast 503 + Retry-After
+	// instead of a reset connection.
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-sigCtx.Done():
+	}
+	log.Printf("shutting down: draining in-flight requests (up to %s)", *drainFor)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("bye")
 }

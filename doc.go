@@ -82,6 +82,19 @@
 // in place; the serial-vs-parallel and prepared-vs-adhoc equivalence
 // suites pin the bit-identity guarantees.
 //
+// Failures are contained the same way: a panic in any engine goroutine
+// fails only that query, as a typed *PanicError (AsPanicError) carrying
+// the operator label and stack, with nothing cached and the process
+// intact. Snapshots (SaveSnapshot/LoadSnapshot) are durable — written
+// to a temp file with per-section checksums, fsynced, atomically
+// renamed — and a damaged file is refused with ErrCorruptSnapshot
+// before any catalog state changes. Under load the facade can bound
+// admission waits (WithAdmissionWait → ErrOverloaded) and the HTTP
+// server sheds with 503 + Retry-After, drains on Shutdown, and reports
+// a faults ledger under /stats. The fault-injection suite
+// (go test -tags faultinject) drives every one of these paths, crash
+// mid-snapshot-write included.
+//
 // The root package also holds the per-experiment benchmarks
 // (bench_test.go) and the BenchmarkPreparedQuery / BenchmarkAdhocQuery
 // pair demonstrating the eliminated re-parse/re-compile cost; the

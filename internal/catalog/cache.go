@@ -6,6 +6,8 @@ import (
 	"errors"
 	"sync"
 
+	"irdb/internal/fault"
+	"irdb/internal/faultpoint"
 	"irdb/internal/relation"
 )
 
@@ -55,6 +57,7 @@ type Cache struct {
 	evictions uint64
 	shared    uint64
 	oversize  uint64
+	panics    uint64 // compute panics the cache itself contained
 
 	// weigh overrides how relation entries are sized (set once at
 	// construction, before concurrent use). The catalog installs a
@@ -178,7 +181,27 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(conte
 	f, fctx := c.startFlight(false, key, ctx)
 
 	go func() {
-		f.rel, f.err = compute(fctx)
+		// The flight goroutine is detached from every caller; a panic in
+		// compute would otherwise kill the process AND leave f.done
+		// unclosed, deadlocking every waiter. Contain it: the panic becomes
+		// the flight's error (nothing is cached), waiters are released, and
+		// the process survives. The engine converts its own panics before
+		// they reach here — this is the cache's belt-and-braces for any
+		// compute callback.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					f.err = fault.Capture("cache compute "+key, r)
+					c.mu.Lock()
+					c.panics++
+					c.mu.Unlock()
+				}
+			}()
+			if f.err = faultpoint.Inject("catalog.cache.compute"); f.err != nil {
+				return
+			}
+			f.rel, f.err = compute(fctx)
+		}()
 		var b int64
 		if f.err == nil {
 			// Size the result before taking the lock: EstimatedBytes walks
@@ -290,7 +313,22 @@ func (c *Cache) GetOrComputeAux(ctx context.Context, key string, compute func(co
 	f, fctx := c.startFlight(true, key, ctx)
 
 	go func() {
-		f.aux, f.err = compute(fctx)
+		// Same containment as GetOrCompute's flight: a panicking index
+		// build must fail the waiters, not the process.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					f.err = fault.Capture("cache compute "+key, r)
+					c.mu.Lock()
+					c.panics++
+					c.mu.Unlock()
+				}
+			}()
+			if f.err = faultpoint.Inject("catalog.cache.compute"); f.err != nil {
+				return
+			}
+			f.aux, f.err = compute(fctx)
+		}()
 		var b int64
 		if f.err == nil {
 			b = sizeOfAux(f.aux) // sized before taking the lock, like GetOrCompute
@@ -513,6 +551,11 @@ type Stats struct {
 	Evictions  uint64
 	Shared     uint64
 	Oversize   uint64
+	// Panics counts compute callbacks whose panic the cache recovered at
+	// the flight boundary (the engine converts its own panics earlier, so
+	// this counts faults in non-engine compute callbacks). The panic
+	// becomes the flight's error; nothing is cached.
+	Panics     uint64
 	Entries    int
 	AuxEntries int
 	Bytes      int64
@@ -526,7 +569,7 @@ func (c *Cache) Stats() Stats {
 	defer c.mu.Unlock()
 	return Stats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		Shared: c.shared, Oversize: c.oversize,
+		Shared: c.shared, Oversize: c.oversize, Panics: c.panics,
 		Entries: len(c.entries), AuxEntries: len(c.aux),
 		Bytes: c.bytes, AuxBytes: c.auxBytes, MaxBytes: c.maxBytes,
 	}

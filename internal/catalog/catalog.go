@@ -30,6 +30,31 @@ type Catalog struct {
 	// is charged only its marginal bytes, never a dictionary the base
 	// data keeps alive anyway.
 	baseDicts atomic.Value
+
+	// Snapshot durability counters, surfaced in /stats "faults": how many
+	// durable saves and loads succeeded, and how many loads were refused
+	// because the file failed checksum or structural validation.
+	snapSaves   atomic.Int64
+	snapLoads   atomic.Int64
+	snapCorrupt atomic.Int64
+}
+
+// SnapshotStats counts snapshot persistence outcomes. CorruptLoads is the
+// number of LoadSnapshot/LoadFile calls that detected corruption and left
+// the catalog untouched.
+type SnapshotStats struct {
+	Saves        int64 `json:"saves"`
+	Loads        int64 `json:"loads"`
+	CorruptLoads int64 `json:"corrupt_loads"`
+}
+
+// SnapshotStats returns the snapshot persistence counters.
+func (c *Catalog) SnapshotStats() SnapshotStats {
+	return SnapshotStats{
+		Saves:        c.snapSaves.Load(),
+		Loads:        c.snapLoads.Load(),
+		CorruptLoads: c.snapCorrupt.Load(),
+	}
 }
 
 // New returns an empty catalog with a cache of the given capacity

@@ -1,10 +1,17 @@
 package catalog
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 
+	"irdb/internal/faultpoint"
 	"irdb/internal/relation"
 	"irdb/internal/vector"
 )
@@ -15,6 +22,44 @@ import (
 // in a self-describing binary format; the materialization cache is
 // deliberately not persisted — cache tables are re-derived on demand, as
 // the paper's design intends.
+//
+// Durability contract (version 3):
+//
+//   - The file is framed: a header, one checksummed section per payload
+//     (the shared dictionaries, then each table), and a trailer sealing
+//     the section list. Every section carries a CRC32-C of its bytes.
+//   - A truncated, bit-flipped, or otherwise damaged file is detected on
+//     read and reported as a *CorruptError (matching ErrCorruptSnapshot
+//     via errors.Is) naming the failing section and byte offset. The
+//     catalog is never partially updated: validation completes before any
+//     table is replaced.
+//   - SaveFile writes to a temp file in the destination directory, fsyncs
+//     it, and atomically renames it over the target, so a crash at any
+//     point leaves either the complete old snapshot or the complete new
+//     one — never a torn file.
+
+// ErrCorruptSnapshot reports that a snapshot failed checksum or structural
+// validation. Errors carrying detail (section, offset) wrap it; match with
+// errors.Is(err, ErrCorruptSnapshot).
+var ErrCorruptSnapshot = errors.New("catalog: corrupt snapshot")
+
+// CorruptError is the typed detail behind ErrCorruptSnapshot: which
+// section of the snapshot failed, at (roughly) which byte offset, and why.
+type CorruptError struct {
+	Section string // section name, e.g. "header", "dicts", "table:triples"
+	Offset  int64  // byte offset into the snapshot stream where reading failed
+	Reason  string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("catalog: corrupt snapshot: section %q at offset %d: %s",
+		e.Section, e.Offset, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrCorruptSnapshot) true for every
+// CorruptError.
+func (e *CorruptError) Unwrap() error { return ErrCorruptSnapshot }
 
 type snapshotColumn struct {
 	Name   string
@@ -23,7 +68,7 @@ type snapshotColumn struct {
 	Floats []float64
 	Strs   []string
 	Bools  []bool
-	// Version 2: a dict-encoded string column stores its codes plus an
+	// Version 2+: a dict-encoded string column stores its codes plus an
 	// index into the file-level Dicts table instead of expanded strings.
 	// Columns sharing one frozen dict share one Dicts entry, so encoding
 	// (and cross-column code comparability) survives a save/load cycle.
@@ -45,26 +90,38 @@ type snapshotFile struct {
 	Version int
 	Tables  []snapshotTable
 	// Dicts holds each shared dictionary's strings in code order
-	// (version 2; empty in version 1 files).
+	// (version 2+; empty in version 1 files).
 	Dicts [][]string
 }
 
 const (
 	snapshotMagic   = "irdb-snapshot"
-	snapshotVersion = 2
-	// oldest snapshot version LoadSnapshot still reads (version 1 files
-	// simply have no dict-encoded columns).
+	snapshotVersion = 3
+	// oldest snapshot version LoadSnapshot still reads. Versions 1 and 2
+	// are a single gob blob with no framing or checksums; they load (fully
+	// validated) but new saves always write the framed version 3.
 	snapshotMinVersion = 1
+
+	// Framed-format markers. The header magic doubles as the format sniff:
+	// legacy gob snapshots can never start with these 8 bytes (gob streams
+	// begin with a length byte < 0x80).
+	frameMagic = "IRDBSNP3"
+	frameEnd   = "IRDBEND!"
+
+	dictsSection = "dicts"
 )
 
-// Save writes every base table to w. The cache is not included.
-func (c *Catalog) Save(w io.Writer) error {
-	file := snapshotFile{Magic: snapshotMagic, Version: snapshotVersion}
+// castagnoli is the CRC32-C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// snapshot builds the serializable image of every base table.
+func (c *Catalog) snapshot() (*snapshotFile, error) {
+	file := &snapshotFile{Magic: snapshotMagic, Version: snapshotVersion}
 	dictIDs := map[*vector.FrozenDict]int{}
 	for _, name := range c.TableNames() {
 		rel, err := c.Table(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		st := snapshotTable{Name: name}
 		for _, col := range rel.Columns() {
@@ -89,28 +146,319 @@ func (c *Catalog) Save(w io.Writer) error {
 			case *vector.Bools:
 				sc.Bools = v.Values()
 			default:
-				return fmt.Errorf("catalog: cannot snapshot column kind %v", col.Vec.Kind())
+				return nil, fmt.Errorf("catalog: cannot snapshot column kind %v", col.Vec.Kind())
 			}
 			st.Cols = append(st.Cols, sc)
 		}
 		st.Prob = rel.Prob()
 		file.Tables = append(file.Tables, st)
 	}
-	return gob.NewEncoder(w).Encode(file)
+	return file, nil
+}
+
+// writeSection frames one named payload: name length + name, payload
+// length + payload, CRC32-C of the payload. The section's CRC is appended
+// to crcs for the trailer seal.
+func writeSection(w io.Writer, name string, payload []byte, crcs *[]uint32) error {
+	if err := faultpoint.Inject("catalog.snapshot.write.section"); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(name))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, name); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(payload))); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	crc := crc32.Checksum(payload, castagnoli)
+	*crcs = append(*crcs, crc)
+	return binary.Write(w, binary.LittleEndian, crc)
+}
+
+// Save writes every base table to w in the framed, checksummed format.
+// The cache is not included.
+func (c *Catalog) Save(w io.Writer) error {
+	file, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	enc := func(v any) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	if _, err := io.WriteString(w, frameMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(snapshotVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(1+len(file.Tables))); err != nil {
+		return err
+	}
+	var crcs []uint32
+	payload, err := enc(file.Dicts)
+	if err != nil {
+		return err
+	}
+	if err := writeSection(w, dictsSection, payload, &crcs); err != nil {
+		return err
+	}
+	for i := range file.Tables {
+		t := &file.Tables[i]
+		payload, err := enc(t)
+		if err != nil {
+			return err
+		}
+		if err := writeSection(w, "table:"+t.Name, payload, &crcs); err != nil {
+			return err
+		}
+	}
+	// Trailer: CRC over the section CRCs (detects truncation after a
+	// section boundary and reordered/substituted sections), then the end
+	// marker.
+	seal := crc32.Checksum(crcBytes(crcs), castagnoli)
+	if err := binary.Write(w, binary.LittleEndian, seal); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, frameEnd)
+	return err
+}
+
+func crcBytes(crcs []uint32) []byte {
+	b := make([]byte, 4*len(crcs))
+	for i, crc := range crcs {
+		binary.LittleEndian.PutUint32(b[4*i:], crc)
+	}
+	return b
+}
+
+// SaveFile durably writes the catalog snapshot to path: the bytes go to a
+// temp file in the same directory, are fsynced, and the temp file is
+// atomically renamed over path. A crash (or injected fault) at any point
+// leaves the previous snapshot at path intact and loadable.
+func (c *Catalog) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = c.Save(tmp); err != nil {
+		return err
+	}
+	if err = faultpoint.Inject("catalog.snapshot.fsync"); err != nil {
+		return err
+	}
+	// fsync before rename: the rename must never become visible while the
+	// file's bytes are still only in the page cache — that is exactly the
+	// torn state the checksums exist to catch.
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = faultpoint.Inject("catalog.snapshot.rename"); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable; some
+	// filesystems do not support fsync on directories.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	c.snapSaves.Add(1)
+	return nil
+}
+
+// LoadFile loads the snapshot at path into the catalog. Corruption —
+// truncation, bit flips, out-of-range dictionary codes — is reported as a
+// *CorruptError (errors.Is ErrCorruptSnapshot) and leaves the catalog
+// unchanged.
+func (c *Catalog) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.LoadSnapshot(f)
+}
+
+// countReader tracks how many bytes have been consumed, so corruption
+// errors can report where the stream went bad.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
 }
 
 // LoadSnapshot replaces the catalog's base tables with the snapshot
-// contents and clears the cache.
+// contents and clears the cache. Both the framed version 3 format and the
+// legacy gob formats (versions 1–2) are read; all of them are fully
+// validated before the catalog is touched.
 func (c *Catalog) LoadSnapshot(r io.Reader) error {
+	err := c.loadSnapshot(r)
+	if errors.Is(err, ErrCorruptSnapshot) {
+		c.snapCorrupt.Add(1)
+	} else if err == nil {
+		c.snapLoads.Add(1)
+	}
+	return err
+}
+
+func (c *Catalog) loadSnapshot(r io.Reader) error {
+	cr := &countReader{r: r}
+	magic := make([]byte, len(frameMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return &CorruptError{Section: "header", Offset: cr.n, Reason: "short read: " + err.Error()}
+	}
+	var file *snapshotFile
+	var err error
+	if string(magic) == frameMagic {
+		file, err = readFramed(cr)
+	} else {
+		// Legacy gob snapshot: the 8 bytes already consumed are part of the
+		// gob stream; stitch them back on.
+		file, err = readLegacy(io.MultiReader(bytes.NewReader(magic), cr))
+	}
+	if err != nil {
+		return err
+	}
+	return c.install(file)
+}
+
+// readFramed reads the version 3 section frames (header magic already
+// consumed), verifying every checksum and the trailer.
+func readFramed(cr *countReader) (*snapshotFile, error) {
+	corrupt := func(section, reason string) error {
+		return &CorruptError{Section: section, Offset: cr.n, Reason: reason}
+	}
+	var version, nSections uint32
+	if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
+		return nil, corrupt("header", "short read: "+err.Error())
+	}
+	if version != snapshotVersion {
+		return nil, corrupt("header", fmt.Sprintf("unsupported framed version %d", version))
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &nSections); err != nil {
+		return nil, corrupt("header", "short read: "+err.Error())
+	}
+	if nSections == 0 || nSections > 1<<20 {
+		return nil, corrupt("header", fmt.Sprintf("implausible section count %d", nSections))
+	}
+	file := &snapshotFile{Magic: snapshotMagic, Version: int(version)}
+	var crcs []uint32
+	for i := uint32(0); i < nSections; i++ {
+		var nameLen uint32
+		if err := binary.Read(cr, binary.LittleEndian, &nameLen); err != nil {
+			return nil, corrupt("section", "short read in name length: "+err.Error())
+		}
+		if nameLen > 4096 {
+			return nil, corrupt("section", fmt.Sprintf("implausible section name length %d", nameLen))
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(cr, name); err != nil {
+			return nil, corrupt("section", "short read in name: "+err.Error())
+		}
+		section := string(name)
+		var payloadLen uint64
+		if err := binary.Read(cr, binary.LittleEndian, &payloadLen); err != nil {
+			return nil, corrupt(section, "short read in payload length: "+err.Error())
+		}
+		if payloadLen > 1<<40 {
+			return nil, corrupt(section, fmt.Sprintf("implausible payload length %d", payloadLen))
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(cr, payload); err != nil {
+			return nil, corrupt(section, "short read in payload: "+err.Error())
+		}
+		var want uint32
+		if err := binary.Read(cr, binary.LittleEndian, &want); err != nil {
+			return nil, corrupt(section, "short read in checksum: "+err.Error())
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return nil, corrupt(section, fmt.Sprintf("checksum mismatch: stored %08x, computed %08x", want, got))
+		}
+		crcs = append(crcs, want)
+		dec := gob.NewDecoder(bytes.NewReader(payload))
+		switch {
+		case i == 0 && section == dictsSection:
+			if err := dec.Decode(&file.Dicts); err != nil {
+				return nil, corrupt(section, "decoding dictionaries: "+err.Error())
+			}
+		case i > 0 && len(section) > len("table:") && section[:len("table:")] == "table:":
+			var t snapshotTable
+			if err := dec.Decode(&t); err != nil {
+				return nil, corrupt(section, "decoding table: "+err.Error())
+			}
+			if "table:"+t.Name != section {
+				return nil, corrupt(section, fmt.Sprintf("section name does not match table %q", t.Name))
+			}
+			file.Tables = append(file.Tables, t)
+		default:
+			return nil, corrupt(section, "unexpected section")
+		}
+	}
+	var seal uint32
+	if err := binary.Read(cr, binary.LittleEndian, &seal); err != nil {
+		return nil, corrupt("trailer", "short read: "+err.Error())
+	}
+	if want := crc32.Checksum(crcBytes(crcs), castagnoli); seal != want {
+		return nil, corrupt("trailer", fmt.Sprintf("seal mismatch: stored %08x, computed %08x", seal, want))
+	}
+	end := make([]byte, len(frameEnd))
+	if _, err := io.ReadFull(cr, end); err != nil || string(end) != frameEnd {
+		return nil, corrupt("trailer", "missing end marker")
+	}
+	return file, nil
+}
+
+// readLegacy reads the single-gob-blob formats (versions 1 and 2).
+func readLegacy(r io.Reader) (*snapshotFile, error) {
 	var file snapshotFile
 	if err := gob.NewDecoder(r).Decode(&file); err != nil {
-		return fmt.Errorf("catalog: decoding snapshot: %w", err)
+		return nil, &CorruptError{Section: "gob", Reason: "decoding snapshot: " + err.Error()}
 	}
 	if file.Magic != snapshotMagic {
-		return fmt.Errorf("catalog: not a snapshot file (magic %q)", file.Magic)
+		return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("not a snapshot file (magic %q)", file.Magic)}
 	}
-	if file.Version < snapshotMinVersion || file.Version > snapshotVersion {
-		return fmt.Errorf("catalog: unsupported snapshot version %d", file.Version)
+	if file.Version < snapshotMinVersion || file.Version >= snapshotVersion {
+		return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("unsupported snapshot version %d", file.Version)}
+	}
+	return &file, nil
+}
+
+// install validates the decoded snapshot and, only if everything checks
+// out, replaces the catalog's tables. The decoded payload is untrusted
+// even when its checksums matched — checksums catch storage damage, not a
+// buggy or malicious writer — so structural invariants (dictionary
+// references, code ranges, column lengths) are re-validated here and
+// violations reported as corruption, never allowed to become a later
+// panic in DictStrings decode.
+func (c *Catalog) install(file *snapshotFile) error {
+	corrupt := func(section, format string, args ...any) error {
+		return &CorruptError{Section: section, Reason: fmt.Sprintf(format, args...)}
 	}
 	// Rebuild each shared dictionary once; columns referencing the same
 	// DictID share the same frozen dict, exactly as before the save.
@@ -119,7 +467,7 @@ func (c *Catalog) LoadSnapshot(r io.Reader) error {
 		d := vector.NewDict(len(strs))
 		for i, s := range strs {
 			if int(d.Put(s)) != i {
-				return fmt.Errorf("catalog: snapshot dict %d has duplicate string %q", di, s)
+				return corrupt(dictsSection, "dict %d has duplicate string %q", di, s)
 			}
 		}
 		dicts[di] = d.Freeze()
@@ -127,6 +475,10 @@ func (c *Catalog) LoadSnapshot(r io.Reader) error {
 	// Validate everything before mutating the catalog.
 	rels := make(map[string]*relation.Relation, len(file.Tables))
 	for _, st := range file.Tables {
+		section := "table:" + st.Name
+		if _, dup := rels[st.Name]; dup {
+			return corrupt(section, "duplicate table %q", st.Name)
+		}
 		cols := make([]relation.Column, len(st.Cols))
 		for i, sc := range st.Cols {
 			var vec vector.Vector
@@ -138,14 +490,16 @@ func (c *Catalog) LoadSnapshot(r io.Reader) error {
 			case vector.String:
 				if sc.Encoded {
 					if sc.DictID < 0 || sc.DictID >= len(dicts) {
-						return fmt.Errorf("catalog: snapshot table %q column %q references unknown dict %d",
-							st.Name, sc.Name, sc.DictID)
+						return corrupt(section, "column %q references unknown dict %d", sc.Name, sc.DictID)
 					}
 					d := dicts[sc.DictID]
-					for _, code := range sc.Codes {
+					// Bounds-check every code against its dictionary: an
+					// out-of-range code read from disk must fail here as
+					// corruption, not index past the dict later.
+					for ci, code := range sc.Codes {
 						if code < 0 || int(code) >= d.Len() {
-							return fmt.Errorf("catalog: snapshot table %q column %q has out-of-range code %d",
-								st.Name, sc.Name, code)
+							return corrupt(section, "column %q row %d has out-of-range code %d (dict %d holds %d strings)",
+								sc.Name, ci, code, sc.DictID, d.Len())
 						}
 					}
 					vec = vector.FromCodes(d, sc.Codes)
@@ -155,14 +509,15 @@ func (c *Catalog) LoadSnapshot(r io.Reader) error {
 			case vector.Bool:
 				vec = vector.FromBools(sc.Bools)
 			default:
-				return fmt.Errorf("catalog: snapshot table %q column %q has unknown kind %d",
-					st.Name, sc.Name, sc.Kind)
+				return corrupt(section, "column %q has unknown kind %d", sc.Name, sc.Kind)
 			}
 			cols[i] = relation.Column{Name: sc.Name, Vec: vec}
 		}
 		rel, err := relation.FromColumns(cols, st.Prob)
 		if err != nil {
-			return fmt.Errorf("catalog: snapshot table %q: %w", st.Name, err)
+			// Column-length or probability-length mismatch: structurally
+			// damaged table.
+			return corrupt(section, "%v", err)
 		}
 		rels[st.Name] = rel
 	}

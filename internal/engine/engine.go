@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"irdb/internal/catalog"
+	"irdb/internal/fault"
 	"irdb/internal/relation"
 	"irdb/internal/vector"
 )
@@ -52,6 +53,7 @@ type Ctx struct {
 
 	nodeExecs atomic.Int64
 	cacheHits atomic.Int64
+	panics    atomic.Int64
 
 	// optCounters accumulates per-plan optimizer work; see optimize.go.
 	optCounters
@@ -76,6 +78,12 @@ func (ctx *Ctx) NodeExecs() int64 { return ctx.nodeExecs.Load() }
 // CacheHits reports how many node evaluations were answered from the
 // materialization cache.
 func (ctx *Ctx) CacheHits() int64 { return ctx.cacheHits.Load() }
+
+// RecoveredPanics reports how many operator panics were contained and
+// converted into PanicError query failures. A non-zero value means a bug
+// fired in production and the process survived it; the counter is the
+// signal to go find the bug.
+func (ctx *Ctx) RecoveredPanics() int64 { return ctx.panics.Load() }
 
 // ResetStats zeroes the per-context counters.
 func (ctx *Ctx) ResetStats() {
@@ -113,10 +121,29 @@ func (ctx *Ctx) Exec(c context.Context, n Node) (*relation.Relation, error) {
 		}
 		break
 	}
-	execute := func(ec context.Context) (*relation.Relation, error) {
+	execute := func(ec context.Context) (rel *relation.Relation, err error) {
+		// Panic containment: a panic anywhere in the operator body — its own
+		// code, or one transferred from a morsel worker by runRanges —
+		// becomes a *PanicError instead of killing the process. The deferred
+		// recover runs after the cancellation bookkeeping below, so a panic
+		// deterministically wins over context.Canceled: a worker blowing up
+		// during a cancel must surface as the bug it is, not be masked as a
+		// client disconnect. The error path means the result is never cached.
+		defer func() {
+			if r := recover(); r != nil {
+				ctx.panics.Add(1)
+				rel, err = nil, fault.Capture(n.Label(), r)
+			}
+		}()
 		ctx.nodeExecs.Add(1)
 		r, err := n.Execute(ec, ctx)
 		if err != nil {
+			if _, isPanic := fault.AsPanicError(err); isPanic {
+				// A contained panic from a child subtree; pass it through
+				// undecorated (its Op already names the failing operator)
+				// and ahead of any cancellation of our own context.
+				return nil, err
+			}
 			if ec.Err() != nil {
 				// Cancellation surfaced through an operator; report it
 				// undecorated so callers match on context.Canceled /

@@ -1,0 +1,18 @@
+package engine
+
+import "irdb/internal/fault"
+
+// PanicError is the typed error a contained panic becomes: any panic in an
+// operator body, a morsel worker, a concurrent subtree evaluation, or a
+// detached cache computation is recovered at the goroutine boundary and
+// surfaces from Ctx.Exec as a *PanicError carrying the operator label and
+// a truncated stack. The query fails cleanly; the process survives.
+//
+// PanicError deliberately wins over context cancellation: when a worker
+// panics while the query is being cancelled, Exec returns the PanicError —
+// a bug signal must never be masked by the unlucky timing of a client
+// disconnect.
+type PanicError = fault.PanicError
+
+// AsPanicError unwraps err to the *PanicError it carries, if any.
+func AsPanicError(err error) (*PanicError, bool) { return fault.AsPanicError(err) }

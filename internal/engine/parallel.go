@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"sync"
 
+	"irdb/internal/fault"
+	"irdb/internal/faultpoint"
 	"irdb/internal/relation"
 )
 
@@ -79,8 +81,17 @@ func (ctx *Ctx) execPair(c context.Context, l, r Node) (*relation.Relation, *rel
 	go func() {
 		defer close(done)
 		defer ctx.release()
+		// Contain panics at the goroutine boundary: Exec recovers panics in
+		// operator bodies, but a fault in Exec's own plumbing must not kill
+		// the process either — it becomes this subtree's error.
+		defer fault.Recover("subtree "+r.Label(), &rErr)
 		right, rErr = ctx.Exec(c, r)
 	}()
+	// Drain before unwinding: if the left subtree panics below, the worker
+	// evaluating the right subtree must finish (and release its slot)
+	// before the panic propagates. Receiving again from the closed channel
+	// on the normal path is free.
+	defer func() { <-done }()
 	left, lErr := ctx.Exec(c, l)
 	<-done
 	if lErr != nil {
@@ -99,12 +110,16 @@ func (ctx *Ctx) execAll(c context.Context, nodes []Node) ([]*relation.Relation, 
 	out := make([]*relation.Relation, len(nodes))
 	errs := make([]error, len(nodes))
 	var wg sync.WaitGroup
+	// Drain even when an inline Exec panics mid-loop: outstanding branch
+	// workers must finish before the panic unwinds past this frame.
+	defer wg.Wait()
 	for i, n := range nodes {
 		if i < len(nodes)-1 && ctx.acquire() {
 			wg.Add(1)
 			go func(i int, n Node) {
 				defer wg.Done()
 				defer ctx.release()
+				defer fault.Recover("subtree "+n.Label(), &errs[i])
 				out[i], errs[i] = ctx.Exec(c, n)
 			}(i, n)
 		} else {
@@ -172,10 +187,48 @@ func (ctx *Ctx) morselRanges(n int) [][2]int {
 // morsel's worth of work. Skipped morsels leave their output slots
 // untouched — the caller's result is partial, which is fine because
 // Ctx.Exec discards any result produced under a cancelled context.
+//
+// Panic containment: a panic in any morsel — worker goroutine or inline —
+// is recovered at the morsel boundary so it never kills the process. The
+// first panic stops further dispatch, the pool drains (wg.Wait), and the
+// captured *fault.PanicError is re-panicked on the calling goroutine,
+// where Ctx.Exec's recover converts it into the query's error. The
+// transfer keeps the original worker stack, and it fires even when the
+// context was cancelled concurrently: a panic always outranks
+// cancellation.
 func (ctx *Ctx) runRanges(c context.Context, ranges [][2]int, fn func(m, lo, hi int)) {
-	var wg sync.WaitGroup
+	var (
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		pErr    *fault.PanicError
+	)
+	run := func(m, lo, hi int) {
+		defer func() {
+			if r := recover(); r != nil {
+				pe := fault.Capture("morsel worker", r)
+				panicMu.Lock()
+				if pErr == nil {
+					pErr = pe
+				}
+				panicMu.Unlock()
+			}
+		}()
+		// Fault-injection site for the morsel dispatch path; no error
+		// channel exists here, so a fired error is injected as a panic —
+		// exactly the containment path under test. Free when unarmed.
+		if err := faultpoint.Inject("engine.morsel"); err != nil {
+			panic(err)
+		}
+		fn(m, lo, hi)
+	}
 	for m, r := range ranges {
 		if c.Err() != nil {
+			break
+		}
+		panicMu.Lock()
+		panicked := pErr != nil
+		panicMu.Unlock()
+		if panicked {
 			break
 		}
 		if m < len(ranges)-1 && ctx.acquire() {
@@ -183,13 +236,16 @@ func (ctx *Ctx) runRanges(c context.Context, ranges [][2]int, fn func(m, lo, hi 
 			go func(m, lo, hi int) {
 				defer wg.Done()
 				defer ctx.release()
-				fn(m, lo, hi)
+				run(m, lo, hi)
 			}(m, r[0], r[1])
 		} else {
-			fn(m, r[0], r[1])
+			run(m, r[0], r[1])
 		}
 	}
 	wg.Wait()
+	if pErr != nil {
+		panic(pErr)
+	}
 }
 
 // gatherParallel is relation.Gather with the row copies split over

@@ -1,0 +1,85 @@
+// Package fault defines the typed error a contained panic becomes and the
+// recover helpers that produce it. It sits below every layer that spawns
+// goroutines (engine morsel workers, catalog single-flight computations),
+// so all of them convert panics into the same inspectable error instead of
+// killing the process.
+//
+// The contract: a panic inside a query never escapes a goroutine the
+// system owns. It is recovered at the goroutine boundary, captured as a
+// *PanicError carrying the operator label and a truncated stack, and
+// propagated to the caller as an ordinary error — the query fails, nothing
+// is cached, the worker pool drains, and the process keeps serving.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+)
+
+// maxStack bounds the stack captured into a PanicError. Panics can repeat
+// under load (the same poisoned row probed by every request); an unbounded
+// capture would turn each one into a multi-kilobyte allocation and log
+// line. 4 KiB keeps the panic site and a dozen frames, which is what a
+// human needs to find the bug.
+const maxStack = 4 << 10
+
+// PanicError is a recovered panic converted into an error. Op names the
+// operator or component whose code panicked (the innermost label known at
+// recovery time), Value is the value passed to panic, and Stack is the
+// panicking goroutine's stack, truncated to maxStack bytes.
+type PanicError struct {
+	Op    string
+	Value any
+	Stack []byte
+}
+
+// Error implements error. The stack is not included — it is for logs and
+// debugging via the Stack field, not for client-facing messages.
+func (e *PanicError) Error() string {
+	if e.Op == "" {
+		return fmt.Sprintf("panic: %v", e.Value)
+	}
+	return fmt.Sprintf("panic in %s: %v", e.Op, e.Value)
+}
+
+// Capture builds a PanicError from a recovered value, recording the
+// current goroutine's (truncated) stack. Call it from inside the deferred
+// function that recovered v, so the stack still shows the panic site.
+// If v already is a *PanicError — a panic transferred across a goroutine
+// boundary by re-panicking — it is returned as-is, keeping the original
+// stack; op fills in the operator label if the transfer left it empty.
+func Capture(op string, v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		if pe.Op == "" {
+			pe.Op = op
+		}
+		return pe
+	}
+	buf := make([]byte, maxStack)
+	buf = buf[:runtime.Stack(buf, false)]
+	return &PanicError{Op: op, Value: v, Stack: buf}
+}
+
+// Recover is the deferred guard for goroutines that report failures
+// through an error variable:
+//
+//	defer fault.Recover("subtree "+label, &err)
+//
+// On a panic it stores the captured *PanicError in *errp (overwriting any
+// earlier error: the panic is strictly more information); without a panic
+// it leaves *errp alone.
+func Recover(op string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = Capture(op, r)
+	}
+}
+
+// AsPanicError unwraps err to the *PanicError it carries, if any.
+func AsPanicError(err error) (*PanicError, bool) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}

@@ -1,0 +1,27 @@
+// Package faultpoint provides deterministic fault injection at named
+// sites. Production code marks its failure-prone moments with
+//
+//	if err := faultpoint.Inject("catalog.snapshot.rename"); err != nil {
+//		return err
+//	}
+//
+// In a normal build (no "faultinject" tag) Inject is a constant-nil no-op
+// the compiler inlines away: there is no registry, no lock, no map lookup
+// — fault points are free to leave in hot paths. Under
+//
+//	go test -tags faultinject ./...
+//
+// a process-wide registry activates and tests can arm any site to fire an
+// error, a panic, or a delay on its Nth hit:
+//
+//	faultpoint.Arm("engine.morsel", faultpoint.Spec{Panic: "boom", After: 3})
+//
+// This is what turns "we recover from a panic mid-join-probe" from a hope
+// into a test: every recovery path in the engine, catalog, and server is
+// exercised by a suite that forces the failure at an exact, repeatable
+// point rather than waiting for production to find it.
+//
+// Sites that cannot return an error (morsel bodies) panic with the fired
+// error; the engine's containment converts it back into an error upstream,
+// which is exactly the path under test.
+package faultpoint

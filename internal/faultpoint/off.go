@@ -1,0 +1,10 @@
+//go:build !faultinject
+
+package faultpoint
+
+// Enabled reports whether the fault-injection registry is compiled in.
+const Enabled = false
+
+// Inject is a no-op in normal builds. It is small enough to inline, so an
+// unarmed fault point costs nothing on the hot path.
+func Inject(site string) error { return nil }

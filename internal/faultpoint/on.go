@@ -1,0 +1,105 @@
+//go:build faultinject
+
+package faultpoint
+
+import (
+	"sync"
+	"time"
+)
+
+// Enabled reports whether the fault-injection registry is compiled in.
+const Enabled = true
+
+// Spec describes what an armed site does when it fires. Exactly one of
+// Err or Panic should be set (Delay may accompany either, or stand alone).
+type Spec struct {
+	// Err is returned from Inject when the site fires.
+	Err error
+	// Panic, when non-nil, makes Inject panic with this value instead of
+	// returning — the way to inject a crash into code that has no error
+	// path of its own.
+	Panic any
+	// Delay is slept before firing (and before a plain hit when neither
+	// Err nor Panic is set), for widening race windows deterministically.
+	Delay time.Duration
+	// After skips the first After hits, so a fault can be placed mid-way
+	// through a loop: After=3 fires on the 4th hit.
+	After int
+	// Count bounds how many times the site fires; 0 means every hit after
+	// After. A fired-out site keeps counting hits but stays quiet.
+	Count int
+}
+
+type armed struct {
+	spec  Spec
+	hits  int
+	fired int
+}
+
+var (
+	mu    sync.Mutex
+	sites = map[string]*armed{}
+)
+
+// Arm installs (or replaces) the spec for a site and resets its counters.
+func Arm(site string, s Spec) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[site] = &armed{spec: s}
+}
+
+// Disarm removes a site's spec; its Inject calls become no-ops again.
+func Disarm(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(sites, site)
+}
+
+// Reset disarms every site. Tests call it in cleanup so one test's
+// faults never leak into the next.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = map[string]*armed{}
+}
+
+// Hits reports how many times a site has been reached since it was armed
+// (fired or not) — lets a test assert the code path actually ran through
+// the fault point.
+func Hits(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if a, ok := sites[site]; ok {
+		return a.hits
+	}
+	return 0
+}
+
+// Inject fires the site's armed spec, if any: it returns the spec's error,
+// panics with its panic value, or sleeps its delay, respecting the
+// After/Count window. Unarmed sites return nil.
+func Inject(site string) error {
+	mu.Lock()
+	a, ok := sites[site]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	a.hits++
+	fire := a.hits > a.spec.After && (a.spec.Count <= 0 || a.fired < a.spec.Count)
+	if fire {
+		a.fired++
+	}
+	spec := a.spec
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	if spec.Delay > 0 {
+		time.Sleep(spec.Delay)
+	}
+	if spec.Panic != nil {
+		panic(spec.Panic)
+	}
+	return spec.Err
+}

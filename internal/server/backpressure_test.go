@@ -54,14 +54,14 @@ func TestBackpressureSemaphore(t *testing.T) {
 	}
 	// A caller whose context dies while queued must not be admitted.
 	cctx, cancel := context.WithCancel(context.Background())
-	admitted := make(chan bool, 1)
+	admitted := make(chan admitResult, 1)
 	go func() { admitted <- srv.acquire(cctx) }()
 	for srv.queueDepth.Load() != 2 {
 		time.Sleep(time.Millisecond)
 	}
 	cancel()
-	if <-admitted {
-		t.Fatal("acquire admitted a request whose context was cancelled while queued")
+	if got := <-admitted; got != admitGone {
+		t.Fatalf("acquire = %v for a request whose context was cancelled while queued, want admitGone", got)
 	}
 
 	srv.release()

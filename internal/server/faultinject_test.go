@@ -1,0 +1,72 @@
+//go:build faultinject
+
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"irdb/internal/faultpoint"
+	"irdb/internal/workload"
+)
+
+var errInjected = errors.New("injected search error")
+
+// TestInjectedHandlerPanicRecovered: a panic injected into the /search
+// handler is contained by the recovery middleware — the request answers
+// 500, the next request answers 200, and the incident is on the /stats
+// faults ledger. The server process never notices.
+func TestInjectedHandlerPanicRecovered(t *testing.T) {
+	_, ts := newTestServer(t)
+	v := workload.NewVocabulary(500, 7)
+	searchURL := ts.URL + "/search?strategy=auction-lots&k=5&q=" + url.QueryEscape(v.Word(10))
+
+	faultpoint.Arm("server.search", faultpoint.Spec{Panic: "injected handler crash", Count: 1})
+	t.Cleanup(faultpoint.Reset)
+
+	resp, err := http.Get(searchURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status with armed panic = %d, want 500", resp.StatusCode)
+	}
+	if faultpoint.Hits("server.search") == 0 {
+		t.Fatal("handler never reached the fault site")
+	}
+
+	// Count=1: the site fired out; the same process serves the retry.
+	if code := getJSON(t, searchURL, nil); code != http.StatusOK {
+		t.Fatalf("status after recovered panic = %d, want 200", code)
+	}
+
+	var stats struct {
+		Faults struct {
+			Recovered     int64 `json:"recovered_panics"`
+			HandlerPanics int64 `json:"handler_panics"`
+		} `json:"faults"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats status = %d", code)
+	}
+	if stats.Faults.HandlerPanics != 1 || stats.Faults.Recovered < 1 {
+		t.Errorf("faults ledger = %+v, want handler_panics=1", stats.Faults)
+	}
+}
+
+// TestInjectedHandlerError: an injected error (no panic) surfaces as a
+// clean 500 without touching the panic counters.
+func TestInjectedHandlerError(t *testing.T) {
+	srv, ts := newTestServer(t)
+	faultpoint.Arm("server.search", faultpoint.Spec{Err: errInjected, Count: 1})
+	t.Cleanup(faultpoint.Reset)
+	if code := getJSON(t, ts.URL+"/search?strategy=auction-lots&q=x", nil); code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", code)
+	}
+	if got := srv.handlerPanics.Load(); got != 0 {
+		t.Errorf("handlerPanics = %d, want 0 for an error-path fault", got)
+	}
+}

@@ -32,6 +32,8 @@ import (
 	"time"
 
 	"irdb/internal/engine"
+	"irdb/internal/fault"
+	"irdb/internal/faultpoint"
 	"irdb/internal/strategy"
 	"irdb/internal/text"
 	"irdb/internal/triple"
@@ -59,13 +61,34 @@ type Server struct {
 	inFlight    chan struct{} // request-level admission semaphore
 	queueDepth  atomic.Int64  // requests currently waiting for a slot
 	queuedTotal atomic.Int64  // requests that ever had to wait
+	queueWaitNS atomic.Int64  // cumulative time requests spent queued
 
 	// timeout bounds each admitted request's engine work (0 = none). The
 	// deadline starts when the request is admitted, not while it queues.
 	timeout time.Duration
 
-	cancelled atomic.Int64 // requests aborted by client disconnect
-	timedOut  atomic.Int64 // requests aborted by the server deadline
+	// admissionWait bounds how long a request may queue for an admission
+	// slot (0 = unbounded). A request whose wait would exceed it — or whose
+	// own deadline expires sooner — is shed fast with 503 + Retry-After
+	// instead of holding a connection open for an answer it will never get
+	// in time.
+	admissionWait time.Duration
+
+	// draining is set by Shutdown: no new request is admitted, in-flight
+	// requests finish. /stats keeps answering so the drain is observable.
+	// drainMu orders admission against Shutdown: admitters register with
+	// active under the read lock, Shutdown flips draining under the write
+	// lock, so every admitted request is either seen by Shutdown's Wait or
+	// refused — active.Add can never race active.Wait at zero.
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+	// active tracks admitted requests so Shutdown can wait for them.
+	active sync.WaitGroup
+
+	cancelled     atomic.Int64 // requests aborted by client disconnect
+	timedOut      atomic.Int64 // requests aborted by the server deadline
+	shed          atomic.Int64 // requests refused by admission-wait bound or drain
+	handlerPanics atomic.Int64 // panics the recovery middleware contained
 }
 
 type counter struct {
@@ -104,28 +127,141 @@ func (s *Server) SetMaxInFlight(n int) {
 // — and answers 504.
 func (s *Server) SetTimeout(d time.Duration) { s.timeout = d }
 
-// acquire admits a request, blocking (and counting the wait as queue
-// depth) while the semaphore is full. It reports false — without
-// admitting — if ctx is cancelled first, so a client that gave up while
-// queued never costs the pool a query's worth of work.
-func (s *Server) acquire(ctx context.Context) bool {
+// SetAdmissionWait bounds how long a request may queue for an admission
+// slot (0 = unbounded, the default). Must be called before the server
+// starts handling requests.
+func (s *Server) SetAdmissionWait(d time.Duration) { s.admissionWait = d }
+
+// Shutdown stops admitting requests and waits for the in-flight ones to
+// drain, or for ctx to expire (returning its error with requests still
+// running). New requests during and after the drain are answered 503 with
+// Retry-After; /stats keeps working so the drain is observable. Shutdown
+// does not close listeners — pair it with http.Server.Shutdown, which
+// stops accepting connections while this drains the query work.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.active.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admitResult says how acquire disposed of a request.
+type admitResult int
+
+const (
+	admitted  admitResult = iota // slot taken; caller must release()
+	admitShed                    // shed: queue wait would exceed the bound, or draining
+	admitGone                    // client's context ended while queued
+)
+
+// acquire admits a request, queueing (counted in queue depth and wait
+// time) while the semaphore is full. The queue wait is bounded by
+// admissionWait and by the request's own deadline, whichever is sooner;
+// a request that cannot be admitted in time is shed immediately — a fast
+// 503 the client can retry, instead of a slot-less wait that would end in
+// a timeout anyway.
+func (s *Server) acquire(ctx context.Context) admitResult {
+	if s.draining.Load() {
+		s.shed.Add(1)
+		return admitShed
+	}
 	select {
 	case s.inFlight <- struct{}{}:
-		return true
+		if !s.admit() {
+			<-s.inFlight
+			s.shed.Add(1)
+			return admitShed
+		}
+		return admitted
 	default:
 	}
 	s.queuedTotal.Add(1)
 	s.queueDepth.Add(1)
-	defer s.queueDepth.Add(-1)
+	start := time.Now()
+	defer func() {
+		s.queueDepth.Add(-1)
+		s.queueWaitNS.Add(time.Since(start).Nanoseconds())
+	}()
+
+	// The effective wait bound: admissionWait, capped by the time left on
+	// the request's own deadline (waiting longer than the client will wait
+	// is pure waste).
+	wait := s.admissionWait
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); wait <= 0 || rem < wait {
+			wait = rem
+		}
+	}
+	var timeoutC <-chan time.Time
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		timeoutC = t.C
+	} else if wait < 0 {
+		// Deadline already passed; shed without waiting.
+		s.shed.Add(1)
+		return admitShed
+	}
 	select {
 	case s.inFlight <- struct{}{}:
-		return true
+		if !s.admit() {
+			// Shutdown raced our admission; hand the slot back.
+			<-s.inFlight
+			s.shed.Add(1)
+			return admitShed
+		}
+		return admitted
+	case <-timeoutC:
+		s.shed.Add(1)
+		return admitShed
 	case <-ctx.Done():
-		return false
+		return admitGone
 	}
 }
 
-func (s *Server) release() { <-s.inFlight }
+// admit registers the caller (who holds an inFlight slot) as an active
+// request, unless the server is draining. The read lock orders the
+// registration against Shutdown's drain flip.
+func (s *Server) admit() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.active.Add(1)
+	return true
+}
+
+func (s *Server) release() {
+	<-s.inFlight
+	s.active.Done()
+}
+
+// shedResponse answers a request refused by admission: 503 plus a
+// Retry-After hint sized to the admission wait bound, so well-behaved
+// clients back off instead of hammering a saturated (or draining) server.
+func (s *Server) shedResponse(w http.ResponseWriter) {
+	retry := int(s.admissionWait / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	msg := "server overloaded; retry later"
+	if s.draining.Load() {
+		msg = "server shutting down"
+	}
+	httpError(w, http.StatusServiceUnavailable, msg)
+}
 
 // Install registers a strategy under its name, replacing any previous
 // one.
@@ -151,14 +287,36 @@ func (s *Server) StrategyNames() []string {
 	return out
 }
 
-// Handler returns the HTTP handler.
+// Handler returns the HTTP handler. Every route runs under the panic
+// recovery middleware: a handler panic answers 500, bumps the recovered
+// counter, and the process keeps serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /search", s.handleSearch)
 	mux.HandleFunc("GET /strategies", s.handleListStrategies)
 	mux.HandleFunc("POST /strategies", s.handleInstallStrategy)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	return s.withRecovery(mux)
+}
+
+// withRecovery is the outermost degradation layer: any panic that escapes
+// a handler — including engine plumbing outside Exec's own containment —
+// is recovered here, counted, and answered as a 500 instead of tearing
+// down the connection (net/http's default) or trusting every code path
+// below to be panic-free. The response is best-effort: if the handler
+// already wrote a partial body, the write of the error payload fails
+// silently, but the process always survives.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.handlerPanics.Add(1)
+				pe := fault.Capture(r.Method+" "+r.URL.Path, rec)
+				httpError(w, http.StatusInternalServerError, pe.Error())
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // SearchResult is one ranked hit in a search response.
@@ -200,8 +358,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Fault-injection site: tests arm it to panic inside the handler and
+	// prove the recovery middleware keeps the process serving.
+	if err := faultpoint.Inject("server.search"); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
 	start := time.Now()
-	if !s.acquire(r.Context()) {
+	switch s.acquire(r.Context()) {
+	case admitShed:
+		s.shedResponse(w)
+		return
+	case admitGone:
 		// Client went away while queued; nothing useful to send.
 		httpError(w, http.StatusServiceUnavailable, "request cancelled while queued")
 		return
@@ -293,7 +462,11 @@ func (s *Server) handleInstallStrategy(w http.ResponseWriter, r *http.Request) {
 	// the body is read and parsed — a slow or malformed upload must not
 	// occupy admission while doing no engine work. /stats stays exempt —
 	// it must answer while the pool is busy, that is its job.
-	if !s.acquire(r.Context()) {
+	switch s.acquire(r.Context()) {
+	case admitShed:
+		s.shedResponse(w)
+		return
+	case admitGone:
 		httpError(w, http.StatusServiceUnavailable, "request cancelled while queued")
 		return
 	}
@@ -339,13 +512,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"optimizer": s.ctx.OptimizerStats(),
 		"admission": map[string]any{
-			"max_in_flight": cap(s.inFlight),
-			"in_flight":     len(s.inFlight),
-			"queue_depth":   s.queueDepth.Load(),
-			"queued_total":  s.queuedTotal.Load(),
-			"timeout_ms":    s.timeout.Milliseconds(),
-			"cancelled":     s.cancelled.Load(),
-			"timed_out":     s.timedOut.Load(),
+			"max_in_flight":     cap(s.inFlight),
+			"in_flight":         len(s.inFlight),
+			"queue_depth":       s.queueDepth.Load(),
+			"queued_total":      s.queuedTotal.Load(),
+			"queue_wait_ms":     s.queueWaitNS.Load() / 1e6,
+			"admission_wait_ms": s.admissionWait.Milliseconds(),
+			"timeout_ms":        s.timeout.Milliseconds(),
+			"cancelled":         s.cancelled.Load(),
+			"timed_out":         s.timedOut.Load(),
+			"draining":          s.draining.Load(),
+		},
+		// The degradation ledger: every contained failure is counted here,
+		// so "the process survived" is observable, not anecdotal.
+		"faults": map[string]any{
+			"recovered_panics":       s.handlerPanics.Load() + s.ctx.RecoveredPanics(),
+			"handler_panics":         s.handlerPanics.Load(),
+			"query_panics":           s.ctx.RecoveredPanics(),
+			"cache_compute_panics":   cacheStats.Panics,
+			"corrupt_snapshot_loads": s.ctx.Cat.SnapshotStats().CorruptLoads,
+			"shed_requests":          s.shed.Load(),
 		},
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"irdb/internal/catalog"
 	"irdb/internal/engine"
@@ -23,6 +24,28 @@ import (
 
 // ErrClosed is returned by every operation on a closed DB.
 var ErrClosed = errors.New("irdb: database is closed")
+
+// ErrOverloaded is returned when the in-flight limit is reached and a
+// query's bounded admission wait (WithAdmissionWait) expires before a
+// slot frees up. It is the library-level analogue of an HTTP 503: the
+// caller should back off and retry rather than keep queueing.
+var ErrOverloaded = errors.New("irdb: too many in-flight queries")
+
+// ErrCorruptSnapshot is returned by LoadSnapshot when the file fails
+// checksum or structural validation. The database is left unchanged.
+// Match with errors.Is; the concrete error carries the failing section
+// and byte offset.
+var ErrCorruptSnapshot = catalog.ErrCorruptSnapshot
+
+// PanicError is the typed failure a query returns when an operator
+// panicked during execution. The panic is contained: the process
+// survives, the worker pool drains, and nothing is cached. Op names the
+// operator that blew up and Stack holds its (truncated) stack trace.
+type PanicError = engine.PanicError
+
+// AsPanicError reports whether err (or anything it wraps) is a
+// contained operator panic.
+func AsPanicError(err error) (*PanicError, bool) { return engine.AsPanicError(err) }
 
 // DB is the public face of the engine: a probabilistic triple store, a
 // document collection, the SpinQL query language with prepared
@@ -42,13 +65,20 @@ type DB struct {
 
 	// inFlight is the admission semaphore (nil = unbounded): queries past
 	// the limit queue context-aware, so a caller that gives up while
-	// queued never occupies a slot.
-	inFlight chan struct{}
+	// queued never occupies a slot. admissionWait bounds the queueing
+	// time (0 = wait as long as the context allows).
+	inFlight      chan struct{}
+	admissionWait time.Duration
 
-	parses   atomic.Int64
-	compiles atomic.Int64
-	queries  atomic.Int64
-	closed   atomic.Bool
+	// execMu tracks in-flight query execution for Close: queries hold the
+	// read side for their duration, Close takes the write side to drain.
+	execMu sync.RWMutex
+
+	parses     atomic.Int64
+	compiles   atomic.Int64
+	queries    atomic.Int64
+	overloaded atomic.Int64
+	closed     atomic.Bool
 
 	// searcher caches the SearchDocs searcher (its construction walks the
 	// collection for BM25 statistics); LoadDocs invalidates it. A racing
@@ -61,11 +91,12 @@ type DB struct {
 type Option func(*config)
 
 type config struct {
-	parallelism  int
-	cacheBytes   int64
-	cacheEntries int
-	maxInFlight  int
-	synonyms     map[string][]string
+	parallelism   int
+	cacheBytes    int64
+	cacheEntries  int
+	maxInFlight   int
+	admissionWait time.Duration
+	synonyms      map[string][]string
 }
 
 // WithParallelism bounds the engine worker pool shared by all concurrent
@@ -85,6 +116,13 @@ func WithCacheEntries(n int) Option { return func(c *config) { c.cacheEntries = 
 // queue (respecting their context) instead of oversubscribing the worker
 // pool. <= 0 (the default) means unbounded.
 func WithMaxInFlight(n int) Option { return func(c *config) { c.maxInFlight = n } }
+
+// WithAdmissionWait bounds how long a query may queue for an in-flight
+// slot before failing fast with ErrOverloaded. Only meaningful together
+// with WithMaxInFlight. <= 0 (the default) queues for as long as the
+// query's context allows — graceful degradation trades a little latency
+// headroom for never building an unbounded backlog.
+func WithAdmissionWait(d time.Duration) Option { return func(c *config) { c.admissionWait = d } }
 
 // WithSynonyms supplies the synonym dictionary used by strategies with
 // query expansion enabled.
@@ -112,16 +150,21 @@ func Open(opts ...Option) *DB {
 	}
 	if cfg.maxInFlight > 0 {
 		db.inFlight = make(chan struct{}, cfg.maxInFlight)
+		db.admissionWait = cfg.admissionWait
 	}
 	return db
 }
 
-// Close marks the database closed and drops its cache. Outstanding
-// queries finish; new operations return ErrClosed.
+// Close marks the database closed, drains in-flight queries, and drops
+// the cache. New operations return ErrClosed immediately; Close returns
+// once every outstanding Query/Search/SearchDocs call has finished (use
+// context cancellation on those calls to bound the drain).
 func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return ErrClosed
 	}
+	db.execMu.Lock()
+	defer db.execMu.Unlock()
 	db.cat.Cache().Clear()
 	return nil
 }
@@ -133,23 +176,51 @@ func (db *DB) check() error {
 	return nil
 }
 
+// begin registers a query execution with the Close drain. The closed
+// check happens under the read lock, so once Close holds the write side
+// no new query can slip in.
+func (db *DB) begin() (end func(), err error) {
+	db.execMu.RLock()
+	if db.closed.Load() {
+		db.execMu.RUnlock()
+		return nil, ErrClosed
+	}
+	return db.execMu.RUnlock, nil
+}
+
 // acquire admits one query, queueing context-aware when the in-flight
-// limit is reached. The returned release func is a no-op when admission
-// is unbounded.
+// limit is reached. When an admission wait is configured, queueing is
+// additionally bounded: a query that cannot start within the wait fails
+// fast with ErrOverloaded instead of deepening the backlog. The returned
+// release func is a no-op when admission is unbounded.
 func (db *DB) acquire(ctx context.Context) (release func(), err error) {
 	if db.inFlight == nil {
 		return func() {}, nil
 	}
 	select {
 	case db.inFlight <- struct{}{}:
+		return func() { <-db.inFlight }, nil
 	default:
+	}
+	if db.admissionWait > 0 {
+		t := time.NewTimer(db.admissionWait)
+		defer t.Stop()
 		select {
 		case db.inFlight <- struct{}{}:
+			return func() { <-db.inFlight }, nil
+		case <-t.C:
+			db.overloaded.Add(1)
+			return nil, ErrOverloaded
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
-	return func() { <-db.inFlight }, nil
+	select {
+	case db.inFlight <- struct{}{}:
+		return func() { <-db.inFlight }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -241,6 +312,41 @@ func (db *DB) LoadDocs(docs []Doc) error {
 }
 
 // ---------------------------------------------------------------------------
+// Snapshots
+
+// SaveSnapshot durably writes the base tables (dictionaries included) to
+// path: temp file in the same directory, per-section CRC32 checksums,
+// fsync, atomic rename. A crash at any point leaves either the previous
+// file or the new one — never a torn mix. The materialization cache is
+// not saved; it rebuilds on demand.
+func (db *DB) SaveSnapshot(path string) error {
+	end, err := db.begin()
+	if err != nil {
+		return err
+	}
+	defer end()
+	return db.cat.SaveFile(path)
+}
+
+// LoadSnapshot replaces the base tables with the contents of a snapshot
+// file, invalidating the materialization cache. Every checksum and
+// structural invariant is verified before anything is replaced: on a
+// corrupt file LoadSnapshot returns an error matching ErrCorruptSnapshot
+// and the database is unchanged.
+func (db *DB) LoadSnapshot(path string) error {
+	end, err := db.begin()
+	if err != nil {
+		return err
+	}
+	defer end()
+	if err := db.cat.LoadFile(path); err != nil {
+		return err
+	}
+	db.searcher.Store(nil)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
 // Queries
 
 // Query parses, compiles and executes a SpinQL program, returning the
@@ -248,9 +354,11 @@ func (db *DB) LoadDocs(docs []Doc) error {
 // repeated execution use Prepare, which does both exactly once.
 // Statements with ?name parameters must go through Prepare.
 func (db *DB) Query(ctx context.Context, src string) (*Result, error) {
-	if err := db.check(); err != nil {
+	end, err := db.begin()
+	if err != nil {
 		return nil, err
 	}
+	defer end()
 	naive, plan, err := db.compile(src)
 	if err != nil {
 		return nil, err
@@ -375,9 +483,11 @@ type Hit struct {
 // the top k subjects. ctx's deadline and cancellation abort the plan
 // mid-execution.
 func (db *DB) Search(ctx context.Context, strategyName, query string, k int) ([]Hit, error) {
-	if err := db.check(); err != nil {
+	end, err := db.begin()
+	if err != nil {
 		return nil, err
 	}
+	defer end()
 	db.mu.RLock()
 	st, ok := db.strategies[strategyName]
 	db.mu.RUnlock()
@@ -412,9 +522,11 @@ func (db *DB) Search(ctx context.Context, strategyName, query string, k int) ([]
 // the default retrieval model (BM25) and returns the top k documents. The
 // searcher is constructed once and cached until the next LoadDocs.
 func (db *DB) SearchDocs(ctx context.Context, query string, k int) ([]Hit, error) {
-	if err := db.check(); err != nil {
+	end, err := db.begin()
+	if err != nil {
 		return nil, err
 	}
+	defer end()
 	s := db.searcher.Load()
 	if s == nil {
 		var err error
@@ -487,6 +599,23 @@ type StatementStats struct {
 	Queries  int64
 }
 
+// FaultStats counts contained failures: every entry here is an incident
+// the process survived instead of crashing or serving bad data.
+type FaultStats struct {
+	// RecoveredPanics counts operator panics converted to PanicError.
+	RecoveredPanics int64
+	// CachePanics counts panics contained inside detached cache flights.
+	CachePanics uint64
+	// Overloaded counts queries shed with ErrOverloaded.
+	Overloaded int64
+	// SnapshotSaves / SnapshotLoads count successful durable snapshot
+	// writes and reads; CorruptSnapshotLoads counts reads refused after
+	// checksum or validation failure (the catalog was left unchanged).
+	SnapshotSaves        int64
+	SnapshotLoads        int64
+	CorruptSnapshotLoads int64
+}
+
 // Stats is a point-in-time snapshot of the database.
 type Stats struct {
 	Tables     []string
@@ -494,11 +623,13 @@ type Stats struct {
 	Executor   ExecutorStats
 	Optimizer  OptimizerStats
 	Statements StatementStats
+	Faults     FaultStats
 }
 
 // Stats returns a snapshot of catalog, cache and executor statistics.
 func (db *DB) Stats() Stats {
 	cs := db.cat.Cache().Stats()
+	ss := db.cat.SnapshotStats()
 	os := db.eng.OptimizerStats()
 	par := db.eng.Parallelism
 	if par <= 0 {
@@ -531,6 +662,14 @@ func (db *DB) Stats() Stats {
 			Parses:   db.parses.Load(),
 			Compiles: db.compiles.Load(),
 			Queries:  db.queries.Load(),
+		},
+		Faults: FaultStats{
+			RecoveredPanics:      db.eng.RecoveredPanics(),
+			CachePanics:          cs.Panics,
+			Overloaded:           db.overloaded.Load(),
+			SnapshotSaves:        ss.Saves,
+			SnapshotLoads:        ss.Loads,
+			CorruptSnapshotLoads: ss.CorruptLoads,
 		},
 	}
 }

@@ -71,9 +71,11 @@ func P(name string, value any) Param { return Param{Name: name, Value: value} }
 // placeholder, and ctx's deadline and cancellation abort the plan
 // mid-execution. Re-execution performs zero parse or compile work.
 func (s *Stmt) Query(ctx context.Context, params ...Param) (*Result, error) {
-	if err := s.db.check(); err != nil {
+	end, err := s.db.begin()
+	if err != nil {
 		return nil, err
 	}
+	defer end()
 	plan := s.plan
 	if len(s.params) > 0 || len(params) > 0 {
 		lits := make(map[string]expr.Lit, len(params))
