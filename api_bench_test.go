@@ -25,7 +25,7 @@ d = PROJECT INDEPENDENT [$1,$6] (
 
 func benchDB(b *testing.B) *DB {
 	b.Helper()
-	db := Open(WithParallelism(1))
+	db := openT(b, WithParallelism(1))
 	b.Cleanup(func() { db.Close() })
 	// Small graph on purpose: the per-call execution cost shrinks with the
 	// data, the per-call parse+compile cost of the ad-hoc path does not —

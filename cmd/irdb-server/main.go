@@ -28,16 +28,18 @@ import (
 
 	"irdb/internal/catalog"
 	"irdb/internal/engine"
+	"irdb/internal/ingest"
 	"irdb/internal/server"
 	"irdb/internal/strategy"
 	"irdb/internal/text"
 	"irdb/internal/triple"
+	"irdb/internal/wal"
 	"irdb/internal/workload"
 )
 
 func main() {
 	var (
-		dataPath = flag.String("data", "", "triples TSV file (required)")
+		dataPath = flag.String("data", "", "triples TSV file (required unless -wal holds recovered data)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		synTerms = flag.Int("synonyms", 200, "synthetic synonym dictionary size (0 disables)")
 		par      = flag.Int("parallelism", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial)")
@@ -46,28 +48,61 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-request engine deadline, e.g. 2s (0 = none)")
 		admWait  = flag.Duration("admission-wait", 0, "max time a request may queue for admission before a fast 503 + Retry-After (0 = queue without bound)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
+		walPath  = flag.String("wal", "", "durability directory (snapshot + write-ahead log); POST /append batches survive crashes and are recovered on restart")
+		fsync    = flag.String("fsync", "always", "WAL fsync policy: always, interval or off")
+		fsyncInt = flag.Duration("fsync-interval", 100*time.Millisecond, "minimum time between fsyncs under -fsync interval")
 	)
 	flag.Parse()
-	if *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "irdb-server: -data is required")
-		flag.Usage()
-		os.Exit(2)
-	}
-	f, err := os.Open(*dataPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	triples, err := triple.ReadTSV(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
 	cat := catalog.New(0)
 	if *cacheMB > 0 {
 		cat.Cache().SetMaxBytes(*cacheMB << 20)
 	}
-	triple.NewStore(cat).Load(triples)
-	log.Printf("loaded %d triples from %s", len(triples), *dataPath)
+	store := triple.NewStore(cat)
+	mgr := ingest.New(cat, store, "docs")
+	recovered := 0
+	if *walPath != "" {
+		policy, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mgr.OpenDurable(*walPath, wal.Options{Policy: policy, Interval: *fsyncInt}); err != nil {
+			log.Fatal(err)
+		}
+		nStr, nInt, nFlt, err := store.Counts()
+		if err != nil {
+			log.Fatal(err)
+		}
+		recovered = nStr + nInt + nFlt
+		ws, _ := mgr.WALStats()
+		log.Printf("recovered %d triples from %s (wal: %d records replayed, watermark %d)",
+			recovered, *walPath, ws.ReplayedRecords, ws.LastSeq)
+	}
+	switch {
+	case recovered > 0:
+		// The durability directory is the source of truth; reloading the
+		// TSV would wipe every recovered live append.
+		if *dataPath != "" {
+			log.Printf("ignoring -data %s: %s already holds recovered data", *dataPath, *walPath)
+		}
+	case *dataPath == "":
+		fmt.Fprintln(os.Stderr, "irdb-server: -data is required (no -wal directory with recovered data)")
+		flag.Usage()
+		os.Exit(2)
+	default:
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		triples, err := triple.ReadTSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mgr.ReplaceTriples(triples); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d triples from %s", len(triples), *dataPath)
+	}
 
 	var syn text.SynonymDict
 	if *synTerms > 0 {
@@ -76,6 +111,7 @@ func main() {
 	ctx := engine.NewCtx(cat)
 	ctx.Parallelism = *par
 	srv := server.New(ctx, syn)
+	srv.SetIngest(mgr)
 	if *maxReq > 0 {
 		srv.SetMaxInFlight(*maxReq)
 	}
@@ -119,6 +155,9 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)
+	}
+	if err := mgr.Close(); err != nil {
+		log.Printf("wal close: %v", err)
 	}
 	log.Printf("bye")
 }

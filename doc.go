@@ -14,16 +14,27 @@
 // abandoned request stops mid-plan instead of holding resources until
 // completion:
 //
-//	db := irdb.Open(
+//	db, err := irdb.Open(
 //		irdb.WithParallelism(8),
 //		irdb.WithCacheBytes(256<<20),
 //		irdb.WithMaxInFlight(16),
+//		irdb.WithDurability("/var/lib/irdb"), // optional: WAL + snapshots
 //	)
+//	if err != nil { ... }
 //	defer db.Close()
 //	db.LoadTriples(triples)
 //
 //	stmt, _ := db.Prepare(`SELECT [$2="category" and $3=?cat] (triples);`)
 //	res, err := stmt.Query(ctx, irdb.P("cat", "toy"))
+//
+// With WithDurability, writes are logged to a write-ahead log before
+// they apply: DB.AppendTriples, DB.DeleteTriples and DB.AppendDocs
+// return only after the batch is fsynced (per WithFsync policy), a
+// crash recovers to exactly the last acknowledged write on the next
+// Open, and DB.Checkpoint compacts the log into a checksummed snapshot.
+// Live appends land in delta segments over the frozen base columns and
+// evict only the cache entries that read a changed table (the watermark
+// rule); see internal/engine/README.md, "Durability model".
 //
 // Prepared statements parse and compile exactly once; Query binds ?name
 // placeholders to literals with a structural substitution thousands of

@@ -42,9 +42,12 @@ func main() {
 	fmt.Printf("generating auction graph: %d lots, %d auctions, %d sellers…\n",
 		cfg.Lots, cfg.Auctions, cfg.Sellers)
 	graph := workload.AuctionGraph(cfg)
-	db := irdb.Open(
+	db, err := irdb.Open(
 		irdb.WithSynonyms(workload.Synonyms(cfg.VocabSize, 200, 2, cfg.Seed)),
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer db.Close()
 	if err := db.LoadTriples(publicTriples(graph)); err != nil {
 		log.Fatal(err)

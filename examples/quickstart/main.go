@@ -21,9 +21,12 @@ func main() {
 	// --- Section 2.2: a flexible data model. Everything is triples; no
 	// application-specific schema. Note the confidence-scored category of
 	// p4 — uncertainty "originating from the data".
-	db := irdb.Open(irdb.WithCacheBytes(64 << 20))
+	db, err := irdb.Open(irdb.WithCacheBytes(64 << 20))
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer db.Close()
-	err := db.LoadTriples([]irdb.Triple{
+	err = db.LoadTriples([]irdb.Triple{
 		{Subject: "p1", Property: "category", Object: "toy"},
 		{Subject: "p1", Property: "description", Object: "wooden train set for young engineers"},
 		{Subject: "p2", Property: "category", Object: "toy"},

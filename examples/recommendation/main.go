@@ -42,7 +42,10 @@ SUBTRACT [] (theirs, mine);
 `
 
 func main() {
-	db := irdb.Open()
+	db, err := irdb.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer db.Close()
 	if err := db.LoadTriples(likesGraph()); err != nil {
 		log.Fatal(err)

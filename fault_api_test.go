@@ -30,7 +30,7 @@ func TestSnapshotFacadeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	dst := Open()
+	dst := openT(t)
 	t.Cleanup(func() { dst.Close() })
 	if err := dst.LoadSnapshot(path); err != nil {
 		t.Fatal(err)
@@ -53,7 +53,7 @@ func TestSnapshotFacadeRoundTrip(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	broken := Open()
+	broken := openT(t)
 	t.Cleanup(func() { broken.Close() })
 	before := len(broken.Stats().Tables)
 	err = broken.LoadSnapshot(path)
@@ -73,7 +73,7 @@ func TestSnapshotFacadeRoundTrip(t *testing.T) {
 // the query succeeds once the slot frees.
 func TestAdmissionWaitOverloaded(t *testing.T) {
 	ctx := context.Background()
-	db := Open(WithMaxInFlight(1), WithAdmissionWait(5*time.Millisecond))
+	db := openT(t, WithMaxInFlight(1), WithAdmissionWait(5*time.Millisecond))
 	t.Cleanup(func() { db.Close() })
 	if err := db.LoadTriples(testGraph(50)); err != nil {
 		t.Fatal(err)
@@ -98,7 +98,7 @@ func TestAdmissionWaitOverloaded(t *testing.T) {
 // TestCloseDrainsInFlight: Close blocks until running queries finish,
 // then every later operation reports ErrClosed.
 func TestCloseDrainsInFlight(t *testing.T) {
-	db := Open()
+	db := openT(t)
 	end, err := db.begin()
 	if err != nil {
 		t.Fatal(err)

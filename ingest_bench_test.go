@@ -1,0 +1,55 @@
+package irdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkAppendTriples measures live-ingest append throughput per
+// durability mode: memory-only (no WAL), and WAL-backed under each fsync
+// policy. The spread memory → off → interval → always is the price of
+// each durability level; "always" is dominated by one fsync per batch.
+func BenchmarkAppendTriples(b *testing.B) {
+	const batch = 100
+	modes := []struct {
+		name string
+		opts []Option
+	}{
+		{"memory", nil},
+		{"wal-fsync-off", []Option{WithFsync("off")}},
+		{"wal-fsync-interval", []Option{WithFsync("interval"), WithFsyncInterval(10 * time.Millisecond)}},
+		{"wal-fsync-always", []Option{WithFsync("always")}},
+	}
+	for _, m := range modes {
+		b.Run(fmt.Sprintf("%s/batch=%d", m.name, batch), func(b *testing.B) {
+			opts := []Option{WithParallelism(1)}
+			if m.name != "memory" {
+				opts = append(opts, WithDurability(b.TempDir()))
+			}
+			opts = append(opts, m.opts...)
+			db := openT(b, opts...)
+			b.Cleanup(func() { db.Close() })
+			if err := db.LoadTriples(testGraph(50)); err != nil {
+				b.Fatal(err)
+			}
+			rows := make([]Triple, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range rows {
+					rows[j] = Triple{
+						Subject:  fmt.Sprintf("live%08d", i*batch+j),
+						Property: "price",
+						Object:   int64(j),
+						P:        1,
+					}
+				}
+				if _, err := db.AppendTriples(rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}

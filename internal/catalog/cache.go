@@ -52,18 +52,28 @@ type Cache struct {
 	auxFlights map[string]*flight
 	gen        uint64
 
-	hits      uint64
-	misses    uint64
-	evictions uint64
-	shared    uint64
-	oversize  uint64
-	panics    uint64 // compute panics the cache itself contained
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	shared     uint64
+	oversize   uint64
+	panics     uint64 // compute panics the cache itself contained
+	staleDrops uint64 // flight results discarded as watermark-stale
+	depInvals  uint64 // entries evicted by selective dep invalidation
 
 	// weigh overrides how relation entries are sized (set once at
 	// construction, before concurrent use). The catalog installs a
 	// marginal-bytes weigher that charges nothing for dictionaries its
 	// base tables pin; a standalone cache falls back to EstimatedBytes.
 	weigh func(*relation.Relation) int64
+	// stale and curWM are the watermark hooks the catalog installs (set
+	// once at construction): curWM reads the current ingest watermark,
+	// stale reports whether a result computed at a given watermark over
+	// the given tables is out of date. Both may be called with c.mu held
+	// (lock order cache.mu -> catalog.verMu); nil hooks mean no ingest
+	// tracking (standalone cache) and nothing is ever stale.
+	stale func(deps []string, wm uint64) bool
+	curWM func() uint64
 }
 
 // flight is one in-progress computation that concurrent callers share.
@@ -95,6 +105,14 @@ type cacheEntry struct {
 	aux   any                // nil for relation entries
 	isAux bool
 	bytes int64 // EstimatedBytes at insertion, so accounting stays consistent
+	// deps is the set of base tables the entry was computed from, and wm
+	// the ingest watermark at which its computation started. A delta
+	// publish to table T evicts exactly the entries with T in deps (nil
+	// deps = unknown = evicted on any publish) computed before the new
+	// watermark. This is what lets an append keep unrelated hot entries
+	// resident instead of flushing the cache.
+	deps []string
+	wm   uint64
 }
 
 // sizeOfRel weighs a relation entry through the configured weigher.
@@ -147,7 +165,22 @@ func NewCache(capacity int) *Cache {
 // compute runs without the cache lock held, so it may use the cache for
 // other keys — but it must not call GetOrCompute for its own key, which
 // would deadlock on the in-flight entry.
+//
+// The entry is stored with an unknown dependency set, so any live-ingest
+// publish evicts it; callers that know which base tables the computation
+// scans should use GetOrComputeDeps to keep the entry resident across
+// appends to unrelated tables.
 func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(context.Context) (*relation.Relation, error)) (*relation.Relation, bool, error) {
+	return c.GetOrComputeDeps(ctx, key, nil, compute)
+}
+
+// GetOrComputeDeps is GetOrCompute with a declared dependency set: deps
+// names the base tables the computation reads. The entry is tagged with
+// deps and the ingest watermark captured when the flight starts, so a
+// delta publish evicts it only if a dependency actually changed — and a
+// result whose dependencies changed while it was computing is handed to
+// its waiters but never cached (counted as a stale drop).
+func (c *Cache) GetOrComputeDeps(ctx context.Context, key string, deps []string, compute func(context.Context) (*relation.Relation, error)) (*relation.Relation, bool, error) {
 	c.mu.Lock()
 	for {
 		if el, ok := c.entries[key]; ok {
@@ -178,6 +211,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(conte
 	}
 	c.misses++
 	gen := c.gen
+	wm := c.curWMLocked() // watermark BEFORE compute reads any table
 	f, fctx := c.startFlight(false, key, ctx)
 
 	go func() {
@@ -213,7 +247,14 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(conte
 			delete(c.flights, key)
 		}
 		if f.err == nil && c.gen == gen {
-			c.putLocked(key, f.rel, b)
+			if c.isStaleLocked(deps, wm) {
+				// A dependency was republished while we computed: the result
+				// may reflect pre-append data. Waiters still get it (their
+				// query began before the append), but it must not be cached.
+				c.staleDrops++
+			} else {
+				c.putLocked(key, f.rel, b, deps, wm)
+			}
 		}
 		c.mu.Unlock()
 		f.cancel() // release the flight context's resources
@@ -282,6 +323,12 @@ func abandonedFlight(flightErr error, ctx context.Context) bool {
 // other entry. Callers detach on their own ctx's cancellation without
 // killing the flight, exactly like GetOrCompute.
 func (c *Cache) GetOrComputeAux(ctx context.Context, key string, compute func(context.Context) (any, error)) (any, bool, error) {
+	return c.GetOrComputeAuxDeps(ctx, key, nil, compute)
+}
+
+// GetOrComputeAuxDeps is GetOrComputeAux with a declared dependency set;
+// see GetOrComputeDeps for the watermark-tagging rules.
+func (c *Cache) GetOrComputeAuxDeps(ctx context.Context, key string, deps []string, compute func(context.Context) (any, error)) (any, bool, error) {
 	c.mu.Lock()
 	for {
 		if el, ok := c.aux[key]; ok {
@@ -310,6 +357,7 @@ func (c *Cache) GetOrComputeAux(ctx context.Context, key string, compute func(co
 		}
 	}
 	gen := c.gen
+	wm := c.curWMLocked()
 	f, fctx := c.startFlight(true, key, ctx)
 
 	go func() {
@@ -338,7 +386,11 @@ func (c *Cache) GetOrComputeAux(ctx context.Context, key string, compute func(co
 			delete(c.auxFlights, key)
 		}
 		if f.err == nil && c.gen == gen {
-			c.putAuxLocked(key, f.aux, b)
+			if c.isStaleLocked(deps, wm) {
+				c.staleDrops++
+			} else {
+				c.putAuxLocked(key, f.aux, b, deps, wm)
+			}
 		}
 		c.mu.Unlock()
 		f.cancel()
@@ -377,12 +429,12 @@ func (c *Cache) PutAux(key string, v any) {
 	b := sizeOfAux(v) // sized outside the lock; see GetOrCompute
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.putAuxLocked(key, v, b)
+	c.putAuxLocked(key, v, b, nil, c.curWMLocked())
 }
 
 // putAuxLocked inserts aux value v weighing b bytes, mirroring putLocked's
 // admission and eviction rules.
-func (c *Cache) putAuxLocked(key string, v any, b int64) {
+func (c *Cache) putAuxLocked(key string, v any, b int64, deps []string, wm uint64) {
 	if c.maxBytes > 0 && b > c.maxBytes {
 		c.oversize++
 		if el, ok := c.aux[key]; ok {
@@ -393,10 +445,10 @@ func (c *Cache) putAuxLocked(key string, v any, b int64) {
 	if el, ok := c.aux[key]; ok {
 		e := el.Value.(*cacheEntry)
 		c.auxBytes += b - e.bytes
-		e.aux, e.bytes = v, b
+		e.aux, e.bytes, e.deps, e.wm = v, b, deps, wm
 		c.order.MoveToFront(el)
 	} else {
-		el = c.order.PushFront(&cacheEntry{key: key, aux: v, isAux: true, bytes: b})
+		el = c.order.PushFront(&cacheEntry{key: key, aux: v, isAux: true, bytes: b, deps: deps, wm: wm})
 		c.aux[key] = el
 		c.auxBytes += b
 	}
@@ -433,13 +485,13 @@ func (c *Cache) Put(key string, r *relation.Relation) {
 	b := c.sizeOfRel(r) // sized outside the lock; see GetOrCompute
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.putLocked(key, r, b)
+	c.putLocked(key, r, b, nil, c.curWMLocked())
 }
 
 // putLocked inserts r, whose EstimatedBytes the caller computed as b
 // before taking the lock (the walk over string payloads is too slow to
 // run under c.mu).
-func (c *Cache) putLocked(key string, r *relation.Relation, b int64) {
+func (c *Cache) putLocked(key string, r *relation.Relation, b int64, deps []string, wm uint64) {
 	if c.maxBytes > 0 && b > c.maxBytes {
 		// An entry larger than the whole budget would evict everything and
 		// then thrash; refuse it instead so the small hot entries survive.
@@ -452,14 +504,66 @@ func (c *Cache) putLocked(key string, r *relation.Relation, b int64) {
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
 		c.bytes += b - e.bytes
-		e.rel, e.bytes = r, b
+		e.rel, e.bytes, e.deps, e.wm = r, b, deps, wm
 		c.order.MoveToFront(el)
 	} else {
-		el = c.order.PushFront(&cacheEntry{key: key, rel: r, bytes: b})
+		el = c.order.PushFront(&cacheEntry{key: key, rel: r, bytes: b, deps: deps, wm: wm})
 		c.entries[key] = el
 		c.bytes += b
 	}
 	c.evictLocked()
+}
+
+// curWMLocked reads the ingest watermark through the catalog's hook (lock
+// order cache.mu -> catalog.verMu); a standalone cache has no hook and
+// lives at watermark zero forever.
+func (c *Cache) curWMLocked() uint64 {
+	if c.curWM == nil {
+		return 0
+	}
+	return c.curWM()
+}
+
+// isStaleLocked applies the catalog's staleness rule; without a hook
+// nothing is ever stale.
+func (c *Cache) isStaleLocked(deps []string, wm uint64) bool {
+	return c.stale != nil && c.stale(deps, wm)
+}
+
+// InvalidateDeps evicts every entry (relation and auxiliary) that may
+// depend on one of the republished tables and was computed before the new
+// watermark wm: an entry is evicted if its dependency set intersects
+// names, or is unknown (nil — it could depend on anything). Entries over
+// untouched tables stay resident, which is the point of watermark-aware
+// caching: an append no longer flushes the cache. In-flight computations
+// are left alone; their results are checked against the watermark at
+// insertion time and dropped if stale.
+func (c *Cache) InvalidateDeps(names []string, wm uint64) {
+	changed := make(map[string]bool, len(names))
+	for _, n := range names {
+		changed[n] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.wm >= wm {
+			continue // computed at (or after) the publish; current by definition
+		}
+		evict := e.deps == nil
+		for _, d := range e.deps {
+			if changed[d] {
+				evict = true
+				break
+			}
+		}
+		if evict {
+			c.removeLocked(el)
+			c.depInvals++
+		}
+	}
 }
 
 // evictLocked drops LRU entries until the capacity bound (relation
@@ -555,12 +659,18 @@ type Stats struct {
 	// the flight boundary (the engine converts its own panics earlier, so
 	// this counts faults in non-engine compute callbacks). The panic
 	// becomes the flight's error; nothing is cached.
-	Panics     uint64
-	Entries    int
-	AuxEntries int
-	Bytes      int64
-	AuxBytes   int64
-	MaxBytes   int64
+	Panics uint64
+	// StaleDrops counts flight results discarded at insertion because a
+	// dependency was republished while they computed; DepInvalidations
+	// counts entries evicted by watermark-selective invalidation (a delta
+	// publish evicting only dependent entries instead of flushing).
+	StaleDrops       uint64
+	DepInvalidations uint64
+	Entries          int
+	AuxEntries       int
+	Bytes            int64
+	AuxBytes         int64
+	MaxBytes         int64
 }
 
 // Stats returns a snapshot of the counters.
@@ -570,6 +680,7 @@ func (c *Cache) Stats() Stats {
 	return Stats{
 		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
 		Shared: c.shared, Oversize: c.oversize, Panics: c.panics,
+		StaleDrops: c.staleDrops, DepInvalidations: c.depInvals,
 		Entries: len(c.entries), AuxEntries: len(c.aux),
 		Bytes: c.bytes, AuxBytes: c.auxBytes, MaxBytes: c.maxBytes,
 	}

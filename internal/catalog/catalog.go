@@ -24,6 +24,20 @@ type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*relation.Relation
 	cache  *Cache
+
+	// verMu guards the ingest watermark and per-table versions. It is a
+	// separate lock from mu on purpose: the cache consults versions while
+	// holding its own mutex (lock order cache.mu -> verMu), and catalog
+	// writers call into the cache while holding mu (mu -> cache.mu) — one
+	// lock for both would deadlock.
+	verMu sync.RWMutex
+	// watermark is the ingest clock: it ticks on every table publish
+	// (batch Put or delta). Cache entries are tagged with the watermark
+	// at which their computation started; an entry is stale iff a table
+	// it depends on has a newer version.
+	watermark uint64
+	// versions records, per table, the watermark of its last publish.
+	versions map[string]uint64
 	// baseDicts snapshots the frozen dictionaries pinned by base tables
 	// (map[*vector.FrozenDict]bool), rebuilt on every table change. The
 	// cache weighs entries through it lock-free: a cached derived relation
@@ -61,12 +75,54 @@ func (c *Catalog) SnapshotStats() SnapshotStats {
 // (entries). Capacity <= 0 means unbounded.
 func New(cacheCapacity int) *Catalog {
 	c := &Catalog{
-		tables: make(map[string]*relation.Relation),
-		cache:  NewCache(cacheCapacity),
+		tables:   make(map[string]*relation.Relation),
+		cache:    NewCache(cacheCapacity),
+		versions: make(map[string]uint64),
 	}
 	c.baseDicts.Store(map[*vector.FrozenDict]bool{})
 	c.cache.weigh = c.marginalBytes
+	c.cache.stale = c.staleSince
+	c.cache.curWM = c.Watermark
 	return c
+}
+
+// Watermark returns the current ingest watermark: the version of the most
+// recent table publish. Cache entries computed at this watermark stay
+// resident across later appends to tables they do not depend on.
+func (c *Catalog) Watermark() uint64 {
+	c.verMu.RLock()
+	defer c.verMu.RUnlock()
+	return c.watermark
+}
+
+// bumpVersions ticks the watermark and stamps the named tables with the
+// new value, returning it.
+func (c *Catalog) bumpVersions(names ...string) uint64 {
+	c.verMu.Lock()
+	c.watermark++
+	wm := c.watermark
+	for _, n := range names {
+		c.versions[n] = wm
+	}
+	c.verMu.Unlock()
+	return wm
+}
+
+// staleSince reports whether a result computed at watermark wm over the
+// given tables is out of date. nil deps means the dependency set is
+// unknown, which must be treated conservatively: stale after any publish.
+func (c *Catalog) staleSince(deps []string, wm uint64) bool {
+	c.verMu.RLock()
+	defer c.verMu.RUnlock()
+	if deps == nil {
+		return c.watermark > wm
+	}
+	for _, d := range deps {
+		if c.versions[d] > wm {
+			return true
+		}
+	}
+	return false
 }
 
 // marginalBytes weighs a relation for the cache: pinned base-table dicts
@@ -95,10 +151,39 @@ func (c *Catalog) refreshBaseDictsLocked() {
 // the whole cache: materialized sub-queries may depend on it.
 func (c *Catalog) Put(name string, r *relation.Relation) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.tables[name] = r
 	c.refreshBaseDictsLocked()
+	c.mu.Unlock()
+	c.bumpVersions(name)
 	c.cache.Clear()
+}
+
+// PutDelta publishes a new version of one table produced by live ingest
+// (base + delta segments merged into a fresh immutable relation). Unlike
+// Put it does NOT flush the cache: it ticks the table's version and evicts
+// only the entries whose dependency set includes the table (or is
+// unknown). Entries over other tables stay resident — the watermark
+// invalidation rule of the durability model. Returns the new watermark.
+func (c *Catalog) PutDelta(name string, r *relation.Relation) uint64 {
+	return c.PutDeltas(map[string]*relation.Relation{name: r})
+}
+
+// PutDeltas atomically publishes new versions of several tables (one
+// ingest batch can touch up to three triple partitions) under a single
+// watermark tick and one selective invalidation pass.
+func (c *Catalog) PutDeltas(tables map[string]*relation.Relation) uint64 {
+	names := make([]string, 0, len(tables))
+	c.mu.Lock()
+	for name, r := range tables {
+		c.tables[name] = r
+		names = append(names, name)
+	}
+	c.refreshBaseDictsLocked()
+	c.mu.Unlock()
+	sort.Strings(names)
+	wm := c.bumpVersions(names...)
+	c.cache.InvalidateDeps(names, wm)
+	return wm
 }
 
 // Table looks up a base table.
@@ -123,9 +208,10 @@ func (c *Catalog) Has(name string) bool {
 // Drop removes a base table and invalidates the cache.
 func (c *Catalog) Drop(name string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	delete(c.tables, name)
 	c.refreshBaseDictsLocked()
+	c.mu.Unlock()
+	c.bumpVersions(name)
 	c.cache.Clear()
 }
 

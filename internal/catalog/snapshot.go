@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -77,6 +78,22 @@ type snapshotColumn struct {
 	Encoded bool
 	Codes   []int32
 	DictID  int
+	// Version 3.1: code columns are written zigzag-delta-varint packed
+	// (CodesPacked holding NumCodes codes) instead of as raw int32s —
+	// triple-store columns are sorted-ish runs of small codes, so deltas
+	// varint-pack to a fraction of 4 bytes each. Packed marks the
+	// representation; version 3 files (Packed false, Codes set) still load.
+	Packed      bool
+	NumCodes    int
+	CodesPacked []byte
+}
+
+// SnapshotMeta is the version 3.1 metadata section: the ingest watermark
+// (last WAL sequence number covered by the snapshot), which recovery uses
+// as the replay cutoff. Version 3 files have no meta section and load
+// with a zero watermark.
+type SnapshotMeta struct {
+	Watermark uint64
 }
 
 type snapshotTable struct {
@@ -97,9 +114,13 @@ type snapshotFile struct {
 const (
 	snapshotMagic   = "irdb-snapshot"
 	snapshotVersion = 3
+	// snapshotVersion31 is the current format, "v3.1": same framing as 3
+	// plus a leading meta section (ingest watermark) and varint/delta
+	// packed code columns. Saves write 3.1; version 3 files still load.
+	snapshotVersion31 = 31
 	// oldest snapshot version LoadSnapshot still reads. Versions 1 and 2
 	// are a single gob blob with no framing or checksums; they load (fully
-	// validated) but new saves always write the framed version 3.
+	// validated) but new saves always write the framed version 3.1.
 	snapshotMinVersion = 1
 
 	// Framed-format markers. The header magic doubles as the format sniff:
@@ -108,6 +129,7 @@ const (
 	frameMagic = "IRDBSNP3"
 	frameEnd   = "IRDBEND!"
 
+	metaSection  = "meta"
 	dictsSection = "dicts"
 )
 
@@ -116,7 +138,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // snapshot builds the serializable image of every base table.
 func (c *Catalog) snapshot() (*snapshotFile, error) {
-	file := &snapshotFile{Magic: snapshotMagic, Version: snapshotVersion}
+	file := &snapshotFile{Magic: snapshotMagic, Version: snapshotVersion31}
 	dictIDs := map[*vector.FrozenDict]int{}
 	for _, name := range c.TableNames() {
 		rel, err := c.Table(name)
@@ -141,8 +163,10 @@ func (c *Catalog) snapshot() (*snapshotFile, error) {
 					file.Dicts = append(file.Dicts, v.Dict().Strings())
 				}
 				sc.Encoded = true
-				sc.Codes = v.Codes()
 				sc.DictID = id
+				sc.Packed = true
+				sc.NumCodes = len(v.Codes())
+				sc.CodesPacked = packCodes(v.Codes())
 			case *vector.Bools:
 				sc.Bools = v.Values()
 			default:
@@ -180,9 +204,16 @@ func writeSection(w io.Writer, name string, payload []byte, crcs *[]uint32) erro
 	return binary.Write(w, binary.LittleEndian, crc)
 }
 
-// Save writes every base table to w in the framed, checksummed format.
-// The cache is not included.
+// Save writes every base table to w in the framed, checksummed format
+// (version 3.1, zero watermark). The cache is not included.
 func (c *Catalog) Save(w io.Writer) error {
+	return c.SaveMeta(w, SnapshotMeta{})
+}
+
+// SaveMeta is Save with an explicit metadata section — the ingest
+// watermark a checkpoint records so recovery knows where WAL replay
+// resumes.
+func (c *Catalog) SaveMeta(w io.Writer, meta SnapshotMeta) error {
 	file, err := c.snapshot()
 	if err != nil {
 		return err
@@ -197,14 +228,21 @@ func (c *Catalog) Save(w io.Writer) error {
 	if _, err := io.WriteString(w, frameMagic); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(snapshotVersion)); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint32(snapshotVersion31)); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(1+len(file.Tables))); err != nil {
+	if err := binary.Write(w, binary.LittleEndian, uint32(2+len(file.Tables))); err != nil {
 		return err
 	}
 	var crcs []uint32
-	payload, err := enc(file.Dicts)
+	payload, err := enc(meta)
+	if err != nil {
+		return err
+	}
+	if err := writeSection(w, metaSection, payload, &crcs); err != nil {
+		return err
+	}
+	payload, err = enc(file.Dicts)
 	if err != nil {
 		return err
 	}
@@ -244,7 +282,13 @@ func crcBytes(crcs []uint32) []byte {
 // temp file in the same directory, are fsynced, and the temp file is
 // atomically renamed over path. A crash (or injected fault) at any point
 // leaves the previous snapshot at path intact and loadable.
-func (c *Catalog) SaveFile(path string) (err error) {
+func (c *Catalog) SaveFile(path string) error {
+	return c.SaveFileMeta(path, SnapshotMeta{})
+}
+
+// SaveFileMeta is SaveFile with an explicit metadata section; checkpoints
+// record the WAL watermark the snapshot covers here.
+func (c *Catalog) SaveFileMeta(path string, meta SnapshotMeta) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -256,7 +300,7 @@ func (c *Catalog) SaveFile(path string) (err error) {
 			os.Remove(tmp.Name())
 		}
 	}()
-	if err = c.Save(tmp); err != nil {
+	if err = c.SaveMeta(tmp, meta); err != nil {
 		return err
 	}
 	if err = faultpoint.Inject("catalog.snapshot.fsync"); err != nil {
@@ -292,12 +336,20 @@ func (c *Catalog) SaveFile(path string) (err error) {
 // *CorruptError (errors.Is ErrCorruptSnapshot) and leaves the catalog
 // unchanged.
 func (c *Catalog) LoadFile(path string) error {
+	_, err := c.LoadFileMeta(path)
+	return err
+}
+
+// LoadFileMeta is LoadFile returning the snapshot's metadata section —
+// recovery reads the watermark here to know where WAL replay resumes.
+// Pre-3.1 files load with a zero watermark.
+func (c *Catalog) LoadFileMeta(path string) (SnapshotMeta, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return SnapshotMeta{}, err
 	}
 	defer f.Close()
-	return c.LoadSnapshot(f)
+	return c.LoadSnapshotMeta(f)
 }
 
 // countReader tracks how many bytes have been consumed, so corruption
@@ -314,124 +366,183 @@ func (cr *countReader) Read(p []byte) (int, error) {
 }
 
 // LoadSnapshot replaces the catalog's base tables with the snapshot
-// contents and clears the cache. Both the framed version 3 format and the
-// legacy gob formats (versions 1–2) are read; all of them are fully
-// validated before the catalog is touched.
+// contents and clears the cache. The framed formats (versions 3 and 3.1)
+// and the legacy gob formats (versions 1–2) are all read; all of them are
+// fully validated before the catalog is touched.
 func (c *Catalog) LoadSnapshot(r io.Reader) error {
-	err := c.loadSnapshot(r)
+	_, err := c.LoadSnapshotMeta(r)
+	return err
+}
+
+// LoadSnapshotMeta is LoadSnapshot returning the metadata section (zero
+// for pre-3.1 formats).
+func (c *Catalog) LoadSnapshotMeta(r io.Reader) (SnapshotMeta, error) {
+	meta, err := c.loadSnapshot(r)
 	if errors.Is(err, ErrCorruptSnapshot) {
 		c.snapCorrupt.Add(1)
 	} else if err == nil {
 		c.snapLoads.Add(1)
 	}
-	return err
+	return meta, err
 }
 
-func (c *Catalog) loadSnapshot(r io.Reader) error {
+func (c *Catalog) loadSnapshot(r io.Reader) (SnapshotMeta, error) {
 	cr := &countReader{r: r}
 	magic := make([]byte, len(frameMagic))
 	if _, err := io.ReadFull(cr, magic); err != nil {
-		return &CorruptError{Section: "header", Offset: cr.n, Reason: "short read: " + err.Error()}
+		return SnapshotMeta{}, &CorruptError{Section: "header", Offset: cr.n, Reason: "short read: " + err.Error()}
 	}
 	var file *snapshotFile
+	var meta SnapshotMeta
 	var err error
 	if string(magic) == frameMagic {
-		file, err = readFramed(cr)
+		file, meta, err = readFramed(cr)
 	} else {
 		// Legacy gob snapshot: the 8 bytes already consumed are part of the
 		// gob stream; stitch them back on.
 		file, err = readLegacy(io.MultiReader(bytes.NewReader(magic), cr))
 	}
 	if err != nil {
-		return err
+		return SnapshotMeta{}, err
 	}
-	return c.install(file)
+	return meta, c.install(file)
 }
 
-// readFramed reads the version 3 section frames (header magic already
-// consumed), verifying every checksum and the trailer.
-func readFramed(cr *countReader) (*snapshotFile, error) {
+// readFramed reads the framed section format, versions 3 and 3.1 (header
+// magic already consumed), verifying every checksum and the trailer.
+func readFramed(cr *countReader) (*snapshotFile, SnapshotMeta, error) {
+	var meta SnapshotMeta
 	corrupt := func(section, reason string) error {
 		return &CorruptError{Section: section, Offset: cr.n, Reason: reason}
 	}
 	var version, nSections uint32
 	if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
-		return nil, corrupt("header", "short read: "+err.Error())
+		return nil, meta, corrupt("header", "short read: "+err.Error())
 	}
-	if version != snapshotVersion {
-		return nil, corrupt("header", fmt.Sprintf("unsupported framed version %d", version))
+	if version != snapshotVersion && version != snapshotVersion31 {
+		return nil, meta, corrupt("header", fmt.Sprintf("unsupported framed version %d", version))
 	}
 	if err := binary.Read(cr, binary.LittleEndian, &nSections); err != nil {
-		return nil, corrupt("header", "short read: "+err.Error())
+		return nil, meta, corrupt("header", "short read: "+err.Error())
 	}
 	if nSections == 0 || nSections > 1<<20 {
-		return nil, corrupt("header", fmt.Sprintf("implausible section count %d", nSections))
+		return nil, meta, corrupt("header", fmt.Sprintf("implausible section count %d", nSections))
+	}
+	// Version 3 files start at the dicts section; 3.1 files lead with meta.
+	metaIdx, dictsIdx := -1, 0
+	if version == snapshotVersion31 {
+		metaIdx, dictsIdx = 0, 1
 	}
 	file := &snapshotFile{Magic: snapshotMagic, Version: int(version)}
 	var crcs []uint32
 	for i := uint32(0); i < nSections; i++ {
 		var nameLen uint32
 		if err := binary.Read(cr, binary.LittleEndian, &nameLen); err != nil {
-			return nil, corrupt("section", "short read in name length: "+err.Error())
+			return nil, meta, corrupt("section", "short read in name length: "+err.Error())
 		}
 		if nameLen > 4096 {
-			return nil, corrupt("section", fmt.Sprintf("implausible section name length %d", nameLen))
+			return nil, meta, corrupt("section", fmt.Sprintf("implausible section name length %d", nameLen))
 		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(cr, name); err != nil {
-			return nil, corrupt("section", "short read in name: "+err.Error())
+			return nil, meta, corrupt("section", "short read in name: "+err.Error())
 		}
 		section := string(name)
 		var payloadLen uint64
 		if err := binary.Read(cr, binary.LittleEndian, &payloadLen); err != nil {
-			return nil, corrupt(section, "short read in payload length: "+err.Error())
+			return nil, meta, corrupt(section, "short read in payload length: "+err.Error())
 		}
 		if payloadLen > 1<<40 {
-			return nil, corrupt(section, fmt.Sprintf("implausible payload length %d", payloadLen))
+			return nil, meta, corrupt(section, fmt.Sprintf("implausible payload length %d", payloadLen))
 		}
 		payload := make([]byte, payloadLen)
 		if _, err := io.ReadFull(cr, payload); err != nil {
-			return nil, corrupt(section, "short read in payload: "+err.Error())
+			return nil, meta, corrupt(section, "short read in payload: "+err.Error())
 		}
 		var want uint32
 		if err := binary.Read(cr, binary.LittleEndian, &want); err != nil {
-			return nil, corrupt(section, "short read in checksum: "+err.Error())
+			return nil, meta, corrupt(section, "short read in checksum: "+err.Error())
 		}
 		if got := crc32.Checksum(payload, castagnoli); got != want {
-			return nil, corrupt(section, fmt.Sprintf("checksum mismatch: stored %08x, computed %08x", want, got))
+			return nil, meta, corrupt(section, fmt.Sprintf("checksum mismatch: stored %08x, computed %08x", want, got))
 		}
 		crcs = append(crcs, want)
 		dec := gob.NewDecoder(bytes.NewReader(payload))
 		switch {
-		case i == 0 && section == dictsSection:
-			if err := dec.Decode(&file.Dicts); err != nil {
-				return nil, corrupt(section, "decoding dictionaries: "+err.Error())
+		case int(i) == metaIdx && section == metaSection:
+			if err := dec.Decode(&meta); err != nil {
+				return nil, meta, corrupt(section, "decoding metadata: "+err.Error())
 			}
-		case i > 0 && len(section) > len("table:") && section[:len("table:")] == "table:":
+		case int(i) == dictsIdx && section == dictsSection:
+			if err := dec.Decode(&file.Dicts); err != nil {
+				return nil, meta, corrupt(section, "decoding dictionaries: "+err.Error())
+			}
+		case int(i) > dictsIdx && len(section) > len("table:") && section[:len("table:")] == "table:":
 			var t snapshotTable
 			if err := dec.Decode(&t); err != nil {
-				return nil, corrupt(section, "decoding table: "+err.Error())
+				return nil, meta, corrupt(section, "decoding table: "+err.Error())
 			}
 			if "table:"+t.Name != section {
-				return nil, corrupt(section, fmt.Sprintf("section name does not match table %q", t.Name))
+				return nil, meta, corrupt(section, fmt.Sprintf("section name does not match table %q", t.Name))
 			}
 			file.Tables = append(file.Tables, t)
 		default:
-			return nil, corrupt(section, "unexpected section")
+			return nil, meta, corrupt(section, "unexpected section")
 		}
 	}
 	var seal uint32
 	if err := binary.Read(cr, binary.LittleEndian, &seal); err != nil {
-		return nil, corrupt("trailer", "short read: "+err.Error())
+		return nil, meta, corrupt("trailer", "short read: "+err.Error())
 	}
 	if want := crc32.Checksum(crcBytes(crcs), castagnoli); seal != want {
-		return nil, corrupt("trailer", fmt.Sprintf("seal mismatch: stored %08x, computed %08x", seal, want))
+		return nil, meta, corrupt("trailer", fmt.Sprintf("seal mismatch: stored %08x, computed %08x", seal, want))
 	}
 	end := make([]byte, len(frameEnd))
 	if _, err := io.ReadFull(cr, end); err != nil || string(end) != frameEnd {
-		return nil, corrupt("trailer", "missing end marker")
+		return nil, meta, corrupt("trailer", "missing end marker")
 	}
-	return file, nil
+	return file, meta, nil
+}
+
+// packCodes zigzag-delta-varint encodes a code column: each code is
+// stored as a signed varint delta from its predecessor. Triple-store code
+// columns are long runs of small, clustered codes, so the packed form is
+// typically a quarter of the raw 4-bytes-per-code representation.
+func packCodes(codes []int32) []byte {
+	buf := make([]byte, 0, len(codes))
+	var tmp [binary.MaxVarintLen64]byte
+	var prev int64
+	for _, c := range codes {
+		n := binary.PutVarint(tmp[:], int64(c)-prev)
+		buf = append(buf, tmp[:n]...)
+		prev = int64(c)
+	}
+	return buf
+}
+
+// unpackCodes reverses packCodes into exactly n codes, rejecting
+// malformed varints, out-of-int32-range values and trailing bytes as
+// errors (the caller reports them as corruption).
+func unpackCodes(b []byte, n int) ([]int32, error) {
+	codes := make([]int32, n)
+	var prev int64
+	off := 0
+	for i := 0; i < n; i++ {
+		d, sz := binary.Varint(b[off:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("bad varint at packed offset %d (code %d of %d)", off, i, n)
+		}
+		off += sz
+		prev += d
+		if prev < math.MinInt32 || prev > math.MaxInt32 {
+			return nil, fmt.Errorf("code %d of %d out of int32 range (%d)", i, n, prev)
+		}
+		codes[i] = int32(prev)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("%d trailing bytes after %d codes", len(b)-off, n)
+	}
+	return codes, nil
 }
 
 // readLegacy reads the single-gob-blob formats (versions 1 and 2).
@@ -493,16 +604,24 @@ func (c *Catalog) install(file *snapshotFile) error {
 						return corrupt(section, "column %q references unknown dict %d", sc.Name, sc.DictID)
 					}
 					d := dicts[sc.DictID]
+					codes := sc.Codes
+					if sc.Packed {
+						var err error
+						codes, err = unpackCodes(sc.CodesPacked, sc.NumCodes)
+						if err != nil {
+							return corrupt(section, "column %q packed codes: %v", sc.Name, err)
+						}
+					}
 					// Bounds-check every code against its dictionary: an
 					// out-of-range code read from disk must fail here as
 					// corruption, not index past the dict later.
-					for ci, code := range sc.Codes {
+					for ci, code := range codes {
 						if code < 0 || int(code) >= d.Len() {
 							return corrupt(section, "column %q row %d has out-of-range code %d (dict %d holds %d strings)",
 								sc.Name, ci, code, sc.DictID, d.Len())
 						}
 					}
-					vec = vector.FromCodes(d, sc.Codes)
+					vec = vector.FromCodes(d, codes)
 				} else {
 					vec = vector.FromStrings(sc.Strs)
 				}

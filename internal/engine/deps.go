@@ -1,0 +1,30 @@
+package engine
+
+import "sort"
+
+// ScanTables returns the sorted, deduplicated names of the base tables a
+// plan reads — its dependency set for watermark-aware caching. The cache
+// tags each materialized entry with these names plus the ingest watermark
+// captured when its computation started; a live-ingest publish to table T
+// then evicts exactly the entries with T in their set, leaving everything
+// else resident. A plan with no scans returns an empty (non-nil) slice:
+// it depends on no base table and survives every append.
+func ScanTables(n Node) []string {
+	seen := map[string]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		if s, ok := n.(*Scan); ok {
+			seen[s.Table] = true
+		}
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+	}
+	walk(n)
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -162,7 +162,9 @@ func (ctx *Ctx) Exec(c context.Context, n Node) (*relation.Relation, error) {
 	if !cacheable {
 		return execute(c)
 	}
-	r, hit, err := ctx.Cat.Cache().GetOrCompute(c, n.Fingerprint(), execute)
+	// Declare the plan's scan set so live ingest evicts this entry only
+	// when a table it actually reads is republished (watermark rule).
+	r, hit, err := ctx.Cat.Cache().GetOrComputeDeps(c, n.Fingerprint(), ScanTables(n), execute)
 	if hit {
 		ctx.cacheHits.Add(1)
 	}

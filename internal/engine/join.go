@@ -361,7 +361,7 @@ func (j *HashJoin) buildIndex(c context.Context, ctx *Ctx, side *relation.Relati
 	// their own (the on-demand index tables of section 2.1).
 	key := "hashidx|" + sideNode.Fingerprint() + "|" + keySpec
 	for try := 0; try < 2; try++ {
-		v, _, err := ctx.Cat.Cache().GetOrComputeAux(c, key, func(bc context.Context) (any, error) {
+		v, _, err := ctx.Cat.Cache().GetOrComputeAuxDeps(c, key, ScanTables(sideNode), func(bc context.Context) (any, error) {
 			return build(bc)
 		})
 		if err != nil {

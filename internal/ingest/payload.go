@@ -1,0 +1,176 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"irdb/internal/triple"
+	"irdb/internal/vector"
+)
+
+// WAL payload codecs. Payloads are self-contained varint-framed batches:
+// the frame checksum catches storage damage, these decoders catch a
+// structurally damaged payload that a checksum cannot (a buggy writer),
+// so replay reports an error instead of panicking or applying garbage.
+
+// Object-kind tags inside triple payloads.
+const (
+	objStr = 0
+	objInt = 1
+	objFlt = 2
+)
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return "", nil, fmt.Errorf("bad string length varint")
+	}
+	b = b[sz:]
+	if n > uint64(len(b)) {
+		return "", nil, fmt.Errorf("string length %d exceeds remaining %d bytes", n, len(b))
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func readFloat(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("truncated float64")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+// encodeTriples renders a batch of triples (append or delete keys — the
+// record type distinguishes them) as a WAL payload.
+func encodeTriples(ts []triple.Triple) ([]byte, error) {
+	b := binary.AppendUvarint(nil, uint64(len(ts)))
+	for i, t := range ts {
+		b = appendString(b, t.Subject)
+		b = appendString(b, t.Property)
+		switch t.Obj.Kind {
+		case vector.String:
+			b = append(b, objStr)
+			b = appendString(b, t.Obj.Str)
+		case vector.Int64:
+			b = append(b, objInt)
+			b = binary.AppendVarint(b, t.Obj.Int)
+		case vector.Float64:
+			b = append(b, objFlt)
+			b = appendFloat(b, t.Obj.Flt)
+		default:
+			return nil, fmt.Errorf("ingest: triple %d has unsupported object kind %v", i, t.Obj.Kind)
+		}
+		b = appendFloat(b, t.P)
+	}
+	return b, nil
+}
+
+// decodeTriples reverses encodeTriples, validating every length and tag.
+func decodeTriples(b []byte) ([]triple.Triple, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("bad triple count varint")
+	}
+	b = b[sz:]
+	if n > uint64(len(b)) { // every triple takes >= 1 byte; cheap sanity bound
+		return nil, fmt.Errorf("implausible triple count %d for %d payload bytes", n, len(b))
+	}
+	out := make([]triple.Triple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var t triple.Triple
+		var err error
+		if t.Subject, b, err = readString(b); err != nil {
+			return nil, fmt.Errorf("triple %d subject: %w", i, err)
+		}
+		if t.Property, b, err = readString(b); err != nil {
+			return nil, fmt.Errorf("triple %d property: %w", i, err)
+		}
+		if len(b) == 0 {
+			return nil, fmt.Errorf("triple %d: missing object tag", i)
+		}
+		tag := b[0]
+		b = b[1:]
+		switch tag {
+		case objStr:
+			var s string
+			if s, b, err = readString(b); err != nil {
+				return nil, fmt.Errorf("triple %d object: %w", i, err)
+			}
+			t.Obj = triple.String(s)
+		case objInt:
+			v, sz := binary.Varint(b)
+			if sz <= 0 {
+				return nil, fmt.Errorf("triple %d object: bad int varint", i)
+			}
+			b = b[sz:]
+			t.Obj = triple.Int(v)
+		case objFlt:
+			var f float64
+			if f, b, err = readFloat(b); err != nil {
+				return nil, fmt.Errorf("triple %d object: %w", i, err)
+			}
+			t.Obj = triple.Float(f)
+		default:
+			return nil, fmt.Errorf("triple %d: unknown object tag %d", i, tag)
+		}
+		if t.P, b, err = readFloat(b); err != nil {
+			return nil, fmt.Errorf("triple %d probability: %w", i, err)
+		}
+		out = append(out, t)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after %d triples", len(b), n)
+	}
+	return out, nil
+}
+
+// encodeDocs renders a batch of documents as a WAL payload.
+func encodeDocs(docs []Doc) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(docs)))
+	for _, d := range docs {
+		b = appendString(b, d.ID)
+		b = appendString(b, d.Text)
+		b = appendFloat(b, d.P)
+	}
+	return b
+}
+
+// decodeDocs reverses encodeDocs.
+func decodeDocs(b []byte) ([]Doc, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, fmt.Errorf("bad doc count varint")
+	}
+	b = b[sz:]
+	if n > uint64(len(b)) {
+		return nil, fmt.Errorf("implausible doc count %d for %d payload bytes", n, len(b))
+	}
+	out := make([]Doc, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var d Doc
+		var err error
+		if d.ID, b, err = readString(b); err != nil {
+			return nil, fmt.Errorf("doc %d id: %w", i, err)
+		}
+		if d.Text, b, err = readString(b); err != nil {
+			return nil, fmt.Errorf("doc %d text: %w", i, err)
+		}
+		if d.P, b, err = readFloat(b); err != nil {
+			return nil, fmt.Errorf("doc %d probability: %w", i, err)
+		}
+		out = append(out, d)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after %d docs", len(b), n)
+	}
+	return out, nil
+}

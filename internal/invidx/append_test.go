@@ -1,0 +1,50 @@
+package invidx
+
+import (
+	"math"
+	"testing"
+
+	"irdb/internal/ir"
+)
+
+// TestAppendMatchesBuild: an index grown by Append must score and rank
+// exactly like one built over the full collection in one shot — the
+// incremental avgdl/IDF refresh has to land on the same statistics.
+func TestAppendMatchesBuild(t *testing.T) {
+	full, err := Build(docs, ir.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := Build(docs[:2], ir.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown.Append(docs[2:4])
+	grown.Append(docs[4:]) // two batches, so stats refresh twice
+
+	fs, gs := full.Stats(), grown.Stats()
+	if fs.Docs != gs.Docs || fs.Terms != gs.Terms || fs.Postings != gs.Postings ||
+		math.Abs(fs.AvgDocLen-gs.AvgDocLen) > 1e-12 {
+		t.Fatalf("stats diverge:\n full  %+v\n grown %+v", fs, gs)
+	}
+
+	queries := []string{
+		"wooden train",          // split across base and appended docs
+		"book",                  // repeated term, appended doc dominates
+		"history of venice",     // term present only in appended docs
+		"tracks",                // term interned only by Append
+		"nothing matches these", // empty result set
+	}
+	for _, q := range queries {
+		want := full.Search(q, 0)
+		got := grown.Search(q, 0)
+		if len(want) != len(got) {
+			t.Fatalf("%q: %d hits grown vs %d built", q, len(got), len(want))
+		}
+		for i := range want {
+			if want[i].DocID != got[i].DocID || math.Abs(want[i].Score-got[i].Score) > 1e-12 {
+				t.Fatalf("%q hit %d: grown %+v, built %+v", q, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -28,20 +28,25 @@ type Posting struct {
 	TF  int32
 }
 
-// Index is an immutable inverted index over a document collection.
+// Index is an inverted index over a document collection. Search never
+// mutates it and is safe to call concurrently; Append grows it in place
+// (live ingest) and must be serialized with Search by the caller.
 type Index struct {
 	params  ir.Params
 	stemmer stem.Stemmer
-	// terms is the frozen term dictionary: interned once at build, then
-	// read-only — the same normalize-keys-once scheme the relational
-	// engine's DictStrings columns use, and what makes concurrent Search
-	// calls safe by construction.
+	// terms is the frozen term dictionary Search reads; termDict is the
+	// retained mutable dictionary Append interns new terms into, whose
+	// Freeze successors preserve every existing term ID — the same
+	// append-only dictionary-growth scheme the triple store's delta
+	// segments use.
 	terms    *vector.FrozenDict
+	termDict *vector.Dict
 	postings [][]Posting // by termID
 	docLens  []int32     // by internal doc position
 	docIDs   []int64     // internal position → external ID
+	totalLen int64
 	avgdl    float64
-	// bm25IDF per termID, precomputed at build time.
+	// bm25IDF per termID, recomputed incrementally on Append.
 	idf []float64
 }
 
@@ -66,22 +71,40 @@ func Build(docs []Doc, p ir.Params) (*Index, error) {
 		return nil, err
 	}
 	idx := &Index{
-		params:  p,
-		stemmer: st,
+		params:   p,
+		stemmer:  st,
+		termDict: vector.NewDict(1024),
 	}
-	termDict := vector.NewDict(1024)
-	var totalLen int64
-	for pos, d := range docs {
-		toks := p.Tokenizer.TokensPos(d.Data)
-		if p.WithCompounds {
+	idx.addDocs(docs)
+	return idx, nil
+}
+
+// Append adds documents to an existing index — the inverted-index side of
+// live ingest. New terms intern into the retained mutable dictionary
+// (existing term IDs keep their meaning), postings for the new documents
+// append to the lists, and the collection statistics (avgdl, per-term
+// BM25 IDF) are recomputed incrementally from the running totals instead
+// of rebuilding the index. Append must be serialized with Search by the
+// caller; Search itself never mutates the index.
+func (x *Index) Append(docs []Doc) {
+	x.addDocs(docs)
+}
+
+// addDocs tokenizes and appends docs, refreezes the term dictionary when
+// it grew, and refreshes the collection statistics.
+func (x *Index) addDocs(docs []Doc) {
+	for _, d := range docs {
+		toks := x.params.Tokenizer.TokensPos(d.Data)
+		if x.params.WithCompounds {
 			toks = text.CompoundVariants(toks)
 		}
+		pos := int32(len(x.docIDs))
 		counts := map[int32]int32{}
 		for _, tok := range toks {
-			term := st.Stem(tok.Term)
-			tid := int32(termDict.Put(term))
-			if int(tid) == len(idx.postings) {
-				idx.postings = append(idx.postings, nil)
+			term := x.stemmer.Stem(tok.Term)
+			tid := int32(x.termDict.Put(term))
+			if int(tid) == len(x.postings) {
+				x.postings = append(x.postings, nil)
 			}
 			counts[tid]++
 		}
@@ -93,29 +116,38 @@ func Build(docs []Doc, p ir.Params) (*Index, error) {
 		}
 		sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 		for _, tid := range tids {
-			idx.postings[tid] = append(idx.postings[tid], Posting{Doc: int32(pos), TF: counts[tid]})
+			x.postings[tid] = append(x.postings[tid], Posting{Doc: pos, TF: counts[tid]})
 		}
-		idx.docLens = append(idx.docLens, int32(len(toks)))
-		idx.docIDs = append(idx.docIDs, d.ID)
-		totalLen += int64(len(toks))
+		x.docLens = append(x.docLens, int32(len(toks)))
+		x.docIDs = append(x.docIDs, d.ID)
+		x.totalLen += int64(len(toks))
 	}
-	idx.terms = termDict.Freeze()
-	if len(docs) > 0 {
-		idx.avgdl = float64(totalLen) / float64(len(docs))
+	if x.terms == nil || x.terms.Len() != x.termDict.Len() {
+		x.terms = x.termDict.Freeze()
 	}
-	n := float64(len(docs))
-	idx.idf = make([]float64, len(idx.postings))
-	for tid, plist := range idx.postings {
+	x.refreshStats()
+}
+
+// refreshStats recomputes avgdl and the per-term IDF from the running
+// document totals. Document frequency is the posting-list length, so the
+// recompute is O(terms) regardless of collection size.
+func (x *Index) refreshStats() {
+	x.avgdl = 0
+	if len(x.docIDs) > 0 {
+		x.avgdl = float64(x.totalLen) / float64(len(x.docIDs))
+	}
+	n := float64(len(x.docIDs))
+	x.idf = make([]float64, len(x.postings))
+	for tid, plist := range x.postings {
 		df := float64(len(plist))
 		ratio := (n - df + 0.5) / (df + 0.5)
-		if p.IDFPlusOne {
+		if x.params.IDFPlusOne {
 			ratio += 1
 		}
 		if ratio > 0 {
-			idx.idf[tid] = math.Log(ratio)
+			x.idf[tid] = math.Log(ratio)
 		}
 	}
-	return idx, nil
 }
 
 // Stats summarizes the built index.

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"irdb/internal/catalog"
+	"irdb/internal/engine"
+	"irdb/internal/ingest"
+	"irdb/internal/strategy"
+	"irdb/internal/text"
+	"irdb/internal/triple"
+	"irdb/internal/wal"
+	"irdb/internal/workload"
+)
+
+// newIngestServer builds a server whose data went through a durable
+// ingest manager, so POST /append is WAL-backed exactly as in production.
+func newIngestServer(t *testing.T) (*ingest.Manager, *httptest.Server) {
+	t.Helper()
+	cfg := workload.AuctionConfig{
+		Lots: 50, Auctions: 2, Sellers: 4, VocabSize: 500,
+		LotDescLen: 10, AuctionDescLen: 20, Seed: 7,
+	}
+	cat := catalog.New(0)
+	store := triple.NewStore(cat)
+	mgr := ingest.New(cat, store, "docs")
+	if err := mgr.OpenDurable(t.TempDir(), wal.Options{Policy: wal.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.ReplaceTriples(workload.AuctionGraph(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	syn := text.SynonymDict(workload.Synonyms(500, 50, 2, 7))
+	srv := New(engine.NewCtx(cat), syn)
+	srv.SetIngest(mgr)
+	if err := srv.Install(strategy.Auction(0.7, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { mgr.Close() })
+	return mgr, ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestAppendEndpoint: an appended lot becomes durable (200 implies
+// WAL-fsynced), searchable through the existing strategy, and visible in
+// the /stats wal and ingest sections.
+func TestAppendEndpoint(t *testing.T) {
+	_, ts := newIngestServer(t)
+
+	// The description carries a token no generated lot contains.
+	req := map[string]any{
+		"triples": []map[string]any{
+			{"subject": "lot-new", "property": "type", "object": "lot", "p": 1},
+			{"subject": "lot-new", "property": "title", "object": "zyzzogeton", "p": 1},
+			{"subject": "lot-new", "property": "description", "object": "a pristine zyzzogeton specimen", "p": 1},
+			{"subject": "lot-new", "property": "price", "object": 12, "p": 1},
+		},
+	}
+	var out struct {
+		Appended  int    `json:"appended_triples"`
+		Watermark uint64 `json:"watermark"`
+	}
+	if code := postJSON(t, ts.URL+"/append", req, &out); code != http.StatusOK {
+		t.Fatalf("POST /append = %d", code)
+	}
+	if out.Appended != 4 || out.Watermark == 0 {
+		t.Fatalf("append response = %+v", out)
+	}
+
+	var sr SearchResponse
+	if code := getJSON(t, ts.URL+"/search?strategy=auction-lots&q=zyzzogeton", &sr); code != http.StatusOK {
+		t.Fatalf("GET /search = %d", code)
+	}
+	found := false
+	for _, r := range sr.Results {
+		if r.Subject == "lot-new" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("appended lot not searchable; results = %+v", sr.Results)
+	}
+
+	var stats struct {
+		WAL    *json.RawMessage `json:"wal"`
+		Ingest struct {
+			AppendedTriples uint64 `json:"appended_triples"`
+			Watermark       uint64 `json:"watermark"`
+		} `json:"ingest"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.WAL == nil {
+		t.Fatal("/stats missing wal section on a durable server")
+	}
+	if stats.Ingest.AppendedTriples != 4 || stats.Ingest.Watermark != out.Watermark {
+		t.Fatalf("/stats ingest = %+v, want 4 appends at watermark %d", stats.Ingest, out.Watermark)
+	}
+}
+
+// TestAppendDeletesAndDocs: deletes apply after appends in one request,
+// and docs land in the corpus table.
+func TestAppendDeletesAndDocs(t *testing.T) {
+	mgr, ts := newIngestServer(t)
+	req := map[string]any{
+		"triples": []map[string]any{
+			{"subject": "tmp", "property": "type", "object": "lot", "p": 1},
+		},
+		"deletes": []map[string]any{
+			{"subject": "tmp", "property": "type", "object": "lot", "p": 1},
+		},
+		"docs": []map[string]any{
+			{"id": "d1", "text": "wooden train", "p": 0.5},
+		},
+	}
+	var out struct {
+		Appended int `json:"appended_triples"`
+		Deleted  int `json:"deleted_triples"`
+		Docs     int `json:"appended_docs"`
+	}
+	if code := postJSON(t, ts.URL+"/append", req, &out); code != http.StatusOK {
+		t.Fatalf("POST /append = %d", code)
+	}
+	if out.Appended != 1 || out.Deleted != 1 || out.Docs != 1 {
+		t.Fatalf("response = %+v", out)
+	}
+	if st := mgr.Stats(); st.AppendedDocs != 1 || st.DeletedTriples != 1 {
+		t.Fatalf("manager stats = %+v", st)
+	}
+}
+
+// TestAppendValidation: bad payloads are 400s, and a server without an
+// ingest manager answers 501.
+func TestAppendValidation(t *testing.T) {
+	_, ts := newIngestServer(t)
+	req := map[string]any{
+		"triples": []map[string]any{
+			{"subject": "x", "property": "p", "object": []int{1, 2}},
+		},
+	}
+	if code := postJSON(t, ts.URL+"/append", req, nil); code != http.StatusBadRequest {
+		t.Fatalf("non-scalar object = %d, want 400", code)
+	}
+
+	_, plain := newTestServer(t)
+	if code := postJSON(t, plain.URL+"/append", map[string]any{}, nil); code != http.StatusNotImplemented {
+		t.Fatalf("append without ingest = %d, want 501", code)
+	}
+}

@@ -14,7 +14,8 @@
 //	GET  /search?strategy=<name>&q=<keywords>&k=<n>  ranked results (JSON)
 //	GET  /strategies                                 installed strategies
 //	POST /strategies                                 install a strategy (JSON body)
-//	GET  /stats                                      catalog + cache + executor statistics
+//	POST /append                                     live ingest: append/delete triples, append docs
+//	GET  /stats                                      catalog + cache + executor + wal/ingest statistics
 package server
 
 import (
@@ -34,6 +35,7 @@ import (
 	"irdb/internal/engine"
 	"irdb/internal/fault"
 	"irdb/internal/faultpoint"
+	"irdb/internal/ingest"
 	"irdb/internal/strategy"
 	"irdb/internal/text"
 	"irdb/internal/triple"
@@ -52,6 +54,10 @@ import (
 type Server struct {
 	ctx      *engine.Ctx
 	synonyms text.SynonymDict
+
+	// ingestMgr serializes live ingest behind POST /append; nil keeps the
+	// server read-only (the endpoint answers 501).
+	ingestMgr *ingest.Manager
 
 	mu         sync.RWMutex
 	strategies map[string]*strategy.Strategy
@@ -120,6 +126,11 @@ func (s *Server) SetMaxInFlight(n int) {
 	}
 	s.inFlight = make(chan struct{}, n)
 }
+
+// SetIngest enables POST /append, routing mutations through the given
+// manager (which owns the WAL when one is configured). Must be called
+// before the server starts handling requests.
+func (s *Server) SetIngest(m *ingest.Manager) { s.ingestMgr = m }
 
 // SetTimeout sets the per-request engine deadline (0 disables). Must be
 // called before the server starts handling requests. A request exceeding
@@ -295,6 +306,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /search", s.handleSearch)
 	mux.HandleFunc("GET /strategies", s.handleListStrategies)
 	mux.HandleFunc("POST /strategies", s.handleInstallStrategy)
+	mux.HandleFunc("POST /append", s.handleAppend)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return s.withRecovery(mux)
 }
@@ -478,6 +490,121 @@ func (s *Server) handleInstallStrategy(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]string{"installed": st.Name})
 }
 
+// appendTriple is the wire form of one triple (or delete key). Object
+// may be a JSON string or number; numbers without a fractional part
+// become integer objects, matching the TSV loader's type detection.
+type appendTriple struct {
+	Subject  string  `json:"subject"`
+	Property string  `json:"property"`
+	Object   any     `json:"object"`
+	P        float64 `json:"p"`
+}
+
+// appendDoc is the wire form of one corpus document.
+type appendDoc struct {
+	ID   string  `json:"id"`
+	Text string  `json:"text"`
+	P    float64 `json:"p"`
+}
+
+func (t appendTriple) convert(i int) (triple.Triple, error) {
+	out := triple.Triple{Subject: t.Subject, Property: t.Property, P: t.P}
+	switch x := t.Object.(type) {
+	case string:
+		out.Obj = triple.String(x)
+	case json.Number:
+		if v, err := strconv.ParseInt(x.String(), 10, 64); err == nil {
+			out.Obj = triple.Int(v)
+		} else if f, err := x.Float64(); err == nil {
+			out.Obj = triple.Float(f)
+		} else {
+			return out, fmt.Errorf("triple %d: bad numeric object %q", i, x.String())
+		}
+	default:
+		return out, fmt.Errorf("triple %d: object must be a string or number, got %T", i, t.Object)
+	}
+	return out, nil
+}
+
+// handleAppend is live ingest over HTTP: the batch is WAL-logged (and
+// fsynced per the server's policy) before it is applied, so a 200 means
+// the rows are durable. Deletes apply after appends within one request.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if s.ingestMgr == nil {
+		httpError(w, http.StatusNotImplemented, "live ingest is not enabled on this server")
+		return
+	}
+	var req struct {
+		Triples []appendTriple `json:"triples"`
+		Deletes []appendTriple `json:"deletes"`
+		Docs    []appendDoc    `json:"docs"`
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	convert := func(ts []appendTriple) ([]triple.Triple, error) {
+		out := make([]triple.Triple, len(ts))
+		for i, t := range ts {
+			var err error
+			if out[i], err = t.convert(i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	appends, err := convert(req.Triples)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	deletes, err := convert(req.Deletes)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Mutations share the admission semaphore with /search: publishing a
+	// delta does engine-adjacent work (relation builds, cache eviction),
+	// so it must not bypass the load bound. The slot is taken only after
+	// the body is parsed.
+	switch s.acquire(r.Context()) {
+	case admitShed:
+		s.shedResponse(w)
+		return
+	case admitGone:
+		httpError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+		return
+	}
+	defer s.release()
+	appended, err := s.ingestMgr.AppendTriples(appends)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	deleted, err := s.ingestMgr.DeleteTriples(deletes)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	docs := make([]ingest.Doc, len(req.Docs))
+	for i, d := range req.Docs {
+		docs[i] = ingest.Doc{ID: d.ID, Text: d.Text, P: d.P}
+	}
+	appendedDocs, err := s.ingestMgr.AppendDocs(docs)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"appended_triples": appended,
+		"deleted_triples":  deleted,
+		"appended_docs":    appendedDocs,
+		"watermark":        s.ingestMgr.Stats().Watermark,
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cacheStats := s.ctx.Cat.Cache().Stats()
 	type stratStats struct {
@@ -500,11 +627,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
+	var walStats, ingestStats any
+	if s.ingestMgr != nil {
+		ingestStats = s.ingestMgr.Stats()
+		if ws, ok := s.ingestMgr.WALStats(); ok {
+			walStats = ws
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"tables":     s.ctx.Cat.TableNames(),
 		"cache":      cacheStats,
 		"dicts":      s.ctx.Cat.DictStats(),
 		"strategies": perStrategy,
+		"wal":        walStats,
+		"ingest":     ingestStats,
 		"executor": map[string]any{
 			"parallelism": parallelism,
 			"node_execs":  s.ctx.NodeExecs(),

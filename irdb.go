@@ -13,6 +13,7 @@ import (
 
 	"irdb/internal/catalog"
 	"irdb/internal/engine"
+	"irdb/internal/ingest"
 	"irdb/internal/ir"
 	"irdb/internal/relation"
 	"irdb/internal/spinql"
@@ -20,6 +21,7 @@ import (
 	"irdb/internal/text"
 	"irdb/internal/triple"
 	"irdb/internal/vector"
+	"irdb/internal/wal"
 )
 
 // ErrClosed is returned by every operation on a closed DB.
@@ -36,6 +38,16 @@ var ErrOverloaded = errors.New("irdb: too many in-flight queries")
 // Match with errors.Is; the concrete error carries the failing section
 // and byte offset.
 var ErrCorruptSnapshot = catalog.ErrCorruptSnapshot
+
+// ErrCorruptWAL is returned by Open when the durability directory's
+// write-ahead log holds damage a crash cannot explain (a bad frame with
+// valid data after it). A torn tail — the normal crash artifact — is
+// repaired silently, never reported as this.
+var ErrCorruptWAL = wal.ErrCorruptWAL
+
+// ErrNotDurable is returned by Checkpoint on a database opened without
+// WithDurability.
+var ErrNotDurable = ingest.ErrNotDurable
 
 // PanicError is the typed failure a query returns when an operator
 // panicked during execution. The panic is contained: the process
@@ -58,6 +70,7 @@ type DB struct {
 	cat      *catalog.Catalog
 	store    *triple.Store
 	eng      *engine.Ctx
+	ingest   *ingest.Manager
 	synonyms text.SynonymDict
 
 	mu         sync.RWMutex
@@ -97,6 +110,9 @@ type config struct {
 	maxInFlight   int
 	admissionWait time.Duration
 	synonyms      map[string][]string
+	durDir        string
+	fsyncPolicy   string
+	fsyncInterval time.Duration
 }
 
 // WithParallelism bounds the engine worker pool shared by all concurrent
@@ -128,9 +144,30 @@ func WithAdmissionWait(d time.Duration) Option { return func(c *config) { c.admi
 // query expansion enabled.
 func WithSynonyms(syn map[string][]string) Option { return func(c *config) { c.synonyms = syn } }
 
-// Open creates an empty database. Load data with LoadTriples /
-// LoadTriplesTSV / LoadDocs, then query it.
-func Open(opts ...Option) *DB {
+// WithDurability makes the database durable: a write-ahead log and
+// checkpoint snapshots live under dir (snapshot.irdb + wal/). Open
+// recovers whatever the directory holds — newest snapshot, then WAL
+// replay past its watermark — so a kill -9 at any point resumes at
+// exactly the last acknowledged write. Every append/delete is logged
+// (and fsynced per WithFsync) before it is applied.
+func WithDurability(dir string) Option { return func(c *config) { c.durDir = dir } }
+
+// WithFsync sets the WAL fsync policy: "always" (default — every
+// acknowledged write survives any crash), "interval" (fsync at most
+// every WithFsyncInterval; a crash loses at most one interval), or
+// "off" (the OS decides; fastest, weakest). Only meaningful with
+// WithDurability.
+func WithFsync(policy string) Option { return func(c *config) { c.fsyncPolicy = policy } }
+
+// WithFsyncInterval sets the minimum time between fsyncs under
+// WithFsync("interval"); default 100ms.
+func WithFsyncInterval(d time.Duration) Option { return func(c *config) { c.fsyncInterval = d } }
+
+// Open creates a database. Without WithDurability it starts empty and
+// in-memory; with it, Open recovers the durability directory's snapshot
+// and write-ahead log first. Load data with LoadTriples / LoadTriplesTSV
+// / LoadDocs, grow it live with AppendTriples / AppendDocs, then query.
+func Open(opts ...Option) (*DB, error) {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
@@ -141,10 +178,12 @@ func Open(opts ...Option) *DB {
 	}
 	eng := engine.NewCtx(cat)
 	eng.Parallelism = cfg.parallelism
+	store := triple.NewStore(cat)
 	db := &DB{
 		cat:        cat,
-		store:      triple.NewStore(cat),
+		store:      store,
 		eng:        eng,
+		ingest:     ingest.New(cat, store, DocsTable),
 		synonyms:   text.SynonymDict(cfg.synonyms),
 		strategies: make(map[string]*strategy.Strategy),
 	}
@@ -152,7 +191,20 @@ func Open(opts ...Option) *DB {
 		db.inFlight = make(chan struct{}, cfg.maxInFlight)
 		db.admissionWait = cfg.admissionWait
 	}
-	return db
+	if cfg.durDir != "" {
+		if cfg.fsyncPolicy == "" {
+			cfg.fsyncPolicy = "always"
+		}
+		policy, err := wal.ParsePolicy(cfg.fsyncPolicy)
+		if err != nil {
+			return nil, err
+		}
+		opt := wal.Options{Policy: policy, Interval: cfg.fsyncInterval}
+		if err := db.ingest.OpenDurable(cfg.durDir, opt); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
 }
 
 // Close marks the database closed, drains in-flight queries, and drops
@@ -166,7 +218,7 @@ func (db *DB) Close() error {
 	db.execMu.Lock()
 	defer db.execMu.Unlock()
 	db.cat.Cache().Clear()
-	return nil
+	return db.ingest.Close()
 }
 
 func (db *DB) check() error {
@@ -236,12 +288,9 @@ type Triple struct {
 	P        float64
 }
 
-// LoadTriples replaces the triple store's contents. The materialization
-// cache is invalidated (cached sub-queries may depend on the old data).
-func (db *DB) LoadTriples(triples []Triple) error {
-	if err := db.check(); err != nil {
-		return err
-	}
+// convertTriples maps the facade's any-typed objects onto the store's
+// typed partitions.
+func convertTriples(triples []Triple) ([]triple.Triple, error) {
 	converted := make([]triple.Triple, len(triples))
 	for i, t := range triples {
 		var obj triple.Object
@@ -255,12 +304,25 @@ func (db *DB) LoadTriples(triples []Triple) error {
 		case float64:
 			obj = triple.Float(x)
 		default:
-			return fmt.Errorf("irdb: triple %d: unsupported object type %T", i, t.Object)
+			return nil, fmt.Errorf("irdb: triple %d: unsupported object type %T", i, t.Object)
 		}
 		converted[i] = triple.Triple{Subject: t.Subject, Property: t.Property, Obj: obj, P: t.P}
 	}
-	db.store.Load(converted)
-	return nil
+	return converted, nil
+}
+
+// LoadTriples replaces the triple store's contents. The materialization
+// cache is invalidated (cached sub-queries may depend on the old data).
+// On a durable database the replace is checkpointed immediately.
+func (db *DB) LoadTriples(triples []Triple) error {
+	if err := db.check(); err != nil {
+		return err
+	}
+	converted, err := convertTriples(triples)
+	if err != nil {
+		return err
+	}
+	return db.ingest.ReplaceTriples(converted)
 }
 
 // LoadTriplesTSV loads triples from tab-separated lines
@@ -274,8 +336,42 @@ func (db *DB) LoadTriplesTSV(r io.Reader) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	db.store.Load(triples)
+	if err := db.ingest.ReplaceTriples(triples); err != nil {
+		return 0, err
+	}
 	return len(triples), nil
+}
+
+// AppendTriples appends triples to the store without touching existing
+// rows — live ingest. On a durable database the batch is written to the
+// WAL (and fsynced per policy) before it is applied: a nil error means
+// the rows survive any crash. Cached query results over untouched
+// tables stay resident; only plans reading a changed partition are
+// invalidated (watermark rule). Returns the number of rows appended.
+func (db *DB) AppendTriples(triples []Triple) (int, error) {
+	if err := db.check(); err != nil {
+		return 0, err
+	}
+	converted, err := convertTriples(triples)
+	if err != nil {
+		return 0, err
+	}
+	return db.ingest.AppendTriples(converted)
+}
+
+// DeleteTriples removes every row matching one of the given (subject,
+// property, object) keys; probabilities are not part of the key. Same
+// durability and cache semantics as AppendTriples. Returns the number of
+// rows removed.
+func (db *DB) DeleteTriples(keys []Triple) (int, error) {
+	if err := db.check(); err != nil {
+		return 0, err
+	}
+	converted, err := convertTriples(keys)
+	if err != nil {
+		return 0, err
+	}
+	return db.ingest.DeleteTriples(converted)
 }
 
 // Doc is one document of the keyword-search collection. P is the document
@@ -291,7 +387,8 @@ const DocsTable = "docs"
 
 // LoadDocs replaces the document collection backing SearchDocs. Document
 // text is indexed on demand: the first search pays the inverted-view
-// materialization, later searches run hot from the cache.
+// materialization, later searches run hot from the cache. On a durable
+// database the replace is checkpointed immediately.
 func (db *DB) LoadDocs(docs []Doc) error {
 	if err := db.check(); err != nil {
 		return err
@@ -306,9 +403,41 @@ func (db *DB) LoadDocs(docs []Doc) error {
 		}
 		b.AddP(p, d.ID, d.Text)
 	}
-	db.cat.Put(DocsTable, b.Build())
+	if err := db.ingest.ReplaceTable(DocsTable, b.Build()); err != nil {
+		return err
+	}
 	db.searcher.Store(nil)
 	return nil
+}
+
+// AppendDocs appends documents to the collection backing SearchDocs —
+// live ingest with the same write-ahead durability as AppendTriples.
+// The cached searcher is discarded so the next search sees the new
+// documents. Returns the number of documents appended.
+func (db *DB) AppendDocs(docs []Doc) (int, error) {
+	if err := db.check(); err != nil {
+		return 0, err
+	}
+	converted := make([]ingest.Doc, len(docs))
+	for i, d := range docs {
+		converted[i] = ingest.Doc{ID: d.ID, Text: d.Text, P: d.P}
+	}
+	n, err := db.ingest.AppendDocs(converted)
+	if err != nil {
+		return n, err
+	}
+	db.searcher.Store(nil)
+	return n, nil
+}
+
+// Checkpoint writes a durable snapshot stamped with the WAL watermark it
+// covers and rotates the log, bounding recovery replay time. Returns
+// ErrNotDurable on a database opened without WithDurability.
+func (db *DB) Checkpoint() error {
+	if err := db.check(); err != nil {
+		return err
+	}
+	return db.ingest.Checkpoint()
 }
 
 // ---------------------------------------------------------------------------
@@ -339,7 +468,7 @@ func (db *DB) LoadSnapshot(path string) error {
 		return err
 	}
 	defer end()
-	if err := db.cat.LoadFile(path); err != nil {
+	if err := db.ingest.LoadSnapshotFile(path); err != nil {
 		return err
 	}
 	db.searcher.Store(nil)
@@ -558,16 +687,22 @@ func (db *DB) SearchDocs(ctx context.Context, query string, k int) ([]Hit, error
 
 // CacheStats describes the materialization cache.
 type CacheStats struct {
-	Hits       uint64
-	Misses     uint64
-	Evictions  uint64
-	Shared     uint64
-	Oversize   uint64
-	Entries    int
-	AuxEntries int
-	Bytes      int64
-	AuxBytes   int64
-	MaxBytes   int64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Shared    uint64
+	Oversize  uint64
+	// StaleDrops counts computed results discarded at insertion because a
+	// table they read was republished while they ran; DepInvalidations
+	// counts entries evicted by watermark-selective invalidation (a live
+	// append evicts only entries reading a changed table, never flushes).
+	StaleDrops       uint64
+	DepInvalidations uint64
+	Entries          int
+	AuxEntries       int
+	Bytes            int64
+	AuxBytes         int64
+	MaxBytes         int64
 }
 
 // ExecutorStats describes the engine.
@@ -616,6 +751,48 @@ type FaultStats struct {
 	CorruptSnapshotLoads int64
 }
 
+// WALStats describes the write-ahead log of a durable database. Enabled
+// is false (and everything else zero) without WithDurability.
+type WALStats struct {
+	Enabled bool
+	// Records and Bytes count frames appended by this process; Fsyncs the
+	// file syncs issued (policy-dependent).
+	Records int64
+	Bytes   int64
+	Fsyncs  int64
+	// Replays counts recovery passes over the log directory and
+	// ReplayedRecords the records they applied.
+	Replays         int64
+	ReplayedRecords int64
+	// Rotations counts checkpoint rotations; LastRotationUnix the time of
+	// the most recent one (0 = never).
+	Rotations        int64
+	LastRotationUnix int64
+	// Segments is the number of live segment files; LastSeq the highest
+	// sequence number appended or replayed.
+	Segments int
+	LastSeq  int64
+	// Policy is the fsync policy ("always", "interval", "off").
+	Policy string
+}
+
+// IngestStats counts live-ingest activity.
+type IngestStats struct {
+	// AppendedTriples / DeletedTriples / AppendedDocs count rows applied,
+	// recovery replay included.
+	AppendedTriples int64
+	DeletedTriples  int64
+	AppendedDocs    int64
+	// Checkpoints counts snapshot+rotate cycles.
+	Checkpoints int64
+	// Watermark is the catalog's publish watermark: every delta publish
+	// ticks it once, and cache entries computed at an older watermark over
+	// a changed table are evicted.
+	Watermark uint64
+	// Segments is the number of live WAL segments (0 when memory-only).
+	Segments int
+}
+
 // Stats is a point-in-time snapshot of the database.
 type Stats struct {
 	Tables     []string
@@ -624,6 +801,8 @@ type Stats struct {
 	Optimizer  OptimizerStats
 	Statements StatementStats
 	Faults     FaultStats
+	WAL        WALStats
+	Ingest     IngestStats
 }
 
 // Stats returns a snapshot of catalog, cache and executor statistics.
@@ -635,11 +814,23 @@ func (db *DB) Stats() Stats {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	is := db.ingest.Stats()
+	var ws WALStats
+	if raw, ok := db.ingest.WALStats(); ok {
+		ws = WALStats{
+			Enabled: true,
+			Records: raw.Records, Bytes: raw.Bytes, Fsyncs: raw.Fsyncs,
+			Replays: raw.Replays, ReplayedRecords: raw.ReplayedRecords,
+			Rotations: raw.Rotations, LastRotationUnix: raw.LastRotationUnix,
+			Segments: raw.Segments, LastSeq: raw.LastSeq, Policy: raw.Policy,
+		}
+	}
 	return Stats{
 		Tables: db.cat.TableNames(),
 		Cache: CacheStats{
 			Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions,
 			Shared: cs.Shared, Oversize: cs.Oversize,
+			StaleDrops: cs.StaleDrops, DepInvalidations: cs.DepInvalidations,
 			Entries: cs.Entries, AuxEntries: cs.AuxEntries,
 			Bytes: cs.Bytes, AuxBytes: cs.AuxBytes, MaxBytes: cs.MaxBytes,
 		},
@@ -670,6 +861,15 @@ func (db *DB) Stats() Stats {
 			SnapshotSaves:        ss.Saves,
 			SnapshotLoads:        ss.Loads,
 			CorruptSnapshotLoads: ss.CorruptLoads,
+		},
+		WAL: ws,
+		Ingest: IngestStats{
+			AppendedTriples: is.AppendedTriples,
+			DeletedTriples:  is.DeletedTriples,
+			AppendedDocs:    is.AppendedDocs,
+			Checkpoints:     is.Checkpoints,
+			Watermark:       is.Watermark,
+			Segments:        is.Segments,
 		},
 	}
 }

@@ -1,0 +1,13 @@
+package irdb
+
+import "testing"
+
+// openT opens a database for a test, failing it on error.
+func openT(t testing.TB, opts ...Option) *DB {
+	t.Helper()
+	db, err := Open(opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}

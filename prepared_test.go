@@ -45,7 +45,7 @@ func testGraph(lots int) []Triple {
 
 func openTestDB(t testing.TB, par int) *DB {
 	t.Helper()
-	db := Open(WithParallelism(par))
+	db := openT(t, WithParallelism(par))
 	t.Cleanup(func() { db.Close() })
 	if err := db.LoadTriples(testGraph(400)); err != nil {
 		t.Fatal(err)
@@ -299,7 +299,7 @@ func TestStmtCancellation(t *testing.T) {
 // TestMaxInFlightAdmission: the admission option bounds concurrency and
 // respects the caller's context while queued.
 func TestMaxInFlightAdmission(t *testing.T) {
-	db := Open(WithParallelism(1), WithMaxInFlight(1))
+	db := openT(t, WithParallelism(1), WithMaxInFlight(1))
 	defer db.Close()
 	if err := db.LoadTriples(testGraph(50)); err != nil {
 		t.Fatal(err)

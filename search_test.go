@@ -13,7 +13,7 @@ import (
 // well-formed result for whichever collection it saw, and after the last
 // reload a search must reflect the final collection.
 func TestSearchDocsConcurrent(t *testing.T) {
-	db := Open(WithParallelism(2))
+	db := openT(t, WithParallelism(2))
 	t.Cleanup(func() { db.Close() })
 
 	docsV1 := []Doc{
@@ -92,7 +92,7 @@ func TestSearchDocsConcurrent(t *testing.T) {
 // built by the first (construction walks the whole collection), and a
 // LoadDocs in between must rebuild it.
 func TestSearchDocsCachesSearcher(t *testing.T) {
-	db := Open(WithParallelism(1))
+	db := openT(t, WithParallelism(1))
 	t.Cleanup(func() { db.Close() })
 	if err := db.LoadDocs([]Doc{{ID: "d1", Text: "wooden train"}}); err != nil {
 		t.Fatal(err)
