@@ -1,0 +1,232 @@
+package irdb
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// budgetQuery joins two selections and aggregates — enough intermediate
+// state (hashes, build table, gathers, accumulators) to charge a budget
+// meaningfully at every site.
+const budgetQuery = `
+	j = JOIN INDEPENDENT [$1=$1] (
+		SELECT [$2="type" and $3="lot"] (triples),
+		SELECT [$2="description"] (triples) );
+	PROJECT INDEPENDENT [$1] (j);`
+
+// TestFacadeBudgetEquivalence: a query under a generous per-query budget
+// is bit-identical to the ungoverned run at parallelism 1, 2 and 8, and
+// the pool is fully drained once the result is returned.
+func TestFacadeBudgetEquivalence(t *testing.T) {
+	ctx := context.Background()
+	var reference string
+	for _, par := range []int{1, 2, 8} {
+		plain := openTestDB(t, par)
+		want, err := plain.Query(ctx, budgetQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.NumRows() == 0 {
+			t.Fatal("empty result, equivalence is vacuous")
+		}
+
+		db := openT(t, WithParallelism(par), WithQueryMemBytes(1<<30), WithMemoryPoolBytes(1<<32))
+		t.Cleanup(func() { db.Close() })
+		if err := db.LoadTriples(testGraph(400)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := db.Query(ctx, budgetQuery)
+		if err != nil {
+			t.Fatalf("par %d: budgeted query: %v", par, err)
+		}
+		w, g := want.Format(-1), got.Format(-1)
+		if w != g {
+			t.Fatalf("par %d: budgeted result differs:\nwant:\n%s\ngot:\n%s", par, w, g)
+		}
+		if reference == "" {
+			reference = g
+		} else if g != reference {
+			t.Fatalf("par %d: result differs from parallelism 1", par)
+		}
+		ms := db.Stats().Memory
+		if !ms.Enabled {
+			t.Fatal("memory governance not enabled")
+		}
+		if ms.PoolPeak == 0 {
+			t.Fatalf("par %d: no charges reached the pool", par)
+		}
+		if ms.PoolUsed != 0 {
+			t.Fatalf("par %d: pool holds %d bytes after query returned", par, ms.PoolUsed)
+		}
+		if ms.BudgetDenials != 0 {
+			t.Fatalf("par %d: %d denials under a generous budget", par, ms.BudgetDenials)
+		}
+	}
+}
+
+// TestFacadeBudgetExceeded: a starved budget aborts the query with
+// ErrBudgetExceeded, leaks nothing, counts the denial, and leaves the
+// database fully usable.
+func TestFacadeBudgetExceeded(t *testing.T) {
+	ctx := context.Background()
+	db := openT(t, WithParallelism(2), WithQueryMemBytes(256))
+	t.Cleanup(func() { db.Close() })
+	if err := db.LoadTriples(testGraph(400)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := db.Query(ctx, budgetQuery)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	ms := db.Stats().Memory
+	if ms.BudgetDenials == 0 {
+		t.Fatal("denial not counted")
+	}
+	if ms.PoolUsed != 0 {
+		t.Fatalf("pool holds %d bytes after failed query", ms.PoolUsed)
+	}
+	// The database survives: a query that fits the budget still runs.
+	small, err := db.Query(ctx, `SELECT [$1 = "auction000001"] (SELECT [$2="type"] (triples));`)
+	if err != nil {
+		t.Fatalf("small query after budget failure: %v", err)
+	}
+	if small.NumRows() != 1 {
+		t.Fatalf("small query rows = %d, want 1", small.NumRows())
+	}
+}
+
+// TestQueryStreamEquivalence: the stream's concatenated batches are
+// row-for-row identical to the materialized Result, across multiple
+// batches, and exhaustion reports a nil Err.
+func TestQueryStreamEquivalence(t *testing.T) {
+	ctx := context.Background()
+	db := openT(t, WithParallelism(2), WithQueryMemBytes(1<<30))
+	t.Cleanup(func() { db.Close() })
+	// 1500 price triples → the SELECT below yields >1 batch at 1024
+	// rows per batch.
+	if err := db.LoadTriples(testGraph(1500)); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare(`SELECT [$2 = "price"] (triples_int);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := stmt.Query(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.NumRows() <= streamBatchRows {
+		t.Fatalf("only %d rows; need more than one batch (%d)", want.NumRows(), streamBatchRows)
+	}
+
+	st, err := stmt.QueryStream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.NumRows() != want.NumRows() {
+		t.Fatalf("stream NumRows = %d, want %d", st.NumRows(), want.NumRows())
+	}
+	if cols, wcols := st.Columns(), want.Columns(); strings.Join(cols, ",") != strings.Join(wcols, ",") {
+		t.Fatalf("stream columns %v, want %v", cols, wcols)
+	}
+	row, batches := 0, 0
+	for st.Next() {
+		b := st.Batch()
+		batches++
+		for i := 0; i < b.NumRows(); i++ {
+			for c := range b.Columns() {
+				if got, wantV := b.Value(i, c), want.Value(row, c); got != wantV {
+					t.Fatalf("row %d col %d: stream %q, materialized %q", row, c, got, wantV)
+				}
+			}
+			if b.Prob(i) != want.Prob(row) {
+				t.Fatalf("row %d: stream prob %v, materialized %v", row, b.Prob(i), want.Prob(row))
+			}
+			row++
+		}
+	}
+	if st.Err() != nil {
+		t.Fatalf("stream ended with %v", st.Err())
+	}
+	if row != want.NumRows() {
+		t.Fatalf("stream yielded %d rows, want %d", row, want.NumRows())
+	}
+	if batches < 2 {
+		t.Fatalf("stream yielded %d batch(es); the multi-batch path went untested", batches)
+	}
+	if ms := db.Stats().Memory; ms.PoolUsed != 0 || ms.ActiveReservations != 0 {
+		t.Fatalf("exhausted stream still holds pool bytes=%d reservations=%d", ms.PoolUsed, ms.ActiveReservations)
+	}
+}
+
+// TestStreamHoldsAndReleasesResources: an open stream owns its admission
+// slot and memory reservation; Close (or cancellation) returns both.
+func TestStreamHoldsAndReleasesResources(t *testing.T) {
+	ctx := context.Background()
+	db := openT(t,
+		WithParallelism(2),
+		WithMaxInFlight(1),
+		WithAdmissionWait(20*time.Millisecond),
+		WithQueryMemBytes(1<<30))
+	t.Cleanup(func() { db.Close() })
+	if err := db.LoadTriples(testGraph(400)); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare(`SELECT [$2 = "type"] (triples);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := stmt.QueryStream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := db.Stats().Memory; ms.ActiveReservations != 1 {
+		t.Fatalf("open stream holds %d reservations, want 1", ms.ActiveReservations)
+	}
+	// The stream still occupies the single in-flight slot: a concurrent
+	// query must shed with ErrOverloaded, exactly as a slow reader on a
+	// loaded server should.
+	if _, err := db.Query(ctx, budgetQuery); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("query while stream open: err = %v, want ErrOverloaded", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if ms := db.Stats().Memory; ms.ActiveReservations != 0 || ms.PoolUsed != 0 {
+		t.Fatalf("closed stream still holds reservations=%d bytes=%d", ms.ActiveReservations, ms.PoolUsed)
+	}
+	if _, err := db.Query(ctx, budgetQuery); err != nil {
+		t.Fatalf("query after stream close: %v", err)
+	}
+
+	// Cancellation mid-stream releases everything too.
+	cctx, cancel := context.WithCancel(ctx)
+	st2, err := stmt.QueryStream(cctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Next() {
+		t.Fatalf("first batch unavailable: %v", st2.Err())
+	}
+	cancel()
+	if st2.Next() {
+		t.Fatal("Next succeeded after cancellation")
+	}
+	if !errors.Is(st2.Err(), context.Canceled) {
+		t.Fatalf("stream err = %v, want context.Canceled", st2.Err())
+	}
+	if _, err := db.Query(ctx, budgetQuery); err != nil {
+		t.Fatalf("query after cancelled stream: %v", err)
+	}
+	if ms := db.Stats().Memory; ms.ActiveReservations != 0 || ms.PoolUsed != 0 {
+		t.Fatalf("cancelled stream still holds reservations=%d bytes=%d", ms.ActiveReservations, ms.PoolUsed)
+	}
+}

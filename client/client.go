@@ -1,0 +1,333 @@
+// Package client is the retrying HTTP client for the irdb server — the
+// other half of overload resilience. The server sheds load fast (503 +
+// Retry-After) instead of queueing unboundedly; this client absorbs
+// those sheds with deadline-aware backoff so callers see one slow
+// request instead of an error, while failures that retrying cannot fix
+// (a query over its memory budget, a malformed request) surface
+// immediately.
+//
+// Classification is the heart of it:
+//
+//   - retryable: 503 (shed or draining — honor Retry-After), 502/504
+//     from intermediaries, and transport errors (connection refused,
+//     reset, timeout) on idempotent requests;
+//   - terminal: 507 (per-query memory budget — the same query fails
+//     identically on retry), every other 4xx, and context
+//     cancellation/expiry.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBudgetExceeded is returned when the server answered 507: the query
+// exceeded its per-query memory budget. Terminal — retrying the same
+// query yields the same refusal; narrow the query or raise the budget.
+var ErrBudgetExceeded = errors.New("client: query exceeded the server's memory budget")
+
+// ErrUnavailable is returned when retries were exhausted against a
+// server that kept shedding (503) or kept failing at the transport.
+var ErrUnavailable = errors.New("client: server unavailable after retries")
+
+// APIError is a non-retryable HTTP error response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server answered %d: %s", e.Status, e.Message)
+}
+
+// Config tunes the retry loop. The zero value gets sensible defaults
+// from New.
+type Config struct {
+	// MaxAttempts bounds total tries (first attempt included). Default 4.
+	MaxAttempts int
+	// BaseBackoff is the first retry's delay; each further retry doubles
+	// it, capped at MaxBackoff, with up to 25% random jitter subtracted so
+	// synchronized clients desynchronize. Defaults 50ms / 2s. A server
+	// Retry-After overrides the computed delay when it is longer.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// HTTPClient is the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// sleep and jitter are injectable for tests.
+	sleep  func(ctx context.Context, d time.Duration) error
+	jitter func(d time.Duration) time.Duration
+}
+
+// Client talks to one irdb server. Safe for concurrent use.
+type Client struct {
+	base string
+	cfg  Config
+
+	retries atomic.Int64 // observational: total retry sleeps performed
+}
+
+// New builds a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, cfg Config) *Client {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	if cfg.jitter == nil {
+		cfg.jitter = func(d time.Duration) time.Duration {
+			return d - time.Duration(rand.Int63n(int64(d)/4+1))
+		}
+	}
+	return &Client{base: baseURL, cfg: cfg}
+}
+
+// Retries reports how many retry sleeps this client has performed.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// SearchResult is one ranked hit.
+type SearchResult struct {
+	Subject string  `json:"subject"`
+	Score   float64 `json:"score"`
+}
+
+// SearchResponse is a completed search.
+type SearchResponse struct {
+	Strategy  string         `json:"strategy"`
+	Query     string         `json:"query"`
+	K         int            `json:"k"`
+	Results   []SearchResult `json:"results"`
+	LatencyMS float64        `json:"latency_ms"`
+}
+
+// retryDecision classifies one attempt's outcome.
+type retryDecision struct {
+	retry bool
+	// after is the server-suggested minimum delay (Retry-After), 0 if none.
+	after time.Duration
+	err   error
+}
+
+// classify decides whether an attempt's failure is worth retrying.
+// resp may be nil (transport error).
+func classify(resp *http.Response, err error) retryDecision {
+	if err != nil {
+		// Transport-level failure on an idempotent GET: refused, reset,
+		// timed out. Retryable unless the caller's context ended.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return retryDecision{err: err}
+		}
+		return retryDecision{retry: true, err: err}
+	}
+	switch {
+	case resp.StatusCode < 400:
+		return retryDecision{}
+	case resp.StatusCode == http.StatusServiceUnavailable,
+		resp.StatusCode == http.StatusBadGateway,
+		resp.StatusCode == http.StatusGatewayTimeout:
+		d := retryDecision{retry: true, err: apiError(resp)}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				d.after = time.Duration(secs) * time.Second
+			}
+		}
+		return d
+	case resp.StatusCode == http.StatusInsufficientStorage:
+		// Per-query memory budget: deterministic, never retry.
+		return retryDecision{err: fmt.Errorf("%w (%s)", ErrBudgetExceeded, apiMessage(resp))}
+	default:
+		return retryDecision{err: apiError(resp)}
+	}
+}
+
+func apiMessage(resp *http.Response) string {
+	var body struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		return body.Error
+	}
+	return http.StatusText(resp.StatusCode)
+}
+
+func apiError(resp *http.Response) error {
+	return &APIError{Status: resp.StatusCode, Message: apiMessage(resp)}
+}
+
+// do runs one GET with the retry loop. The caller owns the returned
+// response body. Backoff is deadline-aware: if the next sleep cannot
+// fit before ctx's deadline, do gives up immediately with the last
+// error rather than sleeping into certain failure.
+func (c *Client) do(ctx context.Context, u string) (*http.Response, error) {
+	backoff := c.cfg.BaseBackoff
+	var lastErr error
+	var lastAfter time.Duration
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			delay := c.cfg.jitter(backoff)
+			if lastAfter > delay {
+				delay = lastAfter
+			}
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) < delay {
+				break
+			}
+			if err := c.cfg.sleep(ctx, delay); err != nil {
+				return nil, err
+			}
+			c.retries.Add(1)
+			backoff *= 2
+			if backoff > c.cfg.MaxBackoff {
+				backoff = c.cfg.MaxBackoff
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.cfg.HTTPClient.Do(req)
+		d := classify(resp, err)
+		if d.err == nil {
+			return resp, nil
+		}
+		if resp != nil {
+			resp.Body.Close()
+		}
+		if !d.retry {
+			return nil, d.err
+		}
+		lastErr, lastAfter = d.err, d.after
+	}
+	return nil, fmt.Errorf("%w: %w", ErrUnavailable, lastErr)
+}
+
+// Search runs a search, retrying shed (503) and transport failures with
+// backoff until ctx expires or attempts run out.
+func (c *Client) Search(ctx context.Context, strategy, query string, k int) (*SearchResponse, error) {
+	u := fmt.Sprintf("%s/search?strategy=%s&q=%s&k=%d",
+		c.base, url.QueryEscape(strategy), url.QueryEscape(query), k)
+	resp, err := c.do(ctx, u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode search response: %w", err)
+	}
+	return &out, nil
+}
+
+// SearchStream runs a streamed search (stream=1), invoking onBatch for
+// every rows frame as it arrives. Admission and retry semantics match
+// Search; once the stream has started, a mid-stream failure is NOT
+// retried (results were already delivered) — it surfaces as an error.
+// A stream that ends without its terminal end frame reports
+// io.ErrUnexpectedEOF: truncation is failure, never a short result.
+func (c *Client) SearchStream(ctx context.Context, strategy, query string, k int, onBatch func([]SearchResult) error) error {
+	u := fmt.Sprintf("%s/search?strategy=%s&q=%s&k=%d&stream=1",
+		c.base, url.QueryEscape(strategy), url.QueryEscape(query), k)
+	resp, err := c.do(ctx, u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	sawEnd := false
+	for sc.Scan() {
+		var frame struct {
+			Frame   string         `json:"frame"`
+			Results []SearchResult `json:"results"`
+			Error   string         `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &frame); err != nil {
+			return fmt.Errorf("client: bad stream frame: %w", err)
+		}
+		switch frame.Frame {
+		case "schema":
+		case "rows":
+			if err := onBatch(frame.Results); err != nil {
+				return err
+			}
+		case "end":
+			sawEnd = true
+		case "error":
+			return fmt.Errorf("client: stream failed mid-way: %s", frame.Error)
+		default:
+			return fmt.Errorf("client: unknown stream frame %q", frame.Frame)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: reading stream: %w", err)
+	}
+	if !sawEnd {
+		return fmt.Errorf("client: stream truncated before its end frame: %w", io.ErrUnexpectedEOF)
+	}
+	return nil
+}
+
+// Health reports liveness: nil when /healthz answers 200. No retries —
+// health probes want the current truth, not a flattering one.
+func (c *Client) Health(ctx context.Context) error {
+	return c.probe(ctx, "/healthz")
+}
+
+// Ready reports readiness: nil when /readyz answers 200, an APIError
+// carrying the reason (warming up, draining) otherwise. No retries.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.probe(ctx, "/readyz")
+}
+
+func (c *Client) probe(ctx context.Context, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var body struct {
+			Reason string `json:"reason"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		msg := http.StatusText(resp.StatusCode)
+		if json.Unmarshal(raw, &body) == nil && body.Reason != "" {
+			msg = body.Reason
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	return nil
+}

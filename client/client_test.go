@@ -1,0 +1,225 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock collects requested sleeps without actually sleeping.
+type fakeClock struct {
+	slept []time.Duration
+}
+
+func (f *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.slept = append(f.slept, d)
+	return nil
+}
+
+// newTestClient builds a client with deterministic backoff: no jitter,
+// no real sleeping.
+func newTestClient(baseURL string, clock *fakeClock, cfg Config) *Client {
+	cfg.sleep = clock.sleep
+	cfg.jitter = func(d time.Duration) time.Duration { return d }
+	return New(baseURL, cfg)
+}
+
+// shedThenServe answers 503 + Retry-After for the first n requests,
+// then delegates to next.
+func shedThenServe(n int64, retryAfter string, next http.Handler) (http.Handler, *atomic.Int64) {
+	var served atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) <= n {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"server overloaded; retry later"}`)
+			return
+		}
+		next.ServeHTTP(w, r)
+	}), &served
+}
+
+func okSearchHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"strategy":"s","query":"q","k":1,"results":[{"subject":"lot1","score":0.9}],"latency_ms":1}`)
+	})
+}
+
+// TestRetriesShedWithBackoff: two sheds, then success — the client
+// retries with doubling backoff and returns the eventual result.
+func TestRetriesShedWithBackoff(t *testing.T) {
+	h, served := shedThenServe(2, "", okSearchHandler())
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	clock := &fakeClock{}
+	c := newTestClient(ts.URL, clock, Config{BaseBackoff: 10 * time.Millisecond})
+	resp, err := c.Search(context.Background(), "s", "q", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Subject != "lot1" {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+	if served.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", served.Load())
+	}
+	if len(clock.slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(clock.slept))
+	}
+	if clock.slept[0] != 10*time.Millisecond || clock.slept[1] != 20*time.Millisecond {
+		t.Fatalf("backoffs = %v, want doubling from 10ms", clock.slept)
+	}
+	if c.Retries() != 2 {
+		t.Fatalf("Retries() = %d", c.Retries())
+	}
+}
+
+// TestHonorsRetryAfter: the server's Retry-After stretches the delay
+// beyond the computed backoff.
+func TestHonorsRetryAfter(t *testing.T) {
+	h, _ := shedThenServe(1, "2", okSearchHandler())
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	clock := &fakeClock{}
+	c := newTestClient(ts.URL, clock, Config{BaseBackoff: 10 * time.Millisecond})
+	if _, err := c.Search(context.Background(), "s", "q", 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(clock.slept) != 1 || clock.slept[0] != 2*time.Second {
+		t.Fatalf("slept %v, want [2s] from Retry-After", clock.slept)
+	}
+}
+
+// TestExhaustsRetries: a server that never stops shedding yields
+// ErrUnavailable after MaxAttempts tries.
+func TestExhaustsRetries(t *testing.T) {
+	h, served := shedThenServe(1 << 30, "", okSearchHandler())
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	clock := &fakeClock{}
+	c := newTestClient(ts.URL, clock, Config{MaxAttempts: 3, BaseBackoff: time.Millisecond})
+	_, err := c.Search(context.Background(), "s", "q", 1)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if served.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", served.Load())
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err %v does not carry the final 503", err)
+	}
+}
+
+// TestBudget507IsTerminal: a 507 is never retried and maps to
+// ErrBudgetExceeded.
+func TestBudget507IsTerminal(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusInsufficientStorage)
+		fmt.Fprint(w, `{"error":"memory budget exceeded"}`)
+	}))
+	defer ts.Close()
+
+	clock := &fakeClock{}
+	c := newTestClient(ts.URL, clock, Config{})
+	_, err := c.Search(context.Background(), "s", "q", 1)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1 (no retries)", hits.Load())
+	}
+	if len(clock.slept) != 0 {
+		t.Fatalf("client slept %v on a terminal error", clock.slept)
+	}
+}
+
+// TestBadRequestIsTerminal: 4xx responses surface immediately as
+// APIError.
+func TestBadRequestIsTerminal(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"k must be an integer in [1,1000]"}`)
+	}))
+	defer ts.Close()
+
+	c := newTestClient(ts.URL, &fakeClock{}, Config{})
+	_, err := c.Search(context.Background(), "s", "q", 0)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want *APIError 400", err)
+	}
+	if ae.Message == "" {
+		t.Fatal("APIError lost the server's message")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits.Load())
+	}
+}
+
+// TestDeadlineBoundsBackoff: when the context deadline cannot fit the
+// next backoff, the client gives up instead of sleeping into certain
+// failure.
+func TestDeadlineBoundsBackoff(t *testing.T) {
+	h, served := shedThenServe(1<<30, "30", okSearchHandler())
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	clock := &fakeClock{}
+	c := newTestClient(ts.URL, clock, Config{BaseBackoff: 10 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Search(ctx, "s", "q", 1)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	// Retry-After said 30s; the deadline allows 100ms. The client must
+	// not have slept at all (fake clock aside, wall time stays tiny).
+	if len(clock.slept) != 0 {
+		t.Fatalf("slept %v past the deadline budget", clock.slept)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", served.Load())
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("call blocked far past its deadline")
+	}
+}
+
+// TestTransportErrorsRetry: connection refused is retryable; with a
+// dead address every attempt fails and ErrUnavailable surfaces.
+func TestTransportErrorsRetry(t *testing.T) {
+	// A listener that is immediately closed: connections are refused.
+	ts := httptest.NewServer(okSearchHandler())
+	dead := ts.URL
+	ts.Close()
+
+	clock := &fakeClock{}
+	c := newTestClient(dead, clock, Config{MaxAttempts: 3, BaseBackoff: time.Millisecond})
+	_, err := c.Search(context.Background(), "s", "q", 1)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if len(clock.slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(clock.slept))
+	}
+}

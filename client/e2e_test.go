@@ -1,0 +1,200 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"irdb/internal/catalog"
+	"irdb/internal/engine"
+	"irdb/internal/server"
+	"irdb/internal/strategy"
+	"irdb/internal/text"
+	"irdb/internal/triple"
+	"irdb/internal/workload"
+)
+
+// newE2EServer builds the real server over the auction workload, wrapped
+// in a deterministic overload gate: the first shed requests are answered
+// exactly as the server's admission layer sheds them (503 + Retry-After),
+// then traffic passes through to the real handler. This makes "load
+// clears after a while" reproducible without racing actual slot
+// occupancy.
+func newE2EServer(t *testing.T, shed int64) (*server.Server, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	cfg := workload.AuctionConfig{
+		Lots: 200, Auctions: 4, Sellers: 8, VocabSize: 500,
+		LotDescLen: 10, AuctionDescLen: 20, Seed: 7,
+	}
+	cat := catalog.New(0)
+	triple.NewStore(cat).Load(workload.AuctionGraph(cfg))
+	syn := text.SynonymDict(workload.Synonyms(500, 50, 2, 7))
+	ctx := engine.NewCtx(cat)
+	srv := server.New(ctx, syn)
+	srv.SetMemory(1<<32, 1<<30)
+	if err := srv.Install(strategy.Auction(0.7, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	real := srv.Handler()
+	var seen atomic.Int64
+	gate := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/search" && seen.Add(1) <= shed {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(`{"error":"server overloaded; retry later"}`))
+			return
+		}
+		real.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(gate)
+	t.Cleanup(ts.Close)
+	return srv, ts, &seen
+}
+
+// TestEndToEndRetryThroughOverload: the client meets real shed responses,
+// backs off, and lands the search once load clears — and the answer it
+// gets is identical to an unloaded server's.
+func TestEndToEndRetryThroughOverload(t *testing.T) {
+	v := workload.NewVocabulary(500, 7)
+	q := v.Word(10) + " " + v.Word(20)
+
+	_, calm, _ := newE2EServer(t, 0)
+	calmClient := newTestClient(calm.URL, &fakeClock{}, Config{})
+	want, err := calmClient.Search(context.Background(), "auction-lots", q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Results) == 0 {
+		t.Fatal("unloaded search returned nothing; the equivalence below is vacuous")
+	}
+
+	_, loaded, seen := newE2EServer(t, 2)
+	clock := &fakeClock{}
+	c := newTestClient(loaded.URL, clock, Config{BaseBackoff: 5 * time.Millisecond})
+	got, err := c.Search(context.Background(), "auction-lots", q, 10)
+	if err != nil {
+		t.Fatalf("search through overload: %v", err)
+	}
+	if seen.Load() != 3 {
+		t.Fatalf("server saw %d search requests, want 3 (2 sheds + 1 success)", seen.Load())
+	}
+	if c.Retries() != 2 {
+		t.Fatalf("client retried %d times, want 2", c.Retries())
+	}
+	// Retry-After was 1s, above the computed 5ms/10ms backoff: the hint
+	// must have won both times.
+	for i, d := range clock.slept {
+		if d != time.Second {
+			t.Fatalf("sleep %d = %v, want 1s from Retry-After", i, d)
+		}
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("overloaded run returned %d results, unloaded %d", len(got.Results), len(want.Results))
+	}
+	for i := range got.Results {
+		if got.Results[i] != want.Results[i] {
+			t.Fatalf("result %d: %+v through overload, %+v unloaded", i, got.Results[i], want.Results[i])
+		}
+	}
+}
+
+// TestEndToEndStreamEquivalence: the streamed path through the client
+// delivers exactly the rows the materialized path does.
+func TestEndToEndStreamEquivalence(t *testing.T) {
+	v := workload.NewVocabulary(500, 7)
+	q := v.Word(10) + " " + v.Word(20)
+	_, ts, _ := newE2EServer(t, 0)
+	c := newTestClient(ts.URL, &fakeClock{}, Config{})
+
+	want, err := c.Search(context.Background(), "auction-lots", q, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []SearchResult
+	if err := c.SearchStream(context.Background(), "auction-lots", q, 500, func(batch []SearchResult) error {
+		got = append(got, batch...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Results) {
+		t.Fatalf("streamed %d rows, materialized %d", len(got), len(want.Results))
+	}
+	for i := range got {
+		if got[i] != want.Results[i] {
+			t.Fatalf("row %d: streamed %+v, materialized %+v", i, got[i], want.Results[i])
+		}
+	}
+}
+
+// TestEndToEndBudgetTerminal: a server with a starved per-query budget
+// answers 507 and the client refuses to retry it.
+func TestEndToEndBudgetTerminal(t *testing.T) {
+	v := workload.NewVocabulary(500, 7)
+	q := v.Word(10) + " " + v.Word(20)
+	srv, ts, seen := newE2EServer(t, 0)
+	srv.SetMemory(0, 256)
+
+	clock := &fakeClock{}
+	c := newTestClient(ts.URL, clock, Config{})
+	_, err := c.Search(context.Background(), "auction-lots", q, 50)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if seen.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (terminal, no retries)", seen.Load())
+	}
+	if len(clock.slept) != 0 {
+		t.Fatalf("client slept %v on a terminal budget error", clock.slept)
+	}
+}
+
+// TestEndToEndReadiness: Ready flips through warm-up and drain; Health
+// stays up throughout.
+func TestEndToEndReadiness(t *testing.T) {
+	srv, ts, _ := newE2EServer(t, 0)
+	c := newTestClient(ts.URL, &fakeClock{}, Config{})
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("Ready: %v", err)
+	}
+	srv.SetReady(false)
+	err := c.Ready(ctx)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("Ready while warming = %v, want 503 APIError", err)
+	}
+	if ae.Message != "warming up" {
+		t.Fatalf("reason = %q", ae.Message)
+	}
+	srv.SetReady(true)
+
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ready(ctx); err == nil {
+		t.Fatal("Ready succeeded on a draining server")
+	} else if errors.As(err, &ae) && ae.Message != "draining" {
+		t.Fatalf("reason = %q, want draining", ae.Message)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health while draining: %v", err)
+	}
+	// And a draining server sheds with a drain-flavoured 503 the client
+	// classifies as retryable (another replica may serve it).
+	v := workload.NewVocabulary(500, 7)
+	_, err = c.Search(ctx, "auction-lots", v.Word(10), 5)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("search on draining server = %v, want ErrUnavailable after retries", err)
+	}
+}

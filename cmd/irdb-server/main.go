@@ -43,7 +43,9 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		synTerms = flag.Int("synonyms", 200, "synthetic synonym dictionary size (0 disables)")
 		par      = flag.Int("parallelism", 0, "engine worker pool size (0 = GOMAXPROCS, 1 = serial)")
-		cacheMB  = flag.Int64("cache-mb", 0, "materialization cache byte budget in MiB (0 = unbounded)")
+		memMB    = flag.Int64("mem-mb", 0, "umbrella memory budget in MiB, split between cache and query pool (0 = no umbrella)")
+		cacheMB  = flag.Int64("cache-mb", 0, "materialization cache byte budget in MiB (0 = unbounded, or half of -mem-mb)")
+		queryMB  = flag.Int64("query-mem-mb", 0, "per-query memory budget in MiB (0 = derived from the pool, or ungoverned without -mem-mb)")
 		maxReq   = flag.Int("max-in-flight", 0, "concurrent search request limit (0 = 2x parallelism)")
 		timeout  = flag.Duration("timeout", 0, "per-request engine deadline, e.g. 2s (0 = none)")
 		admWait  = flag.Duration("admission-wait", 0, "max time a request may queue for admission before a fast 503 + Retry-After (0 = queue without bound)")
@@ -53,12 +55,58 @@ func main() {
 		fsyncInt = flag.Duration("fsync-interval", 100*time.Millisecond, "minimum time between fsyncs under -fsync interval")
 	)
 	flag.Parse()
+
+	// One umbrella number (-mem-mb) derives the cache / query-pool split;
+	// nonsensical combinations (cache swallowing the umbrella, per-query
+	// budget above the pool) are refused at startup, not discovered under
+	// load.
+	split, err := server.DeriveMemSplit(*memMB, *cacheMB, *queryMB, *maxReq)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irdb-server: %v\n", err)
+		os.Exit(2)
+	}
 	cat := catalog.New(0)
-	if *cacheMB > 0 {
-		cat.Cache().SetMaxBytes(*cacheMB << 20)
+	if split.CacheBytes > 0 {
+		cat.Cache().SetMaxBytes(split.CacheBytes)
 	}
 	store := triple.NewStore(cat)
 	mgr := ingest.New(cat, store, "docs")
+
+	var syn text.SynonymDict
+	if *synTerms > 0 {
+		syn = text.SynonymDict(workload.Synonyms(20000, *synTerms, 2, 42))
+	}
+	ctx := engine.NewCtx(cat)
+	ctx.Parallelism = *par
+	srv := server.New(ctx, syn)
+	srv.SetIngest(mgr)
+	if *maxReq > 0 {
+		srv.SetMaxInFlight(*maxReq)
+	}
+	if *timeout > 0 {
+		srv.SetTimeout(*timeout)
+	}
+	if *admWait > 0 {
+		srv.SetAdmissionWait(*admWait)
+	}
+	srv.SetMemory(split.PoolBytes, split.PerQueryBytes)
+	if split.PoolBytes > 0 || split.PerQueryBytes > 0 {
+		log.Printf("memory: cache %d MiB, query pool %d MiB, per-query budget %d MiB",
+			split.CacheBytes>>20, split.PoolBytes>>20, split.PerQueryBytes>>20)
+	}
+
+	// Listen before loading: /healthz answers as soon as the socket is
+	// up, while /readyz stays 503 until recovery and data load finish, so
+	// load balancers hold traffic through a slow WAL replay instead of
+	// timing out on a silent port.
+	srv.SetReady(false)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (not ready: warming up)", *addr)
+
 	recovered := 0
 	if *walPath != "" {
 		policy, err := wal.ParsePolicy(*fsync)
@@ -104,23 +152,6 @@ func main() {
 		log.Printf("loaded %d triples from %s", len(triples), *dataPath)
 	}
 
-	var syn text.SynonymDict
-	if *synTerms > 0 {
-		syn = text.SynonymDict(workload.Synonyms(20000, *synTerms, 2, 42))
-	}
-	ctx := engine.NewCtx(cat)
-	ctx.Parallelism = *par
-	srv := server.New(ctx, syn)
-	srv.SetIngest(mgr)
-	if *maxReq > 0 {
-		srv.SetMaxInFlight(*maxReq)
-	}
-	if *timeout > 0 {
-		srv.SetTimeout(*timeout)
-	}
-	if *admWait > 0 {
-		srv.SetAdmissionWait(*admWait)
-	}
 	for _, st := range []*strategy.Strategy{
 		strategy.Toy(),
 		strategy.Auction(0.7, 0.3),
@@ -131,17 +162,14 @@ func main() {
 		}
 	}
 	log.Printf("installed strategies: %v", srv.StrategyNames())
-	log.Printf("listening on %s", *addr)
+	srv.SetReady(true)
+	log.Printf("ready")
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop admitting new queries,
 	// drain the in-flight ones (bounded by -drain-timeout), then close the
 	// listener. Requests arriving mid-drain get a fast 503 + Retry-After
-	// instead of a reset connection.
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	// instead of a reset connection, and /readyz flips not-ready the
+	// moment the drain starts.
 	select {
 	case err := <-errc:
 		log.Fatal(err)

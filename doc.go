@@ -27,6 +27,43 @@
 //	stmt, _ := db.Prepare(`SELECT [$2="category" and $3=?cat] (triples);`)
 //	res, err := stmt.Query(ctx, irdb.P("cat", "toy"))
 //
+// # Memory governance and streamed results
+//
+// WithQueryMemBytes bounds the bytes one query may hold in intermediate
+// state (join build tables, sort runs, aggregation accumulators,
+// gathered outputs); WithMemoryPoolBytes caps all concurrent queries
+// together. A query over either bound aborts cleanly with
+// ErrBudgetExceeded — never cached, nothing leaked, and a query that
+// fits is bit-identical to an unbudgeted run. Stmt.QueryStream returns
+// the same rows as Stmt.Query but hands them out in batches, holding
+// the query's admission slot and memory reservation until the consumer
+// closes (or exhausts) the stream — the shape a server encoding rows to
+// a slow client needs:
+//
+//	db, _ := irdb.Open(irdb.WithQueryMemBytes(64<<20), irdb.WithMemoryPoolBytes(512<<20))
+//	st, err := stmt.QueryStream(ctx, irdb.P("cat", "toy"))
+//	if errors.Is(err, irdb.ErrBudgetExceeded) { ... } // terminal: narrow the query or raise the budget
+//	defer st.Close()
+//	for st.Next() {
+//		b := st.Batch() // a *Result view of up to 1024 rows
+//		for i := 0; i < b.NumRows(); i++ { emit(b.Value(i, 0), b.Prob(i)) }
+//	}
+//	if st.Err() != nil { ... } // cancelled / disconnected mid-stream
+//
+// The HTTP layer speaks the same taxonomy: the server sheds overload as
+// 503 + Retry-After, answers budget denials with 507 (terminal), streams
+// /search?stream=1 as ndjson frames, and exposes /healthz and /readyz;
+// the client package (irdb/client) retries the retryable statuses with
+// jittered, deadline-aware exponential backoff and fails fast on the
+// terminal ones:
+//
+//	c := client.New("http://127.0.0.1:8080", client.Config{MaxAttempts: 5})
+//	resp, err := c.Search(ctx, "auction-lots", "wooden train", 10)
+//	switch {
+//	case errors.Is(err, client.ErrBudgetExceeded): // 507: do not retry
+//	case errors.Is(err, client.ErrUnavailable):    // retries exhausted against 503s
+//	}
+//
 // With WithDurability, writes are logged to a write-ahead log before
 // they apply: DB.AppendTriples, DB.DeleteTriples and DB.AppendDocs
 // return only after the batch is fsynced (per WithFsync policy), a

@@ -133,6 +133,11 @@ func aggregateRel(c context.Context, ctx *Ctx, in *relation.Relation, groupBy []
 	if err != nil {
 		return nil, err
 	}
+	// Budget the grouping scaffolding up front: the per-row hash array
+	// plus the row→group array (8 bytes each per row).
+	if err := ctx.charge(c, int64(in.NumRows())*16); err != nil {
+		return nil, err
+	}
 	groupOf, firstRow := groupRows(c, ctx, in, gIdx)
 	if err := c.Err(); err != nil {
 		// A cancelled grouping leaves groupOf/firstRow inconsistent; the
@@ -141,6 +146,14 @@ func aggregateRel(c context.Context, ctx *Ctx, in *relation.Relation, groupBy []
 	}
 
 	nGroups := len(firstRow)
+	// Budget the accumulators before any fold runs: each chunk of
+	// foldGroups carries a dense nGroups-slot partial per aggregate (the
+	// probability combine included), plus the gathered group columns.
+	chunks := int64(len(aggRanges(len(groupOf), nGroups)))
+	accBytes := chunks * int64(nGroups) * 16 * int64(len(aggSpecs)+1)
+	if err := ctx.charge(c, accBytes+in.ApproxRowBytes()*int64(nGroups)); err != nil {
+		return nil, err
+	}
 	cols := make([]relation.Column, 0, len(gIdx)+len(aggSpecs))
 	for k, gi := range gIdx {
 		cols = append(cols, relation.Column{

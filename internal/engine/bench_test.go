@@ -159,7 +159,9 @@ func BenchmarkGatherParallel8(b *testing.B) {
 	ctx := &Ctx{Parallelism: 8}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		gatherParallel(context.Background(), ctx, rel, sel)
+		if _, err := gatherParallel(context.Background(), ctx, rel, sel); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -182,7 +184,7 @@ func BenchmarkTopNSerialFallback(b *testing.B) {
 	ctx := &Ctx{Parallelism: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		topNSel(context.Background(), ctx, rel, topNKeys, 50)
+		_, _ = topNSel(context.Background(), ctx, rel, topNKeys, 50)
 	}
 }
 
@@ -191,7 +193,7 @@ func BenchmarkTopNMerge8(b *testing.B) {
 	ctx := &Ctx{Parallelism: 8}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		topNSel(context.Background(), ctx, rel, topNKeys, 50)
+		_, _ = topNSel(context.Background(), ctx, rel, topNKeys, 50)
 	}
 }
 
@@ -271,7 +273,7 @@ func benchSortMerge(b *testing.B, par int) {
 	ctx := &Ctx{Parallelism: par}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = sortSel(context.Background(), ctx, rel, sortKeys)
+		_, _ = sortSel(context.Background(), ctx, rel, sortKeys)
 	}
 }
 

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"irdb/internal/catalog"
+	"irdb/internal/memory"
+)
+
+// budgetPlan is a composite plan hitting every budget charge site: join
+// (hashes, build table, pair lists, gathers), selection gather via
+// sort/topn, concat prefix sums, and aggregation accumulators.
+func budgetPlan() Node {
+	join := NewHashJoin(NewScan("fact"), NewMaterialize(NewScan("dim")), []string{"a"}, []string{"a"}, JoinIndependent)
+	agg := NewAggregate(join, []string{"b"}, []AggSpec{
+		{Op: CountAll, As: "n"},
+		{Op: Sum, Col: "x", As: "sx"},
+	}, GroupIndependent)
+	u := NewUnion(agg, agg)
+	return NewSort(u, SortSpec{Col: "b"}, SortSpec{Col: "n", Desc: true})
+}
+
+func budgetCatalog() *catalog.Catalog {
+	r := rand.New(rand.NewSource(77))
+	cat := catalog.New(0)
+	cat.Put("fact", randRel(r, 3*minMorsel, 400))
+	cat.Put("dim", randRel(r, minMorsel, 400))
+	return cat
+}
+
+// TestBudgetEquivalence pins that a query under a sufficient budget is
+// bit-identical to the unbudgeted path at parallelism 1/2/8 and that
+// its reservation is fully returned to the pool.
+func TestBudgetEquivalence(t *testing.T) {
+	want, err := (&Ctx{Cat: budgetCatalog(), Parallelism: 1}).Exec(context.Background(), budgetPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 8} {
+		ctx := &Ctx{Cat: budgetCatalog(), Parallelism: par, UseCache: true, CacheAll: true}
+		pool := memory.NewPool(0)
+		res := pool.Reserve(1 << 30)
+		c := memory.WithReservation(context.Background(), res)
+		got, err := ctx.Exec(c, budgetPlan())
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		mustEqualRel(t, want, got, fmt.Sprintf("budgeted par=%d", par))
+		if res.Peak() == 0 {
+			t.Fatalf("par=%d: no charges reached the reservation", par)
+		}
+		res.Release()
+		if used := pool.Used(); used != 0 {
+			t.Fatalf("par=%d: pool holds %d bytes after release", par, used)
+		}
+	}
+}
+
+// TestBudgetExceeded pins the failure mode: a tiny budget aborts with
+// ErrBudgetExceeded (matchable through the operator-label wrapping), the
+// error is never cached, and the reservation leaks nothing.
+func TestBudgetExceeded(t *testing.T) {
+	for _, par := range []int{1, 2, 8} {
+		ctx := &Ctx{Cat: budgetCatalog(), Parallelism: par, UseCache: true, CacheAll: true}
+		pool := memory.NewPool(0)
+		res := pool.Reserve(512) // far below any gather output
+		c := memory.WithReservation(context.Background(), res)
+		_, err := ctx.Exec(c, budgetPlan())
+		if !errors.Is(err, ErrBudgetExceeded) {
+			t.Fatalf("par=%d: err = %v, want ErrBudgetExceeded", par, err)
+		}
+		var be *memory.BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("par=%d: err %v carries no *memory.BudgetError", par, err)
+		}
+		if ctx.BudgetDenials() == 0 {
+			t.Fatalf("par=%d: denial not counted", par)
+		}
+		res.Release()
+		if used := pool.Used(); used != 0 {
+			t.Fatalf("par=%d: pool holds %d bytes after failed query", par, used)
+		}
+
+		// The failure must not have been cached: the same plan under no
+		// budget must execute cleanly and match the reference.
+		want, err := (&Ctx{Cat: budgetCatalog(), Parallelism: 1}).Exec(context.Background(), budgetPlan())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ctx.Exec(context.Background(), budgetPlan())
+		if err != nil {
+			t.Fatalf("par=%d: unbudgeted rerun after budget failure: %v", par, err)
+		}
+		mustEqualRel(t, want, got, fmt.Sprintf("rerun par=%d", par))
+	}
+}
+
+// TestBudgetExceededNotCached drives the never-cached guarantee
+// directly: after a budget abort the cache holds no entry for any
+// fingerprint of the failed plan.
+func TestBudgetExceededNotCached(t *testing.T) {
+	cat := budgetCatalog()
+	ctx := &Ctx{Cat: cat, Parallelism: 2, UseCache: true, CacheAll: true}
+	pool := memory.NewPool(0)
+	res := pool.Reserve(512)
+	c := memory.WithReservation(context.Background(), res)
+	if _, err := ctx.Exec(c, budgetPlan()); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	res.Release()
+	// Walk the failed plan: no node whose execution failed may be
+	// resident. Leaves (scans) are never cached; the root and the nodes
+	// above the failing charge must be absent.
+	var walk func(n Node)
+	var roots []string
+	walk = func(n Node) {
+		roots = append(roots, n.Fingerprint())
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+	}
+	walk(budgetPlan())
+	if _, ok := cat.Cache().Get(roots[0]); ok {
+		t.Fatal("failed plan root found in cache")
+	}
+	if used := pool.Used(); used != 0 {
+		t.Fatalf("pool holds %d bytes", used)
+	}
+}
+
+// TestBudgetPoolCapacity pins the pool-scope denial: two reservations
+// against a bounded pool, the second query is refused when the first
+// holds the capacity.
+func TestBudgetPoolCapacity(t *testing.T) {
+	pool := memory.NewPool(4096)
+	holder := pool.Reserve(0)
+	if err := holder.Grow(4000); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Ctx{Cat: budgetCatalog(), Parallelism: 2}
+	res := pool.Reserve(0)
+	c := memory.WithReservation(context.Background(), res)
+	_, err := ctx.Exec(c, budgetPlan())
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want pool-capacity ErrBudgetExceeded", err)
+	}
+	var be *memory.BudgetError
+	if !errors.As(err, &be) || be.Scope != "pool" {
+		t.Fatalf("scope = %+v, want pool", be)
+	}
+	res.Release()
+	holder.Release()
+	if used := pool.Used(); used != 0 {
+		t.Fatalf("pool holds %d bytes", used)
+	}
+}

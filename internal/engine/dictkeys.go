@@ -136,13 +136,18 @@ func vecsEqual(l []vector.Vector, i int, r []vector.Vector, j int) bool {
 }
 
 // hashVecsParallel hashes n rows of the given key vectors into one sum per
-// row, split over morsels like hashRowsParallel.
-func hashVecsParallel(c context.Context, ctx *Ctx, vecs []vector.Vector, n int, seed maphash.Seed) []uint64 {
+// row, split over morsels like hashRowsParallel. The hash array (8 bytes
+// per row) is charged against the query's memory budget before it is
+// allocated.
+func hashVecsParallel(c context.Context, ctx *Ctx, vecs []vector.Vector, n int, seed maphash.Seed) ([]uint64, error) {
+	if err := ctx.charge(c, int64(n)*8); err != nil {
+		return nil, err
+	}
 	sums := make([]uint64, n)
 	ctx.parallelRanges(c, n, func(lo, hi int) {
 		for _, v := range vecs {
 			v.HashRangeInto(seed, sums, lo, hi)
 		}
 	})
-	return sums
+	return sums, nil
 }

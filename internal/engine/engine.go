@@ -51,9 +51,10 @@ type Ctx struct {
 	semOnce sync.Once
 	sem     chan struct{}
 
-	nodeExecs atomic.Int64
-	cacheHits atomic.Int64
-	panics    atomic.Int64
+	nodeExecs      atomic.Int64
+	cacheHits      atomic.Int64
+	panics         atomic.Int64
+	budgetDenials  atomic.Int64
 
 	// optCounters accumulates per-plan optimizer work; see optimize.go.
 	optCounters
@@ -284,7 +285,7 @@ func (l *Limit) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error)
 	for i := range sel {
 		sel[i] = i
 	}
-	return gatherParallel(c, ctx, in, sel), nil
+	return gatherParallel(c, ctx, in, sel)
 }
 
 // Fingerprint implements Node.

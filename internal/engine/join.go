@@ -123,8 +123,14 @@ func (j *HashJoin) Execute(c context.Context, ctx *Ctx) (*relation.Relation, err
 		return nil, err
 	}
 
-	lOut := gatherParallel(c, ctx, left, lSel)
-	rOut := gatherParallel(c, ctx, right, rSel)
+	lOut, err := gatherParallel(c, ctx, left, lSel)
+	if err != nil {
+		return nil, err
+	}
+	rOut, err := gatherParallel(c, ctx, right, rSel)
+	if err != nil {
+		return nil, err
+	}
 	names := make(map[string]bool, lOut.NumCols()+rOut.NumCols())
 	cols := make([]relation.Column, 0, lOut.NumCols()+rOut.NumCols())
 	for _, c := range lOut.Columns() {
@@ -202,7 +208,10 @@ func (j *HashJoin) matchBuildLeft(c context.Context, ctx *Ctx, left, right *rela
 // (probe, build) row pairs, ordered by ascending probe row with build rows
 // ascending within each probe row.
 func probePairs(c context.Context, ctx *Ctx, idx *joinIndex, probeVecs, buildVecs []vector.Vector, probeRows int) ([]int, []int, error) {
-	pHash := hashVecsParallel(c, ctx, probeVecs, probeRows, idx.seed)
+	pHash, err := hashVecsParallel(c, ctx, probeVecs, probeRows, idx.seed)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	// Probe in parallel: each morsel of probe rows collects its matches
 	// into its own pair lists, merged in morsel order below — the same
@@ -237,6 +246,12 @@ func probePairs(c context.Context, ctx *Ctx, idx *joinIndex, probeVecs, buildVec
 	total := 0
 	for _, p := range pParts {
 		total += len(p)
+	}
+	// The merged pair lists are the join's cross-product risk: a skewed
+	// key can explode total far past either input, so budget them before
+	// allocation (16 bytes per pair across the two lists).
+	if err := ctx.charge(c, int64(total)*16); err != nil {
+		return nil, nil, err
 	}
 	pSel := make([]int, 0, total)
 	bSel := make([]int, 0, total)
@@ -338,7 +353,10 @@ func (j *HashJoin) buildIndex(c context.Context, ctx *Ctx, side *relation.Relati
 		// dict-encoded column hashes codes, a plain one hashes strings.
 		// Probes align to it (alignProbeVecs), so the index stays valid
 		// for probes of either representation.
-		sHash := hashVecsParallel(bc, ctx, colVecs(side, keyIdx), side.NumRows(), idx.seed)
+		sHash, err := hashVecsParallel(bc, ctx, colVecs(side, keyIdx), side.NumRows(), idx.seed)
+		if err != nil {
+			return nil, err
+		}
 		buckets, err := buildBuckets(bc, ctx, sHash)
 		if err != nil {
 			return nil, err

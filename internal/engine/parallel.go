@@ -253,12 +253,19 @@ func (ctx *Ctx) runRanges(c context.Context, ranges [][2]int, fn func(m, lo, hi 
 // each worker writes its [lo, hi) slice of sel through the write-at-offset
 // vector API. Disjoint ranges touch disjoint output rows, so the result is
 // bit-identical to the serial Gather at any parallelism.
-func gatherParallel(c context.Context, ctx *Ctx, r *relation.Relation, sel []int) *relation.Relation {
+//
+// The output footprint is charged against the query's memory budget
+// before the destination is allocated; a denied charge aborts with
+// ErrBudgetExceeded before any morsel is dispatched.
+func gatherParallel(c context.Context, ctx *Ctx, r *relation.Relation, sel []int) (*relation.Relation, error) {
+	if err := ctx.chargeRel(c, r, len(sel)); err != nil {
+		return nil, err
+	}
 	out := r.NewSizedLike(len(sel))
 	ctx.parallelRanges(c, len(sel), func(lo, hi int) {
 		r.GatherRangeInto(out, sel, lo, hi)
 	})
-	return out
+	return out, nil
 }
 
 // hashRowsParallel is relation.HashRows with the rows split over morsels.
@@ -406,6 +413,13 @@ func buildBuckets(c context.Context, ctx *Ctx, hashes []uint64) (*bucketIndex, e
 		return nil, err
 	}
 	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	// Budget the table up front: slot arrays are sized to the next power
+	// of two past 2x rows (16 bytes/slot worst-case ~4x rows), plus the
+	// contiguous rows array and the per-morsel partition lists (4 bytes
+	// each per row).
+	if err := ctx.charge(c, int64(len(hashes))*48); err != nil {
 		return nil, err
 	}
 	n := len(hashes)

@@ -49,6 +49,11 @@ func concatAll(c context.Context, ctx *Ctx, ins []*relation.Relation) (*relation
 		offs[k] = total
 		total += in.NumRows()
 	}
+	// Budget the concatenated output before the prefix-sum allocation:
+	// every column is allocated once at full size below.
+	if err := ctx.chargeRel(c, first, total); err != nil {
+		return nil, err
+	}
 	nCols := first.NumCols()
 	cols := make([]relation.Column, nCols)
 	for ci := 0; ci < nCols; ci++ {
@@ -244,11 +249,18 @@ func (s *Subtract) Execute(c context.Context, ctx *Ctx) (*relation.Relation, err
 	rKeyVecs := colVecs(right, rIdx)
 	lKeyVecs := alignProbeVecs(ctx, colVecs(left, lIdx), rKeyVecs)
 	seed := maphash.MakeSeed()
-	buckets, err := buildBuckets(c, ctx, hashVecsParallel(c, ctx, rKeyVecs, right.NumRows(), seed))
+	rHash, err := hashVecsParallel(c, ctx, rKeyVecs, right.NumRows(), seed)
 	if err != nil {
 		return nil, err
 	}
-	lHash := hashVecsParallel(c, ctx, lKeyVecs, left.NumRows(), seed)
+	buckets, err := buildBuckets(c, ctx, rHash)
+	if err != nil {
+		return nil, err
+	}
+	lHash, err := hashVecsParallel(c, ctx, lKeyVecs, left.NumRows(), seed)
+	if err != nil {
+		return nil, err
+	}
 	lp, rp := left.Prob(), right.Prob()
 
 	// Anti-probe in parallel morsels, merged in morsel order (same output
@@ -299,7 +311,10 @@ func (s *Subtract) Execute(c context.Context, ctx *Ctx) (*relation.Relation, err
 		sel = append(sel, selParts[m]...)
 		prob = append(prob, probParts[m]...)
 	}
-	out := gatherParallel(c, ctx, left, sel)
+	out, err := gatherParallel(c, ctx, left, sel)
+	if err != nil {
+		return nil, err
+	}
 	out.SetProb(prob)
 	return out, nil
 }

@@ -67,11 +67,14 @@ func (s *Sort) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) 
 	if err != nil {
 		return nil, err
 	}
-	sel := sortSel(c, ctx, in, keys)
+	sel, err := sortSel(c, ctx, in, keys)
+	if err != nil {
+		return nil, err
+	}
 	if err := c.Err(); err != nil {
 		return nil, err
 	}
-	return gatherParallel(c, ctx, in, sel), nil
+	return gatherParallel(c, ctx, in, sel)
 }
 
 // Fingerprint implements Node.
@@ -121,11 +124,14 @@ func (t *TopN) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error) 
 	if err != nil {
 		return nil, err
 	}
-	sel := topNSel(c, ctx, in, keys, t.N)
+	sel, err := topNSel(c, ctx, in, keys, t.N)
+	if err != nil {
+		return nil, err
+	}
 	if err := c.Err(); err != nil {
 		return nil, err
 	}
-	return gatherParallel(c, ctx, in, sel), nil
+	return gatherParallel(c, ctx, in, sel)
 }
 
 // Fingerprint implements Node.

@@ -94,7 +94,10 @@ func TestSortSelMatchesSliceStable(t *testing.T) {
 			for ki, keys := range in.keys {
 				want := rel.SortedSel(keys)
 				for _, par := range []int{1, 2, 8} {
-					got := sortSel(context.Background(), &Ctx{Parallelism: par}, rel, keys)
+					got, err := sortSel(context.Background(), &Ctx{Parallelism: par}, rel, keys)
+					if err != nil {
+						t.Fatal(err)
+					}
 					if len(got) != len(want) {
 						t.Fatalf("%s rows=%d keys=%d par=%d: len = %d, want %d",
 							in.name, rows, ki, par, len(got), len(want))

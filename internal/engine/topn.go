@@ -60,12 +60,17 @@ func (ctx *Ctx) sortRanges(n int) [][2]int {
 
 // sortSel returns in.SortedSel(keys) computed with per-run stable sorts
 // plus the same k-way merge TopN uses. Unlike topNSel it keeps every row:
-// ORDER BY without LIMIT scales the same way TopN does.
-func sortSel(c context.Context, ctx *Ctx, in *relation.Relation, keys []relation.SortKey) []int {
+// ORDER BY without LIMIT scales the same way TopN does. The sort runs
+// plus the merged permutation (16 bytes per row) are charged against the
+// query's memory budget before any run is dispatched.
+func sortSel(c context.Context, ctx *Ctx, in *relation.Relation, keys []relation.SortKey) ([]int, error) {
 	total := in.NumRows()
+	if err := ctx.charge(c, int64(total)*16); err != nil {
+		return nil, err
+	}
 	ranges := ctx.sortRanges(total)
 	if len(ranges) <= 1 {
-		return in.SortedSel(keys)
+		return in.SortedSel(keys), nil
 	}
 	less := func(i, j int) bool {
 		if c := in.CompareRows(keys, i, j); c != 0 {
@@ -77,19 +82,19 @@ func sortSel(c context.Context, ctx *Ctx, in *relation.Relation, keys []relation
 	ctx.runRanges(c, ranges, func(m, lo, hi int) {
 		runs[m] = in.SortedSelRange(keys, lo, hi)
 	})
-	return mergeRuns(c, less, runs, total)
+	return mergeRuns(c, less, runs, total), nil
 }
 
 // topNSel returns the first n entries of in.SortedSel(keys), computed with
 // per-morsel partial selection plus a k-way merge when worker slots allow.
 // The returned permutation prefix is bit-identical at every parallelism.
-func topNSel(c context.Context, ctx *Ctx, in *relation.Relation, keys []relation.SortKey, n int) []int {
+func topNSel(c context.Context, ctx *Ctx, in *relation.Relation, keys []relation.SortKey, n int) ([]int, error) {
 	total := in.NumRows()
 	if n > total {
 		n = total
 	}
 	if n <= 0 {
-		return []int{}
+		return []int{}, nil
 	}
 	less := func(i, j int) bool {
 		if c := in.CompareRows(keys, i, j); c != 0 {
@@ -99,13 +104,22 @@ func topNSel(c context.Context, ctx *Ctx, in *relation.Relation, keys []relation
 	}
 	ranges := ctx.sortRanges(total)
 	if len(ranges) <= 1 {
-		return in.SortedSel(keys)[:n:n]
+		// The single-run path sorts the full permutation (8 bytes/row).
+		if err := ctx.charge(c, int64(total)*8); err != nil {
+			return nil, err
+		}
+		return in.SortedSel(keys)[:n:n], nil
+	}
+	// Each run's bounded heap keeps at most n rows; budget the runs plus
+	// the merged prefix before dispatch.
+	if err := ctx.charge(c, int64(len(ranges)+1)*int64(n)*8); err != nil {
+		return nil, err
 	}
 	runs := make([][]int, len(ranges))
 	ctx.runRanges(c, ranges, func(m, lo, hi int) {
 		runs[m] = topOfRange(less, lo, hi, n)
 	})
-	return mergeRuns(c, less, runs, n)
+	return mergeRuns(c, less, runs, n), nil
 }
 
 // topOfRange returns the min(n, hi-lo) smallest rows of [lo, hi) under

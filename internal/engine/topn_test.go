@@ -52,7 +52,10 @@ func TestTopNSelDeterminism(t *testing.T) {
 				}
 				for _, par := range []int{1, 2, 8} {
 					ctx := &Ctx{Parallelism: par}
-					got := topNSel(context.Background(), ctx, in, keys, n)
+					got, err := topNSel(context.Background(), ctx, in, keys, n)
+					if err != nil {
+						t.Fatal(err)
+					}
 					if len(got) != capped {
 						t.Fatalf("rows=%d keys=%d n=%d par=%d: len = %d, want %d",
 							rows, ki, n, par, len(got), capped)
@@ -140,7 +143,10 @@ func TestGatherParallelMatchesSerial(t *testing.T) {
 	}
 	want := in.Gather(sel)
 	for _, par := range []int{1, 2, 8} {
-		got := gatherParallel(context.Background(), &Ctx{Parallelism: par}, in, sel)
+		got, err := gatherParallel(context.Background(), &Ctx{Parallelism: par}, in, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
 		mustEqualRel(t, want, got, fmt.Sprintf("gatherParallel par=%d", par))
 	}
 }

@@ -246,6 +246,38 @@ func (r *Relation) EstimatedBytesExcluding(pinned map[*vector.FrozenDict]bool) i
 	return n
 }
 
+// approxSampleRows bounds the prefix ApproxRowBytes inspects per column.
+const approxSampleRows = 256
+
+// ApproxRowBytes estimates the marginal heap footprint of one
+// materialized row — every column plus the probability slot — for
+// memory-budget sizing of gathers and concats. Unlike EstimatedBytes it
+// is O(columns), not O(rows): plain string columns are estimated from a
+// bounded prefix sample instead of walking every payload, and
+// dict-encoded columns count only their codes (gathers share the frozen
+// dict, they never copy it).
+func (r *Relation) ApproxRowBytes() int64 {
+	var per int64 = 8 // probability column
+	for _, c := range r.cols {
+		if _, ok := c.Vec.(*vector.DictStrings); ok {
+			per += 4
+			continue
+		}
+		v := c.Vec
+		n := v.Len()
+		if n == 0 {
+			per += 8
+			continue
+		}
+		if n > approxSampleRows {
+			v = v.Slice(0, approxSampleRows)
+			n = approxSampleRows
+		}
+		per += v.EstimatedBytes() / int64(n)
+	}
+	return per
+}
+
 // WithColumns returns a relation sharing this relation's probability column
 // but exposing only the named columns, in the given order.
 func (r *Relation) WithColumns(names ...string) (*Relation, error) {

@@ -3,9 +3,12 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"irdb/internal/catalog"
 	"irdb/internal/engine"
@@ -168,5 +171,102 @@ func TestAppendValidation(t *testing.T) {
 	_, plain := newTestServer(t)
 	if code := postJSON(t, plain.URL+"/append", map[string]any{}, nil); code != http.StatusNotImplemented {
 		t.Fatalf("append without ingest = %d, want 501", code)
+	}
+}
+
+// TestAppendSlowWriterDoesNotBlockOthers is the slow-reader regression
+// test for the buffered /append decode: a client trickling its payload
+// byte-by-byte must stall only its own connection read — appends and
+// searches from other clients complete while the trickle is still in
+// progress, because the handler buffers the whole body before taking
+// the admission slot or the ingest manager's lock.
+func TestAppendSlowWriterDoesNotBlockOthers(t *testing.T) {
+	_, ts := newIngestServer(t)
+
+	payload, err := json.Marshal(map[string]any{
+		"triples": []map[string]any{
+			{"subject": "slow", "property": "type", "object": "lot", "p": 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The slow writer: a pipe fed one byte every few milliseconds. The
+	// request stays open — stuck reading its body — for the whole test.
+	pr, pw := io.Pipe()
+	slowDone := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequest("POST", ts.URL+"/append", pr)
+		if err != nil {
+			slowDone <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			slowDone <- err
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			slowDone <- fmt.Errorf("slow append status = %d", resp.StatusCode)
+			return
+		}
+		slowDone <- nil
+	}()
+	feederDone := make(chan struct{})
+	go func() {
+		defer close(feederDone)
+		for _, b := range payload {
+			if _, err := pw.Write([]byte{b}); err != nil {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		pw.Close()
+	}()
+
+	// While the trickle is mid-flight, a normal append and a search must
+	// both complete promptly.
+	fastReq := map[string]any{
+		"triples": []map[string]any{
+			{"subject": "fast", "property": "type", "object": "lot", "p": 1},
+		},
+	}
+	fast := make(chan error, 1)
+	go func() {
+		var out struct {
+			Appended int `json:"appended_triples"`
+		}
+		if code := postJSON(t, ts.URL+"/append", fastReq, &out); code != http.StatusOK {
+			fast <- fmt.Errorf("fast append status = %d", code)
+			return
+		}
+		if out.Appended != 1 {
+			fast <- fmt.Errorf("fast append response = %+v", out)
+			return
+		}
+		if code := getJSON(t, ts.URL+"/search?strategy=auction-lots&q=wood", nil); code != http.StatusOK {
+			fast <- fmt.Errorf("search status = %d", code)
+			return
+		}
+		fast <- nil
+	}()
+
+	select {
+	case err := <-fast:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fast requests blocked behind a slow /append writer")
+	}
+	select {
+	case <-feederDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("trickle feeder stuck")
+	}
+	if err := <-slowDone; err != nil {
+		t.Fatal(err)
 	}
 }

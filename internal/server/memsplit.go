@@ -1,0 +1,68 @@
+package server
+
+import "fmt"
+
+// MemSplit is the byte budget derivation behind irdb-server's -mem-mb
+// umbrella flag: one process-level number split between the
+// materialization cache and a pool for query intermediates.
+type MemSplit struct {
+	// CacheBytes caps the materialization cache (0 = unbounded).
+	CacheBytes int64
+	// PoolBytes caps the memory pool shared by concurrent queries
+	// (0 = ungoverned).
+	PoolBytes int64
+	// PerQueryBytes caps one query's reservation from the pool
+	// (0 = bounded only by the pool).
+	PerQueryBytes int64
+}
+
+// DeriveMemSplit turns the flag surface (-mem-mb, -cache-mb,
+// -query-mem-mb, -max-in-flight) into a concrete split.
+//
+// Without an umbrella (memMB <= 0) nothing is derived: the cache takes
+// cacheMB as-is and queries are governed only if queryMB is set
+// explicitly. With an umbrella, the cache defaults to half of it when
+// -cache-mb is unset, the remainder becomes the query pool, and the
+// per-query budget defaults to an even share of the pool across
+// maxInFlight slots (the whole pool when in-flight is unbounded).
+// Nonsensical combinations — a cache at least as large as the umbrella
+// (leaving no room to run queries), or a per-query budget exceeding the
+// pool it draws from (a budget no query could ever use) — are refused
+// rather than silently clamped.
+func DeriveMemSplit(memMB, cacheMB, queryMB int64, maxInFlight int) (MemSplit, error) {
+	if memMB <= 0 {
+		var sp MemSplit
+		if cacheMB > 0 {
+			sp.CacheBytes = cacheMB << 20
+		}
+		if queryMB > 0 {
+			sp.PerQueryBytes = queryMB << 20
+		}
+		return sp, nil
+	}
+	if cacheMB < 0 {
+		cacheMB = 0
+	}
+	if cacheMB == 0 {
+		cacheMB = memMB / 2
+	}
+	if cacheMB >= memMB {
+		return MemSplit{}, fmt.Errorf("-cache-mb=%d must be below -mem-mb=%d: the umbrella covers cache plus query memory, and this split leaves nothing to run queries with", cacheMB, memMB)
+	}
+	sp := MemSplit{
+		CacheBytes: cacheMB << 20,
+		PoolBytes:  (memMB - cacheMB) << 20,
+	}
+	switch {
+	case queryMB > 0:
+		sp.PerQueryBytes = queryMB << 20
+		if sp.PerQueryBytes > sp.PoolBytes {
+			return MemSplit{}, fmt.Errorf("-query-mem-mb=%d exceeds the %d MB query pool (-mem-mb minus cache): no query could ever use its budget", queryMB, memMB-cacheMB)
+		}
+	case maxInFlight > 0:
+		sp.PerQueryBytes = sp.PoolBytes / int64(maxInFlight)
+	default:
+		sp.PerQueryBytes = sp.PoolBytes
+	}
+	return sp, nil
+}

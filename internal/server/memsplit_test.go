@@ -1,0 +1,75 @@
+package server
+
+import "testing"
+
+func TestDeriveMemSplit(t *testing.T) {
+	cases := []struct {
+		name                string
+		memMB, cacheMB, qMB int64
+		maxInFlight         int
+		want                MemSplit
+		wantErr             bool
+	}{
+		{
+			name: "no-umbrella-defaults",
+			want: MemSplit{},
+		},
+		{
+			name:    "no-umbrella-explicit",
+			cacheMB: 64, qMB: 16,
+			want: MemSplit{CacheBytes: 64 << 20, PerQueryBytes: 16 << 20},
+		},
+		{
+			name:  "umbrella-halves-cache",
+			memMB: 256, maxInFlight: 4,
+			want: MemSplit{CacheBytes: 128 << 20, PoolBytes: 128 << 20, PerQueryBytes: 32 << 20},
+		},
+		{
+			name:  "umbrella-unbounded-inflight",
+			memMB: 100,
+			want:  MemSplit{CacheBytes: 50 << 20, PoolBytes: 50 << 20, PerQueryBytes: 50 << 20},
+		},
+		{
+			name:  "umbrella-explicit-cache",
+			memMB: 256, cacheMB: 200, maxInFlight: 2,
+			want: MemSplit{CacheBytes: 200 << 20, PoolBytes: 56 << 20, PerQueryBytes: 28 << 20},
+		},
+		{
+			name:  "umbrella-explicit-query",
+			memMB: 256, qMB: 64, maxInFlight: 8,
+			want: MemSplit{CacheBytes: 128 << 20, PoolBytes: 128 << 20, PerQueryBytes: 64 << 20},
+		},
+		{
+			name:  "cache-swallows-umbrella",
+			memMB: 128, cacheMB: 128,
+			wantErr: true,
+		},
+		{
+			name:  "cache-exceeds-umbrella",
+			memMB: 128, cacheMB: 256,
+			wantErr: true,
+		},
+		{
+			name:  "query-exceeds-pool",
+			memMB: 128, cacheMB: 64, qMB: 100,
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DeriveMemSplit(tc.memMB, tc.cacheMB, tc.qMB, tc.maxInFlight)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("got %+v, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("got %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}

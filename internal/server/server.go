@@ -12,13 +12,17 @@
 // Endpoints:
 //
 //	GET  /search?strategy=<name>&q=<keywords>&k=<n>  ranked results (JSON)
+//	GET  /search?...&stream=1                        ranked results (ndjson frames)
 //	GET  /strategies                                 installed strategies
 //	POST /strategies                                 install a strategy (JSON body)
 //	POST /append                                     live ingest: append/delete triples, append docs
 //	GET  /stats                                      catalog + cache + executor + wal/ingest statistics
+//	GET  /healthz                                    liveness (200 while the process serves)
+//	GET  /readyz                                     readiness (503 before warm-up and during drain)
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -36,6 +40,7 @@ import (
 	"irdb/internal/fault"
 	"irdb/internal/faultpoint"
 	"irdb/internal/ingest"
+	"irdb/internal/memory"
 	"irdb/internal/strategy"
 	"irdb/internal/text"
 	"irdb/internal/triple"
@@ -95,6 +100,24 @@ type Server struct {
 	timedOut      atomic.Int64 // requests aborted by the server deadline
 	shed          atomic.Int64 // requests refused by admission-wait bound or drain
 	handlerPanics atomic.Int64 // panics the recovery middleware contained
+
+	// Per-cause shed breakdown (shed is the total): a client deciding how
+	// hard to retry needs to know whether 503s come from overload (back
+	// off and retry) or drain (find another replica).
+	shedDrain    atomic.Int64 // refused because the server is draining
+	shedWait     atomic.Int64 // refused because the queue wait bound expired
+	shedDeadline atomic.Int64 // refused because the request's deadline had already passed
+	budgetDenied atomic.Int64 // queries aborted by the per-query memory budget
+
+	// memPool/perQueryBytes govern per-request memory (nil = ungoverned);
+	// see SetMemory.
+	memPool       *memory.Pool
+	perQueryBytes int64
+
+	// ready gates /readyz: the process answers /healthz as soon as it can
+	// serve HTTP, but reports ready only once warm-up (data load, WAL
+	// recovery) finished — and not-ready again while draining.
+	ready atomic.Bool
 }
 
 type counter struct {
@@ -110,12 +133,16 @@ func New(ctx *engine.Ctx, synonyms text.SynonymDict) *Server {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	return &Server{
+	s := &Server{
 		ctx:        ctx,
 		synonyms:   synonyms,
 		strategies: make(map[string]*strategy.Strategy),
 		inFlight:   make(chan struct{}, 2*par),
 	}
+	// Ready by default: servers with a warm-up phase call SetReady(false)
+	// before listening and SetReady(true) once recovery/load completes.
+	s.ready.Store(true)
+	return s
 }
 
 // SetMaxInFlight resizes the request admission semaphore. Must be called
@@ -142,6 +169,29 @@ func (s *Server) SetTimeout(d time.Duration) { s.timeout = d }
 // slot (0 = unbounded, the default). Must be called before the server
 // starts handling requests.
 func (s *Server) SetAdmissionWait(d time.Duration) { s.admissionWait = d }
+
+// SetMemory governs per-request memory: each admitted /search reserves
+// up to perQueryBytes (0 = bounded only by the pool) from a shared pool
+// capped at poolBytes (0 = track-only), and a query whose intermediate
+// state would exceed either bound aborts cleanly with 507 instead of
+// pressuring the process toward OOM. Must be called before the server
+// starts handling requests.
+func (s *Server) SetMemory(poolBytes, perQueryBytes int64) {
+	if poolBytes <= 0 && perQueryBytes <= 0 {
+		s.memPool, s.perQueryBytes = nil, 0
+		return
+	}
+	s.memPool = memory.NewPool(poolBytes)
+	s.perQueryBytes = perQueryBytes
+}
+
+// SetReady flips the /readyz answer. A server with a warm-up phase
+// (snapshot load, WAL recovery, corpus install) starts not-ready so load
+// balancers hold traffic, then flips ready once it can answer searches.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current readiness (false while draining).
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
 
 // Shutdown stops admitting requests and waits for the in-flight ones to
 // drain, or for ctx to expire (returning its error with requests still
@@ -184,6 +234,7 @@ const (
 func (s *Server) acquire(ctx context.Context) admitResult {
 	if s.draining.Load() {
 		s.shed.Add(1)
+		s.shedDrain.Add(1)
 		return admitShed
 	}
 	select {
@@ -191,6 +242,7 @@ func (s *Server) acquire(ctx context.Context) admitResult {
 		if !s.admit() {
 			<-s.inFlight
 			s.shed.Add(1)
+			s.shedDrain.Add(1)
 			return admitShed
 		}
 		return admitted
@@ -221,6 +273,7 @@ func (s *Server) acquire(ctx context.Context) admitResult {
 	} else if wait < 0 {
 		// Deadline already passed; shed without waiting.
 		s.shed.Add(1)
+		s.shedDeadline.Add(1)
 		return admitShed
 	}
 	select {
@@ -229,11 +282,13 @@ func (s *Server) acquire(ctx context.Context) admitResult {
 			// Shutdown raced our admission; hand the slot back.
 			<-s.inFlight
 			s.shed.Add(1)
+			s.shedDrain.Add(1)
 			return admitShed
 		}
 		return admitted
 	case <-timeoutC:
 		s.shed.Add(1)
+		s.shedWait.Add(1)
 		return admitShed
 	case <-ctx.Done():
 		return admitGone
@@ -308,7 +363,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /strategies", s.handleInstallStrategy)
 	mux.HandleFunc("POST /append", s.handleAppend)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s.withRecovery(mux)
+}
+
+// handleHealthz is liveness: 200 whenever the process can run a handler
+// at all. It deliberately ignores drain and overload — a draining server
+// is alive, and restarting it would lose the in-flight work.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 only when the server wants traffic.
+// Not-ready during warm-up (before SetReady(true)) and during drain, so
+// load balancers stop routing here before the 503s start.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		reason := "warming up"
+		if s.draining.Load() {
+			reason = "draining"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unavailable", "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 // withRecovery is the outermost degradation layer: any panic that escapes
@@ -396,17 +475,30 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// Execute under the request's context: when the client disconnects the
 	// engine aborts the plan at its next chunk boundary and the admission
 	// slot frees immediately, instead of a dead request holding it until
-	// plan completion. The optional server deadline stacks on top.
+	// plan completion. The optional server deadline stacks on top, and on
+	// a memory-governed server the request's reservation rides the same
+	// context — released on this handler's exit however the request ends.
 	c := r.Context()
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		c, cancel = context.WithTimeout(c, s.timeout)
 		defer cancel()
 	}
+	if s.memPool != nil {
+		res := s.memPool.Reserve(s.perQueryBytes)
+		defer res.Release()
+		c = memory.WithReservation(c, res)
+	}
 	rel, err := s.ctx.Exec(c, engine.NewTopN(plan, k,
 		engine.SortSpec{Col: "", Desc: true}, engine.SortSpec{Col: triple.ColSubject}))
 	if err != nil {
 		switch {
+		case errors.Is(err, engine.ErrBudgetExceeded):
+			// Terminal for this query: retrying the same query against the
+			// same budget fails identically, so the status must not be one
+			// clients retry on. 507 names the cause exactly.
+			s.budgetDenied.Add(1)
+			httpError(w, http.StatusInsufficientStorage, err.Error())
 		case errors.Is(err, context.DeadlineExceeded):
 			s.timedOut.Add(1)
 			httpError(w, http.StatusGatewayTimeout, fmt.Sprintf("query exceeded the %s server deadline", s.timeout))
@@ -438,7 +530,89 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	for i := range resp.Results {
 		resp.Results[i] = SearchResult{Subject: rel.Col(0).Vec.Format(i), Score: prob[i]}
 	}
+	if r.URL.Query().Get("stream") == "1" {
+		s.writeStreamed(w, r, resp)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamFrameRows is the number of results encoded per rows frame.
+const streamFrameRows = 256
+
+// Frame types of the streamed /search response (one JSON object per
+// line, application/x-ndjson): a schema frame, zero or more rows
+// frames, and exactly one trailing end or error frame. A response that
+// ends without its trailing frame was truncated — clients must treat it
+// as failed, never as a short result.
+type schemaFrame struct {
+	Frame    string   `json:"frame"` // "schema"
+	Strategy string   `json:"strategy"`
+	Query    string   `json:"query"`
+	K        int      `json:"k"`
+	Columns  []string `json:"columns"`
+}
+
+type rowsFrame struct {
+	Frame   string         `json:"frame"` // "rows"
+	Results []SearchResult `json:"results"`
+}
+
+type endFrame struct {
+	Frame     string  `json:"frame"` // "end"
+	Rows      int     `json:"rows"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+type errorFrame struct {
+	Frame string `json:"frame"` // "error"
+	Error string `json:"error"`
+}
+
+// writeStreamed encodes an already-computed response as ndjson frames,
+// flushing after every frame so results reach a slow reader
+// incrementally and a disconnect is noticed at the next frame boundary
+// — at which point the handler returns and its deferred releases free
+// the admission slot and memory reservation immediately.
+func (s *Server) writeStreamed(w http.ResponseWriter, r *http.Request, resp SearchResponse) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(frame any) bool {
+		if err := r.Context().Err(); err != nil {
+			// Cancelled mid-stream. Best-effort error frame: if this was a
+			// server deadline the client may still be reading and deserves a
+			// terminal frame; if the client disconnected the write just
+			// fails. Either way the stream ends without its end frame.
+			s.cancelled.Add(1)
+			_ = enc.Encode(errorFrame{Frame: "error", Error: err.Error()})
+			return false
+		}
+		if err := enc.Encode(frame); err != nil {
+			// The connection is gone; there is nobody to tell.
+			s.cancelled.Add(1)
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !emit(schemaFrame{Frame: "schema", Strategy: resp.Strategy, Query: resp.Query, K: resp.K,
+		Columns: []string{"subject", "score"}}) {
+		return
+	}
+	for lo := 0; lo < len(resp.Results); lo += streamFrameRows {
+		hi := lo + streamFrameRows
+		if hi > len(resp.Results) {
+			hi = len(resp.Results)
+		}
+		if !emit(rowsFrame{Frame: "rows", Results: resp.Results[lo:hi]}) {
+			return
+		}
+	}
+	emit(endFrame{Frame: "end", Rows: len(resp.Results), LatencyMS: resp.LatencyMS})
 }
 
 func (s *Server) handleListStrategies(w http.ResponseWriter, r *http.Request) {
@@ -539,7 +713,17 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		Deletes []appendTriple `json:"deletes"`
 		Docs    []appendDoc    `json:"docs"`
 	}
-	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	// Read the whole payload off the network BEFORE decoding (and long
+	// before the admission slot or the ingest manager's lock): a slow
+	// writer trickling a large batch must stall here, in its own
+	// connection's read, not inside any section other requests contend
+	// on. Decoding then runs at memory speed.
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.UseNumber()
 	if err := dec.Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -658,6 +842,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"cancelled":         s.cancelled.Load(),
 			"timed_out":         s.timedOut.Load(),
 			"draining":          s.draining.Load(),
+			"ready":             s.Ready(),
+		},
+		"memory": map[string]any{
+			"enabled":             s.memPool != nil,
+			"pool_capacity":       s.memPool.Capacity(),
+			"pool_used":           s.memPool.Used(),
+			"pool_peak":           s.memPool.Peak(),
+			"per_query_bytes":     s.perQueryBytes,
+			"active_reservations": s.memPool.Active(),
+			"budget_denied":       s.budgetDenied.Load(),
 		},
 		// The degradation ledger: every contained failure is counted here,
 		// so "the process survived" is observable, not anecdotal.
@@ -668,6 +862,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"cache_compute_panics":   cacheStats.Panics,
 			"corrupt_snapshot_loads": s.ctx.Cat.SnapshotStats().CorruptLoads,
 			"shed_requests":          s.shed.Load(),
+			"shed_drain":             s.shedDrain.Load(),
+			"shed_wait":              s.shedWait.Load(),
+			"shed_deadline":          s.shedDeadline.Load(),
+			"budget_denied":          s.budgetDenied.Load(),
 		},
 	})
 }

@@ -15,6 +15,7 @@ import (
 	"irdb/internal/engine"
 	"irdb/internal/ingest"
 	"irdb/internal/ir"
+	"irdb/internal/memory"
 	"irdb/internal/relation"
 	"irdb/internal/spinql"
 	"irdb/internal/strategy"
@@ -48,6 +49,14 @@ var ErrCorruptWAL = wal.ErrCorruptWAL
 // ErrNotDurable is returned by Checkpoint on a database opened without
 // WithDurability.
 var ErrNotDurable = ingest.ErrNotDurable
+
+// ErrBudgetExceeded is returned by a query whose memory charges exceed
+// its per-query byte budget (WithQueryMemBytes) or the shared pool
+// capacity (WithMemoryPoolBytes). The failure is clean and terminal for
+// that query only: nothing is cached, the reservation is fully
+// released, and the same query may succeed under a larger budget or a
+// quieter pool. Match with errors.Is.
+var ErrBudgetExceeded = engine.ErrBudgetExceeded
 
 // PanicError is the typed failure a query returns when an operator
 // panicked during execution. The panic is contained: the process
@@ -83,6 +92,12 @@ type DB struct {
 	inFlight      chan struct{}
 	admissionWait time.Duration
 
+	// memPool is the shared memory-reservation pool (nil = ungoverned);
+	// queryMemBytes the per-query byte budget carved from it (0 = bounded
+	// only by the pool).
+	memPool       *memory.Pool
+	queryMemBytes int64
+
 	// execMu tracks in-flight query execution for Close: queries hold the
 	// read side for their duration, Close takes the write side to drain.
 	execMu sync.RWMutex
@@ -109,6 +124,8 @@ type config struct {
 	cacheEntries  int
 	maxInFlight   int
 	admissionWait time.Duration
+	queryMemBytes int64
+	memPoolBytes  int64
 	synonyms      map[string][]string
 	durDir        string
 	fsyncPolicy   string
@@ -139,6 +156,23 @@ func WithMaxInFlight(n int) Option { return func(c *config) { c.maxInFlight = n 
 // query's context allows — graceful degradation trades a little latency
 // headroom for never building an unbounded backlog.
 func WithAdmissionWait(d time.Duration) Option { return func(c *config) { c.admissionWait = d } }
+
+// WithQueryMemBytes bounds the bytes any single query may hold in
+// intermediate results: joins' build tables, sort runs, aggregation
+// accumulators and gathered outputs all charge against the budget, and
+// a query that exceeds it fails cleanly with ErrBudgetExceeded instead
+// of pressuring the process toward OOM. <= 0 (the default) leaves
+// queries unbounded (though still pool-bounded under
+// WithMemoryPoolBytes). Budgets never change results: a query that fits
+// is bit-identical to its unbudgeted run at every parallelism.
+func WithQueryMemBytes(n int64) Option { return func(c *config) { c.queryMemBytes = n } }
+
+// WithMemoryPoolBytes caps the total bytes concurrently executing
+// queries may hold between them. Each query reserves from the shared
+// pool as it allocates; a charge that would push the pool past its
+// capacity fails that query with ErrBudgetExceeded (pool scope) while
+// the others run on. <= 0 (the default) tracks usage without a cap.
+func WithMemoryPoolBytes(n int64) Option { return func(c *config) { c.memPoolBytes = n } }
 
 // WithSynonyms supplies the synonym dictionary used by strategies with
 // query expansion enabled.
@@ -190,6 +224,10 @@ func Open(opts ...Option) (*DB, error) {
 	if cfg.maxInFlight > 0 {
 		db.inFlight = make(chan struct{}, cfg.maxInFlight)
 		db.admissionWait = cfg.admissionWait
+	}
+	if cfg.memPoolBytes > 0 || cfg.queryMemBytes > 0 {
+		db.memPool = memory.NewPool(cfg.memPoolBytes)
+		db.queryMemBytes = cfg.queryMemBytes
 	}
 	if cfg.durDir != "" {
 		if cfg.fsyncPolicy == "" {
@@ -273,6 +311,18 @@ func (db *DB) acquire(ctx context.Context) (release func(), err error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// reserve attaches a per-query memory reservation to ctx on a governed
+// database. The returned done func releases the reservation back to the
+// pool; it is idempotent and safe to call after the query failed. On an
+// ungoverned database both returns are no-ops.
+func (db *DB) reserve(ctx context.Context) (context.Context, func()) {
+	if db.memPool == nil {
+		return ctx, func() {}
+	}
+	res := db.memPool.Reserve(db.queryMemBytes)
+	return memory.WithReservation(ctx, res), func() { res.Release() }
 }
 
 // ---------------------------------------------------------------------------
@@ -500,8 +550,10 @@ func (db *DB) Query(ctx context.Context, src string) (*Result, error) {
 		return nil, err
 	}
 	defer release()
+	qctx, done := db.reserve(ctx)
+	defer done()
 	db.queries.Add(1)
-	rel, err := db.eng.Exec(ctx, plan)
+	rel, err := db.eng.Exec(qctx, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -634,8 +686,10 @@ func (db *DB) Search(ctx context.Context, strategyName, query string, k int) ([]
 		return nil, err
 	}
 	defer release()
+	qctx, done := db.reserve(ctx)
+	defer done()
 	db.queries.Add(1)
-	rel, err := db.eng.Exec(ctx, ranked)
+	rel, err := db.eng.Exec(qctx, ranked)
 	if err != nil {
 		return nil, err
 	}
@@ -670,8 +724,10 @@ func (db *DB) SearchDocs(ctx context.Context, query string, k int) ([]Hit, error
 		return nil, err
 	}
 	defer release()
+	qctx, done := db.reserve(ctx)
+	defer done()
 	db.queries.Add(1)
-	irHits, err := s.Search(ctx, query, k)
+	irHits, err := s.Search(qctx, query, k)
 	if err != nil {
 		return nil, err
 	}
@@ -751,6 +807,27 @@ type FaultStats struct {
 	CorruptSnapshotLoads int64
 }
 
+// MemoryStats describes per-query memory governance. Enabled is false
+// (and everything else zero) without WithQueryMemBytes or
+// WithMemoryPoolBytes.
+type MemoryStats struct {
+	Enabled bool
+	// PoolCapacity is the shared pool's byte ceiling (0 = track-only);
+	// PoolUsed and PoolPeak the current and high-water bytes reserved by
+	// live queries; PoolDenied the charges refused at pool scope.
+	PoolCapacity int64
+	PoolUsed     int64
+	PoolPeak     int64
+	PoolDenied   int64
+	// ActiveReservations is the number of reservations currently open.
+	ActiveReservations int64
+	// QueryBudget is the per-query byte budget (0 = pool-bounded only).
+	QueryBudget int64
+	// BudgetDenials counts charges refused at either scope; each failed
+	// query contributes at least one.
+	BudgetDenials int64
+}
+
 // WALStats describes the write-ahead log of a durable database. Enabled
 // is false (and everything else zero) without WithDurability.
 type WALStats struct {
@@ -801,6 +878,7 @@ type Stats struct {
 	Optimizer  OptimizerStats
 	Statements StatementStats
 	Faults     FaultStats
+	Memory     MemoryStats
 	WAL        WALStats
 	Ingest     IngestStats
 }
@@ -815,6 +893,19 @@ func (db *DB) Stats() Stats {
 		par = runtime.GOMAXPROCS(0)
 	}
 	is := db.ingest.Stats()
+	var ms MemoryStats
+	if db.memPool != nil {
+		ms = MemoryStats{
+			Enabled:            true,
+			PoolCapacity:       db.memPool.Capacity(),
+			PoolUsed:           db.memPool.Used(),
+			PoolPeak:           db.memPool.Peak(),
+			PoolDenied:         db.memPool.Denied(),
+			ActiveReservations: db.memPool.Active(),
+			QueryBudget:        db.queryMemBytes,
+			BudgetDenials:      db.eng.BudgetDenials(),
+		}
+	}
 	var ws WALStats
 	if raw, ok := db.ingest.WALStats(); ok {
 		ws = WALStats{
@@ -862,7 +953,8 @@ func (db *DB) Stats() Stats {
 			SnapshotLoads:        ss.Loads,
 			CorruptSnapshotLoads: ss.CorruptLoads,
 		},
-		WAL: ws,
+		Memory: ms,
+		WAL:    ws,
 		Ingest: IngestStats{
 			AppendedTriples: is.AppendedTriples,
 			DeletedTriples:  is.DeletedTriples,

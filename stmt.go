@@ -76,44 +76,58 @@ func (s *Stmt) Query(ctx context.Context, params ...Param) (*Result, error) {
 		return nil, err
 	}
 	defer end()
-	plan := s.plan
-	if len(s.params) > 0 || len(params) > 0 {
-		lits := make(map[string]expr.Lit, len(params))
-		for _, p := range params {
-			lit, err := litValue(p.Value)
-			if err != nil {
-				return nil, fmt.Errorf("irdb: parameter ?%s: %w", p.Name, err)
-			}
-			if _, dup := lits[p.Name]; dup {
-				return nil, fmt.Errorf("irdb: parameter ?%s bound twice", p.Name)
-			}
-			lits[p.Name] = lit
-		}
-		for name := range lits {
-			if !slices.Contains(s.params, name) {
-				return nil, fmt.Errorf("irdb: no parameter ?%s in statement (has %v)", name, s.params)
-			}
-		}
-		bound, err := engine.Bind(plan, func(name string) (expr.Lit, bool) {
-			l, ok := lits[name]
-			return l, ok
-		})
-		if err != nil {
-			return nil, fmt.Errorf("irdb: %w", err)
-		}
-		plan = bound
+	plan, err := s.bind(params)
+	if err != nil {
+		return nil, err
 	}
 	release, err := s.db.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	qctx, done := s.db.reserve(ctx)
+	defer done()
 	s.db.queries.Add(1)
-	rel, err := s.db.eng.Exec(ctx, plan)
+	rel, err := s.db.eng.Exec(qctx, plan)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{rel: rel}, nil
+}
+
+// bind substitutes parameter bindings into the prepared plan,
+// validating that every binding names a placeholder and none is bound
+// twice. With no placeholders and no bindings it returns the shared
+// prepared plan unchanged.
+func (s *Stmt) bind(params []Param) (engine.Node, error) {
+	plan := s.plan
+	if len(s.params) == 0 && len(params) == 0 {
+		return plan, nil
+	}
+	lits := make(map[string]expr.Lit, len(params))
+	for _, p := range params {
+		lit, err := litValue(p.Value)
+		if err != nil {
+			return nil, fmt.Errorf("irdb: parameter ?%s: %w", p.Name, err)
+		}
+		if _, dup := lits[p.Name]; dup {
+			return nil, fmt.Errorf("irdb: parameter ?%s bound twice", p.Name)
+		}
+		lits[p.Name] = lit
+	}
+	for name := range lits {
+		if !slices.Contains(s.params, name) {
+			return nil, fmt.Errorf("irdb: no parameter ?%s in statement (has %v)", name, s.params)
+		}
+	}
+	bound, err := engine.Bind(plan, func(name string) (expr.Lit, bool) {
+		l, ok := lits[name]
+		return l, ok
+	})
+	if err != nil {
+		return nil, fmt.Errorf("irdb: %w", err)
+	}
+	return bound, nil
 }
 
 // litValue converts a Go value to the expression literal it binds as.
