@@ -72,7 +72,10 @@ func TestFacadeBudgetEquivalence(t *testing.T) {
 // database fully usable.
 func TestFacadeBudgetExceeded(t *testing.T) {
 	ctx := context.Background()
-	db := openT(t, WithParallelism(2), WithQueryMemBytes(256))
+	// 48 KiB starves budgetQuery (its two full-table selections alone
+	// reserve ~64 KiB of match-collection scratch) while leaving room for
+	// the single-selection recovery query below.
+	db := openT(t, WithParallelism(2), WithQueryMemBytes(48<<10))
 	t.Cleanup(func() { db.Close() })
 	if err := db.LoadTriples(testGraph(400)); err != nil {
 		t.Fatal(err)

@@ -106,7 +106,7 @@ func TestHonorsRetryAfter(t *testing.T) {
 // TestExhaustsRetries: a server that never stops shedding yields
 // ErrUnavailable after MaxAttempts tries.
 func TestExhaustsRetries(t *testing.T) {
-	h, served := shedThenServe(1 << 30, "", okSearchHandler())
+	h, served := shedThenServe(1<<30, "", okSearchHandler())
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 

@@ -1,0 +1,27 @@
+// Command irdb-lint runs the repo's invariant analyzers: the machine
+// checks for the contracts PRs 1–9 established in prose and runtime
+// tests (panic containment at every spawn site, bit-deterministic
+// iteration, context hygiene, budget-charged allocation, wrap-safe error
+// matching, registry-backed fault sites) plus stdlib re-implementations
+// of the nilness and shadow passes.
+//
+// Two ways to run it:
+//
+//	go run ./cmd/irdb-lint ./...            # standalone, human output
+//	go vet -vettool=$(which irdb-lint) ./... # as a vet tool (CI)
+//
+// Both modes type-check with compiler export data via `go list -export`,
+// need no network, and exit non-zero on any finding. Suppression is
+// per-line and reasoned: //lint:allow <analyzer> <reason>. See
+// internal/lint/analysis for the framework and each analyzer package for
+// the exact rule it enforces.
+package main
+
+import (
+	"irdb/internal/lint/multichecker"
+	"irdb/internal/lint/suite"
+)
+
+func main() {
+	multichecker.Main(suite.All()...)
+}

@@ -28,6 +28,7 @@ import (
 
 	"irdb/internal/catalog"
 	"irdb/internal/engine"
+	"irdb/internal/fault"
 	"irdb/internal/ingest"
 	"irdb/internal/server"
 	"irdb/internal/strategy"
@@ -104,7 +105,15 @@ func main() {
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	go func() {
+		// Contain panics at the goroutine boundary: a listener fault
+		// surfaces as a startup error instead of killing the process
+		// before the error channel is read.
+		var err error
+		defer func() { errc <- err }()
+		defer fault.Recover("http listener", &err)
+		err = httpSrv.ListenAndServe()
+	}()
 	log.Printf("listening on %s (not ready: warming up)", *addr)
 
 	recovered := 0

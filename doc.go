@@ -143,6 +143,23 @@
 // (go test -tags faultinject) drives every one of these paths, crash
 // mid-snapshot-write included.
 //
+// # Enforced invariants
+//
+// The contracts above — panic containment at every spawn site,
+// bit-deterministic iteration, context hygiene, budget-charged
+// allocation, wrap-safe error matching, registry-backed fault sites —
+// are machine-checked by irdb-lint, a go/analysis-style suite built on
+// the stdlib (internal/lint, cmd/irdb-lint). Contributors run it as
+//
+//	go run ./cmd/irdb-lint ./...
+//
+// or through go vet -vettool; CI runs both, plus each analyzer's
+// `// want`-annotated fixtures, and the tree must come up with zero
+// findings. A legitimate exception is excused inline with
+// //lint:allow <analyzer> <reason> — there is no suppression file. See
+// internal/engine/README.md, "Enforced invariants", for the analyzer →
+// contract table.
+//
 // The root package also holds the per-experiment benchmarks
 // (bench_test.go) and the BenchmarkPreparedQuery / BenchmarkAdhocQuery
 // pair demonstrating the eliminated re-parse/re-compile cost; the

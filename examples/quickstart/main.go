@@ -72,9 +72,9 @@ docs = PROJECT [$1,$6] (
 		log.Fatal(err)
 	}
 	for _, cat := range []string{"toy", "book"} {
-		docs, err := stmt.Query(ctx, irdb.P("cat", cat))
-		if err != nil {
-			log.Fatal(err)
+		docs, qerr := stmt.Query(ctx, irdb.P("cat", cat))
+		if qerr != nil {
+			log.Fatal(qerr)
 		}
 		fmt.Printf("docs view for ?cat=%q (note p4 carries p=0.7 from its category triple):\n", cat)
 		fmt.Println(docs.Format(-1))

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"irdb/internal/fault"
 )
 
 // Latencies is a set of duration samples.
@@ -48,6 +50,19 @@ func MeasureConcurrent(clients, perClient int, f func(client, call int) error) (
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			// Contain panics at the goroutine boundary: a panicking
+			// workload function becomes the stampede's first error
+			// instead of killing the benchmark process.
+			defer func() {
+				if r := recover(); r != nil {
+					pe := fault.Capture(fmt.Sprintf("bench client %d", c), r)
+					mu.Lock()
+					if first == nil {
+						first = pe
+					}
+					mu.Unlock()
+				}
+			}()
 			local := make([]time.Duration, 0, perClient)
 			for i := 0; i < perClient; i++ {
 				t0 := time.Now()

@@ -231,7 +231,7 @@ func (c *Cache) GetOrComputeDeps(ctx context.Context, key string, deps []string,
 					c.mu.Unlock()
 				}
 			}()
-			if f.err = faultpoint.Inject("catalog.cache.compute"); f.err != nil {
+			if f.err = faultpoint.Inject(faultpoint.SiteCacheCompute); f.err != nil {
 				return
 			}
 			f.rel, f.err = compute(fctx)
@@ -372,7 +372,8 @@ func (c *Cache) GetOrComputeAuxDeps(ctx context.Context, key string, deps []stri
 					c.mu.Unlock()
 				}
 			}()
-			if f.err = faultpoint.Inject("catalog.cache.compute"); f.err != nil {
+			//lint:allow faultsite the relation and aux flights share one site so the fault matrix fails whichever flight runs
+			if f.err = faultpoint.Inject(faultpoint.SiteCacheCompute); f.err != nil {
 				return
 			}
 			f.aux, f.err = compute(fctx)
@@ -650,11 +651,11 @@ func (c *Cache) Len() int {
 // budget. Oversize counts results refused admission because they alone
 // exceeded the byte budget.
 type Stats struct {
-	Hits       uint64
-	Misses     uint64
-	Evictions  uint64
-	Shared     uint64
-	Oversize   uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Shared    uint64
+	Oversize  uint64
 	// Panics counts compute callbacks whose panic the cache recovered at
 	// the flight boundary (the engine converts its own panics earlier, so
 	// this counts faults in non-engine compute callbacks). The panic

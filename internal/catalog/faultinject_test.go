@@ -39,9 +39,9 @@ func TestCrashMidSnapshotWriteKeepsOldSnapshot(t *testing.T) {
 		site string
 		spec faultpoint.Spec
 	}{
-		{"catalog.snapshot.write.section", faultpoint.Spec{Err: errors.New("injected: crash mid-section"), After: 1}},
-		{"catalog.snapshot.fsync", faultpoint.Spec{Err: errors.New("injected: crash before fsync")}},
-		{"catalog.snapshot.rename", faultpoint.Spec{Err: errors.New("injected: crash before rename")}},
+		{faultpoint.SiteSnapshotWriteSection, faultpoint.Spec{Err: errors.New("injected: crash mid-section"), After: 1}},
+		{faultpoint.SiteSnapshotFsync, faultpoint.Spec{Err: errors.New("injected: crash before fsync")}},
+		{faultpoint.SiteSnapshotRename, faultpoint.Spec{Err: errors.New("injected: crash before rename")}},
 	}
 	for _, tc := range sites {
 		t.Run(tc.site, func(t *testing.T) {
@@ -104,7 +104,7 @@ func TestInjectedCacheComputeFault(t *testing.T) {
 
 	c := NewCache(0)
 	boom := errors.New("injected compute error")
-	faultpoint.Arm("catalog.cache.compute", faultpoint.Spec{Err: boom, Count: 1})
+	faultpoint.Arm(faultpoint.SiteCacheCompute, faultpoint.Spec{Err: boom, Count: 1})
 	t.Cleanup(faultpoint.Reset)
 	if _, _, err := c.GetOrCompute(context.Background(), "k", compute); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want injected error", err)
@@ -116,7 +116,7 @@ func TestInjectedCacheComputeFault(t *testing.T) {
 		t.Fatalf("compute after fired-out fault: rel=%v err=%v", got, err)
 	}
 
-	faultpoint.Arm("catalog.cache.compute", faultpoint.Spec{Panic: "injected compute panic", Count: 1})
+	faultpoint.Arm(faultpoint.SiteCacheCompute, faultpoint.Spec{Panic: "injected compute panic", Count: 1})
 	_, _, err := c.GetOrCompute(context.Background(), "k2", compute)
 	if _, ok := fault.AsPanicError(err); !ok {
 		t.Fatalf("err = %v, want *fault.PanicError", err)

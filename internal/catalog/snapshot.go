@@ -184,7 +184,7 @@ func (c *Catalog) snapshot() (*snapshotFile, error) {
 // length + payload, CRC32-C of the payload. The section's CRC is appended
 // to crcs for the trailer seal.
 func writeSection(w io.Writer, name string, payload []byte, crcs *[]uint32) error {
-	if err := faultpoint.Inject("catalog.snapshot.write.section"); err != nil {
+	if err := faultpoint.Inject(faultpoint.SiteSnapshotWriteSection); err != nil {
 		return err
 	}
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(name))); err != nil {
@@ -251,7 +251,7 @@ func (c *Catalog) SaveMeta(w io.Writer, meta SnapshotMeta) error {
 	}
 	for i := range file.Tables {
 		t := &file.Tables[i]
-		payload, err := enc(t)
+		payload, err = enc(t)
 		if err != nil {
 			return err
 		}
@@ -303,7 +303,7 @@ func (c *Catalog) SaveFileMeta(path string, meta SnapshotMeta) (err error) {
 	if err = c.SaveMeta(tmp, meta); err != nil {
 		return err
 	}
-	if err = faultpoint.Inject("catalog.snapshot.fsync"); err != nil {
+	if err = faultpoint.Inject(faultpoint.SiteSnapshotFsync); err != nil {
 		return err
 	}
 	// fsync before rename: the rename must never become visible while the
@@ -315,7 +315,7 @@ func (c *Catalog) SaveFileMeta(path string, meta SnapshotMeta) (err error) {
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	if err = faultpoint.Inject("catalog.snapshot.rename"); err != nil {
+	if err = faultpoint.Inject(faultpoint.SiteSnapshotRename); err != nil {
 		return err
 	}
 	if err = os.Rename(tmp.Name(), path); err != nil {

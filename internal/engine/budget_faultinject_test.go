@@ -12,7 +12,7 @@ import (
 	"irdb/internal/memory"
 )
 
-// TestInjectedBudgetPressure arms the "memory.grow" fault point — the
+// TestInjectedBudgetPressure arms the faultpoint.SiteMemoryGrow fault point — the
 // budget-pressure site inside Reservation.Grow — so a charge deep in the
 // plan is denied exactly as a real budget exhaustion would be, without
 // tuning byte numbers to the plan's allocation sizes. The query must
@@ -30,7 +30,7 @@ func TestInjectedBudgetPressure(t *testing.T) {
 			pool := memory.NewPool(0)
 			res := pool.Reserve(1 << 30) // generous: only the injected denial can fail it
 			c := memory.WithReservation(context.Background(), res)
-			faultpoint.Arm("memory.grow", faultpoint.Spec{
+			faultpoint.Arm(faultpoint.SiteMemoryGrow, faultpoint.Spec{
 				Err:   &memory.BudgetError{Scope: "query", Requested: 1, Limit: 1},
 				After: 3, Count: 1, // deny a charge mid-plan, not the first one
 			})
@@ -39,8 +39,8 @@ func TestInjectedBudgetPressure(t *testing.T) {
 			if !errors.Is(err, ErrBudgetExceeded) {
 				t.Fatalf("err = %v, want ErrBudgetExceeded", err)
 			}
-			if faultpoint.Hits("memory.grow") <= 3 {
-				t.Fatalf("fault site hit %d times; the query never charged mid-plan", faultpoint.Hits("memory.grow"))
+			if faultpoint.Hits(faultpoint.SiteMemoryGrow) <= 3 {
+				t.Fatalf("fault site hit %d times; the query never charged mid-plan", faultpoint.Hits(faultpoint.SiteMemoryGrow))
 			}
 			res.Release()
 			if used := pool.Used(); used != 0 {

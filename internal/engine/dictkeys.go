@@ -33,7 +33,7 @@ import (
 
 // colVecs extracts the vectors at the given column positions.
 func colVecs(r *relation.Relation, idx []int) []vector.Vector {
-	out := make([]vector.Vector, len(idx))
+	out := make([]vector.Vector, len(idx)) //lint:allow chargedalloc O(#key columns) headers; vectors are shared, not copied
 	for k, ci := range idx {
 		out[k] = r.Col(ci).Vec
 	}
@@ -52,7 +52,7 @@ func colVecs(r *relation.Relation, idx []int) []vector.Vector {
 // strings every execution. Both the probe vector and the frozen dict are
 // immutable, so a hit is always valid.
 func alignProbeVecs(ctx *Ctx, probe, build []vector.Vector) []vector.Vector {
-	out := make([]vector.Vector, len(probe))
+	out := make([]vector.Vector, len(probe)) //lint:allow chargedalloc O(#key columns) headers; re-encodings are capped by the memo byte bound
 	for k, pv := range probe {
 		out[k] = pv
 		if bd, ok := build[k].(*vector.DictStrings); ok {

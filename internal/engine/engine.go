@@ -51,10 +51,10 @@ type Ctx struct {
 	semOnce sync.Once
 	sem     chan struct{}
 
-	nodeExecs      atomic.Int64
-	cacheHits      atomic.Int64
-	panics         atomic.Int64
-	budgetDenials  atomic.Int64
+	nodeExecs     atomic.Int64
+	cacheHits     atomic.Int64
+	panics        atomic.Int64
+	budgetDenials atomic.Int64
 
 	// optCounters accumulates per-plan optimizer work; see optimize.go.
 	optCounters
@@ -280,6 +280,11 @@ func (l *Limit) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error)
 	n := l.N
 	if n >= in.NumRows() {
 		return in, nil
+	}
+	// N comes from the query, so the row-id selection is user-sized;
+	// budget it like any other data allocation.
+	if err := ctx.charge(c, int64(n)*8); err != nil {
+		return nil, err
 	}
 	sel := make([]int, n)
 	for i := range sel {

@@ -14,7 +14,7 @@ import (
 )
 
 // These tests run only under `go test -tags faultinject`: they arm the
-// "engine.morsel" fault point inside runRanges, so the injected panic
+// faultpoint.SiteEngineMorsel fault point inside runRanges, so the injected panic
 // fires in exactly the code path production morsels take — no test
 // doubles, no special predicates.
 
@@ -43,14 +43,14 @@ func TestInjectedPanicMidJoinProbe(t *testing.T) {
 			}
 
 			ctx := ctxAt(par, tables)
-			faultpoint.Arm("engine.morsel", faultpoint.Spec{Panic: "injected mid-probe", After: 2, Count: 1})
+			faultpoint.Arm(faultpoint.SiteEngineMorsel, faultpoint.Spec{Panic: "injected mid-probe", After: 2, Count: 1})
 			t.Cleanup(faultpoint.Reset)
 			_, err = ctx.Exec(context.Background(), plan)
 			if _, ok := AsPanicError(err); !ok {
 				t.Fatalf("err = %v, want *PanicError", err)
 			}
-			if faultpoint.Hits("engine.morsel") <= 2 {
-				t.Fatalf("fault site hit %d times; the query never reached it mid-stream", faultpoint.Hits("engine.morsel"))
+			if faultpoint.Hits(faultpoint.SiteEngineMorsel) <= 2 {
+				t.Fatalf("fault site hit %d times; the query never reached it mid-stream", faultpoint.Hits(faultpoint.SiteEngineMorsel))
 			}
 			if n := ctx.Cat.Cache().Len(); n != 0 {
 				t.Errorf("cache holds %d relations after a failed query", n)
@@ -74,7 +74,7 @@ func TestInjectedPanicMidRank(t *testing.T) {
 	ctx := ctxAt(4, tables)
 	plan := NewTopN(NewScan("l"), 10, SortSpec{Col: "x", Desc: true}, SortSpec{Col: "a"})
 
-	faultpoint.Arm("engine.morsel", faultpoint.Spec{Panic: "injected mid-rank", After: 1, Count: 1})
+	faultpoint.Arm(faultpoint.SiteEngineMorsel, faultpoint.Spec{Panic: "injected mid-rank", After: 1, Count: 1})
 	t.Cleanup(faultpoint.Reset)
 	_, err := ctx.Exec(context.Background(), plan)
 	if _, ok := AsPanicError(err); !ok {
@@ -93,7 +93,7 @@ func TestInjectedPanicMidRank(t *testing.T) {
 func TestInjectedErrorBecomesPanicError(t *testing.T) {
 	ctx := ctxAt(2, injectTables())
 	boom := errors.New("injected morsel error")
-	faultpoint.Arm("engine.morsel", faultpoint.Spec{Err: boom, Count: 1})
+	faultpoint.Arm(faultpoint.SiteEngineMorsel, faultpoint.Spec{Err: boom, Count: 1})
 	t.Cleanup(faultpoint.Reset)
 	_, err := ctx.Exec(context.Background(),
 		NewHashJoin(NewScan("l"), NewScan("r"), []string{"a"}, []string{"a"}, JoinIndependent))

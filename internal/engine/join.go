@@ -122,6 +122,11 @@ func (j *HashJoin) Execute(c context.Context, ctx *Ctx) (*relation.Relation, err
 	if err != nil {
 		return nil, err
 	}
+	// Budget the output probability column as soon as the pair count is
+	// known (the gathered columns charge themselves in gatherParallel).
+	if err := ctx.charge(c, int64(len(lSel))*8); err != nil {
+		return nil, err
+	}
 
 	lOut, err := gatherParallel(c, ctx, left, lSel)
 	if err != nil {
@@ -200,6 +205,11 @@ func (j *HashJoin) matchBuildLeft(c context.Context, ctx *Ctx, left, right *rela
 	if err != nil {
 		return nil, nil, err
 	}
+	// Budget the counting sort's scratch — the per-left-row prefix counts
+	// plus the two reordered pair lists — before it allocates.
+	if err := ctx.charge(c, int64(left.NumRows()+1+2*len(lSel))*8); err != nil {
+		return nil, nil, err
+	}
 	lSel, rSel = restoreJoinOrder(lSel, rSel, left.NumRows())
 	return lSel, rSel, nil
 }
@@ -218,6 +228,12 @@ func probePairs(c context.Context, ctx *Ctx, idx *joinIndex, probeVecs, buildVec
 	// output order the serial loop produces. Many-to-one joins (foreign
 	// key → dictionary) are the common case; start with one output row per
 	// probe row.
+	// The per-morsel pair lists start at one slot per probe row and are
+	// all retained until the merge below; budget that floor before any
+	// worker allocates (16 bytes per probe row across the two lists).
+	if err := ctx.charge(c, int64(probeRows)*16); err != nil {
+		return nil, nil, err
+	}
 	ranges := ctx.morselRanges(len(pHash))
 	pParts := make([][]int, len(ranges))
 	bParts := make([][]int, len(ranges))
@@ -399,7 +415,7 @@ func (j *HashJoin) buildIndex(c context.Context, ctx *Ctx, side *relation.Relati
 }
 
 func colPositions(r *relation.Relation, names []string) ([]int, error) {
-	out := make([]int, len(names))
+	out := make([]int, len(names)) //lint:allow chargedalloc O(#key columns) position lookup, plan-shaped
 	for i, n := range names {
 		idx := r.ColIndex(n)
 		if idx < 0 {

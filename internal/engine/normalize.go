@@ -61,6 +61,11 @@ func (n *Normalize) Execute(c context.Context, ctx *Ctx) (*relation.Relation, er
 	groupOf := []int(nil)
 	nGroups := 1
 	if len(n.KeyPos) > 0 {
+		// Budget the grouping scaffolding up front, exactly as aggregateRel
+		// does: the per-row hash array plus the row→group array.
+		if err := ctx.charge(c, int64(in.NumRows())*16); err != nil {
+			return nil, err
+		}
 		var firstRow []int
 		groupOf, firstRow = groupRows(c, ctx, in, n.KeyPos)
 		if err := c.Err(); err != nil {
@@ -69,6 +74,12 @@ func (n *Normalize) Execute(c context.Context, ctx *Ctx) (*relation.Relation, er
 			return nil, err
 		}
 		nGroups = len(firstRow)
+	}
+	// Budget the fold's per-chunk denominator partials and the rebuilt
+	// probability column before either allocates.
+	chunks := int64(len(aggRanges(in.NumRows(), nGroups)))
+	if err := ctx.charge(c, (chunks*int64(nGroups)+int64(in.NumRows()))*8); err != nil {
+		return nil, err
 	}
 	aggs := foldGroups(c, ctx, in.NumRows(), nGroups,
 		func() []float64 { return make([]float64, nGroups) },

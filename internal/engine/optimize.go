@@ -581,6 +581,7 @@ func (s needSet) union(names ...string) needSet {
 		return nil
 	}
 	out := make(needSet, len(s)+len(names))
+	//lint:allow mapiterorder set union builds another map; membership is order-independent
 	for n := range s {
 		out[n] = true
 	}
@@ -595,6 +596,7 @@ func (s needSet) without(name string) needSet {
 		return nil
 	}
 	out := make(needSet, len(s))
+	//lint:allow mapiterorder set difference builds another map; membership is order-independent
 	for n := range s {
 		if n != name {
 			out[n] = true
@@ -889,6 +891,7 @@ func pruneConsumer(cat *catalog.Catalog, child Node, req needSet, info *OptInfo)
 	}
 	keep := make([]string, 0, len(schema))
 	missing := false
+	//lint:allow mapiterorder only the order-free boolean "missing" depends on this loop; keep is rebuilt in schema order below
 	for n := range req {
 		found := false
 		for _, col := range schema {
@@ -1048,6 +1051,7 @@ func stableJoinNames(needs needSet, lBefore, rBefore, lAfter, rAfter []string) b
 	}
 	before := resolve(lBefore, rBefore)
 	after := resolve(lAfter, rAfter)
+	//lint:allow mapiterorder all-quantified membership check; the boolean result is order-independent
 	for name := range needs {
 		b, inBefore := before[name]
 		if !inBefore {

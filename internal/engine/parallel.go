@@ -107,8 +107,8 @@ func (ctx *Ctx) execPair(c context.Context, l, r Node) (*relation.Relation, *rel
 // worker slots; results keep input order. Used by Concat and by any caller
 // fanning out over a list of branches.
 func (ctx *Ctx) execAll(c context.Context, nodes []Node) ([]*relation.Relation, error) {
-	out := make([]*relation.Relation, len(nodes))
-	errs := make([]error, len(nodes))
+	out := make([]*relation.Relation, len(nodes)) //lint:allow chargedalloc O(#plan branches) result headers; branch data charges in each subtree
+	errs := make([]error, len(nodes))             //lint:allow chargedalloc O(#plan branches) error slots
 	var wg sync.WaitGroup
 	// Drain even when an inline Exec panics mid-loop: outstanding branch
 	// workers must finish before the panic unwinds past this frame.
@@ -216,7 +216,7 @@ func (ctx *Ctx) runRanges(c context.Context, ranges [][2]int, fn func(m, lo, hi 
 		// Fault-injection site for the morsel dispatch path; no error
 		// channel exists here, so a fired error is injected as a panic —
 		// exactly the containment path under test. Free when unarmed.
-		if err := faultpoint.Inject("engine.morsel"); err != nil {
+		if err := faultpoint.Inject(faultpoint.SiteEngineMorsel); err != nil {
 			panic(err)
 		}
 		fn(m, lo, hi)

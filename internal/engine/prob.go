@@ -35,6 +35,10 @@ func (s *ScaleProb) Execute(c context.Context, ctx *Ctx) (*relation.Relation, er
 	// column is not modified) and rescale chunk-parallel: every slot is
 	// written by exactly one worker.
 	src := in.Prob()
+	// Budget the rescaled probability column before allocating it.
+	if err := ctx.charge(c, int64(len(src))*8); err != nil {
+		return nil, err
+	}
 	p := make([]float64, len(src))
 	ctx.parallelRanges(c, len(p), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -84,6 +88,11 @@ func (n *ProbFromCol) Execute(c context.Context, ctx *Ctx) (*relation.Relation, 
 	}
 	col, err := in.ColByName(n.Col)
 	if err != nil {
+		return nil, err
+	}
+	// Budget the decoded source values plus the new probability column
+	// (8 bytes each per row) before either allocates.
+	if err := ctx.charge(c, int64(in.NumRows())*16); err != nil {
 		return nil, err
 	}
 	var vals []float64
@@ -156,6 +165,10 @@ func (n *ProbToCol) Execute(c context.Context, ctx *Ctx) (*relation.Relation, er
 		return nil, err
 	}
 	p := in.Prob()
+	// Budget the copied probability column and its visible twin.
+	if err := ctx.charge(c, int64(len(p))*16); err != nil {
+		return nil, err
+	}
 	vals := make([]float64, len(p))
 	copy(vals, p)
 	prob := make([]float64, len(p))

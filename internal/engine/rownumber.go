@@ -28,6 +28,11 @@ func (r *RowNumber) Execute(c context.Context, ctx *Ctx) (*relation.Relation, er
 		return nil, err
 	}
 	n := in.NumRows()
+	// Budget the id column and the copied probability column (8 bytes
+	// each per row) before allocating either.
+	if err := ctx.charge(c, int64(n)*16); err != nil {
+		return nil, err
+	}
 	ids := make([]int64, n)
 	for i := range ids {
 		ids[i] = int64(i + 1)

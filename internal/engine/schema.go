@@ -64,7 +64,7 @@ func staticSchema(cat *catalog.Catalog, n Node) ([]string, bool) {
 		}
 		return append([]string(nil), x.Names...), true
 	case *Project:
-		out := make([]string, len(x.Cols))
+		out := make([]string, len(x.Cols)) //lint:allow chargedalloc O(#columns) schema inference, plan-shaped
 		for i, pc := range x.Cols {
 			out[i] = pc.Name
 		}
@@ -95,7 +95,7 @@ func staticSchema(cat *catalog.Catalog, n Node) ([]string, bool) {
 		if !x.Drop {
 			return child, true
 		}
-		out := make([]string, 0, len(child))
+		out := make([]string, 0, len(child)) //lint:allow chargedalloc O(#columns) schema inference, plan-shaped
 		dropped := false
 		for _, c := range child {
 			if !dropped && c == x.Col {
@@ -126,7 +126,7 @@ func staticSchema(cat *catalog.Catalog, n Node) ([]string, bool) {
 		}
 		return staticSchema(cat, x.Inputs[0])
 	case *Aggregate:
-		out := make([]string, 0, len(x.GroupBy)+len(x.Aggs))
+		out := make([]string, 0, len(x.GroupBy)+len(x.Aggs)) //lint:allow chargedalloc O(#columns) schema inference, plan-shaped
 		out = append(out, x.GroupBy...)
 		for _, a := range x.Aggs {
 			out = append(out, a.As)
@@ -140,8 +140,8 @@ func staticSchema(cat *catalog.Catalog, n Node) ([]string, bool) {
 // columns, then all right columns with clashing names deduplicated by a
 // numeric suffix.
 func joinOutputNames(l, r []string) []string {
-	names := make(map[string]bool, len(l)+len(r))
-	out := make([]string, 0, len(l)+len(r))
+	names := make(map[string]bool, len(l)+len(r)) //lint:allow chargedalloc O(#columns) schema inference, plan-shaped
+	out := make([]string, 0, len(l)+len(r))       //lint:allow chargedalloc O(#columns) schema inference, plan-shaped
 	for _, n := range l {
 		names[n] = true
 		out = append(out, n)

@@ -33,6 +33,12 @@ func (s *Select) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error
 	if err != nil {
 		return nil, err
 	}
+	// Budget the worst case of the match collection up front: every row
+	// matches, so the per-morsel parts plus the merged selection cost up
+	// to 16 bytes per input row.
+	if err := ctx.charge(c, int64(in.NumRows())*16); err != nil {
+		return nil, err
+	}
 	ranges := ctx.morselRanges(in.NumRows())
 	if len(ranges) == 0 {
 		// Still evaluate the predicate over the empty input so type
@@ -131,6 +137,10 @@ func (p *Project) Execute(c context.Context, ctx *Ctx) (*relation.Relation, erro
 	if err != nil {
 		return nil, err
 	}
+	// Budget the copied probability column before materializing anything.
+	if err := ctx.charge(c, int64(in.NumRows())*8); err != nil {
+		return nil, err
+	}
 	cols := make([]relation.Column, len(p.Cols))
 	for i, pc := range p.Cols {
 		v, err := pc.E.Eval(in)
@@ -197,6 +207,10 @@ func (x *Extend) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error
 	}
 	v, err := x.E.Eval(in)
 	if err != nil {
+		return nil, err
+	}
+	// Budget the copied probability column before assembling the output.
+	if err := ctx.charge(c, int64(in.NumRows())*8); err != nil {
 		return nil, err
 	}
 	cols := make([]relation.Column, 0, in.NumCols()+1)

@@ -35,7 +35,7 @@ func (u *Union) Execute(c context.Context, ctx *Ctx) (*relation.Relation, error)
 func concatAll(c context.Context, ctx *Ctx, ins []*relation.Relation) (*relation.Relation, error) {
 	first := ins[0]
 	total := 0
-	offs := make([]int, len(ins))
+	offs := make([]int, len(ins)) //lint:allow chargedalloc O(#union inputs) plan-shaped offsets, not data
 	for k, in := range ins {
 		if in.NumCols() != first.NumCols() {
 			return nil, fmt.Errorf("union arity mismatch: %d vs %d columns", first.NumCols(), in.NumCols())
@@ -157,7 +157,7 @@ func (cc *Concat) Execute(c context.Context, ctx *Ctx) (*relation.Relation, erro
 
 // Fingerprint implements Node.
 func (c *Concat) Fingerprint() string {
-	parts := make([]string, len(c.Inputs))
+	parts := make([]string, len(c.Inputs)) //lint:allow chargedalloc O(#plan inputs) fingerprint scratch
 	for i, in := range c.Inputs {
 		parts[i] = in.Fingerprint()
 	}
@@ -264,7 +264,12 @@ func (s *Subtract) Execute(c context.Context, ctx *Ctx) (*relation.Relation, err
 	lp, rp := left.Prob(), right.Prob()
 
 	// Anti-probe in parallel morsels, merged in morsel order (same output
-	// order as the serial loop).
+	// order as the serial loop). Every morsel's survivor lists start at
+	// one slot per probe row and are retained until the merge; budget
+	// that floor (8-byte row id + 8-byte probability per row) up front.
+	if err := ctx.charge(c, int64(left.NumRows())*16); err != nil {
+		return nil, err
+	}
 	ranges := ctx.morselRanges(left.NumRows())
 	selParts := make([][]int, len(ranges))
 	probParts := make([][]float64, len(ranges))

@@ -27,7 +27,7 @@ func (s SortSpec) String() string {
 }
 
 func resolveSortKeys(in *relation.Relation, specs []SortSpec) ([]relation.SortKey, error) {
-	keys := make([]relation.SortKey, len(specs))
+	keys := make([]relation.SortKey, len(specs)) //lint:allow chargedalloc O(#sort keys) plan-shaped, not data
 	for i, s := range specs {
 		if s.Col == "" {
 			keys[i] = relation.SortKey{Col: relation.ProbCol, Desc: s.Desc}
@@ -89,7 +89,7 @@ func (s *Sort) Children() []Node { return []Node{s.Child} }
 func (s *Sort) Label() string { return "Sort " + specString(s.Keys) }
 
 func specString(keys []SortSpec) string {
-	parts := make([]string, len(keys))
+	parts := make([]string, len(keys)) //lint:allow chargedalloc O(#sort keys) label scratch
 	for i, k := range keys {
 		parts[i] = k.String()
 	}

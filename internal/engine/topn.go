@@ -47,7 +47,7 @@ func (ctx *Ctx) sortRanges(n int) [][2]int {
 	if n <= size {
 		return [][2]int{{0, n}}
 	}
-	out := make([][2]int, 0, (n+size-1)/size)
+	out := make([][2]int, 0, (n+size-1)/size) //lint:allow chargedalloc O(rows/run-size) range bookkeeping, ~1/1000th of the charged runs
 	for lo := 0; lo < n; lo += size {
 		hi := lo + size
 		if hi > n {

@@ -94,12 +94,12 @@ func E2(cfg Config) (*Result, error) {
 		ctxC.Parallelism = cfg.Parallelism
 		first := &bench.Latencies{}
 		for _, prop := range props {
-			l, err := bench.Measure(1, func() error {
+			l, merr := bench.Measure(1, func() error {
 				_, err := ctxC.Exec(context.Background(), docsPlan(prop))
 				return err
 			})
-			if err != nil {
-				return nil, err
+			if merr != nil {
+				return nil, merr
 			}
 			first.Add(l.Mean())
 		}

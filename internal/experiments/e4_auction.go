@@ -9,6 +9,7 @@ import (
 	"irdb/internal/bench"
 	"irdb/internal/catalog"
 	"irdb/internal/engine"
+	"irdb/internal/fault"
 	"irdb/internal/ir"
 	"irdb/internal/strategy"
 	"irdb/internal/triple"
@@ -80,6 +81,9 @@ func E4(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			// Contain panics at the goroutine boundary; a crashed client
+			// reports as its error slot, not a dead process.
+			defer fault.Recover(fmt.Sprintf("e4 client %d", c), &errs[c])
 			for i := 0; i < perClient; i++ {
 				if err := runQuery(queries[(c*7+i)%len(queries)]); err != nil {
 					errs[c] = err

@@ -10,6 +10,7 @@ import (
 	"irdb/internal/bench"
 	"irdb/internal/catalog"
 	"irdb/internal/engine"
+	"irdb/internal/fault"
 	"irdb/internal/strategy"
 	"irdb/internal/triple"
 	"irdb/internal/workload"
@@ -144,6 +145,9 @@ func E8(cfg Config) (*Result, error) {
 			wg.Add(1)
 			go func(g int) {
 				defer wg.Done()
+				// Contain panics at the goroutine boundary; a crashed
+				// stampeder reports as its error slot.
+				defer fault.Recover(fmt.Sprintf("stampede goroutine %d", g), &errs[g])
 				errs[g] = searchOnce(ctx, queries[0])
 			}(g)
 		}

@@ -1,9 +1,14 @@
 // Package faultpoint provides deterministic fault injection at named
 // sites. Production code marks its failure-prone moments with
 //
-//	if err := faultpoint.Inject("catalog.snapshot.rename"); err != nil {
+//	if err := faultpoint.Inject(faultpoint.SiteSnapshotRename); err != nil {
 //		return err
 //	}
+//
+// Site names live in sites.go — one exported constant per site, unique
+// by construction. Call sites always use the constants, never raw
+// strings, so the name a test arms and the name production injects
+// cannot drift apart; irdb-lint's faultsite analyzer enforces this.
 //
 // In a normal build (no "faultinject" tag) Inject is a constant-nil no-op
 // the compiler inlines away: there is no registry, no lock, no map lookup
@@ -14,7 +19,7 @@
 // a process-wide registry activates and tests can arm any site to fire an
 // error, a panic, or a delay on its Nth hit:
 //
-//	faultpoint.Arm("engine.morsel", faultpoint.Spec{Panic: "boom", After: 3})
+//	faultpoint.Arm(faultpoint.SiteEngineMorsel, faultpoint.Spec{Panic: "boom", After: 3})
 //
 // This is what turns "we recover from a panic mid-join-probe" from a hope
 // into a test: every recovery path in the engine, catalog, and server is

@@ -1,0 +1,52 @@
+package faultpoint
+
+// The fault-site registry. Every injection point in the engine is an
+// exported constant here, declared exactly once; production code passes
+// the constant to Inject and tests pass the same constant to Arm, so
+// the name at the injection site and the name in the test matrix cannot
+// drift apart. irdb-lint's faultsite analyzer enforces both directions:
+// raw string literals at call sites are rejected, and a duplicate value
+// in this file is rejected.
+//
+// Naming: <subsystem>.<operation>[.<step>], matching the package that
+// hosts the Inject call.
+const (
+	// SiteEngineMorsel fires at the top of every morsel dispatched by
+	// runRanges — the heart of parallel query execution.
+	SiteEngineMorsel = "engine.morsel"
+
+	// SiteCacheCompute fires inside the catalog cache's compute flights
+	// (both the relation flight and the aux flight share it: the tests
+	// arm one site to fail whichever flight runs).
+	SiteCacheCompute = "catalog.cache.compute"
+
+	// SiteSnapshotWriteSection fires before each snapshot section write.
+	SiteSnapshotWriteSection = "catalog.snapshot.write.section"
+
+	// SiteSnapshotFsync fires before the snapshot file fsync.
+	SiteSnapshotFsync = "catalog.snapshot.fsync"
+
+	// SiteSnapshotRename fires before the atomic snapshot rename.
+	SiteSnapshotRename = "catalog.snapshot.rename"
+
+	// SiteMemoryGrow fires on every budget reservation growth.
+	SiteMemoryGrow = "memory.grow"
+
+	// SiteServerSearch fires inside the server's search handler.
+	SiteServerSearch = "server.search"
+
+	// SiteWALReplayRecord fires per record during WAL replay.
+	SiteWALReplayRecord = "wal.replay.record"
+
+	// SiteWALAppendRecord fires before a WAL record append.
+	SiteWALAppendRecord = "wal.append.record"
+
+	// SiteWALFsync fires before a WAL fsync.
+	SiteWALFsync = "wal.fsync"
+
+	// SiteWALRotate fires before a WAL segment rotation.
+	SiteWALRotate = "wal.rotate"
+
+	// SiteWALRotateRemove fires before removing a rotated-out segment.
+	SiteWALRotateRemove = "wal.rotate.remove"
+)

@@ -30,7 +30,7 @@ func acked(n int) []triple.Triple {
 // acknowledged, so recovery must surface every earlier row and none of
 // the torn one.
 func TestCrashMidAppendRecoversToLastAck(t *testing.T) {
-	for _, site := range []string{"wal.append.record", "wal.fsync"} {
+	for _, site := range []string{faultpoint.SiteWALAppendRecord, faultpoint.SiteWALFsync} {
 		t.Run(site, func(t *testing.T) {
 			dir := t.TempDir()
 			m, _, _ := openDurable(t, dir)
@@ -66,7 +66,7 @@ func TestCrashMidAppendRecoversToLastAck(t *testing.T) {
 					t.Fatalf("acknowledged row %q lost after crash recovery", tr.Subject)
 				}
 			}
-			if site == "wal.append.record" && bySubj["torn"] {
+			if site == faultpoint.SiteWALAppendRecord && bySubj["torn"] {
 				t.Fatal("torn, never-acknowledged frame replayed as data")
 			}
 		})
@@ -80,11 +80,11 @@ func TestCrashMidAppendRecoversToLastAck(t *testing.T) {
 // snapshot is deduped by watermark and sequence numbers).
 func TestCrashDuringCheckpointRecoversEverything(t *testing.T) {
 	sites := []string{
-		"catalog.snapshot.write.section",
-		"catalog.snapshot.fsync",
-		"catalog.snapshot.rename",
-		"wal.rotate",
-		"wal.rotate.remove",
+		faultpoint.SiteSnapshotWriteSection,
+		faultpoint.SiteSnapshotFsync,
+		faultpoint.SiteSnapshotRename,
+		faultpoint.SiteWALRotate,
+		faultpoint.SiteWALRotateRemove,
 	}
 	for _, site := range sites {
 		t.Run(site, func(t *testing.T) {
@@ -147,7 +147,7 @@ func TestCrashDuringRecoveryReplaysIdempotently(t *testing.T) {
 		}
 	}
 	// First recovery attempt dies after three replayed records.
-	faultpoint.Arm("wal.replay.record", faultpoint.Spec{Err: errors.New("injected: kill -9 mid-replay"), After: 3})
+	faultpoint.Arm(faultpoint.SiteWALReplayRecord, faultpoint.Spec{Err: errors.New("injected: kill -9 mid-replay"), After: 3})
 	cat, store := newDB()
 	err := New(cat, store, "docs").OpenDurable(dir, wal.Options{Policy: wal.SyncAlways})
 	faultpoint.Reset()

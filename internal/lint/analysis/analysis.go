@@ -1,0 +1,169 @@
+// Package analysis is a dependency-free re-implementation of the core of
+// golang.org/x/tools/go/analysis, shaped so the repo's invariant checkers
+// read exactly like upstream analyzers. The real x/tools module cannot be
+// vendored here (the build environment is offline and the module graph is
+// deliberately stdlib-only), so this package provides the three types an
+// analyzer needs — Analyzer, Pass, Diagnostic — plus the repo-specific
+// `//lint:allow` suppression directive that every analyzer honors.
+//
+// The contract mirrors upstream: an Analyzer is a named check with a Run
+// function; a Pass hands Run one type-checked package (file set, syntax,
+// types.Package, types.Info) and a Report sink; diagnostics carry a
+// position and a message. Drivers (internal/lint/load for `irdb-lint
+// ./...`, internal/lint/unitchecker for `go vet -vettool=irdb-lint`)
+// construct passes and collect diagnostics; internal/lint/analysistest
+// runs analyzers over `// want`-annotated fixtures.
+//
+// # Suppression
+//
+// A finding is suppressed by an explicit, reasoned annotation on the
+// offending line or the line directly above it:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// The reason is mandatory — a bare `//lint:allow chargedalloc` does not
+// suppress anything. There is no suppression file: every accepted
+// violation is visible in the diff next to the code it excuses.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name>` directives. By convention it is a single
+	// lowercase word.
+	Name string
+
+	// Doc is the analyzer's documentation: first line a summary, the
+	// rest the full contract it enforces.
+	Doc string
+
+	// Run applies the analyzer to one package. Findings go through
+	// pass.Report / pass.Reportf; the returned error aborts the whole
+	// lint run and is reserved for driver-level failures (it is not the
+	// way to report a finding).
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer applied to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers install a sink that
+	// applies `//lint:allow` suppression before recording.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The invariants
+// the suite enforces are contracts on production code; tests arm fault
+// registries, compare errors directly against what they just constructed,
+// and spawn raw goroutines freely, so every analyzer skips test files.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgPath returns the package's import path normalized for scope
+// matching: `go vet` presents a test-augmented package as
+// "irdb/internal/engine [irdb/internal/engine.test]", and scope rules
+// must see the underlying path.
+func (p *Pass) PkgPath() string {
+	path := p.Pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// FixtureScoped reports whether path is an analysistest fixture package
+// for the named analyzer. Fixture packages live under
+// testdata/src/<name>/ and load with import paths rooted at the analyzer
+// name, so scope rules treat "name" and "name/..." as in-scope.
+func FixtureScoped(path, name string) bool {
+	return path == name || strings.HasPrefix(path, name+"/")
+}
+
+// ErrorType is the types.Type of the universe error interface.
+var ErrorType = types.Universe.Lookup("error").Type()
+
+// allowDirective is one parsed `//lint:allow` comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+}
+
+// AllowIndex maps (filename, line) to the directives that apply there,
+// for one package's files.
+type AllowIndex map[string]map[int][]allowDirective
+
+// BuildAllowIndex scans the comments of files for `//lint:allow`
+// directives. Files must have been parsed with parser.ParseComments.
+func BuildAllowIndex(fset *token.FileSet, files []*ast.File) AllowIndex {
+	idx := AllowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+				if len(fields) < 2 {
+					// No reason given: the directive is inert by design.
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]allowDirective{}
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], allowDirective{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return idx
+}
+
+// Allows reports whether a diagnostic from the named analyzer at the
+// given position is suppressed: a directive for that analyzer sits on
+// the same line or the line directly above.
+func (idx AllowIndex) Allows(fset *token.FileSet, name string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	byLine := idx[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.analyzer == name {
+				return true
+			}
+		}
+	}
+	return false
+}

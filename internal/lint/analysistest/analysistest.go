@@ -1,0 +1,262 @@
+// Package analysistest runs one analyzer over `// want`-annotated
+// fixture packages, mirroring the x/tools package of the same name on
+// the stdlib. Fixtures live under testdata/src/<import-path>/ next to
+// the analyzer's own test; each expected diagnostic is annotated on the
+// offending line:
+//
+//	go func() {}() // want "goroutine spawned without panic containment"
+//
+// The quoted string is a regexp matched against the diagnostic message.
+// A line may carry several expectations (`// want "a" "b"`). The test
+// fails symmetrically: a diagnostic with no matching annotation is
+// unexpected, and an annotation with no matching diagnostic means the
+// analyzer missed (or was disabled) — so a fixture with annotations can
+// never pass vacuously.
+//
+// Imports inside fixtures resolve in two steps: an import path with a
+// directory under testdata/src is type-checked from source (letting
+// fixtures fake the packages an analyzer keys on, like a local `fault`
+// or `faultpoint`), and anything else resolves through compiler export
+// data exactly as the real drivers do. `//lint:allow` suppression is
+// applied before matching, so fixtures also pin the escape hatch.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"irdb/internal/lint/analysis"
+	"irdb/internal/lint/load"
+)
+
+// Run applies az to each fixture package (an import path under
+// testdata/src) and compares its diagnostics against the `// want`
+// annotations in that package's files.
+func Run(t *testing.T, az *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := newLoader(t, filepath.Join("testdata", "src"))
+	for _, path := range pkgPaths {
+		runOne(t, az, ld.check(path))
+	}
+}
+
+// runOne executes one analyzer/package pass and reconciles diagnostics
+// with expectations.
+func runOne(t *testing.T, az *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want annotations; it could not detect a disabled %s analyzer", pkg.PkgPath, az.Name)
+	}
+	allow := analysis.BuildAllowIndex(pkg.Fset, pkg.Files)
+	pass := &analysis.Pass{
+		Analyzer:  az,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		if allow.Allows(pkg.Fset, az.Name, d.Pos) {
+			return
+		}
+		p := pkg.Fset.Position(d.Pos)
+		for _, w := range wants {
+			if !w.matched && w.file == p.Filename && w.line == p.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				return
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+	}
+	if err := az.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", az.Name, pkg.PkgPath, err)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q (did the %s analyzer run?)", w.file, w.line, w.rx, az.Name)
+		}
+	}
+}
+
+// wantExp is one parsed expectation: a regexp anchored to a file line.
+type wantExp struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts `// want "rx"...` annotations from the package's
+// comments. Both interpreted and raw string literals are accepted.
+func parseWants(t *testing.T, pkg *load.Package) []*wantExp {
+	t.Helper()
+	var out []*wantExp
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want annotation %q: %v", pos, text, err)
+					}
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %s: %v", pos, q, err)
+					}
+					rx, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: want pattern %q does not compile: %v", pos, s, err)
+					}
+					out = append(out, &wantExp{file: pos.Filename, line: pos.Line, rx: rx})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// loader type-checks fixture packages from source, resolving fixture
+// imports recursively and everything else through export data.
+type loader struct {
+	t    *testing.T
+	root string
+	fset *token.FileSet
+	pkgs map[string]*load.Package
+	base types.Importer
+}
+
+func newLoader(t *testing.T, root string) *loader {
+	t.Helper()
+	ld := &loader{t: t, root: root, fset: token.NewFileSet(), pkgs: map[string]*load.Package{}}
+	ld.base = load.NewExportImporter(ld.fset, exportResolver(t, externalImports(t, root)))
+	return ld
+}
+
+// check parses and type-checks one fixture package (memoized).
+func (ld *loader) check(path string) *load.Package {
+	ld.t.Helper()
+	if p, ok := ld.pkgs[path]; ok {
+		return p
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		ld.t.Fatalf("fixture package %s: %v", path, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		ld.t.Fatalf("fixture package %s has no .go files", path)
+	}
+	pkg, err := load.Check(ld.fset, path, files, ld)
+	if err != nil {
+		ld.t.Fatalf("fixture package %s: %v", path, err)
+	}
+	ld.pkgs[path] = pkg
+	return pkg
+}
+
+// Import implements types.Importer for fixture type-checking.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		return ld.check(path).Types, nil
+	}
+	return ld.base.Import(path)
+}
+
+// externalImports scans every fixture file for imports that do not
+// resolve to a fixture directory — the set that needs export data.
+func externalImports(t *testing.T, root string) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(name string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(name, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(root, filepath.FromSlash(p))); err == nil && st.IsDir() {
+				continue
+			}
+			seen[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning fixtures under %s: %v", root, err)
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exportResolver builds an import-path → export-file map for the given
+// packages and their dependencies, via one `go list -export -deps` call.
+func exportResolver(t *testing.T, patterns []string) func(string) (string, bool) {
+	t.Helper()
+	exports := map[string]string{}
+	if len(patterns) > 0 {
+		args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, patterns...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("decoding go list output: %v", err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	}
+}

@@ -1,0 +1,12 @@
+package chargedalloc_test
+
+import (
+	"testing"
+
+	"irdb/internal/lint/analysistest"
+	"irdb/internal/lint/chargedalloc"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, chargedalloc.Analyzer, "chargedalloc")
+}

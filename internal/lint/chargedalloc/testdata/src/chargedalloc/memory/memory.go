@@ -1,0 +1,8 @@
+// Package memory mirrors irdb/internal/memory's charging surface for
+// fixtures: the analyzer matches Charge/Grow/WithReservation by package
+// base name.
+package memory
+
+func Charge(n int64) error                    { return nil }
+func Grow(n int64) error                      { return nil }
+func WithReservation(n int64, f func()) error { return nil }

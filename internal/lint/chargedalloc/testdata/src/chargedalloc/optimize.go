@@ -1,0 +1,11 @@
+// A plan-time file (optimize.go is on the exemption list): allocations
+// here are O(plan), so nothing is flagged despite the missing charge.
+package chargedalloc
+
+func planScratch(nodes []string) []string {
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,5 @@
+// Package vector mirrors the pre-sized constructor surface the analyzer
+// treats as a full-footprint allocation.
+package vector
+
+func NewSizedInts(n int) []int64 { return make([]int64, n) }

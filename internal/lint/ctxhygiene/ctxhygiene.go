@@ -1,0 +1,110 @@
+// Package ctxhygiene enforces the PR 5 cancellation contract in the
+// execution stack: engine, catalog, and server code runs under the
+// caller's context, full stop. Minting a fresh root with
+// context.Background() or context.TODO() silently detaches work from
+// cancellation, deadlines, and the memory reservation the context
+// carries — the legitimate "outlive the caller" case (detached
+// single-flight cache computations) uses context.WithoutCancel, which
+// keeps the values and sheds only the cancellation edge. The analyzer
+// also pins the API convention the facade depends on: when an exported
+// function in these packages takes a context, it takes it first.
+package ctxhygiene
+
+import (
+	"go/ast"
+	"go/types"
+
+	"irdb/internal/lint/analysis"
+)
+
+// Analyzer flags fresh context roots and misplaced context parameters in
+// the execution packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxhygiene",
+	Doc: `report context.Background()/TODO() and misplaced ctx params in execution code
+
+Non-test engine/catalog/server code must thread the caller's context;
+detached work uses context.WithoutCancel so values (memory reservations,
+trace state) survive while cancellation is deliberately shed. Exported
+functions taking a context.Context take it as the first parameter.`,
+	Run: run,
+}
+
+// scoped lists the real packages under the contract.
+var scoped = []string{
+	"irdb/internal/engine",
+	"irdb/internal/catalog",
+	"irdb/internal/server",
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.PkgPath()
+	in := analysis.FixtureScoped(path, "ctxhygiene")
+	for _, s := range scoped {
+		if path == s {
+			in = true
+		}
+	}
+	if !in {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pass.InTestFile(n.Pos()) {
+					return true
+				}
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "context" {
+					pass.Reportf(n.Pos(), "context.%s() detaches this work from the caller's cancellation and context values; thread the caller's ctx, or use context.WithoutCancel for deliberately detached work", sel.Sel.Name)
+				}
+			case *ast.FuncDecl:
+				if pass.InTestFile(n.Pos()) || !n.Name.IsExported() {
+					return true
+				}
+				checkCtxFirst(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxFirst reports an exported function whose context.Context
+// parameter is not the first.
+func checkCtxFirst(pass *analysis.Pass, d *ast.FuncDecl) {
+	if d.Type.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range d.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t != nil && isContext(t) && idx != 0 {
+			pass.Reportf(field.Pos(), "%s: context.Context must be the first parameter", d.Name.Name)
+			return
+		}
+		idx += n
+	}
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,12 @@
+package ctxhygiene_test
+
+import (
+	"testing"
+
+	"irdb/internal/lint/analysistest"
+	"irdb/internal/lint/ctxhygiene"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, ctxhygiene.Analyzer, "ctxhygiene")
+}

@@ -1,0 +1,22 @@
+// Fixtures for the ctxhygiene analyzer: no fresh context roots in
+// execution code, and exported entry points take ctx first.
+package ctxhygiene
+
+import "context"
+
+func Exec(ctx context.Context, q string) error { return ctx.Err() }
+
+func MisplacedCtx(q string, ctx context.Context) error { return ctx.Err() } // want "MisplacedCtx: context.Context must be the first parameter"
+
+func freshRoots() {
+	_ = context.Background() // want `context.Background\(\) detaches this work`
+	_ = context.TODO()       // want `context.TODO\(\) detaches this work`
+}
+
+// detached work sheds cancellation but keeps values: the sanctioned form.
+func detach(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}
+
+// unexported functions may order parameters freely.
+func helper(q string, ctx context.Context) error { return ctx.Err() }

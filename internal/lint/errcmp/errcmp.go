@@ -1,0 +1,135 @@
+// Package errcmp enforces wrap-safe error matching. The repo's error
+// contracts are typed: sentinel values (ErrBudgetExceeded,
+// ErrCorruptSnapshot, ErrCorruptWAL, ErrOverloaded, ...) arrive wrapped
+// in operator labels per Ctx.Exec's "<label>: %w" convention, and struct
+// errors (*fault.PanicError, *engine.BudgetError, *client.APIError)
+// arrive behind wrapping too. Comparing with == or a direct type
+// assertion silently stops matching the moment anyone adds a wrap layer;
+// errors.Is / errors.As are the only comparison forms that survive
+// refactoring, so they are the only forms allowed.
+package errcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"irdb/internal/lint/analysis"
+)
+
+// Analyzer flags ==/!= against sentinel errors and type assertions or
+// type switches on error values.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcmp",
+	Doc: `report error comparisons that break under wrapping
+
+Sentinel errors (package-level Err* variables) must be matched with
+errors.Is, and concrete error types extracted with errors.As — never
+with == / != or a type assertion/switch on an error value, which fail to
+match wrapped errors.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if pass.InTestFile(n.Pos()) {
+					return true
+				}
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isNil(pass, n.X) || isNil(pass, n.Y) {
+					return true
+				}
+				if name, ok := sentinelName(pass, n.X); ok {
+					pass.Reportf(n.Pos(), "comparing a sentinel error with %s breaks under wrapping; use errors.Is(err, %s)", n.Op, name)
+				} else if name, ok := sentinelName(pass, n.Y); ok {
+					pass.Reportf(n.Pos(), "comparing a sentinel error with %s breaks under wrapping; use errors.Is(err, %s)", n.Op, name)
+				}
+			case *ast.TypeAssertExpr:
+				if pass.InTestFile(n.Pos()) || n.Type == nil {
+					return true
+				}
+				if isErrorExpr(pass, n.X) {
+					pass.Reportf(n.Pos(), "type assertion on an error value misses wrapped errors; use errors.As")
+				}
+			case *ast.TypeSwitchStmt:
+				if pass.InTestFile(n.Pos()) {
+					return true
+				}
+				if x := typeSwitchSubject(n); x != nil && isErrorExpr(pass, x) {
+					pass.Reportf(n.Pos(), "type switch on an error value misses wrapped errors; use errors.As per candidate type")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelName reports whether e names a package-level error variable in
+// the Err* naming convention, returning the name to suggest in the fix.
+func sentinelName(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !strings.HasPrefix(v.Name(), "Err") {
+		return "", false
+	}
+	// Package-level only: a local `var errDone = errors.New(...)` used as
+	// a loop-break signal within one function cannot be wrapped.
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !types.AssignableTo(v.Type(), analysis.ErrorType) {
+		return "", false
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			return x.Name + "." + id.Name, true
+		}
+	}
+	return id.Name, true
+}
+
+// isErrorExpr reports whether e's static type is exactly the error
+// interface.
+func isErrorExpr(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	return t != nil && types.Identical(t, analysis.ErrorType)
+}
+
+// typeSwitchSubject extracts the switched-on expression from
+// `switch x := e.(type)` / `switch e.(type)`.
+func typeSwitchSubject(n *ast.TypeSwitchStmt) ast.Expr {
+	var assert *ast.TypeAssertExpr
+	switch s := n.Assign.(type) {
+	case *ast.ExprStmt:
+		assert, _ = s.X.(*ast.TypeAssertExpr)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			assert, _ = s.Rhs[0].(*ast.TypeAssertExpr)
+		}
+	}
+	if assert == nil {
+		return nil
+	}
+	return assert.X
+}
+
+// isNil reports whether e is the untyped nil.
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,12 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"irdb/internal/lint/analysistest"
+	"irdb/internal/lint/errcmp"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, errcmp.Analyzer, "errcmp")
+}

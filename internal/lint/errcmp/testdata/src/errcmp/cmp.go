@@ -1,0 +1,58 @@
+// Fixtures for the errcmp analyzer: error matching must survive
+// wrapping.
+package errcmp
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNotFound = errors.New("not found")
+
+type parseError struct{ msg string }
+
+func (e *parseError) Error() string { return e.msg }
+
+func work() error { return fmt.Errorf("lookup: %w", ErrNotFound) }
+
+func badEqual() bool {
+	err := work()
+	return err == ErrNotFound // want "comparing a sentinel error with == breaks under wrapping"
+}
+
+func badNotEqual() bool {
+	err := work()
+	return err != ErrNotFound // want "comparing a sentinel error with != breaks under wrapping"
+}
+
+func badAssert() bool {
+	err := work()
+	_, ok := err.(*parseError) // want "type assertion on an error value misses wrapped errors"
+	return ok
+}
+
+func badSwitch() string {
+	err := work()
+	switch err.(type) { // want "type switch on an error value misses wrapped errors"
+	case *parseError:
+		return "parse"
+	}
+	return ""
+}
+
+func good() bool {
+	err := work()
+	if err == nil { // nil checks are fine
+		return false
+	}
+	var pe *parseError
+	return errors.Is(err, ErrNotFound) || errors.As(err, &pe)
+}
+
+// A function-local sentinel cannot be wrapped by a callee; comparing it
+// directly is fine (the loop-break idiom).
+func localSentinel() bool {
+	var ErrDone = errors.New("done")
+	err := work()
+	return err == ErrDone
+}

@@ -1,0 +1,163 @@
+// Package faultsite keeps the deterministic fault-injection site
+// namespace coherent. The crash-recovery and panic-containment matrices
+// arm sites by name; a typo'd or duplicated name silently arms nothing
+// and the test passes while covering nothing. The registry is
+// irdb/internal/faultpoint/sites.go: every site is an exported string
+// constant there, declared exactly once, and every Inject/Arm call site
+// refers to the constant — never a raw string literal — so the name at
+// the production site and the name in the test cannot drift apart.
+package faultsite
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"irdb/internal/lint/analysis"
+)
+
+// Analyzer cross-checks fault-injection site names against the registry.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultsite",
+	Doc: `report fault-injection sites that bypass or duplicate the registry
+
+Inside the faultpoint package, every string constant's value must be
+unique (the registry admits one name per site). Everywhere else,
+faultpoint.Inject/Arm/Disarm/Hits must be passed a registry constant:
+raw literals can typo or duplicate a site so a test arms nothing. A site
+name injected from more than one place in a package is reported too;
+deliberate sharing carries //lint:allow faultsite <reason>.`,
+	Run: run,
+}
+
+// injectFuncs are the faultpoint entry points that take a site name.
+var injectFuncs = map[string]bool{"Inject": true, "Arm": true, "Disarm": true, "Hits": true}
+
+func run(pass *analysis.Pass) error {
+	if pkgBase(pass.PkgPath()) == "faultpoint" {
+		checkRegistry(pass)
+		return nil
+	}
+	checkCallSites(pass)
+	return nil
+}
+
+// checkRegistry enforces uniqueness of site names inside the registry
+// package itself.
+func checkRegistry(pass *analysis.Pass) {
+	first := map[string]token.Pos{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST || pass.InTestFile(gd.Pos()) {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					v := constant.StringVal(c.Val())
+					if v == "" {
+						pass.Reportf(name.Pos(), "fault site constant %s is empty", name.Name)
+						continue
+					}
+					if prev, dup := first[v]; dup {
+						pass.Reportf(name.Pos(), "fault site %q already registered at %s; site names must be unique", v, pass.Fset.Position(prev))
+						continue
+					}
+					first[v] = name.Pos()
+				}
+			}
+		}
+	}
+}
+
+// checkCallSites enforces registry-constant usage at every faultpoint
+// call, and flags a site injected from more than one place in the
+// package.
+func checkCallSites(pass *analysis.Pass) {
+	injected := map[string]token.Pos{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || pass.InTestFile(call.Pos()) {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !injectFuncs[sel.Sel.Name] || len(call.Args) == 0 {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pkgBase(pn.Imported().Path()) != "faultpoint" {
+				return true
+			}
+			arg := call.Args[0]
+			value, registered := resolveArg(pass, pn.Imported(), arg)
+			if !registered {
+				return true // resolveArg reported
+			}
+			if sel.Sel.Name == "Inject" {
+				if prev, dup := injected[value]; dup {
+					pass.Reportf(arg.Pos(), "fault site %q is already injected at %s; use one site per injection point so Arm hits exactly one place", value, pass.Fset.Position(prev))
+				} else {
+					injected[value] = arg.Pos()
+				}
+			}
+			return true
+		})
+	}
+}
+
+// resolveArg checks one site-name argument: it must be a selector
+// naming a constant in the faultpoint package. Raw literals are
+// reported, with the matching registry constant named when one exists.
+func resolveArg(pass *analysis.Pass, registry *types.Package, arg ast.Expr) (string, bool) {
+	if sel, ok := arg.(*ast.SelectorExpr); ok {
+		if c, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Const); ok && c.Pkg() == registry {
+			return constant.StringVal(c.Val()), true
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "fault site name must be a constant from the faultpoint registry, not a computed value")
+		return "", false
+	}
+	v := constant.StringVal(tv.Value)
+	if name := registryName(registry, v); name != "" {
+		pass.Reportf(arg.Pos(), "fault site %q duplicates the registry; use faultpoint.%s so the name cannot drift", v, name)
+	} else {
+		pass.Reportf(arg.Pos(), "unregistered fault site %q; declare it as a constant in the faultpoint registry (internal/faultpoint/sites.go) and reference it by name", v)
+	}
+	return "", false
+}
+
+// registryName finds the registry constant whose value is v, or "".
+func registryName(registry *types.Package, v string) string {
+	scope := registry.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok &&
+			c.Val().Kind() == constant.String && constant.StringVal(c.Val()) == v {
+			return name
+		}
+	}
+	return ""
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

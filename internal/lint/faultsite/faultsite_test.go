@@ -1,0 +1,12 @@
+package faultsite_test
+
+import (
+	"testing"
+
+	"irdb/internal/lint/analysistest"
+	"irdb/internal/lint/faultsite"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, faultsite.Analyzer, "faultsite/faultpoint", "faultsite/use")
+}

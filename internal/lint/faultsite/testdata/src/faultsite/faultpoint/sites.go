@@ -1,0 +1,15 @@
+// Package faultpoint is a fixture registry: the analyzer enforces
+// unique, non-empty site names here (matched by package base name).
+package faultpoint
+
+const (
+	SiteA     = "engine.a"
+	SiteB     = "engine.b"
+	SiteDupA  = "engine.a" // want `fault site "engine.a" already registered`
+	SiteEmpty = ""         // want "fault site constant SiteEmpty is empty"
+)
+
+func Inject(site string) error   { return nil }
+func Arm(site string, after int) {}
+func Disarm(site string)         {}
+func Hits(site string) int       { return 0 }

@@ -1,0 +1,30 @@
+// Fixtures for faultsite call-site checking: every site name must be a
+// registry constant, injected from exactly one place.
+package use
+
+import "faultsite/faultpoint"
+
+func prodPath() {
+	_ = faultpoint.Inject(faultpoint.SiteA)
+	_ = faultpoint.Inject("engine.raw")     // want `unregistered fault site "engine.raw"`
+	_ = faultpoint.Inject(faultpoint.SiteA) // want `fault site "engine.a" is already injected`
+	_ = faultpoint.Inject("engine.b")       // want `fault site "engine.b" duplicates the registry; use faultpoint.SiteB`
+}
+
+func armComputed(pick bool) {
+	name := "engine.x"
+	faultpoint.Arm(name, 1) // want "fault site name must be a constant from the faultpoint registry"
+	faultpoint.Disarm(faultpoint.SiteB)
+	_ = faultpoint.Hits(faultpoint.SiteB)
+}
+
+func flightA() {
+	_ = faultpoint.Inject(faultpoint.SiteB)
+}
+
+// flightB deliberately shares flightA's site; the annotation excuses
+// the duplicate-injection report.
+func flightB() {
+	//lint:allow faultsite both flights share one site so the matrix fails whichever runs
+	_ = faultpoint.Inject(faultpoint.SiteB)
+}

@@ -1,0 +1,230 @@
+// Package load turns package patterns into type-checked packages for the
+// lint suite, and runs analyzers over them with `//lint:allow`
+// suppression applied.
+//
+// Loading is built on two stdlib facilities so the suite needs no
+// external modules: `go list -export -deps -json` enumerates the target
+// packages and the compiler export data of every dependency (building it
+// into the cache as needed — entirely offline), and
+// importer.ForCompiler(fset, "gc", lookup) reads that export data when
+// go/types resolves an import. This is the same shape as
+// x/tools/go/packages' export-data mode, minus everything irdb-lint does
+// not need.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"irdb/internal/lint/analysis"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Load lists patterns with the go tool and type-checks every non-dep
+// package from source, resolving imports through compiler export data.
+// extraTags is passed to the go tool as -tags (empty for the default
+// build).
+func Load(patterns []string, extraTags string) ([]*Package, error) {
+	args := []string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,ImportMap,DepOnly,Standard",
+	}
+	if extraTags != "" {
+		args = append(args, "-tags", extraTags)
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := map[string]string{}
+	var targets []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			pkg := p
+			targets = append(targets, &pkg)
+		}
+	}
+
+	fset := token.NewFileSet()
+	base := NewExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := Check(fset, t.ImportPath, files, &unitImporter{imports: t.ImportMap, base: base})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// NewExportImporter returns a types.Importer that resolves packages from
+// gc export data located by resolve (import path → export file). The
+// importer caches loaded packages, so it is shared across every unit a
+// driver checks.
+func NewExportImporter(fset *token.FileSet, resolve func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := resolve(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// unitImporter applies one compilation unit's source-import → canonical
+// path map before delegating to the shared export importer.
+type unitImporter struct {
+	imports map[string]string
+	base    types.Importer
+}
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	if c, ok := u.imports[path]; ok {
+		path = c
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.base.Import(path)
+}
+
+// Check parses and type-checks one package from its source files.
+// Comments are kept (the `//lint:allow` directives live there), and soft
+// type errors are tolerated only if imp is nil.
+func Check(fset *token.FileSet, pkgPath string, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// A Finding is one unsuppressed diagnostic from one analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every package, drops findings excused by
+// `//lint:allow` directives, and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allow := analysis.BuildAllowIndex(pkg.Fset, pkg.Files)
+		for _, az := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  az,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := az.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				if allow.Allows(pkg.Fset, name, d.Pos) {
+					return
+				}
+				findings = append(findings, Finding{
+					Analyzer: name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := az.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", az.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,185 @@
+// Package mapiterorder enforces the engine's determinism rule from the
+// README: results must be bit-identical at any parallelism, so
+// result-producing code must never let Go's randomized map iteration
+// order reach an output. In the packages that produce query results
+// (engine, relation, vector) every `for ... range m` over a map is
+// suspect unless the keys are sorted before use. One shape of "sorted
+// before use" is decidable and common enough to recognize: the loop
+// body only appends the bindings to a slice, and a later statement in
+// the same block passes that slice to sort/slices. Anything else either
+// gets refactored onto a deterministic structure or carries a
+// //lint:allow mapiterorder <reason> annotation explaining why order
+// cannot leak (pure counting, building another map, etc.).
+package mapiterorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"irdb/internal/lint/analysis"
+)
+
+// Analyzer flags map iteration in result-producing packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiterorder",
+	Doc: `report map iteration in result-producing engine code
+
+Go randomizes map iteration order; any order-dependent use in
+engine/relation/vector breaks the bit-determinism contract the
+equivalence suites pin. Loops whose effect is provably order-independent
+are annotated //lint:allow mapiterorder <reason> at the range statement.`,
+	Run: run,
+}
+
+// scoped lists the real packages under the determinism contract.
+var scoped = []string{
+	"irdb/internal/engine",
+	"irdb/internal/relation",
+	"irdb/internal/vector",
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.PkgPath()
+	in := analysis.FixtureScoped(path, "mapiterorder")
+	for _, s := range scoped {
+		if path == s {
+			in = true
+		}
+	}
+	if !in {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || pass.InTestFile(rs.Pos()) {
+					continue
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				// `for range m` binds neither key nor value: the body runs
+				// a deterministic number of times with no identity, so
+				// order cannot leak.
+				if rs.Key == nil && rs.Value == nil {
+					continue
+				}
+				if blankOnly(rs) {
+					continue
+				}
+				if collectThenSort(pass, rs, block.List[i+1:]) {
+					continue
+				}
+				pass.Reportf(rs.Pos(), "map iteration order is nondeterministic; sort the keys before producing results, use a deterministic structure, or annotate the loop")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectThenSort recognizes the one decidable "sorted before use"
+// shape: the loop body is exactly `s = append(s, <binding>...)` and a
+// later statement in the same block sorts s via the sort or slices
+// package. The slice's order dependence is laundered by the sort, so
+// the iteration is deterministic in effect.
+func collectThenSort(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	slice := appendTarget(pass, rs)
+	if slice == nil {
+		return false
+	}
+	for _, stmt := range rest {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			continue
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			continue
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && pass.TypesInfo.Uses[arg] == slice {
+			return true
+		}
+	}
+	return false
+}
+
+// appendTarget returns the slice variable when the loop body is exactly
+// one `s = append(s, args...)` whose appended values are the range
+// bindings (possibly wrapped in calls), or nil.
+func appendTarget(pass *analysis.Pass, rs *ast.RangeStmt) types.Object {
+	if len(rs.Body.List) != 1 {
+		return nil
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return nil
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != lhs.Name {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[first]
+	if obj == nil {
+		return nil
+	}
+	if got := pass.TypesInfo.Defs[lhs]; got != nil && got != obj {
+		return nil // := would make the accumulator loop-local
+	}
+	if u := pass.TypesInfo.Uses[lhs]; u != nil && u != obj {
+		return nil
+	}
+	return obj
+}
+
+// blankOnly reports whether the range binds only blank identifiers
+// (`for _, _ = range m`), which, like the bare form, exposes no order.
+func blankOnly(rs *ast.RangeStmt) bool {
+	isBlank := func(e ast.Expr) bool {
+		if e == nil {
+			return true
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	return isBlank(rs.Key) && isBlank(rs.Value)
+}

@@ -1,0 +1,12 @@
+package mapiterorder_test
+
+import (
+	"testing"
+
+	"irdb/internal/lint/analysistest"
+	"irdb/internal/lint/mapiterorder"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, mapiterorder.Analyzer, "mapiterorder")
+}

@@ -1,0 +1,54 @@
+// Fixtures for the mapiterorder analyzer: map iteration in
+// result-producing code must not leak Go's randomized order.
+package mapiterorder
+
+import "sort"
+
+func orderLeaks(m map[string]int) []string {
+	out := []string{}
+	for k, v := range m { // want "map iteration order is nondeterministic"
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// collectThenSort is the decidable deterministic shape: the body only
+// appends the bindings, and the slice is sorted before use.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// bareRange binds nothing, so no order is observable.
+func bareRange(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// annotated loops carry the reason order cannot leak.
+func annotated(m map[string]int) int {
+	total := 0
+	//lint:allow mapiterorder pure sum; addition is commutative
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// unsortedCollect appends bindings but never sorts: still order-leaking.
+func unsortedCollect(m map[string]int) []string {
+	keys := []string{}
+	for k := range m { // want "map iteration order is nondeterministic"
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,177 @@
+// Package multichecker is the entry point shared by cmd/irdb-lint: it
+// dispatches between the two ways the suite runs — standalone over
+// package patterns (`irdb-lint ./...`) and as a `go vet -vettool` plugin
+// (cmd/go invokes the tool per compilation unit with a .cfg path, after
+// probing it with -V=full and -flags).
+package multichecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"irdb/internal/lint/analysis"
+	"irdb/internal/lint/load"
+	"irdb/internal/lint/unitchecker"
+)
+
+// Main runs the suite and exits the process. Modes:
+//
+//	irdb-lint [-only a,b] [-tags t] [patterns...]   standalone; default ./...
+//	irdb-lint [-json] unit.cfg                      vet protocol (via go vet -vettool)
+//	irdb-lint -V=full                               version probe (cmd/go cache key)
+//	irdb-lint -flags                                flag discovery probe (cmd/go)
+//	irdb-lint -list                                 print analyzer names and docs
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// cmd/go's probes arrive before any unit config and must not be
+	// routed through the ordinary flag set (its exit behavior differs).
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			// The printed line is hashed into cmd/go's action cache key;
+			// including the binary's own content hash means a rebuilt
+			// linter with changed analyzers invalidates stale vet results.
+			fmt.Printf("%s version devel comments-go-here buildID=%s\n", progname, selfHash())
+			os.Exit(0)
+		case a == "-flags" || a == "--flags":
+			printFlagDefs()
+			os.Exit(0)
+		}
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	tags := fs.String("tags", "", "build tags for package loading (standalone mode)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] [package patterns | unit.cfg]\n", progname)
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+
+	if *list {
+		for _, az := range analyzers {
+			doc := az.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Printf("%-14s %s\n", az.Name, doc)
+		}
+		os.Exit(0)
+	}
+
+	selected := selectAnalyzers(analyzers, *only)
+	rest := fs.Args()
+
+	// Vet protocol: the config path is the sole positional argument and
+	// ends in .cfg.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(unitchecker.Run(rest[0], selected, *jsonOut))
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(patterns, *tags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	findings, err := load.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		type jsonFinding struct {
+			Analyzer string `json:"analyzer"`
+			Posn     string `json:"posn"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonFinding, len(findings))
+		for i, f := range findings {
+			out[i] = jsonFinding{f.Analyzer, f.Pos.String(), f.Message}
+		}
+		_ = enc.Encode(out)
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(3)
+	}
+	os.Exit(0)
+}
+
+// selectAnalyzers filters by the -only list; unknown names are fatal so a
+// typo cannot silently skip a check.
+func selectAnalyzers(all []*analysis.Analyzer, only string) []*analysis.Analyzer {
+	if only == "" {
+		return all
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, az := range all {
+		byName[az.Name] = az
+	}
+	var out []*analysis.Analyzer
+	names := strings.Split(only, ",")
+	sort.Strings(names)
+	for _, n := range names {
+		az, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "irdb-lint: unknown analyzer %q\n", n)
+			os.Exit(1)
+		}
+		out = append(out, az)
+	}
+	return out
+}
+
+// printFlagDefs answers cmd/go's `-flags` probe: a JSON list of the flags
+// the tool accepts, in the schema cmd/go/internal/vet expects.
+func printFlagDefs() {
+	type flagDef struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	defs := []flagDef{
+		{Name: "only", Bool: false, Usage: "comma-separated analyzer names to run"},
+		{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"},
+	}
+	data, _ := json.MarshalIndent(defs, "", "\t")
+	fmt.Println(string(data))
+}
+
+// selfHash content-hashes the running binary so -V=full changes whenever
+// the linter is rebuilt with different code.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

@@ -1,0 +1,137 @@
+// Package nilness is a lightweight, syntax-driven stand-in for
+// x/tools/go/analysis/passes/nilness (the SSA-based original cannot be
+// vendored into this offline, stdlib-only module). It catches the
+// highest-signal subset: dereferencing a value inside the very branch
+// that just established it is nil. That shape is always a bug — the
+// branch either meant != nil or meant to return — and it is exactly the
+// mistake refactors introduce when they invert a guard.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"irdb/internal/lint/analysis"
+)
+
+// Analyzer flags dereferences of values proven nil by the enclosing
+// branch condition.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: `report dereferences inside branches that proved the value nil
+
+Within ` + "`if x == nil { ... }`" + ` (or the else branch of != nil), a
+field selection, method call, or indirection through x panics at
+runtime. The check is flow-light: it stops at the first reassignment of
+x or capture of &x inside the branch.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || pass.InTestFile(n.Pos()) {
+				return true
+			}
+			id, op := nilCompared(pass, ifs.Cond)
+			if id == nil {
+				return true
+			}
+			// x == nil: the then-branch has x nil. x != nil: the
+			// else-branch (when it is a plain block) has x nil.
+			var nilBlock *ast.BlockStmt
+			switch op {
+			case token.EQL:
+				nilBlock = ifs.Body
+			case token.NEQ:
+				nilBlock, _ = ifs.Else.(*ast.BlockStmt)
+			}
+			if nilBlock == nil {
+				return true
+			}
+			reportNilUses(pass, id, nilBlock)
+			return true
+		})
+	}
+	return nil
+}
+
+// nilCompared matches `x == nil` / `x != nil` where x is an identifier
+// of a type whose nil is un-dereferenceable (pointer or interface; nil
+// maps and slices tolerate reads).
+func nilCompared(pass *analysis.Pass, cond ast.Expr) (*ast.Ident, token.Token) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, 0
+	}
+	x, y := be.X, be.Y
+	if tv, ok := pass.TypesInfo.Types[x]; ok && tv.IsNil() {
+		x, y = y, x
+	}
+	if tv, ok := pass.TypesInfo.Types[y]; !ok || !tv.IsNil() {
+		return nil, 0
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, 0
+	}
+	switch pass.TypesInfo.TypeOf(id).Underlying().(type) {
+	case *types.Pointer, *types.Interface:
+		return id, be.Op
+	}
+	return nil, 0
+}
+
+// reportNilUses walks block in source order, reporting dereferences of
+// obj until the object is reassigned or its address escapes.
+func reportNilUses(pass *analysis.Pass, id *ast.Ident, block *ast.BlockStmt) {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	isObj := func(e ast.Expr) bool {
+		uid, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[uid] == obj
+	}
+	stopped := false
+	ast.Inspect(block, func(n ast.Node) bool {
+		if stopped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isObj(lhs) {
+					stopped = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && isObj(n.X) {
+				stopped = true
+				return false
+			}
+		case *ast.FuncLit:
+			// A closure may run later under different facts.
+			return false
+		case *ast.SelectorExpr:
+			if isObj(n.X) {
+				pass.Reportf(n.Pos(), "nil dereference: %s is nil on this path", id.Name)
+				return false
+			}
+		case *ast.StarExpr:
+			if isObj(n.X) {
+				pass.Reportf(n.Pos(), "nil dereference: %s is nil on this path", id.Name)
+				return false
+			}
+		case *ast.CallExpr:
+			if isObj(n.Fun) {
+				pass.Reportf(n.Pos(), "nil dereference: calling %s, which is nil on this path", id.Name)
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"irdb/internal/lint/analysistest"
+	"irdb/internal/lint/nilness"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, nilness.Analyzer, "nilness")
+}

@@ -1,0 +1,62 @@
+// Fixtures for the nilness analyzer: dereferences inside the branch
+// that just proved the value nil.
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+func derefInEqualBranch(p *node) int {
+	if p == nil {
+		return p.val // want "nil dereference: p is nil on this path"
+	}
+	return p.val
+}
+
+func derefInElseOfNotEqual(p *node) int {
+	if p != nil {
+		return p.val
+	} else {
+		return p.val // want "nil dereference: p is nil on this path"
+	}
+}
+
+func starDeref(p *int) int {
+	if p == nil {
+		return *p // want "nil dereference: p is nil on this path"
+	}
+	return *p
+}
+
+type reader interface{ read() int }
+
+func ifaceDeref(r reader) int {
+	if r == nil {
+		return r.read() // want "nil dereference: r is nil on this path"
+	}
+	return r.read()
+}
+
+// Reassignment inside the branch re-establishes the value; uses after
+// it are fine.
+func reassigned(p *node) int {
+	if p == nil {
+		p = &node{}
+		return p.val
+	}
+	return p.val
+}
+
+// A closure may run later, under different facts.
+func deferredUse(p *node) func() int {
+	if p == nil {
+		return func() int {
+			if p == nil {
+				return 0
+			}
+			return p.val
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package shadow re-implements the useful core of
+// x/tools/go/analysis/passes/shadow on the stdlib (the original cannot
+// be vendored into this offline module). It reports an inner declaration
+// that shadows an outer variable of the identical type when the outer
+// variable is still read after the inner scope closes — the combination
+// where a `:=` that was meant to be `=` silently drops a value (the
+// classic lost `err`).
+//
+// Three idioms the raw rule would drown in are excluded deliberately:
+// function and closure parameters (the `go func(i int) { ... }(i)`
+// capture idiom shadows on purpose), declarations in if/for/switch init
+// clauses (`if err := f(); err != nil` is the language's guard idiom and
+// the inner variable cannot leak), and declarations inside a closure
+// shadowing a variable of the enclosing function (closures own their
+// error lifecycles). What remains is the plain in-block `x := ...` or
+// `var x T` over a live outer x — the shape that is a bug often enough
+// to be worth a report.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"irdb/internal/lint/analysis"
+)
+
+// Analyzer reports suspicious variable shadowing.
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc: `report declarations that shadow a same-typed outer variable used later
+
+Flags a plain v := ... or var v declaration when the same function
+already has a variable v of the identical type that is read again after
+the inner scope ends — the shape where := was meant to be =. Parameters,
+if/for/switch init clauses, and closure-crossing shadows are exempt.
+Intentional shadows carry //lint:allow shadow <reason>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	usesOf := map[types.Object][]token.Pos{}
+	for id, obj := range pass.TypesInfo.Uses {
+		if _, ok := obj.(*types.Var); ok {
+			usesOf[obj] = append(usesOf[obj], id.Pos())
+		}
+	}
+	pkgScope := pass.Pkg.Scope()
+	for _, file := range pass.Files {
+		f := &fileCtx{pass: pass, usesOf: usesOf, pkgScope: pkgScope}
+		f.collect(file)
+		f.check()
+	}
+	return nil
+}
+
+type fileCtx struct {
+	pass     *analysis.Pass
+	usesOf   map[types.Object][]token.Pos
+	pkgScope *types.Scope
+
+	funcs      []ast.Node   // FuncDecl/FuncLit nodes, for innermost-function lookup
+	candidates []*ast.Ident // defining idents from plain := / var declarations
+}
+
+// collect gathers candidate defining identifiers and the function nodes
+// needed to decide whether two positions share an enclosing function.
+func (f *fileCtx) collect(file *ast.File) {
+	// Init-clause statements are the guard idiom; their declarations are
+	// never candidates.
+	initStmts := map[ast.Stmt]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			f.funcs = append(f.funcs, n)
+		case *ast.IfStmt:
+			if n.Init != nil {
+				initStmts[n.Init] = true
+			}
+		case *ast.ForStmt:
+			if n.Init != nil {
+				initStmts[n.Init] = true
+			}
+		case *ast.SwitchStmt:
+			if n.Init != nil {
+				initStmts[n.Init] = true
+			}
+		case *ast.TypeSwitchStmt:
+			if n.Init != nil {
+				initStmts[n.Init] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || initStmts[n] {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					f.candidates = append(f.candidates, id)
+				}
+			}
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					f.candidates = append(f.candidates, vs.Names...)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (f *fileCtx) check() {
+	pass := f.pass
+	for _, id := range f.candidates {
+		v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok || v.Name() == "_" || pass.InTestFile(id.Pos()) {
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil || inner == f.pkgScope {
+			continue
+		}
+		outer := f.outerShadowed(v, inner)
+		if outer == nil || !types.Identical(v.Type(), outer.Type()) {
+			continue
+		}
+		if f.innermostFunc(v.Pos()) != f.innermostFunc(outer.Pos()) {
+			continue // closure-crossing shadow: each scope owns its lifecycle
+		}
+		if !usedAfter(f.usesOf[outer], inner.End()) {
+			continue
+		}
+		pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s; the outer variable is read again after this scope — did you mean = ?", v.Name(), pass.Fset.Position(outer.Pos()))
+	}
+}
+
+// outerShadowed finds a function-local variable of the same name in an
+// enclosing scope (stopping before package scope: shadowing a global is
+// idiomatic Go), declared before the inner one.
+func (f *fileCtx) outerShadowed(v *types.Var, inner *types.Scope) *types.Var {
+	for s := inner.Parent(); s != nil && s != f.pkgScope && s != types.Universe; s = s.Parent() {
+		if obj := s.Lookup(v.Name()); obj != nil {
+			outer, ok := obj.(*types.Var)
+			if !ok || outer.Parent() == f.pkgScope || !outer.Pos().IsValid() || outer.Pos() >= v.Pos() {
+				return nil
+			}
+			return outer
+		}
+	}
+	return nil
+}
+
+// innermostFunc returns the smallest function node containing pos, or
+// nil for package-level positions.
+func (f *fileCtx) innermostFunc(pos token.Pos) ast.Node {
+	var best ast.Node
+	for _, fn := range f.funcs {
+		if fn.Pos() <= pos && pos < fn.End() {
+			if best == nil || (fn.Pos() >= best.Pos() && fn.End() <= best.End()) {
+				best = fn
+			}
+		}
+	}
+	return best
+}
+
+// usedAfter reports whether any use position falls after end.
+func usedAfter(uses []token.Pos, end token.Pos) bool {
+	for _, p := range uses {
+		if p > end {
+			return true
+		}
+	}
+	return false
+}

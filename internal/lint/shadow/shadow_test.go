@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"irdb/internal/lint/analysistest"
+	"irdb/internal/lint/shadow"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, shadow.Analyzer, "shadow")
+}

@@ -1,0 +1,75 @@
+// Fixtures for the shadow analyzer: a := that was meant to be =,
+// shadowing a same-typed outer variable still read later.
+package shadow
+
+func work(n int) error { return nil }
+
+func lostErr() error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err := work(i) // want `declaration of "err" shadows declaration at`
+		_ = err
+	}
+	return err
+}
+
+func lostVar(buf []byte) int {
+	n := len(buf)
+	{
+		var n int // want `declaration of "n" shadows declaration at`
+		_ = n
+	}
+	return n
+}
+
+// The guard idiom: init-clause declarations never leak, so they are
+// exempt even with the outer variable read later.
+func guardIdiom() error {
+	var err error
+	if err := work(1); err != nil {
+		return err
+	}
+	return err
+}
+
+// A shadow whose outer variable is never read afterwards drops nothing.
+func deadOuter() {
+	err := work(0)
+	_ = err
+	{
+		err := work(1)
+		_ = err
+	}
+}
+
+// Closures own their error lifecycles; crossing the function boundary
+// is exempt.
+func closureOwned() error {
+	var err error
+	f := func() {
+		err := work(2)
+		_ = err
+	}
+	f()
+	return err
+}
+
+// Different types cannot be a mistyped :=; exempt.
+func differentType() error {
+	var err error
+	{
+		err := "not an error"
+		_ = err
+	}
+	return err
+}
+
+func intentional() error {
+	var err error
+	{
+		//lint:allow shadow probing a second path; the outer err must survive
+		err := work(3)
+		_ = err
+	}
+	return err
+}

@@ -1,0 +1,185 @@
+// Package spawnrecover enforces the PR 7 panic-containment contract: a
+// panic inside a query must never escape a goroutine the system owns, so
+// every `go` statement must route through the recovery machinery in
+// internal/fault. The runtime test suites prove the recovery paths work;
+// this analyzer proves no spawn site forgets to have one.
+package spawnrecover
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"irdb/internal/lint/analysis"
+)
+
+// Analyzer flags `go` statements whose spawned function neither recovers
+// panics itself nor calls a same-package function that does.
+var Analyzer = &analysis.Analyzer{
+	Name: "spawnrecover",
+	Doc: `report goroutines spawned without panic containment
+
+Every goroutine the repo spawns must convert panics into errors at its
+boundary (the PR 7 contract): the spawned function must defer
+fault.Recover / a recover() handler, or consist of calls to a
+same-package function that does. Spawn sites that intentionally opt out
+(process-lifetime serve loops, offline experiment drivers where a crash
+is the right outcome) carry an explicit
+//lint:allow spawnrecover <reason> annotation.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.PkgPath()
+	if !analysis.FixtureScoped(path, "spawnrecover") &&
+		path != "irdb" && !strings.HasPrefix(path, "irdb/") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(g.Pos()) {
+				return true
+			}
+			if !contained(pass, g.Call.Fun) {
+				pass.Reportf(g.Pos(), "goroutine spawned without panic containment: defer fault.Recover (or a recover() handler) at the goroutine boundary, or route through a recovering helper")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// contained reports whether the spawned function recovers panics: either
+// its own body contains recovery, or it is (or its body only reaches
+// recovery through) a same-package function whose body recovers — the
+// one level of indirection runRanges-style `go func() { run(...) }()`
+// spawn sites use.
+func contained(pass *analysis.Pass, fun ast.Expr) bool {
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		if bodyRecovers(pass, lit.Body) {
+			return true
+		}
+		return callsRecoveringLocal(pass, lit.Body)
+	}
+	if body := localFuncBody(pass, fun); body != nil {
+		return bodyRecovers(pass, body)
+	}
+	return false
+}
+
+// bodyRecovers reports whether body contains the recovery machinery
+// anywhere: a call to the recover builtin (possibly inside a deferred or
+// immediately-invoked nested literal, as catalog.Cache's flight
+// goroutines do) or a deferred fault.Recover.
+func bodyRecovers(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "recover" {
+					found = true
+					return false
+				}
+			}
+		case *ast.DeferStmt:
+			if sel, ok := n.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Recover" {
+				if pkgBase(pass, sel.X) == "fault" {
+					found = true
+					return false
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsRecoveringLocal reports whether body calls at least one
+// same-package function or closure whose own body recovers. This blesses
+// the worker-pool shape where the goroutine literal is pure plumbing
+// (defer wg.Done(); defer release(); run(...)) and the recovery lives in
+// the shared run closure executed by both the inline and spawned paths.
+func callsRecoveringLocal(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if b := localFuncBody(pass, call.Fun); b != nil && bodyRecovers(pass, b) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// localFuncBody resolves fun — an identifier naming a same-package
+// function or a variable assigned a single function literal — to the
+// body of that function, or nil.
+func localFuncBody(pass *analysis.Pass, fun ast.Expr) *ast.BlockStmt {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	var body *ast.BlockStmt
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if body != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if pass.TypesInfo.Defs[n.Name] == obj {
+					body = n.Body
+					return false
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					lid, ok := lhs.(*ast.Ident)
+					if !ok || pass.TypesInfo.Defs[lid] != obj || i >= len(n.Rhs) {
+						continue
+					}
+					if lit, ok := n.Rhs[i].(*ast.FuncLit); ok {
+						body = lit.Body
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if body != nil {
+			break
+		}
+	}
+	return body
+}
+
+// pkgBase returns the base name of the package an identifier qualifies,
+// or "" if x is not a package qualifier. Matching by base name keeps the
+// rule valid for both irdb/internal/fault and test fixtures.
+func pkgBase(pass *analysis.Pass, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	path := pn.Imported().Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

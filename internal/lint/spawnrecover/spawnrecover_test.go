@@ -1,0 +1,12 @@
+package spawnrecover_test
+
+import (
+	"testing"
+
+	"irdb/internal/lint/analysistest"
+	"irdb/internal/lint/spawnrecover"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, spawnrecover.Analyzer, "spawnrecover")
+}

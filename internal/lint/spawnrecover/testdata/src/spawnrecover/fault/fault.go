@@ -1,0 +1,6 @@
+// Package fault mirrors the shape of irdb/internal/fault for fixtures:
+// the analyzer matches `defer fault.Recover(...)` by package base name.
+package fault
+
+// Recover converts an in-flight panic into an error at *err.
+func Recover(op string, err *error) {}

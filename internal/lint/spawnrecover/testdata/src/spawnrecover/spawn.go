@@ -1,0 +1,64 @@
+// Fixtures for the spawnrecover analyzer: every `go` statement must
+// contain panics at the goroutine boundary.
+package spawnrecover
+
+import (
+	"sync"
+
+	"spawnrecover/fault"
+)
+
+func bareLiteral() {
+	go func() {}() // want "goroutine spawned without panic containment"
+}
+
+func namedLeaky() {
+	go leaky() // want "goroutine spawned without panic containment"
+}
+
+func leaky() {}
+
+func deferredFaultRecover() (err error) {
+	go func() {
+		defer fault.Recover("worker", &err)
+	}()
+	return err
+}
+
+func recoverBuiltin() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+	}()
+}
+
+func namedRecovering() {
+	go worker()
+}
+
+func worker() {
+	defer func() { _ = recover() }()
+}
+
+// workerPool is the blessed plumbing shape: the literal only wires
+// wg/slot bookkeeping around a shared closure that recovers.
+func workerPool() {
+	run := func() {
+		defer func() { _ = recover() }()
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		run()
+	}()
+	wg.Wait()
+}
+
+func optedOut() {
+	//lint:allow spawnrecover process-lifetime serve loop; a crash here should crash the process
+	go func() {}()
+}

@@ -1,0 +1,33 @@
+// Package suite assembles the irdb-lint analyzer set. cmd/irdb-lint and
+// the self-check test both consume this list, so the binary in CI and
+// the `go test` sweep can never disagree about what is enforced.
+package suite
+
+import (
+	"irdb/internal/lint/analysis"
+	"irdb/internal/lint/chargedalloc"
+	"irdb/internal/lint/ctxhygiene"
+	"irdb/internal/lint/errcmp"
+	"irdb/internal/lint/faultsite"
+	"irdb/internal/lint/mapiterorder"
+	"irdb/internal/lint/nilness"
+	"irdb/internal/lint/shadow"
+	"irdb/internal/lint/spawnrecover"
+)
+
+// All returns every analyzer in the suite, in reporting order: the six
+// invariant checkers from the engine's written contracts, then the two
+// general-purpose stdlib re-implementations of x/tools passes (nilness,
+// shadow) that ride in the same multichecker.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		spawnrecover.Analyzer,
+		mapiterorder.Analyzer,
+		ctxhygiene.Analyzer,
+		chargedalloc.Analyzer,
+		errcmp.Analyzer,
+		faultsite.Analyzer,
+		nilness.Analyzer,
+		shadow.Analyzer,
+	}
+}

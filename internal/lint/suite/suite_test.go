@@ -1,0 +1,30 @@
+package suite_test
+
+import (
+	"testing"
+
+	"irdb/internal/lint/load"
+	"irdb/internal/lint/suite"
+)
+
+// TestRepoClean pins the zero-findings baseline: the whole module must
+// lint clean under every analyzer in the suite, so a change that
+// introduces a violation fails `go test ./...` even when nobody runs
+// the vettool. There is no suppression file to hide behind — the only
+// escape is a reasoned //lint:allow next to the offending line.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped under -short")
+	}
+	pkgs, err := load.Load([]string{"irdb/..."}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := load.Run(pkgs, suite.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

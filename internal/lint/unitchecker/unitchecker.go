@@ -1,0 +1,155 @@
+// Package unitchecker implements the `go vet -vettool` protocol for the
+// lint suite, mirroring x/tools/go/analysis/unitchecker on the stdlib
+// only. cmd/go drives a vet tool one compilation unit at a time: it
+// writes a JSON config describing the unit (source files, the import map,
+// and the compiler export data of every dependency) and invokes the tool
+// with the config path as its last argument. The tool type-checks the
+// unit, runs its analyzers, prints diagnostics, and writes the (here:
+// empty) facts file cmd/go expects at cfg.VetxOutput.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+
+	"irdb/internal/lint/analysis"
+	"irdb/internal/lint/load"
+)
+
+// Config is the JSON schema cmd/go writes for each vet unit. Field names
+// must match cmd/go's (they are the protocol); fields the suite does not
+// consume are listed for completeness and ignored.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run checks the unit described by cfgPath with the given analyzers and
+// returns the process exit code: 0 for a clean unit, 3 when diagnostics
+// were reported (any non-zero exit makes `go vet` fail the package), and
+// 1 for a protocol or internal error. Diagnostics go to stderr in the
+// standard file:line:col form; with jsonOut they go to stdout in the
+// x/tools JSON shape instead (and the exit code is 0, as upstream).
+func Run(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "irdb-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// cmd/go expects the facts file to exist after a successful run, even
+	// though this suite records no cross-package facts. Write it first so
+	// every early-exit path below still satisfies the protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
+	fset := token.NewFileSet()
+	base := load.NewExportImporter(fset, func(path string) (string, bool) {
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	imp := &mappedImporter{imports: cfg.ImportMap, base: base}
+	files := make([]string, 0, len(cfg.GoFiles))
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	pkg, err := load.Check(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "irdb-lint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	findings, err := load.Run([]*load.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irdb-lint: %v\n", err)
+		return 1
+	}
+	if jsonOut {
+		return printJSON(cfg.ImportPath, findings)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 3
+	}
+	return 0
+}
+
+// printJSON emits diagnostics in the same nested shape as x/tools'
+// unitchecker (`go vet -json` consumers parse this).
+func printJSON(importPath string, findings []load.Finding) int {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], jsonDiag{
+			Posn:    f.Pos.String(),
+			Message: f.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{importPath: byAnalyzer}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// mappedImporter resolves a unit's source import paths through the vet
+// config's ImportMap before reading export data. Missing entries fall
+// back to the path itself: cmd/go writes identity entries for every
+// import, but being lenient costs nothing.
+type mappedImporter struct {
+	imports map[string]string
+	base    types.Importer
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if c, ok := m.imports[path]; ok {
+		path = c
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return m.base.Import(path)
+}

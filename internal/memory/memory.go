@@ -170,7 +170,7 @@ func (r *Reservation) Grow(n int64) error {
 	if r == nil || n <= 0 {
 		return nil
 	}
-	if err := faultpoint.Inject("memory.grow"); err != nil {
+	if err := faultpoint.Inject(faultpoint.SiteMemoryGrow); err != nil {
 		return err
 	}
 	r.mu.Lock()

@@ -23,7 +23,7 @@ func TestInjectedHandlerPanicRecovered(t *testing.T) {
 	v := workload.NewVocabulary(500, 7)
 	searchURL := ts.URL + "/search?strategy=auction-lots&k=5&q=" + url.QueryEscape(v.Word(10))
 
-	faultpoint.Arm("server.search", faultpoint.Spec{Panic: "injected handler crash", Count: 1})
+	faultpoint.Arm(faultpoint.SiteServerSearch, faultpoint.Spec{Panic: "injected handler crash", Count: 1})
 	t.Cleanup(faultpoint.Reset)
 
 	resp, err := http.Get(searchURL)
@@ -34,7 +34,7 @@ func TestInjectedHandlerPanicRecovered(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("status with armed panic = %d, want 500", resp.StatusCode)
 	}
-	if faultpoint.Hits("server.search") == 0 {
+	if faultpoint.Hits(faultpoint.SiteServerSearch) == 0 {
 		t.Fatal("handler never reached the fault site")
 	}
 
@@ -61,7 +61,7 @@ func TestInjectedHandlerPanicRecovered(t *testing.T) {
 // clean 500 without touching the panic counters.
 func TestInjectedHandlerError(t *testing.T) {
 	srv, ts := newTestServer(t)
-	faultpoint.Arm("server.search", faultpoint.Spec{Err: errInjected, Count: 1})
+	faultpoint.Arm(faultpoint.SiteServerSearch, faultpoint.Spec{Err: errInjected, Count: 1})
 	t.Cleanup(faultpoint.Reset)
 	if code := getJSON(t, ts.URL+"/search?strategy=auction-lots&q=x", nil); code != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", code)

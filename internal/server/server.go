@@ -205,8 +205,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.drainMu.Unlock()
 	done := make(chan struct{})
 	go func() {
+		// Contain any panic at this boundary (WaitGroup misuse is the
+		// only candidate): it must not kill a server mid-drain, and the
+		// deferred close still releases the select below.
+		defer close(done)
+		var err error
+		defer fault.Recover("shutdown drain", &err)
 		s.active.Wait()
-		close(done)
 	}()
 	select {
 	case <-done:
@@ -451,7 +456,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	// Fault-injection site: tests arm it to panic inside the handler and
 	// prove the recovery middleware keeps the process serving.
-	if err := faultpoint.Inject("server.search"); err != nil {
+	if err := faultpoint.Inject(faultpoint.SiteServerSearch); err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}

@@ -167,8 +167,8 @@ type Stats struct {
 	LastRotationUnix int64 `json:"last_rotation_unix"`
 	// Segments is the number of live segment files; LastSeq the highest
 	// sequence number ever appended or replayed.
-	Segments int   `json:"segments"`
-	LastSeq  int64 `json:"last_seq"`
+	Segments int    `json:"segments"`
+	LastSeq  int64  `json:"last_seq"`
 	Policy   string `json:"fsync_policy"`
 }
 
@@ -294,7 +294,7 @@ func replayFile(path string, tolerateTail bool, res *ReplayResult, apply func(Re
 	name := filepath.Base(path)
 	var off int64
 	for {
-		if err := faultpoint.Inject("wal.replay.record"); err != nil {
+		if err := faultpoint.Inject(faultpoint.SiteWALReplayRecord); err != nil {
 			return off, err
 		}
 		rec, frameLen, ferr := decodeFrame(data[off:])
@@ -472,7 +472,7 @@ func (l *Log) Append(t RecordType, payload []byte) (uint64, error) {
 		l.broken = err
 		return 0, err
 	}
-	if err := faultpoint.Inject("wal.append.record"); err != nil {
+	if err := faultpoint.Inject(faultpoint.SiteWALAppendRecord); err != nil {
 		l.broken = err
 		return 0, err
 	}
@@ -504,7 +504,7 @@ func (l *Log) maybeSyncLocked() error {
 	case SyncOff:
 		return nil
 	}
-	if err := faultpoint.Inject("wal.fsync"); err != nil {
+	if err := faultpoint.Inject(faultpoint.SiteWALFsync); err != nil {
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
@@ -556,7 +556,7 @@ func (l *Log) Rotate(watermark uint64) error {
 		return err
 	}
 	l.fsyncs++
-	if err := faultpoint.Inject("wal.rotate"); err != nil {
+	if err := faultpoint.Inject(faultpoint.SiteWALRotate); err != nil {
 		return err
 	}
 	// When the current segment holds no records yet its name is already
@@ -592,7 +592,7 @@ func (l *Log) Rotate(watermark uint64) error {
 	l.lastSeq = seq
 	// Fault site between creating the new segment and removing the old:
 	// a crash here leaves both on disk, which replay dedups by seq.
-	if err := faultpoint.Inject("wal.rotate.remove"); err != nil {
+	if err := faultpoint.Inject(faultpoint.SiteWALRotateRemove); err != nil {
 		return err
 	}
 	// Old segments are fully covered by the snapshot; drop them. Names

@@ -712,7 +712,6 @@ func (db *DB) SearchDocs(ctx context.Context, query string, k int) ([]Hit, error
 	defer end()
 	s := db.searcher.Load()
 	if s == nil {
-		var err error
 		s, err = ir.NewSearcher(db.eng, engine.NewScan(DocsTable), ir.DefaultParams())
 		if err != nil {
 			return nil, err
